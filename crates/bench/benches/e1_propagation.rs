@@ -1,0 +1,77 @@
+//! E1 — Figure 2 / §4 "Interaction via Facebook": photo propagation
+//! through the three-tier topology (attendee → sigmod → SigmodFB feed).
+//!
+//! Measured claims: propagation completes in a *constant number of stages*
+//! regardless of photo count (pipeline depth), while wall time scales with
+//! volume.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_bench::loaded_conference;
+use wepic::ops;
+
+const PHOTOS: &[usize] = &[10, 100, 500];
+
+fn table() {
+    println!("\n# E1: propagation stages/messages vs photo count (3 attendees)");
+    println!(
+        "{:>8} {:>8} {:>10} {:>14} {:>12}",
+        "photos", "rounds", "messages", "sigmod_facts", "fb_posts"
+    );
+    for &n in PHOTOS {
+        let mut conf = loaded_conference(3, n / 3 + 1, 64, 11);
+        // Authorize everything for Facebook so the full pipeline runs.
+        let names: Vec<String> = conf
+            .attendee_names()
+            .iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
+        for name in &names {
+            let ids: Vec<i64> = conf
+                .peer(name.as_str())
+                .unwrap()
+                .relation_facts("pictures")
+                .iter()
+                .map(|t| t[0].as_int().unwrap())
+                .collect();
+            let p = conf.peer_mut(name.as_str()).unwrap();
+            for id in ids {
+                ops::authorize(p, "Facebook", id, name).unwrap();
+            }
+        }
+        let r = conf.settle(256).expect("settles");
+        assert!(r.quiescent);
+        let sigmod_facts = conf
+            .peer("sigmod")
+            .unwrap()
+            .relation_facts("pictures")
+            .len();
+        let fb_posts = conf.fb.group_feed("Sigmod").len();
+        println!(
+            "{:>8} {:>8} {:>10} {:>14} {:>12}",
+            sigmod_facts, r.rounds, r.messages, sigmod_facts, fb_posts
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_propagation");
+    for &n in PHOTOS {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_large_drop(|| {
+                let mut conf = loaded_conference(3, n / 3 + 1, 64, 11);
+                let r = conf.settle(256).expect("settles");
+                assert!(r.quiescent);
+                black_box(conf)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

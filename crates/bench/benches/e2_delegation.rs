@@ -1,0 +1,66 @@
+//! E2 — §3 `attendeePictures`: delegation-driven pull vs broadcast push.
+//!
+//! Measured claims: with delegation, message traffic tracks the *selected*
+//! peers only (non-selected peers stay silent); the broadcast baseline pays
+//! for every peer. Delegation count equals the selection size.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_bench::{broadcast_baseline, SelectionWorld};
+
+const PEERS: &[usize] = &[2, 4, 8, 16];
+const PICS: usize = 20;
+
+fn table() {
+    println!("\n# E2: delegation pull vs broadcast push ({PICS} pics/peer, half selected)");
+    println!(
+        "{:>6} {:>9} {:>12} {:>10} {:>8} | {:>12}",
+        "peers", "selected", "dlg_msgs", "view", "delegs", "bcast_msgs"
+    );
+    for (i, &p) in PEERS.iter().enumerate() {
+        let selected = p / 2;
+        let mut w = SelectionWorld::build(&format!("e2t{i}"), p, PICS, selected, 7);
+        let (_rounds, messages, view, delegs) = w.run();
+        let (_, bcast_msgs) = broadcast_baseline(&format!("e2b{i}"), p, PICS, 7);
+        println!(
+            "{:>6} {:>9} {:>12} {:>10} {:>8} | {:>12}",
+            p, selected, messages, view, delegs, bcast_msgs
+        );
+        assert_eq!(delegs, selected, "one delegation per selected peer");
+        assert_eq!(view, selected * PICS);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_delegation_pull");
+    for (i, &p) in PEERS.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut iter = 0usize;
+            b.iter_with_large_drop(|| {
+                iter += 1;
+                let mut w = SelectionWorld::build(&format!("e2c{i}x{iter}"), p, PICS, p / 2, 7);
+                black_box(w.run())
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e2_broadcast_baseline");
+    for (i, &p) in PEERS.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut iter = 0usize;
+            b.iter(|| {
+                iter += 1;
+                black_box(broadcast_baseline(&format!("e2d{i}x{iter}"), p, PICS, 7))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,108 @@
+//! E3 — §3's transfer rule: peer AND relation variables in the head
+//! (`$protocol@$attendee(...)`), dispatching picture notifications to each
+//! recipient's preferred protocol.
+//!
+//! Measured claims: dispatch routes every (recipient, picture) pair to
+//! exactly one protocol relation; throughput scales with recipients ×
+//! selected pictures.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_bench::open_peer;
+use wdl_core::runtime::LocalRuntime;
+use wdl_core::RelationKind;
+use wdl_datalog::Value;
+use wepic::{ops, rules, schema};
+
+const RECIPIENTS: &[usize] = &[2, 8, 32];
+const PICS: usize = 10;
+
+/// Builds a sender + `n` recipients with alternating protocols; returns the
+/// runtime and recipient names.
+fn build(tag: &str, n: usize) -> (LocalRuntime, Vec<String>) {
+    let mut rt = LocalRuntime::new();
+    let sender = format!("sender{tag}");
+    let mut s = open_peer(&sender);
+    schema::declare_attendee(&mut s).unwrap();
+    s.add_rule(rules::transfer(&sender).unwrap()).unwrap();
+    for i in 0..PICS {
+        ops::select_picture(&mut s, &format!("p{i}.jpg"), i as i64, &sender).unwrap();
+    }
+    let mut names = Vec::new();
+    for i in 0..n {
+        let name = format!("rcpt{tag}n{i}");
+        let mut p = open_peer(&name);
+        p.declare("email", 4, RelationKind::Extensional).unwrap();
+        p.declare("wepicInbox", 4, RelationKind::Extensional)
+            .unwrap();
+        let protocol = if i % 2 == 0 { "email" } else { "wepicInbox" };
+        p.insert_local("communicate", vec![Value::from(protocol)])
+            .unwrap();
+        ops::select_attendee(&mut s, &name).unwrap();
+        names.push(name);
+        rt.add_peer(p);
+    }
+    rt.add_peer(s);
+    (rt, names)
+}
+
+fn run(rt: &mut LocalRuntime, names: &[String]) -> (usize, usize, usize) {
+    let r = rt.run_to_quiescence(256).expect("engine runs");
+    assert!(r.quiescent);
+    let mut email = 0;
+    let mut inbox = 0;
+    for n in names {
+        email += rt.peer(n.as_str()).unwrap().relation_facts("email").len();
+        inbox += rt
+            .peer(n.as_str())
+            .unwrap()
+            .relation_facts("wepicInbox")
+            .len();
+    }
+    (r.messages, email, inbox)
+}
+
+fn table() {
+    println!("\n# E3: protocol dispatch ({PICS} selected pictures, alternating protocols)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "recipients", "messages", "emails", "inbox", "total"
+    );
+    for (i, &n) in RECIPIENTS.iter().enumerate() {
+        let (mut rt, names) = build(&format!("t{i}"), n);
+        let (messages, email, inbox) = run(&mut rt, &names);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10}",
+            n,
+            messages,
+            email,
+            inbox,
+            email + inbox
+        );
+        assert_eq!(email + inbox, n * PICS, "every pair routed exactly once");
+        assert_eq!(email, (n.div_ceil(2)) * PICS);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_dispatch");
+    for (i, &n) in RECIPIENTS.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut iter = 0usize;
+            b.iter_with_large_drop(|| {
+                iter += 1;
+                let (mut rt, names) = build(&format!("c{i}x{iter}"), n);
+                black_box(run(&mut rt, &names));
+                rt
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

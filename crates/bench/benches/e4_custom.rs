@@ -1,0 +1,93 @@
+//! E4 — §4 "Customizing rules": the rating-5 filter. Selectivity sweep:
+//! what share of pictures carries a 5 rating.
+//!
+//! Measured claims: view size tracks selectivity exactly; evaluation work
+//! (and wall time) shrinks as the filter gets more selective because the
+//! join through `rate@$owner` prunes early.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_bench::open_peer;
+use wdl_core::runtime::LocalRuntime;
+use wdl_core::RelationKind;
+use wdl_datalog::Value;
+use wepic::{ops, rules, PictureCorpus};
+
+const SELECTIVITY_PCT: &[usize] = &[1, 10, 50, 100];
+const PICS: usize = 200;
+
+fn build(tag: &str, pct: usize) -> LocalRuntime {
+    let mut rt = LocalRuntime::new();
+    let viewer = format!("v{tag}");
+    let source = format!("s{tag}");
+
+    let mut v = open_peer(&viewer);
+    v.declare("attendeePictures", 4, RelationKind::Intensional)
+        .unwrap();
+    v.add_rule(rules::rating_filter(&viewer, 5).unwrap())
+        .unwrap();
+    v.insert_local("selectedAttendee", vec![Value::from(source.as_str())])
+        .unwrap();
+    rt.add_peer(v);
+
+    let mut s = open_peer(&source);
+    let mut corpus = PictureCorpus::new(13);
+    for (i, pic) in corpus.pictures(&source, PICS, 16).iter().enumerate() {
+        wdl_bench::upload_raw(&mut s, pic);
+        // Exactly pct% of pictures get a 5; the rest get a 3.
+        let rating = if (i * 100) < pct * PICS { 5 } else { 3 };
+        ops::rate(&mut s, pic.id, rating).unwrap();
+    }
+    rt.add_peer(s);
+    rt
+}
+
+fn run(rt: &mut LocalRuntime, tag: &str) -> (usize, usize) {
+    let r = rt.run_to_quiescence(256).expect("engine runs");
+    assert!(r.quiescent);
+    let view = rt
+        .peer(format!("v{tag}").as_str())
+        .unwrap()
+        .relation_facts("attendeePictures")
+        .len();
+    (r.messages, view)
+}
+
+fn table() {
+    println!("\n# E4: rating-filter selectivity sweep ({PICS} pictures)");
+    println!(
+        "{:>12} {:>10} {:>10}",
+        "selectivity%", "messages", "view_size"
+    );
+    for (i, &pct) in SELECTIVITY_PCT.iter().enumerate() {
+        let tag = format!("t{i}");
+        let mut rt = build(&tag, pct);
+        let (messages, view) = run(&mut rt, &tag);
+        println!("{:>12} {:>10} {:>10}", pct, messages, view);
+        assert_eq!(view, pct * PICS / 100, "view size == selectivity");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_rating_filter");
+    for (i, &pct) in SELECTIVITY_PCT.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
+            let mut iter = 0usize;
+            b.iter_with_large_drop(|| {
+                iter += 1;
+                let tag = format!("c{i}x{iter}");
+                let mut rt = build(&tag, pct);
+                black_box(run(&mut rt, &tag));
+                rt
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,125 @@
+//! E5 — §4 "Illustration of the control of delegation": a burst of D
+//! delegations from an untrusted peer queues; approval installs them.
+//!
+//! Measured claims: queueing is O(D) and adds no fixpoint cost (the queued
+//! rules never run); post-approval the whole batch installs and the views
+//! fill in one settle.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_bench::open_peer;
+use wdl_core::runtime::LocalRuntime;
+use wdl_core::{Peer, RelationKind};
+use wdl_datalog::Value;
+use wdl_parser::parse_rule;
+
+const BURSTS: &[usize] = &[1, 10, 100];
+
+/// An untrusted sender installs `d` distinct view rules at `target`.
+fn build(tag: &str, d: usize) -> LocalRuntime {
+    let mut rt = LocalRuntime::new();
+    let sender = format!("acl_s{tag}");
+    let target = format!("acl_t{tag}");
+
+    let mut s = open_peer(&sender);
+    for i in 0..d {
+        s.declare(format!("view{i}").as_str(), 1, RelationKind::Intensional)
+            .unwrap();
+        s.add_rule(parse_rule(&format!("view{i}@{sender}($x) :- items{i}@{target}($x);")).unwrap())
+            .unwrap();
+    }
+    rt.add_peer(s);
+
+    let mut t = Peer::new(target.as_str()); // default policy: queue untrusted
+    for i in 0..d {
+        t.insert_local(format!("items{i}").as_str(), vec![Value::from(i as i64)])
+            .unwrap();
+    }
+    rt.add_peer(t);
+    rt
+}
+
+fn run_queue_phase(rt: &mut LocalRuntime, tag: &str) -> (usize, usize) {
+    let r = rt.run_to_quiescence(64).expect("engine runs");
+    assert!(r.quiescent);
+    let target = format!("acl_t{tag}");
+    let pending = rt
+        .peer(target.as_str())
+        .unwrap()
+        .pending_delegations()
+        .len();
+    (r.rounds, pending)
+}
+
+fn approve_all_and_settle(rt: &mut LocalRuntime, tag: &str) -> (usize, usize) {
+    let target = format!("acl_t{tag}");
+    let sender = format!("acl_s{tag}");
+    let ids: Vec<_> = rt
+        .peer(target.as_str())
+        .unwrap()
+        .pending_delegations()
+        .iter()
+        .map(|p| p.delegation.id)
+        .collect();
+    let t = rt.peer_mut(target.as_str()).unwrap();
+    for id in &ids {
+        t.approve_delegation(*id).unwrap();
+    }
+    let r = rt.run_to_quiescence(64).expect("engine runs");
+    assert!(r.quiescent);
+    // Each view received its fact.
+    let filled = (0..ids.len())
+        .filter(|i| {
+            !rt.peer(sender.as_str())
+                .unwrap()
+                .relation_facts(format!("view{i}").as_str())
+                .is_empty()
+        })
+        .count();
+    (r.rounds, filled)
+}
+
+fn table() {
+    println!("\n# E5: delegation-control queue: burst size vs queue/install behaviour");
+    println!(
+        "{:>6} {:>12} {:>9} {:>14} {:>12}",
+        "burst", "queue_rounds", "pending", "approve_rounds", "views_filled"
+    );
+    for (i, &d) in BURSTS.iter().enumerate() {
+        let tag = format!("t{i}");
+        let mut rt = build(&tag, d);
+        let (qr, pending) = run_queue_phase(&mut rt, &tag);
+        assert_eq!(pending, d, "whole burst queues");
+        let (ar, filled) = approve_all_and_settle(&mut rt, &tag);
+        assert_eq!(filled, d, "every approved rule runs");
+        println!(
+            "{:>6} {:>12} {:>9} {:>14} {:>12}",
+            d, qr, pending, ar, filled
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_acl_queue_then_approve");
+    for (i, &d) in BURSTS.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let mut iter = 0usize;
+            b.iter_with_large_drop(|| {
+                iter += 1;
+                let tag = format!("c{i}x{iter}");
+                let mut rt = build(&tag, d);
+                black_box(run_queue_phase(&mut rt, &tag));
+                black_box(approve_all_and_settle(&mut rt, &tag));
+                rt
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

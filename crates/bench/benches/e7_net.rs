@@ -1,0 +1,166 @@
+//! E7 — transport ablation: in-memory channels vs framed TCP, and the wire
+//! codec itself, across payload sizes (64 B metadata facts up to 16 KiB
+//! picture blobs).
+//!
+//! Measured claims: codec cost scales linearly with payload; the in-memory
+//! transport is orders of magnitude cheaper than TCP per message; both
+//! deliver identical content (asserted).
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wdl_core::{FactKind, Message, Payload, WFact};
+use wdl_datalog::{Symbol, Value};
+use wdl_net::codec;
+use wdl_net::memory::InMemoryNetwork;
+use wdl_net::tcp::TcpEndpoint;
+use wdl_net::Transport;
+
+const SIZES: &[usize] = &[64, 1024, 16 * 1024];
+const BATCH: usize = 100;
+
+fn picture_msg(from: &str, to: &str, id: i64, payload: usize) -> Message {
+    Message::new(
+        Symbol::intern(from),
+        Symbol::intern(to),
+        Payload::Facts {
+            kind: FactKind::Persistent,
+            additions: vec![WFact::new(
+                "pictures",
+                to,
+                vec![
+                    Value::from(id),
+                    Value::from(format!("img{id}.jpg")),
+                    Value::from(from),
+                    Value::from(vec![7u8; payload]),
+                ],
+            )],
+            retractions: vec![],
+        },
+    )
+}
+
+fn table() {
+    println!("\n# E7: wire codec frame sizes");
+    println!("{:>10} {:>12}", "payload_B", "frame_B");
+    for &s in SIZES {
+        let msg = picture_msg("a", "b", 1, s);
+        let bytes = codec::encode(&msg);
+        assert_eq!(codec::decode(&bytes).unwrap(), msg);
+        println!("{:>10} {:>12}", s, bytes.len());
+    }
+
+    println!("\n# E7: {BATCH}-message batch delivery (memory vs tcp), per payload size");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "payload_B", "mem_delivered", "tcp_delivered"
+    );
+    for &s in SIZES {
+        // memory
+        let net = InMemoryNetwork::new();
+        let mut a = net.endpoint(format!("m7a{s}").as_str());
+        let mut b = net.endpoint(format!("m7b{s}").as_str());
+        for i in 0..BATCH {
+            a.send(picture_msg(
+                &format!("m7a{s}"),
+                &format!("m7b{s}"),
+                i as i64,
+                s,
+            ))
+            .unwrap();
+        }
+        let mem = b.drain().len();
+
+        // tcp
+        let mut ta = TcpEndpoint::bind(format!("t7a{s}").as_str(), "127.0.0.1:0").unwrap();
+        let tb = TcpEndpoint::bind(format!("t7b{s}").as_str(), "127.0.0.1:0").unwrap();
+        ta.register(format!("t7b{s}").as_str(), tb.local_addr());
+        for i in 0..BATCH {
+            ta.send(picture_msg(
+                &format!("t7a{s}"),
+                &format!("t7b{s}"),
+                i as i64,
+                s,
+            ))
+            .unwrap();
+        }
+        let mut tb = tb;
+        let mut tcp = 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while tcp < BATCH && std::time::Instant::now() < deadline {
+            tcp += tb.drain().len();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        println!("{:>10} {:>14} {:>14}", s, mem, tcp);
+        assert_eq!(mem, BATCH);
+        assert_eq!(tcp, BATCH);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_codec");
+    for &s in SIZES {
+        let msg = picture_msg("bench-a", "bench-b", 1, s);
+        let bytes = codec::encode(&msg);
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", s), &msg, |b, msg| {
+            b.iter(|| black_box(codec::encode(msg)));
+        });
+        g.bench_with_input(BenchmarkId::new("decode", s), &bytes, |b, bytes| {
+            b.iter(|| black_box(codec::decode(bytes).unwrap()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e7_memory_transport");
+    for &s in SIZES {
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            let net = InMemoryNetwork::new();
+            let an = format!("bench7a{s}");
+            let bn = format!("bench7b{s}");
+            let mut a = net.endpoint(an.as_str());
+            let mut bb = net.endpoint(bn.as_str());
+            b.iter(|| {
+                for i in 0..BATCH {
+                    a.send(picture_msg(&an, &bn, i as i64, s)).unwrap();
+                }
+                let got = bb.drain();
+                assert_eq!(got.len(), BATCH);
+                black_box(got)
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e7_tcp_transport");
+    g.sample_size(10);
+    for &s in SIZES {
+        g.throughput(Throughput::Elements(BATCH as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            let an = format!("bt7a{s}");
+            let bn = format!("bt7b{s}");
+            let mut a = TcpEndpoint::bind(an.as_str(), "127.0.0.1:0").unwrap();
+            let mut bb = TcpEndpoint::bind(bn.as_str(), "127.0.0.1:0").unwrap();
+            a.register(bn.as_str(), bb.local_addr());
+            b.iter(|| {
+                for i in 0..BATCH {
+                    a.send(picture_msg(&an, &bn, i as i64, s)).unwrap();
+                }
+                let mut got = 0;
+                while got < BATCH {
+                    got += bb.drain().len();
+                    std::thread::yield_now();
+                }
+                black_box(got)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,86 @@
+//! E8 — §4 "Interaction via the Web": audience members launch their own
+//! peers mid-run; the conference reconverges.
+//!
+//! Measured claims: convergence cost after k peers join scales with k (the
+//! new peers' uploads), not with the size of the already-settled
+//! conference; the registry and picture pool end exactly right.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_bench::loaded_conference;
+use wepic::{ops, Picture};
+
+const JOINERS: &[usize] = &[1, 4, 8];
+const BASE_ATTENDEES: usize = 4;
+const PICS_PER_PEER: usize = 10;
+
+fn join_and_settle(conf: &mut wepic::Conference, k: usize, tag: &str) -> (usize, usize, usize) {
+    for j in 0..k {
+        let name = format!("aud{tag}n{j}");
+        conf.add_attendee(&name, true).unwrap();
+        let p = conf.peer_mut(name.as_str()).unwrap();
+        ops::upload_picture(
+            p,
+            &Picture {
+                id: 100_000 + j as i64,
+                name: format!("aud{j}.jpg"),
+                owner: name.clone(),
+                data: vec![j as u8; 32],
+            },
+        )
+        .unwrap();
+    }
+    let r = conf.settle(256).expect("resettles");
+    assert!(r.quiescent);
+    let attendees = conf
+        .peer("sigmod")
+        .unwrap()
+        .relation_facts("attendees")
+        .len();
+    let pictures = conf
+        .peer("sigmod")
+        .unwrap()
+        .relation_facts("pictures")
+        .len();
+    (r.rounds, attendees, pictures)
+}
+
+fn table() {
+    println!("\n# E8: k peers join a settled {BASE_ATTENDEES}-attendee conference");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "join", "rejoin_rounds", "attendees", "sigmod_pics"
+    );
+    for (i, &k) in JOINERS.iter().enumerate() {
+        let mut conf = loaded_conference(BASE_ATTENDEES, PICS_PER_PEER, 32, 21);
+        conf.settle(256).expect("initial settle");
+        let (rounds, attendees, pictures) = join_and_settle(&mut conf, k, &format!("t{i}"));
+        println!("{:>6} {:>14} {:>12} {:>14}", k, rounds, attendees, pictures);
+        assert_eq!(attendees, BASE_ATTENDEES + k);
+        assert_eq!(pictures, BASE_ATTENDEES * PICS_PER_PEER + k);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_join_reconverge");
+    for (i, &k) in JOINERS.iter().enumerate() {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut iter = 0usize;
+            b.iter_with_large_drop(|| {
+                iter += 1;
+                let mut conf = loaded_conference(BASE_ATTENDEES, PICS_PER_PEER, 32, 21);
+                conf.settle(256).expect("initial settle");
+                black_box(join_and_settle(&mut conf, k, &format!("c{i}x{iter}")));
+                conf
+            });
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,92 @@
+//! E9 — optimizer ablation: greedy join-order reordering vs an adversarial
+//! body order (§1: "allowing for powerful performance optimizations on the
+//! part of the system").
+//!
+//! Workload: a three-way join where the written order starts from the
+//! largest relation with nothing bound, while a selective relation and a
+//! filter could prune almost everything. The optimizer must recover the
+//! good plan; results are identical by construction (asserted).
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdl_datalog::optimize::reorder_body;
+use wdl_datalog::{eval, Atom, BodyItem, CmpOp, Database, Fact, Subst, Term, Value};
+
+const SCALES: &[i64] = &[100, 300, 1000];
+
+fn atom(p: &str, vs: &[&str]) -> Atom {
+    Atom::new(p, vs.iter().map(|v| Term::var(*v)).collect())
+}
+
+/// big(x, y): n² skewed pairs; mid(y, z): n pairs; tiny(z): 1 row.
+fn build_db(n: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        for j in 0..(n / 10).max(1) {
+            db.insert(Fact::new("big", vec![Value::from(i), Value::from(j)]))
+                .unwrap();
+        }
+        db.insert(Fact::new("mid", vec![Value::from(i % 10), Value::from(i)]))
+            .unwrap();
+    }
+    db.insert(Fact::new("tiny", vec![Value::from(0)])).unwrap();
+    db
+}
+
+/// Adversarial order: the huge scan first, the selective atom last.
+fn adversarial_body() -> Vec<BodyItem> {
+    vec![
+        atom("big", &["x", "y"]).into(),
+        atom("mid", &["y", "z"]).into(),
+        BodyItem::cmp(CmpOp::Lt, Term::var("z"), Term::cst(5)),
+        atom("tiny", &["x"]).into(),
+    ]
+}
+
+fn table() {
+    println!("\n# E9: join-order optimizer — adversarial vs optimized result counts");
+    println!("{:>8} {:>10} {:>12}", "scale", "rows", "identical");
+    for &n in SCALES {
+        let db = build_db(n);
+        let body = adversarial_body();
+        let optimized = reorder_body(&body, &db);
+        let canon = |v: Vec<Subst>| {
+            let mut c: Vec<_> = v.iter().map(|s| s.canonical()).collect();
+            c.sort();
+            c
+        };
+        let a = canon(eval::evaluate_body(&db, &body, Subst::new()).unwrap());
+        let b = canon(eval::evaluate_body(&db, &optimized, Subst::new()).unwrap());
+        assert_eq!(a, b, "optimizer changed results");
+        println!("{:>8} {:>10} {:>12}", n, a.len(), "yes");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for (name, optimize) in [("e9_adversarial", false), ("e9_optimized", true)] {
+        let mut g = c.benchmark_group(name);
+        for &n in SCALES {
+            let db = build_db(n);
+            let body = if optimize {
+                reorder_body(&adversarial_body(), &db)
+            } else {
+                adversarial_body()
+            };
+            g.bench_with_input(
+                BenchmarkId::from_parameter(n),
+                &(db, body),
+                |b, (db, body)| {
+                    b.iter(|| black_box(eval::evaluate_body(db, body, Subst::new()).unwrap()));
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+fn main() {
+    table();
+    let mut c = wdl_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

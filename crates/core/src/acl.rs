@@ -1,0 +1,205 @@
+//! Control of delegation (paper §3, "Delegation and access control").
+//!
+//! The demo's model, reproduced here exactly: "each delegation sent by an
+//! untrusted peer will be pending in a queue until the user explicitly
+//! accepts it via the Web interface. By default, all peers except the sigmod
+//! peer will be considered untrusted." The interface here is programmatic
+//! (`pending`, `approve`, `reject`) instead of a Web page; the Wepic example
+//! binaries expose it interactively.
+
+use crate::Delegation;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use wdl_datalog::Symbol;
+
+/// What to do with an arriving delegation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelegationDecision {
+    /// Install immediately (trusted origin).
+    Install,
+    /// Park in the pending queue until the user decides.
+    Queue,
+    /// Drop outright.
+    Reject,
+}
+
+/// Policy for delegations from peers not in the trusted set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UntrustedPolicy {
+    /// Queue for explicit approval (the demo's behaviour).
+    #[default]
+    Queue,
+    /// Accept everything (useful for closed experiments).
+    Accept,
+    /// Reject everything.
+    Reject,
+}
+
+/// A delegation waiting for the user's decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingDelegation {
+    /// The delegation itself.
+    pub delegation: Delegation,
+    /// Stage counter of the receiving peer when it arrived.
+    pub received_stage: u64,
+}
+
+/// Per-peer access-control state.
+#[derive(Clone, Debug, Default)]
+pub struct AccessControl {
+    trusted: HashSet<Symbol>,
+    policy: UntrustedPolicy,
+    pending: Vec<PendingDelegation>,
+}
+
+impl AccessControl {
+    /// Fresh state: nobody trusted, untrusted delegations queue.
+    pub fn new() -> AccessControl {
+        AccessControl::default()
+    }
+
+    /// Marks `peer` as trusted; its delegations install immediately.
+    pub fn trust(&mut self, peer: impl Into<Symbol>) {
+        self.trusted.insert(peer.into());
+    }
+
+    /// Removes `peer` from the trusted set (already-installed delegations
+    /// stay installed; the paper's model gates installation, not execution).
+    pub fn untrust(&mut self, peer: impl Into<Symbol>) {
+        self.trusted.remove(&peer.into());
+    }
+
+    /// True iff `peer` is trusted.
+    pub fn is_trusted(&self, peer: Symbol) -> bool {
+        self.trusted.contains(&peer)
+    }
+
+    /// The trusted peers, sorted by name (for deterministic export).
+    pub fn trusted_peers(&self) -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = self.trusted.iter().copied().collect();
+        v.sort_by_key(|s| s.as_str());
+        v
+    }
+
+    /// The current policy for untrusted origins.
+    pub fn untrusted_policy(&self) -> UntrustedPolicy {
+        self.policy
+    }
+
+    /// Sets the policy applied to untrusted origins.
+    pub fn set_untrusted_policy(&mut self, policy: UntrustedPolicy) {
+        self.policy = policy;
+    }
+
+    /// Decides what to do with a delegation from `origin`.
+    pub fn decide(&self, origin: Symbol) -> DelegationDecision {
+        if self.trusted.contains(&origin) {
+            DelegationDecision::Install
+        } else {
+            match self.policy {
+                UntrustedPolicy::Queue => DelegationDecision::Queue,
+                UntrustedPolicy::Accept => DelegationDecision::Install,
+                UntrustedPolicy::Reject => DelegationDecision::Reject,
+            }
+        }
+    }
+
+    /// Parks a delegation.
+    pub(crate) fn push_pending(&mut self, delegation: Delegation, stage: u64) {
+        // A re-sent identical delegation should not duplicate in the queue.
+        if self
+            .pending
+            .iter()
+            .any(|p| p.delegation.id == delegation.id)
+        {
+            return;
+        }
+        self.pending.push(PendingDelegation {
+            delegation,
+            received_stage: stage,
+        });
+    }
+
+    /// The pending queue, oldest first (what the demo UI shows at the top of
+    /// its Figure 3: "Julia is sending a rule to Jules").
+    pub fn pending(&self) -> &[PendingDelegation] {
+        &self.pending
+    }
+
+    /// Removes and returns the pending delegation with `id`, if present.
+    pub(crate) fn take_pending(&mut self, id: crate::DelegationId) -> Option<Delegation> {
+        let idx = self.pending.iter().position(|p| p.delegation.id == id)?;
+        Some(self.pending.remove(idx).delegation)
+    }
+
+    /// Drops a pending delegation (e.g. when its origin revokes it before
+    /// the user decided).
+    pub(crate) fn drop_pending(&mut self, id: crate::DelegationId) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|p| p.delegation.id != id);
+        self.pending.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WRule;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn dlg(origin: &str) -> Delegation {
+        Delegation::new(
+            sym(origin),
+            sym("me"),
+            WRule::example_attendee_pictures(origin),
+        )
+    }
+
+    #[test]
+    fn default_queues_untrusted() {
+        let acl = AccessControl::new();
+        assert_eq!(acl.decide(sym("stranger")), DelegationDecision::Queue);
+    }
+
+    #[test]
+    fn trusted_installs_immediately() {
+        let mut acl = AccessControl::new();
+        acl.trust("sigmod");
+        assert_eq!(acl.decide(sym("sigmod")), DelegationDecision::Install);
+        acl.untrust("sigmod");
+        assert_eq!(acl.decide(sym("sigmod")), DelegationDecision::Queue);
+    }
+
+    #[test]
+    fn policy_switches() {
+        let mut acl = AccessControl::new();
+        acl.set_untrusted_policy(UntrustedPolicy::Accept);
+        assert_eq!(acl.decide(sym("x")), DelegationDecision::Install);
+        acl.set_untrusted_policy(UntrustedPolicy::Reject);
+        assert_eq!(acl.decide(sym("x")), DelegationDecision::Reject);
+    }
+
+    #[test]
+    fn pending_queue_dedups_and_removes() {
+        let mut acl = AccessControl::new();
+        let d = dlg("Julia");
+        acl.push_pending(d.clone(), 1);
+        acl.push_pending(d.clone(), 2);
+        assert_eq!(acl.pending().len(), 1);
+        assert!(acl.take_pending(d.id).is_some());
+        assert!(acl.take_pending(d.id).is_none());
+    }
+
+    #[test]
+    fn drop_pending_on_revoke() {
+        let mut acl = AccessControl::new();
+        let d = dlg("Julia");
+        acl.push_pending(d.clone(), 1);
+        assert!(acl.drop_pending(d.id));
+        assert!(!acl.drop_pending(d.id));
+        assert!(acl.pending().is_empty());
+    }
+}

@@ -1,0 +1,455 @@
+//! WebdamLog atoms: relation/peer positions may hold variables.
+
+use crate::{Result, WFact, WdlError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wdl_datalog::{CmpOp, Expr, Subst, Symbol, Term, Value};
+
+/// A term in *name position* (relation or peer): either a constant name or a
+/// variable bound at runtime to a string value.
+///
+/// This is the paper's "main novelty ... the possibility for WebdamLog rules
+/// to have variables as relation and peer names" (§2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NameTerm {
+    /// A constant name, e.g. `pictures` or `Jules`.
+    Name(Symbol),
+    /// A variable, e.g. `$attendee` in `pictures@$attendee(...)`.
+    Var(Symbol),
+}
+
+impl NameTerm {
+    /// A constant name.
+    pub fn name(s: impl Into<Symbol>) -> NameTerm {
+        NameTerm::Name(s.into())
+    }
+
+    /// A variable.
+    pub fn var(s: impl Into<Symbol>) -> NameTerm {
+        NameTerm::Var(s.into())
+    }
+
+    /// Returns the constant name if this is one.
+    pub fn as_name(&self) -> Option<Symbol> {
+        match self {
+            NameTerm::Name(s) => Some(*s),
+            NameTerm::Var(_) => None,
+        }
+    }
+
+    /// True iff this is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, NameTerm::Var(_))
+    }
+
+    /// Resolves under a substitution. A bound name variable must hold a
+    /// string value (peer and relation names are strings in data position).
+    pub fn resolve(&self, subst: &Subst) -> Result<Option<Symbol>> {
+        match self {
+            NameTerm::Name(s) => Ok(Some(*s)),
+            NameTerm::Var(v) => match subst.get(*v) {
+                None => Ok(None),
+                Some(Value::Str(s)) => Ok(Some(Symbol::intern(s))),
+                Some(other) => Err(WdlError::BadNameBinding(format!(
+                    "variable ${v} used as a name is bound to {other} (a {}), expected a string",
+                    other.type_name()
+                ))),
+            },
+        }
+    }
+
+    /// Applies a substitution, turning a bound variable into a constant name.
+    pub fn apply(&self, subst: &Subst) -> Result<NameTerm> {
+        Ok(match self.resolve(subst)? {
+            Some(name) => NameTerm::Name(name),
+            None => *self,
+        })
+    }
+}
+
+impl fmt::Debug for NameTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for NameTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameTerm::Name(s) => write!(f, "{s}"),
+            NameTerm::Var(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+/// A WebdamLog atom `$R@$P($U)`: relation term, peer term, argument terms.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WAtom {
+    /// Relation position (name or variable).
+    pub rel: NameTerm,
+    /// Peer position (name or variable).
+    pub peer: NameTerm,
+    /// Data arguments.
+    pub args: Vec<Term>,
+}
+
+impl WAtom {
+    /// Builds an atom.
+    pub fn new(rel: NameTerm, peer: NameTerm, args: Vec<Term>) -> WAtom {
+        WAtom { rel, peer, args }
+    }
+
+    /// Convenience: both names constant.
+    pub fn at(rel: impl Into<Symbol>, peer: impl Into<Symbol>, args: Vec<Term>) -> WAtom {
+        WAtom::new(
+            NameTerm::Name(rel.into()),
+            NameTerm::Name(peer.into()),
+            args,
+        )
+    }
+
+    /// Applies a substitution to names and arguments.
+    pub fn apply(&self, subst: &Subst) -> Result<WAtom> {
+        Ok(WAtom {
+            rel: self.rel.apply(subst)?,
+            peer: self.peer.apply(subst)?,
+            args: self.args.iter().map(|t| t.apply(subst)).collect(),
+        })
+    }
+
+    /// Grounds into a fact; `None` if any name or argument stays unbound.
+    pub fn ground(&self, subst: &Subst) -> Result<Option<WFact>> {
+        let Some(rel) = self.rel.resolve(subst)? else {
+            return Ok(None);
+        };
+        let Some(peer) = self.peer.resolve(subst)? else {
+            return Ok(None);
+        };
+        let mut values = Vec::with_capacity(self.args.len());
+        for t in &self.args {
+            match t.resolve(subst) {
+                Some(v) => values.push(v),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(WFact {
+            rel,
+            peer,
+            tuple: values.into(),
+        }))
+    }
+
+    /// Data variables of the atom (not name variables), appended to `out`.
+    pub fn data_variables(&self, out: &mut Vec<Symbol>) {
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                out.push(*v);
+            }
+        }
+    }
+
+    /// All variables including name-position ones, appended to `out`.
+    pub fn all_variables(&self, out: &mut Vec<Symbol>) {
+        if let NameTerm::Var(v) = self.rel {
+            out.push(v);
+        }
+        if let NameTerm::Var(v) = self.peer {
+            out.push(v);
+        }
+        self.data_variables(out);
+    }
+}
+
+impl fmt::Debug for WAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for WAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(", self.rel, self.peer)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A possibly negated WebdamLog atom.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WLiteral {
+    /// The atom.
+    pub atom: WAtom,
+    /// True for `not m@p(...)`.
+    pub negated: bool,
+}
+
+impl WLiteral {
+    /// Positive literal.
+    pub fn pos(atom: WAtom) -> WLiteral {
+        WLiteral {
+            atom,
+            negated: false,
+        }
+    }
+
+    /// Negated literal.
+    pub fn neg(atom: WAtom) -> WLiteral {
+        WLiteral {
+            atom,
+            negated: true,
+        }
+    }
+}
+
+impl fmt::Debug for WLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for WLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A body item of a WebdamLog rule: a literal, comparison or assignment.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WBodyItem {
+    /// A (possibly negated) peer-qualified atom.
+    Literal(WLiteral),
+    /// A comparison over bound terms.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+    /// Binds a fresh variable: `$x := expr`.
+    Assign {
+        /// Variable bound.
+        var: Symbol,
+        /// Right-hand side.
+        expr: Expr,
+    },
+}
+
+impl WBodyItem {
+    /// Convenience for a positive atom.
+    pub fn atom(atom: WAtom) -> WBodyItem {
+        WBodyItem::Literal(WLiteral::pos(atom))
+    }
+
+    /// Convenience for a negated atom.
+    pub fn not_atom(atom: WAtom) -> WBodyItem {
+        WBodyItem::Literal(WLiteral::neg(atom))
+    }
+
+    /// Convenience for a comparison.
+    pub fn cmp(op: CmpOp, lhs: Term, rhs: Term) -> WBodyItem {
+        WBodyItem::Cmp { op, lhs, rhs }
+    }
+
+    /// Convenience for an assignment.
+    pub fn assign(var: impl Into<Symbol>, expr: Expr) -> WBodyItem {
+        WBodyItem::Assign {
+            var: var.into(),
+            expr,
+        }
+    }
+
+    /// Applies a substitution.
+    pub fn apply(&self, subst: &Subst) -> Result<WBodyItem> {
+        Ok(match self {
+            WBodyItem::Literal(l) => WBodyItem::Literal(WLiteral {
+                atom: l.atom.apply(subst)?,
+                negated: l.negated,
+            }),
+            WBodyItem::Cmp { op, lhs, rhs } => WBodyItem::Cmp {
+                op: *op,
+                lhs: lhs.apply(subst),
+                rhs: rhs.apply(subst),
+            },
+            WBodyItem::Assign { var, expr } => WBodyItem::Assign {
+                var: *var,
+                expr: apply_expr(expr, subst),
+            },
+        })
+    }
+
+    /// Variables that this item can *bind* when evaluated (data variables of
+    /// positive atoms, assignment targets), appended to `out`.
+    pub fn binds(&self, out: &mut Vec<Symbol>) {
+        match self {
+            WBodyItem::Literal(l) if !l.negated => l.atom.data_variables(out),
+            WBodyItem::Assign { var, .. } => out.push(*var),
+            _ => {}
+        }
+    }
+
+    /// Variables this item *reads* (name variables, negated-atom variables,
+    /// comparison/assignment inputs), appended to `out`.
+    pub fn reads(&self, out: &mut Vec<Symbol>) {
+        match self {
+            WBodyItem::Literal(l) => {
+                if let NameTerm::Var(v) = l.atom.rel {
+                    out.push(v);
+                }
+                if let NameTerm::Var(v) = l.atom.peer {
+                    out.push(v);
+                }
+                if l.negated {
+                    l.atom.data_variables(out);
+                }
+            }
+            WBodyItem::Cmp { lhs, rhs, .. } => {
+                for t in [lhs, rhs] {
+                    if let Term::Var(v) = t {
+                        out.push(*v);
+                    }
+                }
+            }
+            WBodyItem::Assign { expr, .. } => expr.variables(out),
+        }
+    }
+}
+
+fn apply_expr(expr: &Expr, subst: &Subst) -> Expr {
+    match expr {
+        Expr::Term(t) => Expr::Term(t.apply(subst)),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(apply_expr(l, subst)),
+            Box::new(apply_expr(r, subst)),
+        ),
+    }
+}
+
+impl From<WAtom> for WBodyItem {
+    fn from(atom: WAtom) -> Self {
+        WBodyItem::atom(atom)
+    }
+}
+
+impl fmt::Debug for WBodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for WBodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WBodyItem::Literal(l) => write!(f, "{l}"),
+            WBodyItem::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            WBodyItem::Assign { var, expr } => write!(f, "${var} := {expr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn name_term_resolution() {
+        let mut s = Subst::new();
+        s.bind(sym("att"), Value::from("Emilien"));
+        assert_eq!(
+            NameTerm::var("att").resolve(&s).unwrap(),
+            Some(sym("Emilien"))
+        );
+        assert_eq!(
+            NameTerm::name("Jules").resolve(&s).unwrap(),
+            Some(sym("Jules"))
+        );
+        assert_eq!(NameTerm::var("unbound-nm").resolve(&s).unwrap(), None);
+    }
+
+    #[test]
+    fn name_term_rejects_non_string_binding() {
+        let mut s = Subst::new();
+        s.bind(sym("n"), Value::from(7));
+        assert!(matches!(
+            NameTerm::var("n").resolve(&s),
+            Err(WdlError::BadNameBinding(_))
+        ));
+    }
+
+    #[test]
+    fn atom_display_matches_paper() {
+        let a = WAtom::new(
+            NameTerm::name("pictures"),
+            NameTerm::var("attendee"),
+            vec![Term::var("id"), Term::var("name")],
+        );
+        assert_eq!(a.to_string(), "pictures@$attendee($id, $name)");
+    }
+
+    #[test]
+    fn ground_requires_all_positions() {
+        let a = WAtom::new(
+            NameTerm::name("r"),
+            NameTerm::var("p"),
+            vec![Term::var("x")],
+        );
+        let mut s = Subst::new();
+        assert_eq!(a.ground(&s).unwrap(), None);
+        s.bind(sym("p"), Value::from("peerA"));
+        assert_eq!(a.ground(&s).unwrap(), None);
+        s.bind(sym("x"), Value::from(1));
+        let f = a.ground(&s).unwrap().unwrap();
+        assert_eq!(f.to_string(), "r@peerA(1)");
+    }
+
+    #[test]
+    fn apply_instantiates_names() {
+        let a = WAtom::new(NameTerm::var("r"), NameTerm::var("p"), vec![]);
+        let s: Subst = [
+            (sym("r"), Value::from("email")),
+            (sym("p"), Value::from("Emilien")),
+        ]
+        .into_iter()
+        .collect();
+        let applied = a.apply(&s).unwrap();
+        assert_eq!(applied.rel, NameTerm::name("email"));
+        assert_eq!(applied.peer, NameTerm::name("Emilien"));
+    }
+
+    #[test]
+    fn binds_and_reads_classification() {
+        let item = WBodyItem::atom(WAtom::new(
+            NameTerm::name("r"),
+            NameTerm::var("p"),
+            vec![Term::var("x")],
+        ));
+        let mut binds = Vec::new();
+        let mut reads = Vec::new();
+        item.binds(&mut binds);
+        item.reads(&mut reads);
+        assert_eq!(binds, vec![sym("x")]);
+        assert_eq!(reads, vec![sym("p")]);
+
+        let neg = WBodyItem::not_atom(WAtom::at("r", "q", vec![Term::var("y")]));
+        binds.clear();
+        reads.clear();
+        neg.binds(&mut binds);
+        neg.reads(&mut reads);
+        assert!(binds.is_empty());
+        assert_eq!(reads, vec![sym("y")]);
+    }
+}

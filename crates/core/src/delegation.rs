@@ -1,0 +1,138 @@
+//! Delegations: rules installed by one peer at another.
+//!
+//! Delegation is the headline novelty of WebdamLog (§2: "delegation allows a
+//! peer to install a rule at a remote peer"). A delegation is re-derived at
+//! every stage of its origin; when the supporting valuation disappears the
+//! origin sends a revocation, so downstream state tracks upstream state.
+
+use crate::WRule;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use wdl_datalog::Symbol;
+
+/// Content-addressed identity of a delegation.
+///
+/// Computed from the *textual* form of (origin, target, rule) so that the
+/// origin and the target — possibly different processes with different
+/// symbol tables — agree on the id, and so that the same delegation derived
+/// through several valuations deduplicates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DelegationId(u64);
+
+impl DelegationId {
+    /// Computes the id for `(origin, target, rule)`.
+    pub fn compute(origin: Symbol, target: Symbol, rule: &WRule) -> DelegationId {
+        let mut h = DefaultHasher::new();
+        origin.as_str().hash(&mut h);
+        target.as_str().hash(&mut h);
+        rule.canonical_text().hash(&mut h);
+        DelegationId(h.finish())
+    }
+
+    /// Raw value (for logging and wire encoding).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw wire value (revocation messages carry ids
+    /// without the rule body, so the receiver cannot recompute them).
+    pub fn from_raw(raw: u64) -> DelegationId {
+        DelegationId(raw)
+    }
+}
+
+impl fmt::Debug for DelegationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dlg:{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for DelegationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A rule one peer asks another to run on its behalf.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delegation {
+    /// Stable content-addressed identity.
+    pub id: DelegationId,
+    /// The peer that derived (and owns) the delegation.
+    pub origin: Symbol,
+    /// The peer asked to run the rule.
+    pub target: Symbol,
+    /// The instantiated remainder rule to install.
+    pub rule: WRule,
+}
+
+impl Delegation {
+    /// Builds a delegation, computing its content id.
+    pub fn new(origin: Symbol, target: Symbol, rule: WRule) -> Delegation {
+        let id = DelegationId::compute(origin, target, &rule);
+        Delegation {
+            id,
+            origin,
+            target,
+            rule,
+        }
+    }
+}
+
+impl fmt::Debug for Delegation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} -> {}] {}",
+            self.id, self.origin, self.target, self.rule
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn id_is_content_addressed() {
+        let r = WRule::example_attendee_pictures("Jules");
+        let a = Delegation::new(sym("Jules"), sym("Emilien"), r.clone());
+        let b = Delegation::new(sym("Jules"), sym("Emilien"), r.clone());
+        assert_eq!(a.id, b.id);
+        let c = Delegation::new(sym("Jules"), sym("Julia"), r);
+        assert_ne!(a.id, c.id);
+    }
+
+    #[test]
+    fn id_distinguishes_rules() {
+        let a = Delegation::new(
+            sym("p"),
+            sym("q"),
+            WRule::example_attendee_pictures("Jules"),
+        );
+        let b = Delegation::new(
+            sym("p"),
+            sym("q"),
+            WRule::example_attendee_pictures("Emilien"),
+        );
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn debug_form_mentions_parties() {
+        let d = Delegation::new(
+            sym("Julia"),
+            sym("Jules"),
+            WRule::example_attendee_pictures("Julia"),
+        );
+        let s = format!("{d:?}");
+        assert!(s.contains("Julia"));
+        assert!(s.contains("Jules"));
+    }
+}

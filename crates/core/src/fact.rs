@@ -1,0 +1,106 @@
+//! WebdamLog facts: `m@p(a1, ..., an)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wdl_datalog::{Symbol, Tuple, Value};
+
+/// A WebdamLog fact — a tuple qualified by relation name **and peer name**
+/// (paper §2: "a fact is an expression of the form m@p(a1, ..., an)").
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WFact {
+    /// Relation name `m`.
+    pub rel: Symbol,
+    /// Peer name `p` — where the relation lives.
+    pub peer: Symbol,
+    /// The data values.
+    pub tuple: Tuple,
+}
+
+impl WFact {
+    /// Builds a fact.
+    pub fn new(
+        rel: impl Into<Symbol>,
+        peer: impl Into<Symbol>,
+        values: impl IntoIterator<Item = Value>,
+    ) -> WFact {
+        WFact {
+            rel: rel.into(),
+            peer: peer.into(),
+            tuple: values.into_iter().collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.tuple.len()
+    }
+
+    /// The flattened datalog predicate this fact is stored under locally.
+    pub fn qualified(&self) -> Symbol {
+        qualify(self.rel, self.peer)
+    }
+}
+
+/// Interns the flattened predicate name `rel@peer` used to store a
+/// peer-qualified relation inside the datalog kernel.
+pub fn qualify(rel: Symbol, peer: Symbol) -> Symbol {
+    // The '@' separator cannot occur in identifiers (enforced by the parser),
+    // so flattening is injective.
+    Symbol::intern(&format!("{rel}@{peer}"))
+}
+
+impl fmt::Debug for WFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for WFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(", self.rel, self.peer)?;
+        for (i, v) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let f = WFact::new(
+            "pictures",
+            "sigmod",
+            vec![
+                Value::from(32),
+                Value::from("sea.jpg"),
+                Value::from("Emilien"),
+            ],
+        );
+        assert_eq!(
+            f.to_string(),
+            "pictures@sigmod(32, \"sea.jpg\", \"Emilien\")"
+        );
+        assert_eq!(f.arity(), 3);
+    }
+
+    #[test]
+    fn qualification_is_injective_across_rel_peer_split() {
+        let a = qualify(Symbol::intern("a"), Symbol::intern("bc"));
+        let b = qualify(Symbol::intern("ab"), Symbol::intern("c"));
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "a@bc");
+    }
+
+    #[test]
+    fn qualified_uses_rel_and_peer() {
+        let f = WFact::new("r", "p", vec![Value::from(1)]);
+        assert_eq!(f.qualified().as_str(), "r@p");
+    }
+}

@@ -1,0 +1,144 @@
+//! Messages exchanged between peers.
+//!
+//! The paper's stage step 3: "the peer sends facts (updates) and rules
+//! (delegations) to other peers". We add revocations — the inverse of
+//! delegations — and distinguish *persistent* updates (explicit insertions/
+//! deletions of extensional facts) from *derived* diffs (contributions to a
+//! remote view that retract when the sender's derivations retract).
+
+use crate::{Delegation, DelegationId, WFact};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wdl_datalog::Symbol;
+
+/// How the receiver should treat a batch of facts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FactKind {
+    /// An explicit update: apply additions and retractions to the stored
+    /// (extensional) relation.
+    Persistent,
+    /// A rule-derived diff. The receiver interprets it against its own
+    /// schema: for an *extensional* target relation, additions are applied
+    /// as insertions and retractions are ignored (PODS'11: derivations into
+    /// extensional relations are monotone insertion updates); for an
+    /// *intensional* target, the batch maintains the sender's contribution
+    /// to the view.
+    Derived,
+}
+
+/// The body of a message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Fact additions/retractions.
+    Facts {
+        /// Interpretation at the receiver.
+        kind: FactKind,
+        /// Facts to add.
+        additions: Vec<WFact>,
+        /// Facts to retract.
+        retractions: Vec<WFact>,
+    },
+    /// Rules to install at the receiver.
+    Delegate(Vec<Delegation>),
+    /// Previously installed delegations to remove.
+    Revoke(Vec<DelegationId>),
+}
+
+impl Payload {
+    /// Rough count of items, for stats.
+    pub fn item_count(&self) -> usize {
+        match self {
+            Payload::Facts {
+                additions,
+                retractions,
+                ..
+            } => additions.len() + retractions.len(),
+            Payload::Delegate(ds) => ds.len(),
+            Payload::Revoke(ids) => ids.len(),
+        }
+    }
+}
+
+/// A routed message between two peers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sender peer.
+    pub from: Symbol,
+    /// Receiver peer.
+    pub to: Symbol,
+    /// Content.
+    pub payload: Payload,
+}
+
+impl Message {
+    /// Builds a message.
+    pub fn new(from: Symbol, to: Symbol, payload: Payload) -> Message {
+        Message { from, to, payload }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            Payload::Facts {
+                kind,
+                additions,
+                retractions,
+            } => write!(
+                f,
+                "{} -> {}: {:?} facts +{} -{}",
+                self.from,
+                self.to,
+                kind,
+                additions.len(),
+                retractions.len()
+            ),
+            Payload::Delegate(ds) => {
+                write!(
+                    f,
+                    "{} -> {}: delegate {} rule(s)",
+                    self.from,
+                    self.to,
+                    ds.len()
+                )
+            }
+            Payload::Revoke(ids) => {
+                write!(
+                    f,
+                    "{} -> {}: revoke {} rule(s)",
+                    self.from,
+                    self.to,
+                    ids.len()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_datalog::Value;
+
+    #[test]
+    fn item_counts() {
+        let f = WFact::new("r", "p", vec![Value::from(1)]);
+        let p = Payload::Facts {
+            kind: FactKind::Persistent,
+            additions: vec![f.clone(), f.clone()],
+            retractions: vec![f],
+        };
+        assert_eq!(p.item_count(), 3);
+        assert_eq!(Payload::Revoke(vec![]).item_count(), 0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let m = Message::new(
+            Symbol::intern("a"),
+            Symbol::intern("b"),
+            Payload::Delegate(vec![]),
+        );
+        assert_eq!(m.to_string(), "a -> b: delegate 0 rule(s)");
+    }
+}

@@ -1,0 +1,644 @@
+//! A WebdamLog peer: schema, storage, rules, delegations, ACL state.
+
+use crate::acl::AccessControl;
+use crate::grants::RelationGrants;
+use crate::{
+    qualify, Delegation, DelegationId, FactKind, Message, Payload, RelationKind, Result, Schema,
+    WFact, WRule, WdlError,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use wdl_datalog::{Database, Symbol, Tuple, Value};
+
+/// Identifier of a rule owned by a peer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RuleId {
+    /// The owning peer.
+    pub peer: Symbol,
+    /// Per-peer counter.
+    pub idx: u32,
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.peer, self.idx)
+    }
+}
+
+/// A rule owned by the peer, with its id (the demo UI lists rules this way,
+/// Figure 3).
+#[derive(Clone, Debug)]
+pub struct RuleEntry {
+    /// Identifier (stable across removals).
+    pub id: RuleId,
+    /// The rule.
+    pub rule: WRule,
+}
+
+/// A WebdamLog peer.
+///
+/// A peer hosts relations (extensional and intensional), runs its own rules
+/// plus rules delegated to it, and exchanges facts and rules with other
+/// peers through [`Peer::run_stage`] / [`Peer::enqueue`]. See the crate
+/// documentation for the full model.
+pub struct Peer {
+    pub(crate) name: Symbol,
+    pub(crate) schema: Schema,
+    /// Extensional facts, stored under qualified predicates `rel@peer`.
+    pub(crate) store: Database,
+    /// Intensional snapshot of the last completed stage.
+    pub(crate) derived: Database,
+    /// Maintained contributions received from other peers for intensional
+    /// relations: `rel -> origin -> tuples`.
+    pub(crate) remote_contrib: HashMap<Symbol, HashMap<Symbol, HashSet<Tuple>>>,
+    pub(crate) rules: Vec<RuleEntry>,
+    pub(crate) next_rule_idx: u32,
+    /// Delegations installed here by other peers.
+    pub(crate) delegated: Vec<Delegation>,
+    pub(crate) acl: AccessControl,
+    pub(crate) grants: RelationGrants,
+    pub(crate) inbox: Vec<Message>,
+    /// Extensional self-updates derived by rules, applied at next stage.
+    pub(crate) pending_updates: Vec<WFact>,
+    /// Explicit API-driven messages to other peers, flushed at next stage.
+    pub(crate) outbox_explicit: Vec<Message>,
+    /// Delegations this peer emitted at its previous stage (for diffing).
+    pub(crate) prev_delegations: HashMap<DelegationId, Delegation>,
+    /// Derived facts sent to each target at the previous stage (for diffing).
+    pub(crate) prev_sent: HashMap<Symbol, HashSet<WFact>>,
+    pub(crate) stage: u64,
+    pub(crate) fixpoint_limit: usize,
+}
+
+impl Peer {
+    /// Creates a peer named `name`.
+    pub fn new(name: impl Into<Symbol>) -> Peer {
+        Peer {
+            name: name.into(),
+            schema: Schema::new(),
+            store: Database::new(),
+            derived: Database::new(),
+            remote_contrib: HashMap::new(),
+            rules: Vec::new(),
+            next_rule_idx: 0,
+            delegated: Vec::new(),
+            acl: AccessControl::new(),
+            grants: RelationGrants::new(),
+            inbox: Vec::new(),
+            pending_updates: Vec::new(),
+            outbox_explicit: Vec::new(),
+            prev_delegations: HashMap::new(),
+            prev_sent: HashMap::new(),
+            stage: 0,
+            fixpoint_limit: 10_000,
+        }
+    }
+
+    /// The peer's name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// Stages completed so far.
+    pub fn stage(&self) -> u64 {
+        self.stage
+    }
+
+    /// Immutable access control state.
+    pub fn acl(&self) -> &AccessControl {
+        &self.acl
+    }
+
+    /// Mutable access control state (trust peers, change policy).
+    pub fn acl_mut(&mut self) -> &mut AccessControl {
+        &mut self.acl
+    }
+
+    /// Relation-level grants (the paper's sketched discretionary model).
+    pub fn grants(&self) -> &RelationGrants {
+        &self.grants
+    }
+
+    /// Relation-level grants, mutably (restrict/grant/declassify).
+    pub fn grants_mut(&mut self) -> &mut RelationGrants {
+        &mut self.grants
+    }
+
+    /// The peer's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Caps the per-stage local fixpoint round count (default 10,000).
+    pub fn set_fixpoint_limit(&mut self, limit: usize) {
+        self.fixpoint_limit = limit;
+    }
+
+    /// Declares a local relation.
+    pub fn declare(
+        &mut self,
+        rel: impl Into<Symbol>,
+        arity: usize,
+        kind: RelationKind,
+    ) -> Result<()> {
+        let rel = rel.into();
+        self.schema.declare(rel, arity, kind)?;
+        if kind == RelationKind::Extensional {
+            self.store.declare(qualify(rel, self.name), arity)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Rule management (the demo UI's inspect / add / remove, Figure 3)
+    // ------------------------------------------------------------------
+
+    /// Adds a rule after checking WebdamLog safety. Returns its id.
+    pub fn add_rule(&mut self, rule: WRule) -> Result<RuleId> {
+        rule.check_safety()?;
+        let id = RuleId {
+            peer: self.name,
+            idx: self.next_rule_idx,
+        };
+        self.next_rule_idx += 1;
+        self.rules.push(RuleEntry { id, rule });
+        Ok(id)
+    }
+
+    /// Removes a rule by id. Delegations it produced are revoked at the next
+    /// stage (the diff notices their absence).
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<WRule> {
+        let idx = self
+            .rules
+            .iter()
+            .position(|e| e.id == id)
+            .ok_or_else(|| WdlError::UnknownRule(id.to_string()))?;
+        Ok(self.rules.remove(idx).rule)
+    }
+
+    /// Replaces the body/head of an existing rule (the demo's "customize a
+    /// rule" flow), keeping its id.
+    pub fn replace_rule(&mut self, id: RuleId, rule: WRule) -> Result<WRule> {
+        rule.check_safety()?;
+        let entry = self
+            .rules
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or_else(|| WdlError::UnknownRule(id.to_string()))?;
+        Ok(std::mem::replace(&mut entry.rule, rule))
+    }
+
+    /// The peer's own rules.
+    pub fn rules(&self) -> &[RuleEntry] {
+        &self.rules
+    }
+
+    /// Rules installed here by other peers.
+    pub fn installed_delegations(&self) -> &[Delegation] {
+        &self.delegated
+    }
+
+    /// Delegations waiting for user approval.
+    pub fn pending_delegations(&self) -> &[crate::PendingDelegation] {
+        self.acl.pending()
+    }
+
+    /// Approves a pending delegation: it becomes an installed rule, effective
+    /// at the next stage (the demo: "the program of Jules is changed once the
+    /// approval is granted").
+    pub fn approve_delegation(&mut self, id: DelegationId) -> Result<()> {
+        let d = self
+            .acl
+            .take_pending(id)
+            .ok_or_else(|| WdlError::UnknownRule(format!("pending delegation {id}")))?;
+        self.install_delegation(d);
+        Ok(())
+    }
+
+    /// Rejects (drops) a pending delegation.
+    pub fn reject_delegation(&mut self, id: DelegationId) -> Result<()> {
+        if self.acl.drop_pending(id) {
+            Ok(())
+        } else {
+            Err(WdlError::UnknownRule(format!("pending delegation {id}")))
+        }
+    }
+
+    /// Installs a delegation directly, bypassing the approval queue — the
+    /// owner's prerogative (used by approval itself, by state restore, and
+    /// by tests). Remote peers can only install through messages, which are
+    /// gated by the ACL.
+    pub fn install_delegation(&mut self, d: Delegation) {
+        if !self.delegated.iter().any(|x| x.id == d.id) {
+            self.delegated.push(d);
+        }
+    }
+
+    pub(crate) fn remove_delegation(&mut self, id: DelegationId) -> bool {
+        let before = self.delegated.len();
+        self.delegated.retain(|d| d.id != id);
+        self.delegated.len() != before
+    }
+
+    // ------------------------------------------------------------------
+    // Fact management
+    // ------------------------------------------------------------------
+
+    /// Inserts a fact into a local extensional relation, effective
+    /// immediately (used for setup and by the GUI-replacement drivers).
+    /// Auto-declares unknown relations as extensional.
+    pub fn insert_local(&mut self, rel: impl Into<Symbol>, values: Vec<Value>) -> Result<bool> {
+        let rel = rel.into();
+        self.ensure_extensional(rel, values.len())?;
+        Ok(self.store.insert_values(qualify(rel, self.name), values)?)
+    }
+
+    /// Deletes a fact from a local extensional relation.
+    pub fn delete_local(&mut self, rel: impl Into<Symbol>, values: Vec<Value>) -> Result<bool> {
+        let rel = rel.into();
+        if self.schema.kind_of(rel) != Some(RelationKind::Extensional) {
+            return Err(WdlError::SchemaViolation(format!(
+                "cannot delete from non-extensional relation {rel}"
+            )));
+        }
+        let fact = WFact::new(rel, self.name, values);
+        Ok(self.store.remove(&wdl_datalog::Fact {
+            pred: fact.qualified(),
+            tuple: fact.tuple,
+        }))
+    }
+
+    /// Sends an explicit insertion to another peer's extensional relation
+    /// (delivered with the next stage's messages).
+    pub fn insert_remote(
+        &mut self,
+        target: impl Into<Symbol>,
+        rel: impl Into<Symbol>,
+        values: Vec<Value>,
+    ) {
+        let target = target.into();
+        self.outbox_explicit.push(Message::new(
+            self.name,
+            target,
+            Payload::Facts {
+                kind: FactKind::Persistent,
+                additions: vec![WFact::new(rel.into(), target, values)],
+                retractions: vec![],
+            },
+        ));
+    }
+
+    /// Sends an explicit deletion to another peer's extensional relation.
+    pub fn delete_remote(
+        &mut self,
+        target: impl Into<Symbol>,
+        rel: impl Into<Symbol>,
+        values: Vec<Value>,
+    ) {
+        let target = target.into();
+        self.outbox_explicit.push(Message::new(
+            self.name,
+            target,
+            Payload::Facts {
+                kind: FactKind::Persistent,
+                additions: vec![],
+                retractions: vec![WFact::new(rel.into(), target, values)],
+            },
+        ));
+    }
+
+    /// Queues an incoming message for the next stage.
+    pub fn enqueue(&mut self, msg: Message) {
+        self.inbox.push(msg);
+    }
+
+    /// True iff messages are waiting to be ingested.
+    pub fn has_pending_input(&self) -> bool {
+        !self.inbox.is_empty()
+            || !self.pending_updates.is_empty()
+            || !self.outbox_explicit.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// Current tuples of a local relation: extensional relations read the
+    /// store, intensional relations read the last stage's derivation
+    /// snapshot.
+    pub fn relation_facts(&self, rel: impl Into<Symbol>) -> Vec<Tuple> {
+        let rel = rel.into();
+        let q = qualify(rel, self.name);
+        let db = match self.schema.kind_of(rel) {
+            Some(RelationKind::Extensional) => &self.store,
+            Some(RelationKind::Intensional) => &self.derived,
+            None => return Vec::new(),
+        };
+        db.relation(q)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Runs an ad-hoc query — a rule body — against the peer's current
+    /// state (extensional store plus the last stage's derivations), and
+    /// returns every satisfying substitution. This is the demo's *Query
+    /// tab* ("launch one of the pre-defined queries, or write their own
+    /// WebdamLog queries", §4).
+    ///
+    /// Queries are local: every atom must name this peer. Querying remote
+    /// relations requires a rule (and hence delegation) — queries are
+    /// read-only and instantaneous by design.
+    pub fn query(&self, body: &[crate::WBodyItem]) -> Result<Vec<wdl_datalog::Subst>> {
+        use wdl_datalog::BodyItem as DItem;
+        let mut compiled: Vec<DItem> = Vec::with_capacity(body.len());
+        for item in body {
+            match item {
+                crate::WBodyItem::Literal(l) => {
+                    let (Some(rel), Some(peer)) = (l.atom.rel.as_name(), l.atom.peer.as_name())
+                    else {
+                        return Err(WdlError::UnsafeDistribution(format!(
+                            "query atoms must have constant names: {}",
+                            l.atom
+                        )));
+                    };
+                    if peer != self.name {
+                        return Err(WdlError::UnsafeDistribution(format!(
+                            "query atom {} is not local to {} — use a rule for remote data",
+                            l.atom, self.name
+                        )));
+                    }
+                    let datom =
+                        wdl_datalog::Atom::new(qualify(rel, self.name), l.atom.args.clone());
+                    compiled.push(if l.negated {
+                        DItem::not_atom(datom)
+                    } else {
+                        DItem::atom(datom)
+                    });
+                }
+                crate::WBodyItem::Cmp { op, lhs, rhs } => {
+                    compiled.push(DItem::cmp(*op, lhs.clone(), rhs.clone()));
+                }
+                crate::WBodyItem::Assign { var, expr } => {
+                    compiled.push(DItem::assign(*var, expr.clone()));
+                }
+            }
+        }
+        // Query view: store plus the latest derivation snapshot.
+        let mut db = self.store.clone();
+        db.absorb(&self.derived)?;
+        Ok(wdl_datalog::eval::evaluate_body(
+            &db,
+            &compiled,
+            wdl_datalog::Subst::new(),
+        )?)
+    }
+
+    /// Runs a grouped aggregation over a local query body — the engine
+    /// behind "select and rank photos based on their annotations" (§3.5).
+    /// Same locality rules as [`Peer::query`].
+    pub fn aggregate(
+        &self,
+        body: &[crate::WBodyItem],
+        group_by: &[Symbol],
+        func: wdl_datalog::aggregate::AggFunc,
+        over: Option<Symbol>,
+    ) -> Result<Vec<wdl_datalog::aggregate::AggRow>> {
+        use wdl_datalog::BodyItem as DItem;
+        // Reuse query's compilation by round-tripping through it would lose
+        // the body; compile the same way here.
+        let mut compiled: Vec<DItem> = Vec::with_capacity(body.len());
+        for item in body {
+            match item {
+                crate::WBodyItem::Literal(l) => {
+                    let (Some(rel), Some(peer)) = (l.atom.rel.as_name(), l.atom.peer.as_name())
+                    else {
+                        return Err(WdlError::UnsafeDistribution(format!(
+                            "aggregate atoms must have constant names: {}",
+                            l.atom
+                        )));
+                    };
+                    if peer != self.name {
+                        return Err(WdlError::UnsafeDistribution(format!(
+                            "aggregate atom {} is not local to {}",
+                            l.atom, self.name
+                        )));
+                    }
+                    let datom =
+                        wdl_datalog::Atom::new(qualify(rel, self.name), l.atom.args.clone());
+                    compiled.push(if l.negated {
+                        DItem::not_atom(datom)
+                    } else {
+                        DItem::atom(datom)
+                    });
+                }
+                crate::WBodyItem::Cmp { op, lhs, rhs } => {
+                    compiled.push(DItem::cmp(*op, lhs.clone(), rhs.clone()));
+                }
+                crate::WBodyItem::Assign { var, expr } => {
+                    compiled.push(DItem::assign(*var, expr.clone()));
+                }
+            }
+        }
+        let mut db = self.store.clone();
+        db.absorb(&self.derived)?;
+        let q = wdl_datalog::aggregate::AggQuery {
+            body: compiled,
+            group_by: group_by.to_vec(),
+            func,
+            over,
+        };
+        Ok(q.eval(&db)?)
+    }
+
+    /// Like [`Peer::relation_facts`] but as printable [`WFact`]s.
+    pub fn facts_of(&self, rel: impl Into<Symbol>) -> Vec<WFact> {
+        let rel = rel.into();
+        self.relation_facts(rel)
+            .into_iter()
+            .map(|tuple| WFact {
+                rel,
+                peer: self.name,
+                tuple,
+            })
+            .collect()
+    }
+
+    pub(crate) fn ensure_extensional(&mut self, rel: Symbol, arity: usize) -> Result<()> {
+        match self.schema.kind_of(rel) {
+            Some(RelationKind::Extensional) => {
+                if self.schema.arity_of(rel) != Some(arity) {
+                    return Err(WdlError::SchemaViolation(format!(
+                        "relation {rel} has arity {:?}, got {arity}",
+                        self.schema.arity_of(rel)
+                    )));
+                }
+                Ok(())
+            }
+            Some(RelationKind::Intensional) => Err(WdlError::SchemaViolation(format!(
+                "relation {rel} is intensional; only rules may write it"
+            ))),
+            None => self.declare(rel, arity, RelationKind::Extensional),
+        }
+    }
+}
+
+impl fmt::Debug for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Peer")
+            .field("name", &self.name)
+            .field("stage", &self.stage)
+            .field("rules", &self.rules.len())
+            .field("delegated", &self.delegated.len())
+            .field("store_facts", &self.store.fact_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_insert() {
+        let mut p = Peer::new("alice");
+        p.declare("pictures", 2, RelationKind::Extensional).unwrap();
+        assert!(p
+            .insert_local("pictures", vec![Value::from(1), Value::from("a.jpg")])
+            .unwrap());
+        assert!(!p
+            .insert_local("pictures", vec![Value::from(1), Value::from("a.jpg")])
+            .unwrap());
+        assert_eq!(p.relation_facts("pictures").len(), 1);
+        assert_eq!(
+            p.facts_of("pictures")[0].to_string(),
+            "pictures@alice(1, \"a.jpg\")"
+        );
+    }
+
+    #[test]
+    fn auto_declaration_on_insert() {
+        let mut p = Peer::new("bob");
+        p.insert_local("notes", vec![Value::from("hi")]).unwrap();
+        assert_eq!(
+            p.schema().kind_of(Symbol::intern("notes")),
+            Some(RelationKind::Extensional)
+        );
+    }
+
+    #[test]
+    fn cannot_insert_into_intensional() {
+        let mut p = Peer::new("carol");
+        p.declare("view", 1, RelationKind::Intensional).unwrap();
+        assert!(matches!(
+            p.insert_local("view", vec![Value::from(1)]),
+            Err(WdlError::SchemaViolation(_))
+        ));
+    }
+
+    #[test]
+    fn delete_local_works() {
+        let mut p = Peer::new("dave");
+        p.insert_local("r", vec![Value::from(1)]).unwrap();
+        assert!(p.delete_local("r", vec![Value::from(1)]).unwrap());
+        assert!(!p.delete_local("r", vec![Value::from(1)]).unwrap());
+        assert!(p.relation_facts("r").is_empty());
+    }
+
+    #[test]
+    fn rule_lifecycle() {
+        let mut p = Peer::new("erin");
+        let id = p
+            .add_rule(WRule::example_attendee_pictures("erin"))
+            .unwrap();
+        assert_eq!(p.rules().len(), 1);
+        let replaced = p
+            .replace_rule(id, WRule::example_attendee_pictures("erin"))
+            .unwrap();
+        assert_eq!(replaced.to_string(), p.rules()[0].rule.to_string());
+        p.remove_rule(id).unwrap();
+        assert!(p.rules().is_empty());
+        assert!(p.remove_rule(id).is_err());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut p = Peer::new("frank");
+        let bad = WRule::new(
+            crate::WAtom::at("out", "frank", vec![wdl_datalog::Term::var("x")]),
+            vec![],
+        );
+        assert!(p.add_rule(bad).is_err());
+    }
+
+    #[test]
+    fn arity_enforced_on_insert() {
+        let mut p = Peer::new("gina");
+        p.declare("r", 2, RelationKind::Extensional).unwrap();
+        assert!(p.insert_local("r", vec![Value::from(1)]).is_err());
+    }
+
+    #[test]
+    fn query_reads_store_and_derived() {
+        use crate::{WAtom, WBodyItem};
+        use wdl_datalog::{CmpOp, Term};
+        let mut p = Peer::new("query-peer");
+        p.insert_local("rate", vec![Value::from(1), Value::from(5)])
+            .unwrap();
+        p.insert_local("rate", vec![Value::from(2), Value::from(2)])
+            .unwrap();
+        let body = vec![
+            WAtom::at("rate", "query-peer", vec![Term::var("id"), Term::var("r")]).into(),
+            WBodyItem::cmp(CmpOp::Ge, Term::var("r"), Term::cst(4)),
+        ];
+        let rows = p.query(&body).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(Symbol::intern("id")), Some(&Value::from(1)));
+    }
+
+    #[test]
+    fn aggregate_groups_and_folds() {
+        use crate::WAtom;
+        use wdl_datalog::aggregate::AggFunc;
+        use wdl_datalog::Term;
+        let mut p = Peer::new("agg-peer");
+        for (pic, r) in [(1, 5), (1, 3), (2, 4)] {
+            p.insert_local("rate", vec![Value::from(pic), Value::from(r)])
+                .unwrap();
+        }
+        let body =
+            vec![WAtom::at("rate", "agg-peer", vec![Term::var("pic"), Term::var("r")]).into()];
+        let rows = p
+            .aggregate(
+                &body,
+                &[Symbol::intern("pic")],
+                AggFunc::Avg,
+                Some(Symbol::intern("r")),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value, Value::from(4)); // pic 1: (5+3)/2
+        assert_eq!(rows[1].value, Value::from(4)); // pic 2: 4
+    }
+
+    #[test]
+    fn query_rejects_remote_atoms() {
+        use crate::WAtom;
+        use wdl_datalog::Term;
+        let p = Peer::new("query-local");
+        let body = vec![WAtom::at("r", "elsewhere", vec![Term::var("x")]).into()];
+        assert!(matches!(
+            p.query(&body),
+            Err(WdlError::UnsafeDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_remote_updates_buffer_in_outbox() {
+        let mut p = Peer::new("henry");
+        p.insert_remote("sigmod", "pictures", vec![Value::from(1)]);
+        p.delete_remote("sigmod", "pictures", vec![Value::from(2)]);
+        assert!(p.has_pending_input());
+        assert_eq!(p.outbox_explicit.len(), 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! WebdamLog rules and the distribution-aware safety check.
+
+use crate::{NameTerm, Result, WAtom, WBodyItem, WdlError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wdl_datalog::{Symbol, Term};
+
+/// A WebdamLog rule `$R@$P($U) :- $R1@$P1($U1), ..., $Rn@$Pn($Un)` (paper §2).
+///
+/// Body items are evaluated **left to right**. Relation and peer positions
+/// may hold variables bound (to string values) by earlier body atoms.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WRule {
+    /// Head atom.
+    pub head: WAtom,
+    /// Body items, in evaluation order.
+    pub body: Vec<WBodyItem>,
+}
+
+impl WRule {
+    /// Builds a rule; validate with [`WRule::check_safety`] (done
+    /// automatically by [`crate::Peer::add_rule`]).
+    pub fn new(head: WAtom, body: Vec<WBodyItem>) -> WRule {
+        WRule { head, body }
+    }
+
+    /// WebdamLog safety under left-to-right evaluation:
+    ///
+    /// 1. every *name* variable (relation or peer position) of a body atom
+    ///    must be bound by items strictly to its left — in particular the
+    ///    first atom's names must be constants;
+    /// 2. data variables of negated atoms, comparisons and assignment inputs
+    ///    must be bound to the left;
+    /// 3. every head variable (name or data position) must be bound by the
+    ///    body.
+    ///
+    /// Rule 1 is what makes delegation well-defined: when evaluation reaches
+    /// the first non-local atom, its peer term is already a concrete peer —
+    /// the delegation target.
+    pub fn check_safety(&self) -> Result<()> {
+        let mut bound: Vec<Symbol> = Vec::new();
+        for (i, item) in self.body.iter().enumerate() {
+            let mut reads = Vec::new();
+            item.reads(&mut reads);
+            if let Some(v) = reads.iter().find(|v| !bound.contains(v)) {
+                return Err(WdlError::UnsafeDistribution(format!(
+                    "variable ${v} read at body position {i} ({item}) is not bound by earlier items"
+                )));
+            }
+            // Assignments must bind a fresh variable.
+            if let WBodyItem::Assign { var, .. } = item {
+                if bound.contains(var) {
+                    return Err(WdlError::UnsafeDistribution(format!(
+                        "assignment at position {i} rebinds already-bound variable ${var}"
+                    )));
+                }
+            }
+            item.binds(&mut bound);
+        }
+        let mut head_vars = Vec::new();
+        self.head.all_variables(&mut head_vars);
+        if let Some(v) = head_vars.iter().find(|v| !bound.contains(v)) {
+            return Err(WdlError::UnsafeDistribution(format!(
+                "head variable ${v} of {} is not bound by the body",
+                self.head
+            )));
+        }
+        Ok(())
+    }
+
+    /// Names of peers mentioned as constants anywhere in the rule.
+    pub fn constant_peers(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        let mut push = |nt: &NameTerm| {
+            if let NameTerm::Name(s) = nt {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+        };
+        push(&self.head.peer);
+        for item in &self.body {
+            if let WBodyItem::Literal(l) = item {
+                push(&l.atom.peer);
+            }
+        }
+        out
+    }
+
+    /// All variables of the rule, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Symbol> {
+        let mut all = Vec::new();
+        for item in &self.body {
+            let mut vs = Vec::new();
+            item.reads(&mut vs);
+            item.binds(&mut vs);
+            for v in vs {
+                if !all.contains(&v) {
+                    all.push(v);
+                }
+            }
+        }
+        let mut hv = Vec::new();
+        self.head.all_variables(&mut hv);
+        for v in hv {
+            if !all.contains(&v) {
+                all.push(v);
+            }
+        }
+        all
+    }
+
+    /// A canonical text form used for content-addressed delegation ids. Two
+    /// structurally identical rules render identically, across processes.
+    pub fn canonical_text(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Debug for WRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for WRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, item) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder-style helpers for tests, examples and applications.
+impl WRule {
+    /// The paper's `attendeePictures` rule, parameterized — used in tests
+    /// and as the running example of the crate documentation.
+    pub fn example_attendee_pictures(owner: &str) -> WRule {
+        WRule::new(
+            WAtom::at(
+                "attendeePictures",
+                owner,
+                vec![
+                    Term::var("id"),
+                    Term::var("name"),
+                    Term::var("owner"),
+                    Term::var("data"),
+                ],
+            ),
+            vec![
+                WAtom::at("selectedAttendee", owner, vec![Term::var("attendee")]).into(),
+                WAtom::new(
+                    NameTerm::name("pictures"),
+                    NameTerm::var("attendee"),
+                    vec![
+                        Term::var("id"),
+                        Term::var("name"),
+                        Term::var("owner"),
+                        Term::var("data"),
+                    ],
+                )
+                .into(),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_datalog::CmpOp;
+
+    #[test]
+    fn paper_rule_is_safe_and_displays() {
+        let r = WRule::example_attendee_pictures("Jules");
+        r.check_safety().unwrap();
+        assert_eq!(
+            r.to_string(),
+            "attendeePictures@Jules($id, $name, $owner, $data) :- \
+             selectedAttendee@Jules($attendee), \
+             pictures@$attendee($id, $name, $owner, $data)"
+        );
+    }
+
+    #[test]
+    fn first_atom_with_variable_peer_is_unsafe() {
+        // pictures@$p($x) as the first atom: $p unbound.
+        let r = WRule::new(
+            WAtom::at("out", "me", vec![Term::var("x")]),
+            vec![WAtom::new(
+                NameTerm::name("pictures"),
+                NameTerm::var("p"),
+                vec![Term::var("x")],
+            )
+            .into()],
+        );
+        assert!(matches!(
+            r.check_safety(),
+            Err(WdlError::UnsafeDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn relation_variable_must_be_bound_too() {
+        let r = WRule::new(
+            WAtom::at("out", "me", vec![Term::var("x")]),
+            vec![WAtom::new(
+                NameTerm::var("r"),
+                NameTerm::name("me"),
+                vec![Term::var("x")],
+            )
+            .into()],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn head_name_variable_needs_binding() {
+        // $protocol@me(...) :- communicate@me($protocol) is safe;
+        // $protocol@me(...) :- pics@me($x) is not.
+        let safe = WRule::new(
+            WAtom::new(NameTerm::var("protocol"), NameTerm::name("me"), vec![]),
+            vec![WAtom::at("communicate", "me", vec![Term::var("protocol")]).into()],
+        );
+        safe.check_safety().unwrap();
+        let unsafe_rule = WRule::new(
+            WAtom::new(NameTerm::var("protocol"), NameTerm::name("me"), vec![]),
+            vec![WAtom::at("pics", "me", vec![Term::var("x")]).into()],
+        );
+        assert!(unsafe_rule.check_safety().is_err());
+    }
+
+    #[test]
+    fn comparison_before_binding_is_unsafe() {
+        let r = WRule::new(
+            WAtom::at("out", "me", vec![Term::var("x")]),
+            vec![
+                WBodyItem::cmp(CmpOp::Gt, Term::var("x"), Term::cst(1)),
+                WAtom::at("n", "me", vec![Term::var("x")]).into(),
+            ],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn negated_atom_variables_must_be_bound() {
+        let r = WRule::new(
+            WAtom::at("out", "me", vec![Term::var("x")]),
+            vec![
+                WAtom::at("n", "me", vec![Term::var("x")]).into(),
+                WBodyItem::not_atom(WAtom::at("blocked", "me", vec![Term::var("y")])),
+            ],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn constant_peers_collected() {
+        let r = WRule::example_attendee_pictures("Jules");
+        let peers = r.constant_peers();
+        assert_eq!(peers, vec![Symbol::intern("Jules")]);
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let r = WRule::example_attendee_pictures("Jules");
+        let names: Vec<&str> = r.variables().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["attendee", "id", "name", "owner", "data"]);
+    }
+
+    #[test]
+    fn canonical_text_is_stable() {
+        let a = WRule::example_attendee_pictures("Jules");
+        let b = WRule::example_attendee_pictures("Jules");
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        let c = WRule::example_attendee_pictures("Emilien");
+        assert_ne!(a.canonical_text(), c.canonical_text());
+    }
+}

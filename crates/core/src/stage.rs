@@ -1,0 +1,917 @@
+//! The WebdamLog computation stage (paper §2):
+//!
+//! > "A computation stage of the WebdamLog engine is broken down into three
+//! > steps. First, the peer loads the inputs received from the remote peers
+//! > since the previous stage. Second, the peer runs a fixpoint computation
+//! > of its program. Third, the peer sends facts (updates) and rules
+//! > (delegations) to other peers."
+//!
+//! The fixpoint evaluates every rule — own and delegated — left to right.
+//! When evaluation reaches the first non-local atom, the instantiated
+//! remainder becomes a [`Delegation`] to that atom's peer. Delegations and
+//! remote fact batches are *diffed* against the previous stage so that
+//! retractions propagate (install/revoke, add/retract).
+
+use crate::{
+    qualify, Delegation, DelegationDecision, DelegationId, FactKind, Message, Payload, Peer,
+    RelationKind, Result, WBodyItem, WFact, WRule, WdlError,
+};
+use std::collections::{HashMap, HashSet};
+use wdl_datalog::{eval, Atom as DAtom, Database, Fact as DFact, Subst, Symbol};
+
+/// Counters describing one stage, for observability and the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage number (1-based after the first call).
+    pub stage: u64,
+    /// Messages ingested in step 1.
+    pub ingested_messages: usize,
+    /// Buffered extensional self-updates applied at the start of step 2.
+    pub applied_updates: usize,
+    /// Rounds of the local fixpoint.
+    pub fixpoint_rounds: usize,
+    /// Head instantiations fired.
+    pub derivations: usize,
+    /// Facts carried by outgoing messages.
+    pub facts_out: usize,
+    /// New delegations emitted.
+    pub delegations_out: usize,
+    /// Delegation revocations emitted.
+    pub revocations_out: usize,
+    /// Updates rejected during ingestion (schema or ACL violations).
+    pub rejected: usize,
+    /// Reads by delegated rules blocked by relation grants (the
+    /// provenance-derived view policy of the paper's access-control
+    /// sketch).
+    pub reads_blocked: usize,
+}
+
+/// The result of one stage: outgoing messages plus stats.
+#[derive(Clone, Debug, Default)]
+pub struct StageOutput {
+    /// Messages for other peers (the runtime or transport routes them).
+    pub messages: Vec<Message>,
+    /// Stage counters.
+    pub stats: StageStats,
+    /// Whether anything observable changed (used for quiescence detection).
+    pub changed: bool,
+}
+
+/// Everything a fixpoint pass emits besides local intensional facts.
+#[derive(Default)]
+struct Outcome {
+    delegations: HashMap<DelegationId, Delegation>,
+    remote_facts: HashMap<Symbol, HashSet<WFact>>,
+    local_ext: HashSet<WFact>,
+    derivations: usize,
+    reads_blocked: usize,
+}
+
+/// Evaluation context threaded through rule walking: who the rule runs for
+/// and what that origin may read here.
+struct EvalCtx<'a> {
+    peer: Symbol,
+    schema: &'a crate::Schema,
+    grants: &'a crate::RelationGrants,
+    /// Static relation-level provenance of local views (for the default
+    /// view read policy).
+    view_bases: &'a HashMap<Symbol, HashSet<Symbol>>,
+    /// `Some(origin)` when evaluating a delegated rule on `origin`'s
+    /// behalf; `None` for the peer's own rules (the owner reads freely).
+    origin: Option<Symbol>,
+}
+
+impl Peer {
+    /// Runs one computation stage; see the module documentation.
+    pub fn run_stage(&mut self) -> Result<StageOutput> {
+        self.stage += 1;
+        let mut stats = StageStats {
+            stage: self.stage,
+            ..StageStats::default()
+        };
+
+        // ---- Step 1: load inputs received since the previous stage.
+        let inbox = std::mem::take(&mut self.inbox);
+        stats.ingested_messages = inbox.len();
+        let mut store_changed = false;
+        for msg in inbox {
+            self.ingest(msg, &mut stats, &mut store_changed)?;
+        }
+
+        // Apply extensional self-updates buffered by the previous stage's
+        // rule heads ("insertions are applied at the following stage").
+        let pending = std::mem::take(&mut self.pending_updates);
+        for fact in pending {
+            self.ensure_extensional(fact.rel, fact.arity())?;
+            if self.store.insert_tuple(fact.qualified(), fact.tuple)? {
+                stats.applied_updates += 1;
+                store_changed = true;
+            }
+        }
+
+        // ---- Step 2: local fixpoint.
+        let mut working = self.store.clone();
+        // Inject maintained remote contributions into intensional relations.
+        for (rel, origins) in &self.remote_contrib {
+            let q = qualify(*rel, self.name);
+            for tuples in origins.values() {
+                for t in tuples {
+                    working.insert_tuple(q, t.clone())?;
+                }
+            }
+        }
+
+        // Static relation-level provenance of this peer's views, for the
+        // default view read policy applied to delegated rules.
+        let view_bases = crate::grants::view_base_relations(
+            self.name,
+            self.rules.iter().map(|e| e.rule.clone()),
+        );
+
+        let mut outcome = Outcome::default();
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > self.fixpoint_limit {
+                return Err(WdlError::Datalog(
+                    wdl_datalog::DatalogError::IterationLimit(self.fixpoint_limit),
+                ));
+            }
+            let mut new_local: Vec<DFact> = Vec::new();
+            let own = self.rules.iter().map(|e| (&e.rule, None));
+            let delegated = self.delegated.iter().map(|d| (&d.rule, Some(d.origin)));
+            for (rule, origin) in own.chain(delegated) {
+                let ctx = EvalCtx {
+                    peer: self.name,
+                    schema: &self.schema,
+                    grants: &self.grants,
+                    view_bases: &view_bases,
+                    origin,
+                };
+                eval_rule(&ctx, &working, rule, &mut outcome, &mut new_local)?;
+            }
+            let mut changed = false;
+            for fact in new_local {
+                if working.insert(fact)? {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        stats.fixpoint_rounds = rounds;
+        stats.derivations = outcome.derivations;
+        stats.reads_blocked = outcome.reads_blocked;
+
+        // Snapshot intensional relations (everything in `working` that is
+        // not extensional store content).
+        let mut derived = Database::new();
+        for decl in self.schema.iter() {
+            if decl.kind == RelationKind::Intensional {
+                let q = qualify(decl.rel, self.name);
+                derived.declare(q, decl.arity)?;
+                if let Some(rel) = working.relation(q) {
+                    for t in rel.iter() {
+                        derived.insert_tuple(q, t.clone())?;
+                    }
+                }
+            }
+        }
+        let derived_changed = !db_eq(&derived, &self.derived);
+        self.derived = derived;
+
+        // ---- Step 3: emit facts and rules.
+        let mut messages = std::mem::take(&mut self.outbox_explicit);
+
+        // Buffer extensional self-updates for the next stage.
+        let mut self_updates = 0usize;
+        for fact in &outcome.local_ext {
+            let q = fact.qualified();
+            if !self
+                .store
+                .relation(q)
+                .is_some_and(|r| r.contains(&fact.tuple))
+            {
+                self.pending_updates.push(fact.clone());
+                self_updates += 1;
+            }
+        }
+
+        // Delegation diff: install new, revoke vanished.
+        let mut installs: HashMap<Symbol, Vec<Delegation>> = HashMap::new();
+        let mut revokes: HashMap<Symbol, Vec<DelegationId>> = HashMap::new();
+        for (id, d) in &outcome.delegations {
+            if !self.prev_delegations.contains_key(id) {
+                installs.entry(d.target).or_default().push(d.clone());
+            }
+        }
+        for (id, d) in &self.prev_delegations {
+            if !outcome.delegations.contains_key(id) {
+                revokes.entry(d.target).or_default().push(*id);
+            }
+        }
+        for (target, ds) in installs {
+            stats.delegations_out += ds.len();
+            messages.push(Message::new(self.name, target, Payload::Delegate(ds)));
+        }
+        for (target, ids) in revokes {
+            stats.revocations_out += ids.len();
+            messages.push(Message::new(self.name, target, Payload::Revoke(ids)));
+        }
+        self.prev_delegations = outcome.delegations;
+
+        // Remote fact diff per target.
+        let mut targets: HashSet<Symbol> = outcome.remote_facts.keys().copied().collect();
+        targets.extend(self.prev_sent.keys().copied());
+        let empty = HashSet::new();
+        for target in targets {
+            let cur = outcome.remote_facts.get(&target).unwrap_or(&empty);
+            let prev = self.prev_sent.get(&target).unwrap_or(&empty);
+            let additions: Vec<WFact> = cur.difference(prev).cloned().collect();
+            let retractions: Vec<WFact> = prev.difference(cur).cloned().collect();
+            if !additions.is_empty() || !retractions.is_empty() {
+                stats.facts_out += additions.len() + retractions.len();
+                messages.push(Message::new(
+                    self.name,
+                    target,
+                    Payload::Facts {
+                        kind: FactKind::Derived,
+                        additions,
+                        retractions,
+                    },
+                ));
+            }
+        }
+        self.prev_sent = outcome.remote_facts;
+
+        let changed = stats.ingested_messages > 0
+            || stats.applied_updates > 0
+            || store_changed
+            || derived_changed
+            || self_updates > 0
+            || !messages.is_empty();
+
+        Ok(StageOutput {
+            messages,
+            stats,
+            changed,
+        })
+    }
+
+    fn ingest(
+        &mut self,
+        msg: Message,
+        stats: &mut StageStats,
+        store_changed: &mut bool,
+    ) -> Result<()> {
+        match msg.payload {
+            Payload::Facts {
+                kind,
+                additions,
+                retractions,
+            } => {
+                for fact in additions {
+                    if fact.peer != self.name {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    if !self.grants.can_write(fact.rel, msg.from) {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    match (kind, self.local_kind_or_declare(&fact)?) {
+                        (_, RelationKind::Extensional) => {
+                            if self.store.insert_tuple(fact.qualified(), fact.tuple)? {
+                                *store_changed = true;
+                            }
+                        }
+                        (FactKind::Derived, RelationKind::Intensional) => {
+                            let entry = self
+                                .remote_contrib
+                                .entry(fact.rel)
+                                .or_default()
+                                .entry(msg.from)
+                                .or_default();
+                            if entry.insert(fact.tuple) {
+                                *store_changed = true;
+                            }
+                        }
+                        (FactKind::Persistent, RelationKind::Intensional) => {
+                            // Explicit updates may not write views.
+                            stats.rejected += 1;
+                        }
+                    }
+                }
+                for fact in retractions {
+                    if fact.peer != self.name {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    if !self.grants.can_write(fact.rel, msg.from) {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    #[allow(clippy::collapsible_match)]
+                    match (kind, self.schema.kind_of(fact.rel)) {
+                        (FactKind::Persistent, Some(RelationKind::Extensional)) => {
+                            let removed = self.store.remove(&DFact {
+                                pred: fact.qualified(),
+                                tuple: fact.tuple,
+                            });
+                            *store_changed |= removed;
+                        }
+                        (FactKind::Derived, Some(RelationKind::Intensional)) => {
+                            if let Some(origins) = self.remote_contrib.get_mut(&fact.rel) {
+                                if let Some(set) = origins.get_mut(&msg.from) {
+                                    if set.remove(&fact.tuple) {
+                                        *store_changed = true;
+                                    }
+                                }
+                            }
+                        }
+                        // Derived retractions against extensional relations
+                        // are ignored: derivations into stored relations are
+                        // monotone insertion updates (PODS'11 semantics).
+                        _ => {}
+                    }
+                }
+            }
+            Payload::Delegate(ds) => {
+                for d in ds {
+                    if d.target != self.name || d.origin != msg.from {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    if d.rule.check_safety().is_err() {
+                        stats.rejected += 1;
+                        continue;
+                    }
+                    match self.acl.decide(d.origin) {
+                        DelegationDecision::Install => self.install_delegation(d),
+                        DelegationDecision::Queue => self.acl.push_pending(d, self.stage),
+                        DelegationDecision::Reject => stats.rejected += 1,
+                    }
+                }
+            }
+            Payload::Revoke(ids) => {
+                for id in ids {
+                    let removed = self.remove_delegation(id);
+                    let dropped = self.acl.drop_pending(id);
+                    if !removed && !dropped {
+                        stats.rejected += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn local_kind_or_declare(&mut self, fact: &WFact) -> Result<RelationKind> {
+        match self.schema.kind_of(fact.rel) {
+            Some(k) => Ok(k),
+            None => {
+                // Open world: unknown relations materialize as extensional
+                // ("peers may discover ... new relations", §2).
+                self.declare(fact.rel, fact.arity(), RelationKind::Extensional)?;
+                Ok(RelationKind::Extensional)
+            }
+        }
+    }
+}
+
+fn db_eq(a: &Database, b: &Database) -> bool {
+    if a.fact_count() != b.fact_count() {
+        return false;
+    }
+    a.facts().all(|f| b.contains(&f))
+}
+
+/// Evaluates one rule over `working`, walking body items left to right.
+/// Local positive atoms join through the datalog matcher; the first
+/// non-local atom turns the remainder into a delegation. When the rule is a
+/// delegation (`ctx.origin` set), every local relation it reads is gated by
+/// the owner's relation grants under the provenance-derived view policy.
+fn eval_rule(
+    ctx: &EvalCtx<'_>,
+    working: &Database,
+    rule: &WRule,
+    outcome: &mut Outcome,
+    new_local: &mut Vec<DFact>,
+) -> Result<()> {
+    walk(ctx, working, rule, 0, Subst::new(), outcome, new_local)
+}
+
+fn walk(
+    ctx: &EvalCtx<'_>,
+    working: &Database,
+    rule: &WRule,
+    idx: usize,
+    subst: Subst,
+    outcome: &mut Outcome,
+    new_local: &mut Vec<DFact>,
+) -> Result<()> {
+    let Some(item) = rule.body.get(idx) else {
+        return fire_head(ctx, rule, &subst, outcome, new_local);
+    };
+    match item {
+        WBodyItem::Cmp { op, lhs, rhs } => {
+            let l = lhs.resolve(&subst).ok_or_else(|| {
+                WdlError::UnsafeDistribution(format!("unbound {lhs} in comparison of {rule}"))
+            })?;
+            let r = rhs.resolve(&subst).ok_or_else(|| {
+                WdlError::UnsafeDistribution(format!("unbound {rhs} in comparison of {rule}"))
+            })?;
+            if op.eval(&l, &r)? {
+                walk(ctx, working, rule, idx + 1, subst, outcome, new_local)?;
+            }
+            Ok(())
+        }
+        WBodyItem::Assign { var, expr } => {
+            let value = expr.eval(&subst)?;
+            let mut s = subst;
+            if !s.unify_var(*var, &value) {
+                return Ok(());
+            }
+            walk(ctx, working, rule, idx + 1, s, outcome, new_local)
+        }
+        WBodyItem::Literal(lit) => {
+            let atom_peer = lit.atom.peer.resolve(&subst)?.ok_or_else(|| {
+                WdlError::UnsafeDistribution(format!(
+                    "peer of {} unresolved at evaluation (rule {rule})",
+                    lit.atom
+                ))
+            })?;
+            if atom_peer == ctx.peer {
+                let rel = lit.atom.rel.resolve(&subst)?.ok_or_else(|| {
+                    WdlError::UnsafeDistribution(format!(
+                        "relation of {} unresolved at evaluation (rule {rule})",
+                        lit.atom
+                    ))
+                })?;
+                // Read gate for delegated rules: the origin must be allowed
+                // to read this relation (directly, and through the
+                // provenance-derived policy for views).
+                if let Some(origin) = ctx.origin {
+                    if !ctx.grants.can_read(rel, origin, ctx.view_bases) {
+                        outcome.reads_blocked += 1;
+                        return Ok(());
+                    }
+                }
+                let datom = DAtom::new(qualify(rel, ctx.peer), lit.atom.args.clone());
+                if lit.negated {
+                    let fact = datom.ground(&subst).ok_or_else(|| {
+                        WdlError::UnsafeDistribution(format!(
+                            "negated atom {} not ground (rule {rule})",
+                            lit.atom
+                        ))
+                    })?;
+                    if !working.contains(&fact) {
+                        walk(ctx, working, rule, idx + 1, subst, outcome, new_local)?;
+                    }
+                    Ok(())
+                } else {
+                    let matches = eval::evaluate_body(working, &[datom.into()], subst)?;
+                    for s in matches {
+                        walk(ctx, working, rule, idx + 1, s, outcome, new_local)?;
+                    }
+                    Ok(())
+                }
+            } else {
+                // First non-local atom: delegate the instantiated remainder.
+                let mut body = Vec::with_capacity(rule.body.len() - idx);
+                for item in &rule.body[idx..] {
+                    body.push(item.apply(&subst)?);
+                }
+                let head = rule.head.apply(&subst)?;
+                // Onward delegation of a delegated rule is attributed to
+                // *this* peer, so access control chains hop by hop — the
+                // conservative reading of the paper's model.
+                let d = Delegation::new(ctx.peer, atom_peer, WRule::new(head, body));
+                outcome.delegations.entry(d.id).or_insert(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn fire_head(
+    ctx: &EvalCtx<'_>,
+    rule: &WRule,
+    subst: &Subst,
+    outcome: &mut Outcome,
+    new_local: &mut Vec<DFact>,
+) -> Result<()> {
+    outcome.derivations += 1;
+    let fact = rule
+        .head
+        .ground(subst)?
+        .ok_or_else(|| WdlError::UnsafeDistribution(format!("head of {rule} not fully bound")))?;
+    if fact.peer == ctx.peer {
+        // Default kind for rule-written local relations is intensional (a
+        // rule head defines a view unless declared otherwise).
+        match ctx.schema.kind_of(fact.rel) {
+            Some(RelationKind::Extensional) => {
+                outcome.local_ext.insert(fact);
+            }
+            _ => {
+                new_local.push(DFact {
+                    pred: fact.qualified(),
+                    tuple: fact.tuple,
+                });
+            }
+        }
+    } else {
+        outcome
+            .remote_facts
+            .entry(fact.peer)
+            .or_default()
+            .insert(fact);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NameTerm, WAtom};
+    use wdl_datalog::{Term, Value};
+
+    fn peer(name: &str) -> Peer {
+        let mut p = Peer::new(name);
+        p.acl_mut()
+            .set_untrusted_policy(crate::acl::UntrustedPolicy::Accept);
+        p
+    }
+
+    /// Fully-local rule: derives into an intensional relation in one stage.
+    #[test]
+    fn local_view_rule() {
+        let mut p = peer("a");
+        p.declare("good", 1, RelationKind::Intensional).unwrap();
+        p.insert_local("rate", vec![Value::from(1), Value::from(5)])
+            .unwrap();
+        p.insert_local("rate", vec![Value::from(2), Value::from(2)])
+            .unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("good", "a", vec![Term::var("id")]),
+            vec![
+                WAtom::at("rate", "a", vec![Term::var("id"), Term::var("r")]).into(),
+                WBodyItem::cmp(wdl_datalog::CmpOp::Ge, Term::var("r"), Term::cst(4)),
+            ],
+        ))
+        .unwrap();
+        let out = p.run_stage().unwrap();
+        assert!(out.changed);
+        assert_eq!(p.relation_facts("good").len(), 1);
+        assert!(out.messages.is_empty());
+    }
+
+    /// Rule with extensional head: insertion lands at the *next* stage.
+    #[test]
+    fn extensional_head_applies_next_stage() {
+        let mut p = peer("a");
+        p.declare("archive", 1, RelationKind::Extensional).unwrap();
+        p.insert_local("item", vec![Value::from(7)]).unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("archive", "a", vec![Term::var("x")]),
+            vec![WAtom::at("item", "a", vec![Term::var("x")]).into()],
+        ))
+        .unwrap();
+        p.run_stage().unwrap();
+        assert!(
+            p.relation_facts("archive").is_empty(),
+            "buffered, not applied"
+        );
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("archive").len(), 1);
+    }
+
+    /// First non-local atom produces a delegation, not local evaluation.
+    #[test]
+    fn remote_atom_delegates() {
+        let mut p = peer("jules");
+        p.declare("attendeePictures", 4, RelationKind::Intensional)
+            .unwrap();
+        p.insert_local("selectedAttendee", vec![Value::from("emilien")])
+            .unwrap();
+        p.add_rule(WRule::example_attendee_pictures("jules"))
+            .unwrap();
+        let out = p.run_stage().unwrap();
+        let delegs: Vec<&Message> = out
+            .messages
+            .iter()
+            .filter(|m| matches!(m.payload, Payload::Delegate(_)))
+            .collect();
+        assert_eq!(delegs.len(), 1);
+        assert_eq!(delegs[0].to.as_str(), "emilien");
+        if let Payload::Delegate(ds) = &delegs[0].payload {
+            // The delegated rule is the paper's: attendeePictures@jules(...)
+            // :- pictures@emilien(...)
+            assert_eq!(
+                ds[0].rule.to_string(),
+                "attendeePictures@jules($id, $name, $owner, $data) :- \
+                 pictures@emilien($id, $name, $owner, $data)"
+            );
+        }
+    }
+
+    /// Deselecting the attendee revokes the delegation (per-stage re-derivation).
+    #[test]
+    fn delegation_revoked_when_support_disappears() {
+        let mut p = peer("jules");
+        p.declare("attendeePictures", 4, RelationKind::Intensional)
+            .unwrap();
+        p.insert_local("selectedAttendee", vec![Value::from("emilien")])
+            .unwrap();
+        p.add_rule(WRule::example_attendee_pictures("jules"))
+            .unwrap();
+        p.run_stage().unwrap();
+        p.delete_local("selectedAttendee", vec![Value::from("emilien")])
+            .unwrap();
+        let out = p.run_stage().unwrap();
+        let revokes: Vec<&Message> = out
+            .messages
+            .iter()
+            .filter(|m| matches!(m.payload, Payload::Revoke(_)))
+            .collect();
+        assert_eq!(revokes.len(), 1);
+    }
+
+    /// A stage with nothing to do reports no change.
+    #[test]
+    fn quiescent_stage_reports_unchanged() {
+        let mut p = peer("idle");
+        p.insert_local("r", vec![Value::from(1)]).unwrap();
+        let first = p.run_stage().unwrap();
+        assert!(first.changed || first.messages.is_empty());
+        let second = p.run_stage().unwrap();
+        assert!(!second.changed);
+        assert!(second.messages.is_empty());
+    }
+
+    /// Derived facts received for an intensional relation are maintained
+    /// per origin and retract when the origin retracts.
+    #[test]
+    fn derived_contributions_retract() {
+        let mut p = peer("jules");
+        p.declare("attendeePictures", 1, RelationKind::Intensional)
+            .unwrap();
+        let add = Message::new(
+            Symbol::intern("emilien"),
+            Symbol::intern("jules"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![WFact::new(
+                    "attendeePictures",
+                    "jules",
+                    vec![Value::from(1)],
+                )],
+                retractions: vec![],
+            },
+        );
+        p.enqueue(add);
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("attendeePictures").len(), 1);
+        let retract = Message::new(
+            Symbol::intern("emilien"),
+            Symbol::intern("jules"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![],
+                retractions: vec![WFact::new(
+                    "attendeePictures",
+                    "jules",
+                    vec![Value::from(1)],
+                )],
+            },
+        );
+        p.enqueue(retract);
+        p.run_stage().unwrap();
+        assert!(p.relation_facts("attendeePictures").is_empty());
+    }
+
+    /// Derived facts received for an extensional relation persist (monotone
+    /// insertion updates) and ignore retractions.
+    #[test]
+    fn derived_into_extensional_is_monotone() {
+        let mut p = peer("inbox");
+        p.declare("email", 1, RelationKind::Extensional).unwrap();
+        let f = WFact::new("email", "inbox", vec![Value::from("hello")]);
+        p.enqueue(Message::new(
+            Symbol::intern("x"),
+            Symbol::intern("inbox"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![f.clone()],
+                retractions: vec![],
+            },
+        ));
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("email").len(), 1);
+        p.enqueue(Message::new(
+            Symbol::intern("x"),
+            Symbol::intern("inbox"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![],
+                retractions: vec![f],
+            },
+        ));
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("email").len(), 1, "retraction ignored");
+    }
+
+    /// Facts addressed to the wrong peer are rejected.
+    #[test]
+    fn misaddressed_facts_rejected() {
+        let mut p = peer("right");
+        p.enqueue(Message::new(
+            Symbol::intern("x"),
+            Symbol::intern("right"),
+            Payload::Facts {
+                kind: FactKind::Persistent,
+                additions: vec![WFact::new("r", "WRONG", vec![Value::from(1)])],
+                retractions: vec![],
+            },
+        ));
+        let out = p.run_stage().unwrap();
+        assert_eq!(out.stats.rejected, 1);
+    }
+
+    /// ACL queueing: untrusted delegation waits; approval installs it.
+    #[test]
+    fn untrusted_delegation_queues_until_approved() {
+        let mut p = Peer::new("jules"); // default policy: queue
+        p.declare("attendeePictures", 4, RelationKind::Intensional)
+            .unwrap();
+        let d = Delegation::new(
+            Symbol::intern("julia"),
+            Symbol::intern("jules"),
+            WRule::new(
+                WAtom::at(
+                    "attendeePictures",
+                    "jules",
+                    vec![
+                        Term::var("a"),
+                        Term::var("b"),
+                        Term::var("c"),
+                        Term::var("d"),
+                    ],
+                ),
+                vec![WAtom::at(
+                    "pictures",
+                    "jules",
+                    vec![
+                        Term::var("a"),
+                        Term::var("b"),
+                        Term::var("c"),
+                        Term::var("d"),
+                    ],
+                )
+                .into()],
+            ),
+        );
+        let id = d.id;
+        p.enqueue(Message::new(
+            Symbol::intern("julia"),
+            Symbol::intern("jules"),
+            Payload::Delegate(vec![d]),
+        ));
+        p.insert_local(
+            "pictures",
+            vec![
+                Value::from(1),
+                Value::from("x.jpg"),
+                Value::from("julia"),
+                Value::bytes(&[1]),
+            ],
+        )
+        .unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.pending_delegations().len(), 1);
+        assert!(p.relation_facts("attendeePictures").is_empty());
+        p.approve_delegation(id).unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.installed_delegations().len(), 1);
+        assert_eq!(p.relation_facts("attendeePictures").len(), 1);
+    }
+
+    /// Unsafe delegated rules are rejected at ingestion.
+    #[test]
+    fn unsafe_delegation_rejected() {
+        let mut p = peer("t");
+        let bad_rule = WRule::new(WAtom::at("out", "t", vec![Term::var("x")]), vec![]);
+        let d = Delegation::new(Symbol::intern("o"), Symbol::intern("t"), bad_rule);
+        p.enqueue(Message::new(
+            Symbol::intern("o"),
+            Symbol::intern("t"),
+            Payload::Delegate(vec![d]),
+        ));
+        let out = p.run_stage().unwrap();
+        assert_eq!(out.stats.rejected, 1);
+        assert!(p.installed_delegations().is_empty());
+    }
+
+    /// Revoking removes installed delegations.
+    #[test]
+    fn revoke_removes_installed() {
+        let mut p = peer("t");
+        let d = Delegation::new(
+            Symbol::intern("o"),
+            Symbol::intern("t"),
+            WRule::new(
+                WAtom::at("v", "o", vec![Term::var("x")]),
+                vec![WAtom::at("r", "t", vec![Term::var("x")]).into()],
+            ),
+        );
+        let id = d.id;
+        p.enqueue(Message::new(
+            Symbol::intern("o"),
+            Symbol::intern("t"),
+            Payload::Delegate(vec![d]),
+        ));
+        p.run_stage().unwrap();
+        assert_eq!(p.installed_delegations().len(), 1);
+        p.enqueue(Message::new(
+            Symbol::intern("o"),
+            Symbol::intern("t"),
+            Payload::Revoke(vec![id]),
+        ));
+        p.run_stage().unwrap();
+        assert!(p.installed_delegations().is_empty());
+    }
+
+    /// Head with variable relation name: the paper's protocol-dispatch rule.
+    #[test]
+    fn variable_relation_head_dispatches() {
+        let mut p = peer("jules");
+        // $protocol@jules($n) :- communicate@jules($protocol), sel@jules($n)
+        p.add_rule(WRule::new(
+            WAtom::new(
+                NameTerm::var("protocol"),
+                NameTerm::name("jules"),
+                vec![Term::var("n")],
+            ),
+            vec![
+                WAtom::at("communicate", "jules", vec![Term::var("protocol")]).into(),
+                WAtom::at("sel", "jules", vec![Term::var("n")]).into(),
+            ],
+        ))
+        .unwrap();
+        p.declare("email", 1, RelationKind::Intensional).unwrap();
+        p.insert_local("communicate", vec![Value::from("email")])
+            .unwrap();
+        p.insert_local("sel", vec![Value::from("pic1")]).unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("email").len(), 1);
+    }
+
+    /// Recursive local rules reach a fixpoint within one stage.
+    #[test]
+    fn recursive_local_fixpoint() {
+        let mut p = peer("g");
+        p.declare("path", 2, RelationKind::Intensional).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            p.insert_local("edge", vec![Value::from(a), Value::from(b)])
+                .unwrap();
+        }
+        p.add_rule(WRule::new(
+            WAtom::at("path", "g", vec![Term::var("x"), Term::var("y")]),
+            vec![WAtom::at("edge", "g", vec![Term::var("x"), Term::var("y")]).into()],
+        ))
+        .unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("path", "g", vec![Term::var("x"), Term::var("z")]),
+            vec![
+                WAtom::at("edge", "g", vec![Term::var("x"), Term::var("y")]).into(),
+                WAtom::at("path", "g", vec![Term::var("y"), Term::var("z")]).into(),
+            ],
+        ))
+        .unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("path").len(), 6);
+    }
+
+    /// Local negation within a stage.
+    #[test]
+    fn local_negation() {
+        let mut p = peer("n");
+        p.declare("keep", 1, RelationKind::Intensional).unwrap();
+        p.insert_local("item", vec![Value::from(1)]).unwrap();
+        p.insert_local("item", vec![Value::from(2)]).unwrap();
+        p.insert_local("blocked", vec![Value::from(2)]).unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("keep", "n", vec![Term::var("x")]),
+            vec![
+                WAtom::at("item", "n", vec![Term::var("x")]).into(),
+                WBodyItem::not_atom(WAtom::at("blocked", "n", vec![Term::var("x")])),
+            ],
+        ))
+        .unwrap();
+        p.run_stage().unwrap();
+        let facts = p.relation_facts("keep");
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0][0], Value::from(1));
+    }
+}

@@ -1,0 +1,331 @@
+//! Atoms, literals and rule-body items.
+
+use crate::{CmpOp, Expr, Fact, Subst, Symbol, Term};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An atom `pred(t1, ..., tn)` whose arguments are terms.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// Relation name.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Applies a substitution to all arguments.
+    pub fn apply(&self, subst: &Subst) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|t| t.apply(subst)).collect(),
+        }
+    }
+
+    /// True iff no argument is a variable.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Converts a ground atom into a fact; `None` if any variable remains.
+    pub fn to_fact(&self) -> Option<Fact> {
+        let mut values = Vec::with_capacity(self.args.len());
+        for t in &self.args {
+            values.push(t.as_const()?.clone());
+        }
+        Some(Fact {
+            pred: self.pred,
+            tuple: values.into(),
+        })
+    }
+
+    /// Grounds the atom under `subst` into a fact; `None` if underbound.
+    pub fn ground(&self, subst: &Subst) -> Option<Fact> {
+        let mut values = Vec::with_capacity(self.args.len());
+        for t in &self.args {
+            values.push(t.resolve(subst)?);
+        }
+        Some(Fact {
+            pred: self.pred,
+            tuple: values.into(),
+        })
+    }
+
+    /// Collects variables into `out` (with duplicates, in order).
+    pub fn variables(&self, out: &mut Vec<Symbol>) {
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                out.push(*v);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A possibly negated atom in a rule body.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// True for `not pred(...)`.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal {
+            atom,
+            negated: false,
+        }
+    }
+
+    /// A negative literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal {
+            atom,
+            negated: true,
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// One item in a rule body, evaluated left to right.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BodyItem {
+    /// A (possibly negated) relational atom.
+    Literal(Literal),
+    /// A comparison between two terms, e.g. `$r >= 4`.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand (must be bound when reached).
+        lhs: Term,
+        /// Right operand (must be bound when reached).
+        rhs: Term,
+    },
+    /// Binds a fresh variable to the value of an expression: `$x := e`.
+    Assign {
+        /// The variable being bound.
+        var: Symbol,
+        /// The expression producing its value.
+        expr: Expr,
+    },
+}
+
+impl BodyItem {
+    /// Convenience constructor for a positive atom.
+    pub fn atom(atom: Atom) -> BodyItem {
+        BodyItem::Literal(Literal::pos(atom))
+    }
+
+    /// Convenience constructor for a negated atom.
+    pub fn not_atom(atom: Atom) -> BodyItem {
+        BodyItem::Literal(Literal::neg(atom))
+    }
+
+    /// Convenience constructor for a comparison.
+    pub fn cmp(op: CmpOp, lhs: Term, rhs: Term) -> BodyItem {
+        BodyItem::Cmp { op, lhs, rhs }
+    }
+
+    /// Convenience constructor for an assignment.
+    pub fn assign(var: impl Into<Symbol>, expr: Expr) -> BodyItem {
+        BodyItem::Assign {
+            var: var.into(),
+            expr,
+        }
+    }
+
+    /// The positive literal's atom, if this is one.
+    pub fn as_positive_atom(&self) -> Option<&Atom> {
+        match self {
+            BodyItem::Literal(l) if !l.negated => Some(&l.atom),
+            _ => None,
+        }
+    }
+
+    /// Variables *read* by this item (must be bound earlier for builtins /
+    /// negation; may be freshly bound by positive atoms).
+    pub fn variables(&self, out: &mut Vec<Symbol>) {
+        match self {
+            BodyItem::Literal(l) => l.atom.variables(out),
+            BodyItem::Cmp { lhs, rhs, .. } => {
+                if let Term::Var(v) = lhs {
+                    out.push(*v);
+                }
+                if let Term::Var(v) = rhs {
+                    out.push(*v);
+                }
+            }
+            BodyItem::Assign { expr, .. } => expr.variables(out),
+        }
+    }
+
+    /// Applies a substitution (binds whatever is bound; leaves the rest).
+    pub fn apply(&self, subst: &Subst) -> BodyItem {
+        match self {
+            BodyItem::Literal(l) => BodyItem::Literal(Literal {
+                atom: l.atom.apply(subst),
+                negated: l.negated,
+            }),
+            BodyItem::Cmp { op, lhs, rhs } => BodyItem::Cmp {
+                op: *op,
+                lhs: lhs.apply(subst),
+                rhs: rhs.apply(subst),
+            },
+            BodyItem::Assign { var, expr } => BodyItem::Assign {
+                var: *var,
+                expr: apply_expr(expr, subst),
+            },
+        }
+    }
+}
+
+fn apply_expr(expr: &Expr, subst: &Subst) -> Expr {
+    match expr {
+        Expr::Term(t) => Expr::Term(t.apply(subst)),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(apply_expr(l, subst)),
+            Box::new(apply_expr(r, subst)),
+        ),
+    }
+}
+
+impl From<Atom> for BodyItem {
+    fn from(atom: Atom) -> Self {
+        BodyItem::atom(atom)
+    }
+}
+
+impl From<Literal> for BodyItem {
+    fn from(l: Literal) -> Self {
+        BodyItem::Literal(l)
+    }
+}
+
+impl fmt::Debug for BodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyItem::Literal(l) => write!(f, "{l}"),
+            BodyItem::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            BodyItem::Assign { var, expr } => write!(f, "${var} := {expr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn apply_and_ground() {
+        let a = Atom::new("r", vec![Term::var("x"), Term::cst(1)]);
+        assert!(!a.is_ground());
+        let s: Subst = [(sym("x"), Value::from(9))].into_iter().collect();
+        let g = a.apply(&s);
+        assert!(g.is_ground());
+        let f = g.to_fact().unwrap();
+        assert_eq!(f.tuple[0], Value::from(9));
+        assert_eq!(a.ground(&s).unwrap(), f);
+    }
+
+    #[test]
+    fn ground_fails_when_underbound() {
+        let a = Atom::new("r", vec![Term::var("unbound-here")]);
+        assert_eq!(a.ground(&Subst::new()), None);
+        assert_eq!(a.to_fact(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Atom::new("pictures", vec![Term::var("id"), Term::cst("sea.jpg")]);
+        assert_eq!(a.to_string(), "pictures($id, \"sea.jpg\")");
+        assert_eq!(
+            Literal::neg(a.clone()).to_string(),
+            "not pictures($id, \"sea.jpg\")"
+        );
+        let c = BodyItem::cmp(CmpOp::Ge, Term::var("r"), Term::cst(4));
+        assert_eq!(c.to_string(), "$r >= 4");
+    }
+
+    #[test]
+    fn body_item_variable_collection() {
+        let mut vs = Vec::new();
+        BodyItem::cmp(CmpOp::Lt, Term::var("a"), Term::var("b")).variables(&mut vs);
+        assert_eq!(vs.len(), 2);
+        vs.clear();
+        BodyItem::assign("x", Expr::term(Term::var("y"))).variables(&mut vs);
+        assert_eq!(vs, vec![sym("y")]);
+    }
+
+    #[test]
+    fn apply_partially_instantiates() {
+        let item = BodyItem::cmp(CmpOp::Eq, Term::var("p"), Term::var("q"));
+        let s: Subst = [(sym("p"), Value::from(1))].into_iter().collect();
+        match item.apply(&s) {
+            BodyItem::Cmp { lhs, rhs, .. } => {
+                assert_eq!(lhs, Term::cst(1));
+                assert_eq!(rhs, Term::var("q"));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

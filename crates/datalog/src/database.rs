@@ -1,0 +1,200 @@
+//! A database: a map from relation name to stored relation.
+
+use crate::{DatalogError, Fact, Relation, Result, Symbol, Tuple, Value};
+use std::collections::HashMap;
+
+/// A collection of named relations.
+///
+/// Relation arity is fixed on first use (declaration or first fact); later
+/// uses with a different arity are errors — WebdamLog is dynamically typed in
+/// values but not in shape.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Declares a relation with the given arity (idempotent; errors if the
+    /// relation exists with a different arity).
+    pub fn declare(&mut self, pred: impl Into<Symbol>, arity: usize) -> Result<()> {
+        let pred = pred.into();
+        match self.relations.get(&pred) {
+            Some(rel) if rel.arity() != arity => Err(DatalogError::ArityMismatch {
+                relation: pred.to_string(),
+                expected: rel.arity(),
+                found: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.relations.insert(pred, Relation::new(arity));
+                Ok(())
+            }
+        }
+    }
+
+    /// Inserts a fact, creating the relation on first use. Returns `true` if new.
+    pub fn insert(&mut self, fact: Fact) -> Result<bool> {
+        self.insert_tuple(fact.pred, fact.tuple)
+    }
+
+    /// Inserts a tuple into `pred`.
+    pub fn insert_tuple(&mut self, pred: Symbol, tuple: Tuple) -> Result<bool> {
+        let rel = self
+            .relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(tuple.len()));
+        if rel.arity() != tuple.len() {
+            return Err(DatalogError::ArityMismatch {
+                relation: pred.to_string(),
+                expected: rel.arity(),
+                found: tuple.len(),
+            });
+        }
+        rel.insert(tuple)
+    }
+
+    /// Convenience: insert from a `Vec<Value>`.
+    pub fn insert_values(&mut self, pred: impl Into<Symbol>, values: Vec<Value>) -> Result<bool> {
+        self.insert_tuple(pred.into(), values.into())
+    }
+
+    /// Removes a fact. Returns `true` if it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        self.relations
+            .get_mut(&fact.pred)
+            .is_some_and(|rel| rel.remove(&fact.tuple))
+    }
+
+    /// Returns the relation for `pred`, if it exists.
+    pub fn relation(&self, pred: impl Into<Symbol>) -> Option<&Relation> {
+        self.relations.get(&pred.into())
+    }
+
+    /// True iff the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(&fact.pred)
+            .is_some_and(|rel| rel.contains(&fact.tuple))
+    }
+
+    /// Iterates over `(name, relation)` pairs (unspecified order).
+    pub fn relations(&self) -> impl Iterator<Item = (Symbol, &Relation)> {
+        self.relations.iter().map(|(s, r)| (*s, r))
+    }
+
+    /// Iterates over every fact in the database.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(pred, rel)| {
+            rel.iter().map(move |t| Fact {
+                pred: *pred,
+                tuple: t.clone(),
+            })
+        })
+    }
+
+    /// Total number of tuples across relations.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Removes every tuple of `pred` (keeps the declaration).
+    pub fn clear_relation(&mut self, pred: impl Into<Symbol>) {
+        if let Some(rel) = self.relations.get_mut(&pred.into()) {
+            rel.clear();
+        }
+    }
+
+    /// Merges every fact of `other` into `self`. Returns the number of facts
+    /// that were new.
+    pub fn absorb(&mut self, other: &Database) -> Result<usize> {
+        let mut added = 0;
+        for (pred, rel) in other.relations() {
+            for tuple in rel.iter() {
+                if self.insert_tuple(pred, tuple.clone())? {
+                    added += 1;
+                }
+            }
+        }
+        Ok(added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(pred: &str, vals: &[i64]) -> Fact {
+        Fact::new(pred, vals.iter().map(|&v| Value::from(v)))
+    }
+
+    #[test]
+    fn insert_creates_relation() {
+        let mut db = Database::new();
+        assert!(db.insert(fact("r", &[1, 2])).unwrap());
+        assert!(db.contains(&fact("r", &[1, 2])));
+        assert_eq!(db.relation("r").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn arity_locked_on_first_use() {
+        let mut db = Database::new();
+        db.insert(fact("r", &[1])).unwrap();
+        let err = db.insert(fact("r", &[1, 2])).unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn declare_then_mismatch() {
+        let mut db = Database::new();
+        db.declare("s", 3).unwrap();
+        assert!(db.declare("s", 3).is_ok());
+        assert!(db.declare("s", 2).is_err());
+        assert_eq!(db.relation("s").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn remove_facts() {
+        let mut db = Database::new();
+        db.insert(fact("r", &[1])).unwrap();
+        assert!(db.remove(&fact("r", &[1])));
+        assert!(!db.remove(&fact("r", &[1])));
+        assert!(!db.remove(&fact("absent", &[1])));
+        assert_eq!(db.fact_count(), 0);
+    }
+
+    #[test]
+    fn absorb_counts_new_facts() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        a.insert(fact("r", &[1])).unwrap();
+        b.insert(fact("r", &[1])).unwrap();
+        b.insert(fact("r", &[2])).unwrap();
+        b.insert(fact("q", &[9])).unwrap();
+        assert_eq!(a.absorb(&b).unwrap(), 2);
+        assert_eq!(a.fact_count(), 3);
+    }
+
+    #[test]
+    fn facts_iterator_covers_all() {
+        let mut db = Database::new();
+        db.insert(fact("r", &[1])).unwrap();
+        db.insert(fact("q", &[2])).unwrap();
+        let mut got: Vec<String> = db.facts().map(|f| f.to_string()).collect();
+        got.sort();
+        assert_eq!(got, vec!["q(2)", "r(1)"]);
+    }
+
+    #[test]
+    fn clear_relation_keeps_arity() {
+        let mut db = Database::new();
+        db.insert(fact("r", &[1, 2])).unwrap();
+        db.clear_relation("r");
+        assert_eq!(db.relation("r").unwrap().len(), 0);
+        assert_eq!(db.relation("r").unwrap().arity(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the datalog kernel.
+
+use std::fmt;
+
+/// Convenience alias used across the kernel.
+pub type Result<T> = std::result::Result<T, DatalogError>;
+
+/// Errors raised by storage, safety checking or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A fact or atom used a relation with a different arity than registered.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity registered on first use.
+        expected: usize,
+        /// Arity of the offending fact/atom.
+        found: usize,
+    },
+    /// A rule is unsafe (head/negation/builtin variable not bound by a
+    /// preceding positive atom).
+    UnsafeRule(String),
+    /// A program cannot be stratified (negation through recursion).
+    NotStratifiable(String),
+    /// A builtin was applied to values of the wrong runtime type.
+    TypeError(String),
+    /// Arithmetic failure (overflow, division by zero).
+    Arithmetic(String),
+    /// A variable needed by a builtin or head was unbound at evaluation time.
+    UnboundVariable(String),
+    /// Fixpoint exceeded the configured iteration bound (safety valve).
+    IterationLimit(usize),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch on relation `{relation}`: expected {expected}, found {found}"
+            ),
+            DatalogError::UnsafeRule(msg) => write!(f, "unsafe rule: {msg}"),
+            DatalogError::NotStratifiable(msg) => write!(f, "program not stratifiable: {msg}"),
+            DatalogError::TypeError(msg) => write!(f, "type error: {msg}"),
+            DatalogError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            DatalogError::UnboundVariable(msg) => write!(f, "unbound variable: {msg}"),
+            DatalogError::IterationLimit(n) => {
+                write!(f, "fixpoint did not converge within {n} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_messages() {
+        let e = DatalogError::ArityMismatch {
+            relation: "pictures".into(),
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains("pictures"));
+        assert!(e.to_string().contains('4'));
+        let e = DatalogError::IterationLimit(10);
+        assert!(e.to_string().contains("10"));
+    }
+}

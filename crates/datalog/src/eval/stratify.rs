@@ -1,0 +1,263 @@
+//! Stratification of programs with negation.
+//!
+//! Builds the predicate dependency graph (an edge `q → p` for every rule
+//! `p :- ..., q, ...`, marked *negative* when `q` occurs under `not`),
+//! computes strongly connected components, rejects programs with a negative
+//! edge inside a component (negation through recursion), and orders the
+//! components bottom-up.
+//!
+//! The demo paper notes negation is "supported by the language [but] not yet
+//! implemented in the WebdamLog system"; this kernel implements it, and the
+//! WebdamLog layer exposes it as an extension (see EXPERIMENTS.md).
+
+use crate::{DatalogError, Result, Rule, Symbol};
+use std::collections::HashMap;
+
+/// The output of stratification: rule indices grouped by stratum, bottom-up.
+#[derive(Debug, Clone)]
+pub struct Strata {
+    /// `strata[i]` lists indices (into the program's rule vector) of the
+    /// rules whose heads live in stratum `i`.
+    pub rule_strata: Vec<Vec<usize>>,
+    /// Stratum number per IDB predicate.
+    pub pred_stratum: HashMap<Symbol, usize>,
+}
+
+impl Strata {
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.rule_strata.len()
+    }
+
+    /// True when there are no rules at all.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.rule_strata.is_empty()
+    }
+
+    /// The IDB predicates of stratum `i`.
+    pub fn preds_of(&self, stratum: usize) -> Vec<Symbol> {
+        self.pred_stratum
+            .iter()
+            .filter(|(_, s)| **s == stratum)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum EdgeSign {
+    Pos,
+    Neg,
+}
+
+/// Computes strata for `rules`. Errors with [`DatalogError::NotStratifiable`]
+/// if negation occurs through recursion.
+pub fn stratify(rules: &[Rule]) -> Result<Strata> {
+    // IDB predicates: those appearing in some head.
+    let idb: Vec<Symbol> = {
+        let mut v = Vec::new();
+        for r in rules {
+            if !v.contains(&r.head.pred) {
+                v.push(r.head.pred);
+            }
+        }
+        v
+    };
+    let index_of: HashMap<Symbol, usize> = idb.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+
+    // Dependency edges between IDB predicates only (EDB facts are stratum 0
+    // inputs and impose no constraints).
+    let mut edges: Vec<(usize, usize, EdgeSign)> = Vec::new();
+    for r in rules {
+        let head = index_of[&r.head.pred];
+        for p in r.positive_preds() {
+            if let Some(&src) = index_of.get(&p) {
+                edges.push((src, head, EdgeSign::Pos));
+            }
+        }
+        for p in r.negative_preds() {
+            if let Some(&src) = index_of.get(&p) {
+                edges.push((src, head, EdgeSign::Neg));
+            }
+        }
+    }
+
+    // Longest-path stratum assignment: stratum(p) >= stratum(q) for positive
+    // q→p, stratum(p) >= stratum(q)+1 for negative. Bellman-Ford style
+    // relaxation; more than |idb| rounds of change means a negative cycle.
+    let n = idb.len();
+    let mut stratum = vec![0usize; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for &(src, dst, sign) in &edges {
+            let required = match sign {
+                EdgeSign::Pos => stratum[src],
+                EdgeSign::Neg => stratum[src] + 1,
+            };
+            if stratum[dst] < required {
+                stratum[dst] = required;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n {
+            let cyclic: Vec<String> = idb
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| stratum[*i] > n)
+                .map(|(_, p)| p.to_string())
+                .collect();
+            return Err(DatalogError::NotStratifiable(format!(
+                "negation through recursion involving {{{}}}",
+                cyclic.join(", ")
+            )));
+        }
+    }
+
+    let max_stratum = stratum.iter().copied().max().unwrap_or(0);
+    let mut rule_strata: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (ri, r) in rules.iter().enumerate() {
+        rule_strata[stratum[index_of[&r.head.pred]]].push(ri);
+    }
+    // Drop empty trailing strata produced by gaps.
+    let pred_stratum = idb
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, stratum[i]))
+        .collect();
+    Ok(Strata {
+        rule_strata,
+        pred_stratum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, BodyItem, Term};
+
+    fn atom(pred: &str, vars: &[&str]) -> Atom {
+        Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    fn rule(head: Atom, body: Vec<BodyItem>) -> Rule {
+        Rule::new(head, body)
+    }
+
+    #[test]
+    fn positive_recursion_single_stratum() {
+        let rules = vec![
+            rule(
+                atom("path", &["x", "y"]),
+                vec![atom("edge", &["x", "y"]).into()],
+            ),
+            rule(
+                atom("path", &["x", "z"]),
+                vec![
+                    atom("edge", &["x", "y"]).into(),
+                    atom("path", &["y", "z"]).into(),
+                ],
+            ),
+        ];
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rule_strata[0].len(), 2);
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        // reach(x) :- src(x); reach(y) :- reach(x), edge(x,y)
+        // unreached(x) :- node(x), not reach(x)
+        let rules = vec![
+            rule(atom("reach", &["x"]), vec![atom("src", &["x"]).into()]),
+            rule(
+                atom("reach", &["y"]),
+                vec![
+                    atom("reach", &["x"]).into(),
+                    atom("edge", &["x", "y"]).into(),
+                ],
+            ),
+            rule(
+                atom("unreached", &["x"]),
+                vec![
+                    atom("node", &["x"]).into(),
+                    BodyItem::not_atom(atom("reach", &["x"])),
+                ],
+            ),
+        ];
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pred_stratum[&Symbol::intern("reach")], 0);
+        assert_eq!(s.pred_stratum[&Symbol::intern("unreached")], 1);
+    }
+
+    #[test]
+    fn negation_through_recursion_rejected() {
+        // p(x) :- q(x), not r(x); r(x) :- q(x), not p(x)
+        let rules = vec![
+            rule(
+                atom("p", &["x"]),
+                vec![
+                    atom("q", &["x"]).into(),
+                    BodyItem::not_atom(atom("r", &["x"])),
+                ],
+            ),
+            rule(
+                atom("r", &["x"]),
+                vec![
+                    atom("q", &["x"]).into(),
+                    BodyItem::not_atom(atom("p", &["x"])),
+                ],
+            ),
+        ];
+        let err = stratify(&rules).unwrap_err();
+        assert!(matches!(err, DatalogError::NotStratifiable(_)));
+    }
+
+    #[test]
+    fn self_negation_rejected() {
+        let rules = vec![rule(
+            atom("p", &["x"]),
+            vec![
+                atom("q", &["x"]).into(),
+                BodyItem::not_atom(atom("p", &["x"])),
+            ],
+        )];
+        assert!(stratify(&rules).is_err());
+    }
+
+    #[test]
+    fn empty_program() {
+        let s = stratify(&[]).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.rule_strata[0].is_empty());
+    }
+
+    #[test]
+    fn chained_negations_stack_strata() {
+        // a :- base. b :- base, not a. c :- base, not b.
+        let rules = vec![
+            rule(atom("a", &["x"]), vec![atom("base", &["x"]).into()]),
+            rule(
+                atom("b", &["x"]),
+                vec![
+                    atom("base", &["x"]).into(),
+                    BodyItem::not_atom(atom("a", &["x"])),
+                ],
+            ),
+            rule(
+                atom("c", &["x"]),
+                vec![
+                    atom("base", &["x"]).into(),
+                    BodyItem::not_atom(atom("b", &["x"])),
+                ],
+            ),
+        ];
+        let s = stratify(&rules).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pred_stratum[&Symbol::intern("c")], 2);
+    }
+}

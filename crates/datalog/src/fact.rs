@@ -1,0 +1,79 @@
+//! Ground facts and tuples.
+
+use crate::{Symbol, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple of constant values — one row of a relation.
+pub type Tuple = Box<[Value]>;
+
+/// A ground fact: `pred(v1, ..., vn)`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fact {
+    /// The relation (predicate) name.
+    pub pred: Symbol,
+    /// The row of values.
+    pub tuple: Tuple,
+}
+
+impl Fact {
+    /// Builds a fact from a predicate and values.
+    pub fn new(pred: impl Into<Symbol>, values: impl IntoIterator<Item = Value>) -> Fact {
+        Fact {
+            pred: pred.into(),
+            tuple: values.into_iter().collect(),
+        }
+    }
+
+    /// The arity (number of columns).
+    pub fn arity(&self) -> usize {
+        self.tuple.len()
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, v) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_construction_and_display() {
+        let f = Fact::new("pictures", vec![Value::from(32), Value::from("sea.jpg")]);
+        assert_eq!(f.arity(), 2);
+        assert_eq!(f.to_string(), "pictures(32, \"sea.jpg\")");
+    }
+
+    #[test]
+    fn zero_arity_fact() {
+        let f = Fact::new("tick", vec![]);
+        assert_eq!(f.arity(), 0);
+        assert_eq!(f.to_string(), "tick()");
+    }
+
+    #[test]
+    fn facts_hash_structurally() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Fact::new("r", vec![Value::from(1)]));
+        assert!(set.contains(&Fact::new("r", vec![Value::from(1)])));
+        assert!(!set.contains(&Fact::new("r", vec![Value::from(2)])));
+    }
+}

@@ -1,0 +1,86 @@
+//! # wdl-datalog — the datalog kernel underneath WebdamLog
+//!
+//! This crate is the substrate that plays the role the [Bud] runtime plays in
+//! the original WebdamLog system (Abiteboul et al., *Rule-Based Application
+//! Development using Webdamlog*, SIGMOD 2013): a self-contained datalog
+//! engine providing
+//!
+//! * interned symbols ([`Symbol`]) and dynamically typed values ([`Value`]),
+//! * indexed in-memory relation storage ([`Relation`], [`Database`]),
+//! * rules with positive/negative literals and builtin predicates
+//!   ([`Rule`], [`BodyItem`]),
+//! * left-to-right body matching shared with the WebdamLog engine
+//!   ([`eval::evaluate_body`]),
+//! * naive **and** seminaive bottom-up fixpoint evaluation with stratified
+//!   negation ([`Program::eval`]).
+//!
+//! The naive evaluator is retained deliberately: it is the baseline of the
+//! E6 ablation experiment (see `EXPERIMENTS.md` at the workspace root).
+//!
+//! [Bud]: http://www.bloom-lang.net/
+//!
+//! ## Quick example
+//!
+//! ```
+//! use wdl_datalog::{Database, Program, Rule, Atom, Term, Value, Symbol};
+//!
+//! // edge(1,2), edge(2,3);  path(X,Y) :- edge(X,Y);
+//! // path(X,Z) :- edge(X,Y), path(Y,Z)
+//! let edge = Symbol::intern("edge");
+//! let path = Symbol::intern("path");
+//! let (x, y, z) = (Symbol::intern("X"), Symbol::intern("Y"), Symbol::intern("Z"));
+//!
+//! let mut db = Database::new();
+//! db.insert_values(edge, vec![Value::from(1), Value::from(2)]).unwrap();
+//! db.insert_values(edge, vec![Value::from(2), Value::from(3)]).unwrap();
+//!
+//! let rules = vec![
+//!     Rule::new(
+//!         Atom::new(path, vec![Term::var(x), Term::var(y)]),
+//!         vec![Atom::new(edge, vec![Term::var(x), Term::var(y)]).into()],
+//!     ),
+//!     Rule::new(
+//!         Atom::new(path, vec![Term::var(x), Term::var(z)]),
+//!         vec![
+//!             Atom::new(edge, vec![Term::var(x), Term::var(y)]).into(),
+//!             Atom::new(path, vec![Term::var(y), Term::var(z)]).into(),
+//!         ],
+//!     ),
+//! ];
+//! let program = Program::new(rules).unwrap();
+//! let out = program.eval(&db).unwrap();
+//! assert_eq!(out.relation(path).unwrap().len(), 3); // (1,2),(2,3),(1,3)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+mod atom;
+mod database;
+mod error;
+pub mod eval;
+mod expr;
+mod fact;
+pub mod optimize;
+mod program;
+pub mod provenance;
+mod rule;
+mod storage;
+mod subst;
+mod symbol;
+mod term;
+mod value;
+
+pub use atom::{Atom, BodyItem, Literal};
+pub use database::Database;
+pub use error::{DatalogError, Result};
+pub use expr::{BinOp, CmpOp, Expr};
+pub use fact::{Fact, Tuple};
+pub use program::{EvalStats, EvalStrategy, Program};
+pub use rule::Rule;
+pub use storage::Relation;
+pub use subst::Subst;
+pub use symbol::Symbol;
+pub use term::Term;
+pub use value::Value;

@@ -1,0 +1,295 @@
+//! Programs: validated rule sets with stratified fixpoint evaluation.
+
+use crate::eval::{naive_fixpoint, seminaive_fixpoint, stratify, Strata};
+use crate::{Database, Result, Rule};
+
+/// Which bottom-up strategy [`Program::eval`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EvalStrategy {
+    /// Re-derive everything each round (baseline for the E6 ablation).
+    Naive,
+    /// Delta-driven evaluation (default; mirrors Bud).
+    #[default]
+    Seminaive,
+}
+
+/// Counters reported by an evaluation, used by the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint rounds executed (across strata).
+    pub iterations: usize,
+    /// Successful body matches (head instantiations attempted).
+    pub derivations: usize,
+    /// Facts that were actually new.
+    pub facts_derived: usize,
+}
+
+/// A validated datalog program: safety-checked rules plus their strata.
+#[derive(Debug, Clone)]
+pub struct Program {
+    rules: Vec<Rule>,
+    strata: Strata,
+    iteration_limit: usize,
+}
+
+impl Program {
+    /// Validates rules (left-to-right safety, stratifiability) and builds a
+    /// program.
+    pub fn new(rules: Vec<Rule>) -> Result<Program> {
+        for rule in &rules {
+            rule.check_safety()?;
+        }
+        let strata = stratify(&rules)?;
+        Ok(Program {
+            rules,
+            strata,
+            iteration_limit: 1_000_000,
+        })
+    }
+
+    /// Overrides the fixpoint iteration safety valve (default 1,000,000).
+    pub fn with_iteration_limit(mut self, limit: usize) -> Program {
+        self.iteration_limit = limit;
+        self
+    }
+
+    /// The rules, in the order given to [`Program::new`].
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Evaluates with the default (seminaive) strategy. Returns a database
+    /// containing the input facts plus everything derivable.
+    pub fn eval(&self, db: &Database) -> Result<Database> {
+        self.eval_with(db, EvalStrategy::Seminaive).map(|(d, _)| d)
+    }
+
+    /// Evaluates with an explicit strategy, returning the saturated database
+    /// and evaluation statistics.
+    pub fn eval_with(
+        &self,
+        db: &Database,
+        strategy: EvalStrategy,
+    ) -> Result<(Database, EvalStats)> {
+        let mut work = db.clone();
+        let mut stats = EvalStats::default();
+        self.eval_in_place(&mut work, strategy, &mut stats)?;
+        Ok((work, stats))
+    }
+
+    /// Evaluates directly into `db` (used by the WebdamLog stage loop, which
+    /// owns its working database and wants no extra clone).
+    pub fn eval_in_place(
+        &self,
+        db: &mut Database,
+        strategy: EvalStrategy,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        for (stratum_idx, rule_ids) in self.strata.rule_strata.iter().enumerate() {
+            if rule_ids.is_empty() {
+                continue;
+            }
+            let rules: Vec<&Rule> = rule_ids.iter().map(|&i| &self.rules[i]).collect();
+            match strategy {
+                EvalStrategy::Naive => {
+                    naive_fixpoint(db, &rules, stats, self.iteration_limit)?;
+                }
+                EvalStrategy::Seminaive => {
+                    let idb = self.strata.preds_of(stratum_idx);
+                    seminaive_fixpoint(db, &rules, &idb, stats, self.iteration_limit)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, BodyItem, CmpOp, Fact, Symbol, Term, Value};
+
+    fn atom(pred: &str, vars: &[&str]) -> Atom {
+        Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    fn tc_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                atom("path", &["x", "y"]),
+                vec![atom("edge", &["x", "y"]).into()],
+            ),
+            Rule::new(
+                atom("path", &["x", "z"]),
+                vec![
+                    atom("edge", &["x", "y"]).into(),
+                    atom("path", &["y", "z"]).into(),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn chain(n: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert(Fact::new("edge", vec![Value::from(i), Value::from(i + 1)]))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn both_strategies_agree() {
+        let p = tc_program();
+        let db = chain(15);
+        let (semi, _) = p.eval_with(&db, EvalStrategy::Seminaive).unwrap();
+        let (naive, _) = p.eval_with(&db, EvalStrategy::Naive).unwrap();
+        assert_eq!(
+            semi.relation("path").unwrap(),
+            naive.relation("path").unwrap()
+        );
+        assert_eq!(semi.relation("path").unwrap().len(), 15 * 16 / 2);
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_at_construction() {
+        let r = Rule::new(atom("p", &["x", "y"]), vec![atom("q", &["x"]).into()]);
+        assert!(Program::new(vec![r]).is_err());
+    }
+
+    #[test]
+    fn unstratifiable_rejected_at_construction() {
+        let r1 = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                atom("base", &["x"]).into(),
+                BodyItem::not_atom(atom("q", &["x"])),
+            ],
+        );
+        let r2 = Rule::new(
+            atom("q", &["x"]),
+            vec![
+                atom("base", &["x"]).into(),
+                BodyItem::not_atom(atom("p", &["x"])),
+            ],
+        );
+        assert!(Program::new(vec![r1, r2]).is_err());
+    }
+
+    #[test]
+    fn stratified_negation_end_to_end() {
+        // winning positions in a simple game graph: win(x) :- move(x,y), not win(y)
+        // is unstratifiable; use reach/unreach instead.
+        let p = Program::new(vec![
+            Rule::new(atom("reach", &["x"]), vec![atom("src", &["x"]).into()]),
+            Rule::new(
+                atom("reach", &["y"]),
+                vec![
+                    atom("reach", &["x"]).into(),
+                    atom("edge", &["x", "y"]).into(),
+                ],
+            ),
+            Rule::new(
+                atom("unreach", &["x"]),
+                vec![
+                    atom("node", &["x"]).into(),
+                    BodyItem::not_atom(atom("reach", &["x"])),
+                ],
+            ),
+        ])
+        .unwrap();
+        assert_eq!(p.stratum_count(), 2);
+
+        let mut db = Database::new();
+        for n in 1..=5 {
+            db.insert(Fact::new("node", vec![Value::from(n)])).unwrap();
+        }
+        db.insert(Fact::new("src", vec![Value::from(1)])).unwrap();
+        db.insert(Fact::new("edge", vec![Value::from(1), Value::from(2)]))
+            .unwrap();
+        db.insert(Fact::new("edge", vec![Value::from(2), Value::from(3)]))
+            .unwrap();
+
+        let out = p.eval(&db).unwrap();
+        assert_eq!(out.relation("reach").unwrap().len(), 3); // 1,2,3
+        assert_eq!(out.relation("unreach").unwrap().len(), 2); // 4,5
+    }
+
+    #[test]
+    fn comparisons_filter_derivations() {
+        let p = Program::new(vec![Rule::new(
+            atom("high", &["id"]),
+            vec![
+                atom("rate", &["id", "r"]).into(),
+                BodyItem::cmp(CmpOp::Ge, Term::var("r"), Term::cst(4)),
+            ],
+        )])
+        .unwrap();
+        let mut db = Database::new();
+        for (id, r) in [(1, 5), (2, 3), (3, 4)] {
+            db.insert(Fact::new("rate", vec![Value::from(id), Value::from(r)]))
+                .unwrap();
+        }
+        let out = p.eval(&db).unwrap();
+        assert_eq!(out.relation("high").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats_reported() {
+        let p = tc_program();
+        let (_, stats) = p.eval_with(&chain(5), EvalStrategy::Seminaive).unwrap();
+        assert!(stats.iterations > 0);
+        assert_eq!(stats.facts_derived, 15);
+        assert!(stats.derivations >= stats.facts_derived);
+    }
+
+    #[test]
+    fn eval_does_not_mutate_input() {
+        let p = tc_program();
+        let db = chain(3);
+        let _ = p.eval(&db).unwrap();
+        assert!(db.relation("path").is_none());
+        assert_eq!(db.fact_count(), 3);
+    }
+
+    #[test]
+    fn empty_program_is_identity() {
+        let p = Program::new(vec![]).unwrap();
+        let db = chain(3);
+        let out = p.eval(&db).unwrap();
+        assert_eq!(out.fact_count(), 3);
+    }
+
+    #[test]
+    fn iteration_limit_is_respected() {
+        let p = Program::new(vec![Rule::new(
+            Atom::new("n", vec![Term::var("y")]),
+            vec![
+                atom("n", &["x"]).into(),
+                BodyItem::assign(
+                    "y",
+                    crate::Expr::bin(
+                        crate::BinOp::Add,
+                        crate::Expr::term(Term::var("x")),
+                        crate::Expr::term(Term::cst(1)),
+                    ),
+                ),
+            ],
+        )])
+        .unwrap()
+        .with_iteration_limit(10);
+        let mut db = Database::new();
+        db.insert(Fact::new("n", vec![Value::from(0)])).unwrap();
+        assert!(matches!(
+            p.eval(&db),
+            Err(crate::DatalogError::IterationLimit(10))
+        ));
+        let _ = Symbol::intern("n");
+    }
+}

@@ -1,0 +1,316 @@
+//! Why-provenance (lineage) for derived facts.
+//!
+//! The paper's sketched access-control model derives a view's default
+//! policy "automatically from the provenance of the base relations" (§2).
+//! This module supplies that foundation: an evaluation mode that records,
+//! for every derived fact, which facts each derivation consumed, and can
+//! resolve that support down to base (EDB) facts.
+//!
+//! Lineage here is the union over all derivations of the positive body
+//! facts used (negated literals contribute no positive support, the
+//! standard convention). Recorded support is *direct*; [`Provenance::
+//! base_lineage`] chases it transitively to the base facts.
+
+use crate::eval::{match_atom, stratify};
+use crate::{Atom, BodyItem, Database, DatalogError, Fact, Program, Result, Subst, Symbol, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Lineage records for one evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct Provenance {
+    /// Direct support: derived fact → facts used by its derivations.
+    direct: HashMap<Fact, HashSet<Fact>>,
+}
+
+impl Provenance {
+    /// Direct support set of `fact` (empty for base facts).
+    pub fn direct_support(&self, fact: &Fact) -> Option<&HashSet<Fact>> {
+        self.direct.get(fact)
+    }
+
+    /// True iff `fact` was derived by a rule (vs. being a base fact).
+    pub fn is_derived(&self, fact: &Fact) -> bool {
+        self.direct.contains_key(fact)
+    }
+
+    /// All *base* facts transitively supporting `fact`. A base fact's
+    /// lineage is itself.
+    pub fn base_lineage(&self, fact: &Fact) -> HashSet<Fact> {
+        let mut out = HashSet::new();
+        let mut stack = vec![fact.clone()];
+        let mut seen = HashSet::new();
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f.clone()) {
+                continue;
+            }
+            match self.direct.get(&f) {
+                Some(support) => stack.extend(support.iter().cloned()),
+                None => {
+                    out.insert(f);
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of base *relations* (predicate names) feeding `fact` — the
+    /// relation-level provenance the default view policy uses.
+    pub fn base_relations(&self, fact: &Fact) -> HashSet<Symbol> {
+        self.base_lineage(fact)
+            .into_iter()
+            .map(|f| f.pred)
+            .collect()
+    }
+
+    /// Number of derived facts tracked.
+    pub fn len(&self) -> usize {
+        self.direct.len()
+    }
+
+    /// True iff nothing was derived.
+    pub fn is_empty(&self) -> bool {
+        self.direct.is_empty()
+    }
+
+    fn record(&mut self, head: Fact, support: impl IntoIterator<Item = Fact>) {
+        self.direct.entry(head).or_default().extend(support);
+    }
+}
+
+/// Evaluates `program` over `db`, recording lineage.
+///
+/// Uses a naive per-stratum loop (provenance is an offline/audit path, not
+/// the hot path; the seminaive engine remains lineage-free).
+pub fn eval_with_provenance(program: &Program, db: &Database) -> Result<(Database, Provenance)> {
+    let mut work = db.clone();
+    let mut prov = Provenance::default();
+    let strata = stratify(program.rules())?;
+    for rule_ids in &strata.rule_strata {
+        loop {
+            let mut new_facts: Vec<(Fact, Vec<Fact>)> = Vec::new();
+            for &ri in rule_ids {
+                let rule = &program.rules()[ri];
+                walk_with_support(
+                    &work,
+                    &rule.body,
+                    0,
+                    Subst::new(),
+                    &mut Vec::new(),
+                    &mut |subst, support| {
+                        let head = rule.head.ground(subst).ok_or_else(|| {
+                            DatalogError::UnboundVariable(format!("head of {rule} not fully bound"))
+                        })?;
+                        new_facts.push((head, support.to_vec()));
+                        Ok(())
+                    },
+                )?;
+            }
+            let mut changed = false;
+            for (head, support) in new_facts {
+                let fresh = work.insert(head.clone())?;
+                prov.record(head, support);
+                changed |= fresh;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Ok((work, prov))
+}
+
+/// Left-to-right walk that threads the list of facts matched so far.
+fn walk_with_support(
+    db: &Database,
+    body: &[BodyItem],
+    idx: usize,
+    subst: Subst,
+    support: &mut Vec<Fact>,
+    emit: &mut dyn FnMut(&Subst, &[Fact]) -> Result<()>,
+) -> Result<()> {
+    let Some(item) = body.get(idx) else {
+        return emit(&subst, support);
+    };
+    match item {
+        BodyItem::Literal(l) if !l.negated => {
+            let matches = match_atom(db, &l.atom, &subst)?;
+            for s in matches {
+                let fact = ground_atom(&l.atom, &s)?;
+                support.push(fact);
+                walk_with_support(db, body, idx + 1, s, support, emit)?;
+                support.pop();
+            }
+            Ok(())
+        }
+        BodyItem::Literal(l) => {
+            let fact = l.atom.ground(&subst).ok_or_else(|| {
+                DatalogError::UnboundVariable(format!("negated atom {} unbound", l.atom))
+            })?;
+            if !db.contains(&fact) {
+                walk_with_support(db, body, idx + 1, subst, support, emit)?;
+            }
+            Ok(())
+        }
+        BodyItem::Cmp { op, lhs, rhs } => {
+            let l = resolve(lhs, &subst)?;
+            let r = resolve(rhs, &subst)?;
+            if op.eval(&l, &r)? {
+                walk_with_support(db, body, idx + 1, subst, support, emit)?;
+            }
+            Ok(())
+        }
+        BodyItem::Assign { var, expr } => {
+            let value = expr.eval(&subst)?;
+            let mut s = subst;
+            if !s.unify_var(*var, &value) {
+                return Ok(());
+            }
+            walk_with_support(db, body, idx + 1, s, support, emit)
+        }
+    }
+}
+
+fn ground_atom(atom: &Atom, subst: &Subst) -> Result<Fact> {
+    atom.ground(subst)
+        .ok_or_else(|| DatalogError::UnboundVariable(format!("atom {atom} not ground after match")))
+}
+
+fn resolve(term: &Term, subst: &Subst) -> Result<crate::Value> {
+    term.resolve(subst)
+        .ok_or_else(|| DatalogError::UnboundVariable(format!("{term} unbound in comparison")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rule, Value};
+
+    fn atom(p: &str, vs: &[&str]) -> Atom {
+        Atom::new(p, vs.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    fn fact(p: &str, vals: &[i64]) -> Fact {
+        Fact::new(p, vals.iter().map(|&v| Value::from(v)))
+    }
+
+    #[test]
+    fn single_step_lineage() {
+        let program = Program::new(vec![Rule::new(
+            atom("view", &["x"]),
+            vec![atom("base", &["x"]).into()],
+        )])
+        .unwrap();
+        let mut db = Database::new();
+        db.insert(fact("base", &[1])).unwrap();
+        let (out, prov) = eval_with_provenance(&program, &db).unwrap();
+        assert!(out.contains(&fact("view", &[1])));
+        let lineage = prov.base_lineage(&fact("view", &[1]));
+        assert_eq!(lineage.len(), 1);
+        assert!(lineage.contains(&fact("base", &[1])));
+        assert!(prov.is_derived(&fact("view", &[1])));
+        assert!(!prov.is_derived(&fact("base", &[1])));
+    }
+
+    #[test]
+    fn join_lineage_includes_both_sides() {
+        let program = Program::new(vec![Rule::new(
+            atom("out", &["x", "z"]),
+            vec![atom("r", &["x", "y"]).into(), atom("s", &["y", "z"]).into()],
+        )])
+        .unwrap();
+        let mut db = Database::new();
+        db.insert(fact("r", &[1, 2])).unwrap();
+        db.insert(fact("s", &[2, 3])).unwrap();
+        let (_, prov) = eval_with_provenance(&program, &db).unwrap();
+        let lineage = prov.base_lineage(&fact("out", &[1, 3]));
+        assert!(lineage.contains(&fact("r", &[1, 2])));
+        assert!(lineage.contains(&fact("s", &[2, 3])));
+        assert_eq!(
+            prov.base_relations(&fact("out", &[1, 3])),
+            [Symbol::intern("r"), Symbol::intern("s")]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn recursive_lineage_chases_to_base() {
+        let program = Program::new(vec![
+            Rule::new(
+                atom("path", &["x", "y"]),
+                vec![atom("edge", &["x", "y"]).into()],
+            ),
+            Rule::new(
+                atom("path", &["x", "z"]),
+                vec![
+                    atom("edge", &["x", "y"]).into(),
+                    atom("path", &["y", "z"]).into(),
+                ],
+            ),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert(fact("edge", &[a, b])).unwrap();
+        }
+        let (out, prov) = eval_with_provenance(&program, &db).unwrap();
+        assert_eq!(out.relation("path").unwrap().len(), 6);
+        let lineage = prov.base_lineage(&fact("path", &[1, 4]));
+        // path(1,4) ultimately rests on all three edges.
+        assert_eq!(lineage.len(), 3);
+        assert!(lineage.iter().all(|f| f.pred == Symbol::intern("edge")));
+    }
+
+    #[test]
+    fn lineage_merges_multiple_derivations() {
+        // out(1) derivable from a(1) and from b(1): lineage is the union.
+        let program = Program::new(vec![
+            Rule::new(atom("out", &["x"]), vec![atom("a", &["x"]).into()]),
+            Rule::new(atom("out", &["x"]), vec![atom("b", &["x"]).into()]),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        db.insert(fact("a", &[1])).unwrap();
+        db.insert(fact("b", &[1])).unwrap();
+        let (_, prov) = eval_with_provenance(&program, &db).unwrap();
+        let lineage = prov.base_lineage(&fact("out", &[1]));
+        assert_eq!(lineage.len(), 2);
+    }
+
+    #[test]
+    fn provenance_agrees_with_plain_eval() {
+        let program = Program::new(vec![
+            Rule::new(
+                atom("path", &["x", "y"]),
+                vec![atom("edge", &["x", "y"]).into()],
+            ),
+            Rule::new(
+                atom("path", &["x", "z"]),
+                vec![
+                    atom("edge", &["x", "y"]).into(),
+                    atom("path", &["y", "z"]).into(),
+                ],
+            ),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            db.insert(fact("edge", &[a, b])).unwrap();
+        }
+        let (with_prov, _) = eval_with_provenance(&program, &db).unwrap();
+        let plain = program.eval(&db).unwrap();
+        assert_eq!(
+            with_prov.relation("path").unwrap(),
+            plain.relation("path").unwrap()
+        );
+    }
+
+    #[test]
+    fn base_fact_lineage_is_itself() {
+        let prov = Provenance::default();
+        let f = fact("edge", &[1, 2]);
+        let lineage = prov.base_lineage(&f);
+        assert_eq!(lineage.len(), 1);
+        assert!(lineage.contains(&f));
+    }
+}

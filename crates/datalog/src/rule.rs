@@ -1,0 +1,269 @@
+//! Rules and the left-to-right safety check.
+
+use crate::{Atom, BodyItem, DatalogError, Result, Symbol, Term};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A datalog rule `head :- body`.
+///
+/// Bodies are evaluated **left to right** — in WebdamLog, unlike classical
+/// datalog, the order of body atoms matters (paper §2), because the split
+/// between the local prefix and the delegated suffix depends on it. The
+/// kernel preserves that contract: safety is checked against left-to-right
+/// binding propagation, and the matcher consumes items in order.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// Body items in evaluation order.
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// Builds a rule. Use [`Rule::check_safety`] (or [`crate::Program::new`])
+    /// before evaluating it.
+    pub fn new(head: Atom, body: Vec<BodyItem>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Checks range restriction under left-to-right evaluation:
+    ///
+    /// * a negated literal or comparison may only read variables bound by an
+    ///   earlier positive literal or assignment;
+    /// * an assignment binds a fresh variable from bound ones;
+    /// * every head variable must be bound by the body.
+    pub fn check_safety(&self) -> Result<()> {
+        let mut bound: Vec<Symbol> = Vec::new();
+        for (i, item) in self.body.iter().enumerate() {
+            match item {
+                BodyItem::Literal(l) if !l.negated => {
+                    for t in &l.atom.args {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                bound.push(*v);
+                            }
+                        }
+                    }
+                }
+                BodyItem::Literal(l) => {
+                    let mut vars = Vec::new();
+                    l.atom.variables(&mut vars);
+                    if let Some(v) = vars.iter().find(|v| !bound.contains(v)) {
+                        return Err(DatalogError::UnsafeRule(format!(
+                            "variable ${v} in negated atom {} (position {i}) is not bound by an earlier positive atom",
+                            l.atom
+                        )));
+                    }
+                }
+                BodyItem::Cmp { lhs, rhs, .. } => {
+                    for t in [lhs, rhs] {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                return Err(DatalogError::UnsafeRule(format!(
+                                    "variable ${v} in comparison (position {i}) is not bound by an earlier positive atom"
+                                )));
+                            }
+                        }
+                    }
+                }
+                BodyItem::Assign { var, expr } => {
+                    let mut vars = Vec::new();
+                    expr.variables(&mut vars);
+                    if let Some(v) = vars.iter().find(|v| !bound.contains(v)) {
+                        return Err(DatalogError::UnsafeRule(format!(
+                            "variable ${v} read by assignment (position {i}) is not bound"
+                        )));
+                    }
+                    if bound.contains(var) {
+                        return Err(DatalogError::UnsafeRule(format!(
+                            "assignment rebinds already-bound variable ${var} (position {i})"
+                        )));
+                    }
+                    bound.push(*var);
+                }
+            }
+        }
+        let mut head_vars = Vec::new();
+        self.head.variables(&mut head_vars);
+        if let Some(v) = head_vars.iter().find(|v| !bound.contains(v)) {
+            return Err(DatalogError::UnsafeRule(format!(
+                "head variable ${v} of {} is not bound by the body",
+                self.head
+            )));
+        }
+        Ok(())
+    }
+
+    /// Predicates of positive body literals, in order (with duplicates).
+    pub fn positive_preds(&self) -> Vec<Symbol> {
+        self.body
+            .iter()
+            .filter_map(BodyItem::as_positive_atom)
+            .map(|a| a.pred)
+            .collect()
+    }
+
+    /// Predicates of negated body literals.
+    pub fn negative_preds(&self) -> Vec<Symbol> {
+        self.body
+            .iter()
+            .filter_map(|item| match item {
+                BodyItem::Literal(l) if l.negated => Some(l.atom.pred),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, item) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, Expr, Literal};
+
+    fn atom(pred: &str, vars: &[&str]) -> Atom {
+        Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    #[test]
+    fn safe_positive_rule() {
+        let r = Rule::new(atom("p", &["x"]), vec![atom("q", &["x"]).into()]);
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn unbound_head_variable_is_unsafe() {
+        let r = Rule::new(atom("p", &["x", "y"]), vec![atom("q", &["x"]).into()]);
+        let err = r.check_safety().unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule(_)));
+        assert!(err.to_string().contains("$y"));
+    }
+
+    #[test]
+    fn negation_needs_prior_binding() {
+        // p(x) :- not q(x)  — unsafe
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![BodyItem::Literal(Literal::neg(atom("q", &["x"])))],
+        );
+        assert!(r.check_safety().is_err());
+        // p(x) :- r(x), not q(x) — safe
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                atom("r", &["x"]).into(),
+                BodyItem::Literal(Literal::neg(atom("q", &["x"]))),
+            ],
+        );
+        assert!(r.check_safety().is_ok());
+        // order matters: p(x) :- not q(x), r(x) — unsafe in left-to-right
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                BodyItem::Literal(Literal::neg(atom("q", &["x"]))),
+                atom("r", &["x"]).into(),
+            ],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn comparison_needs_prior_binding() {
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                atom("q", &["x"]).into(),
+                BodyItem::cmp(CmpOp::Gt, Term::var("x"), Term::cst(3)),
+            ],
+        );
+        assert!(r.check_safety().is_ok());
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                BodyItem::cmp(CmpOp::Gt, Term::var("x"), Term::cst(3)),
+                atom("q", &["x"]).into(),
+            ],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn assignment_binds_and_cannot_rebind() {
+        let r = Rule::new(
+            atom("p", &["y"]),
+            vec![
+                atom("q", &["x"]).into(),
+                BodyItem::assign(
+                    "y",
+                    Expr::bin(
+                        crate::BinOp::Add,
+                        Expr::term(Term::var("x")),
+                        Expr::term(Term::cst(1)),
+                    ),
+                ),
+            ],
+        );
+        assert!(r.check_safety().is_ok());
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                atom("q", &["x"]).into(),
+                BodyItem::assign("x", Expr::term(Term::cst(1))),
+            ],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn ground_head_rule_is_safe() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::cst(1)]),
+            vec![atom("q", &["x"]).into()],
+        );
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn pred_collections() {
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                atom("q", &["x"]).into(),
+                BodyItem::Literal(Literal::neg(atom("s", &["x"]))),
+                atom("q", &["x"]).into(),
+            ],
+        );
+        assert_eq!(r.positive_preds().len(), 2);
+        assert_eq!(r.negative_preds(), vec![Symbol::intern("s")]);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let r = Rule::new(
+            atom("p", &["x"]),
+            vec![
+                atom("q", &["x"]).into(),
+                BodyItem::cmp(CmpOp::Ge, Term::var("x"), Term::cst(5)),
+            ],
+        );
+        assert_eq!(r.to_string(), "p($x) :- q($x), $x >= 5");
+    }
+}

@@ -1,0 +1,330 @@
+//! Indexed in-memory relation storage.
+//!
+//! A [`Relation`] stores a set of tuples plus lazily built hash indexes, one
+//! per *binding pattern* (the set of columns that are bound at a lookup). A
+//! join like `pictures($id, $n, $owner, $d), rate($owner, 5)` probes `rate`
+//! with its first column bound; the first such probe builds an index keyed on
+//! column 0 and later probes are O(1) per matching tuple.
+//!
+//! Indexes are cached behind an `RwLock` so lookups work through `&Relation`
+//! (evaluation holds shared references to the database). Mutation clears the
+//! cache; the workloads of the paper mutate between stages, not inside a
+//! fixpoint, so rebuilds are rare and amortized.
+
+use crate::{Result, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+type ColMask = u32;
+type Index = HashMap<Box<[Value]>, Vec<u32>>;
+
+/// A stored relation: a set of same-arity tuples with lazy secondary indexes.
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    membership: HashMap<Tuple, u32>,
+    indexes: RwLock<HashMap<ColMask, Index>>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        assert!(arity <= 32, "relations support at most 32 columns");
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            membership: HashMap::new(),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.membership.contains_key(tuple)
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// Existing indexes are updated incrementally so a fixpoint loop that
+    /// inserts into a derived relation does not keep invalidating them.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.check_arity(tuple.len())?;
+        if self.membership.contains_key(&tuple) {
+            return Ok(false);
+        }
+        let id = u32::try_from(self.tuples.len()).expect("relation overflow");
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        for (&mask, index) in indexes.iter_mut() {
+            let key = key_for(&tuple, mask);
+            index.entry(key).or_default().push(id);
+        }
+        drop(indexes);
+        self.membership.insert(tuple.clone(), id);
+        self.tuples.push(tuple);
+        Ok(true)
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// Removal drops the index cache (deletes happen between WebdamLog
+    /// stages, never inside a fixpoint, so this is off the hot path).
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        let Some(id) = self.membership.remove(tuple) else {
+            return false;
+        };
+        let id = id as usize;
+        self.tuples.swap_remove(id);
+        if id < self.tuples.len() {
+            // The former last tuple moved into slot `id`.
+            let moved = self.tuples[id].clone();
+            self.membership.insert(moved, id as u32);
+        }
+        self.indexes.write().expect("index lock poisoned").clear();
+        true
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.membership.clear();
+        self.indexes.write().expect("index lock poisoned").clear();
+    }
+
+    /// Looks up tuple ids matching `key` on the columns of `mask`, building
+    /// the index for `mask` on first use, and passes each matching tuple to
+    /// `f`. A zero mask visits every tuple.
+    pub fn for_each_match(&self, mask: ColMask, key: &[Value], mut f: impl FnMut(&Tuple)) {
+        if mask == 0 {
+            for t in &self.tuples {
+                f(t);
+            }
+            return;
+        }
+        self.ensure_index(mask);
+        let indexes = self.indexes.read().expect("index lock poisoned");
+        let index = indexes.get(&mask).expect("index just ensured");
+        if let Some(ids) = index.get(key) {
+            for &id in ids {
+                f(&self.tuples[id as usize]);
+            }
+        }
+    }
+
+    /// Like [`Relation::for_each_match`] but collects matches (test helper).
+    pub fn matches(&self, mask: ColMask, key: &[Value]) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.for_each_match(mask, key, |t| out.push(t.clone()));
+        out
+    }
+
+    /// Number of index structures currently cached (observability/tests).
+    pub fn cached_indexes(&self) -> usize {
+        self.indexes.read().expect("index lock poisoned").len()
+    }
+
+    fn ensure_index(&self, mask: ColMask) {
+        {
+            let indexes = self.indexes.read().expect("index lock poisoned");
+            if indexes.contains_key(&mask) {
+                return;
+            }
+        }
+        let mut index: Index = HashMap::with_capacity(self.tuples.len());
+        for (id, tuple) in self.tuples.iter().enumerate() {
+            index
+                .entry(key_for(tuple, mask))
+                .or_default()
+                .push(id as u32);
+        }
+        self.indexes
+            .write()
+            .expect("index lock poisoned")
+            .entry(mask)
+            .or_insert(index);
+    }
+
+    fn check_arity(&self, found: usize) -> Result<()> {
+        if found != self.arity {
+            return Err(crate::DatalogError::ArityMismatch {
+                relation: "<relation>".into(),
+                expected: self.arity,
+                found,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the index key: the values at the set bits of `mask`, in column order.
+fn key_for(tuple: &[Value], mask: ColMask) -> Box<[Value]> {
+    let mut key = Vec::with_capacity(mask.count_ones() as usize);
+    for (col, v) in tuple.iter().enumerate() {
+        if mask & (1 << col) != 0 {
+            key.push(v.clone());
+        }
+    }
+    key.into()
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            membership: self.membership.clone(),
+            // Index caches are rebuilt on demand in the clone.
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Relation")
+            .field("arity", &self.arity)
+            .field("len", &self.tuples.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.tuples.len() == other.tuples.len()
+            && self.tuples.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::from(v)).collect()
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])).unwrap());
+        assert!(!r.insert(t(&[1, 2])).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&t(&[1, 2])));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1])).is_err());
+    }
+
+    #[test]
+    fn remove_and_membership_stay_consistent() {
+        let mut r = Relation::new(1);
+        for i in 0..10 {
+            r.insert(t(&[i])).unwrap();
+        }
+        assert!(r.remove(&t(&[3])));
+        assert!(!r.remove(&t(&[3])));
+        assert_eq!(r.len(), 9);
+        // After swap_remove, every remaining tuple must still be findable.
+        for i in 0..10 {
+            assert_eq!(r.contains(&t(&[i])), i != 3);
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_scan() {
+        let mut r = Relation::new(2);
+        for i in 0..100i64 {
+            r.insert(t(&[i % 10, i])).unwrap();
+        }
+        // bound column 0 == 3
+        let key = [Value::from(3)];
+        let hits = r.matches(0b01, &key);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|tu| tu[0] == Value::from(3)));
+        assert_eq!(r.cached_indexes(), 1);
+        // Index updated incrementally on insert.
+        r.insert(t(&[3, 1000])).unwrap();
+        assert_eq!(r.matches(0b01, &key).len(), 11);
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let mut r = Relation::new(3);
+        r.insert(t(&[1, 2, 3])).unwrap();
+        r.insert(t(&[1, 2, 4])).unwrap();
+        r.insert(t(&[1, 5, 3])).unwrap();
+        let hits = r.matches(0b011, &[Value::from(1), Value::from(2)]);
+        assert_eq!(hits.len(), 2);
+        let hits = r.matches(0b101, &[Value::from(1), Value::from(3)]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn zero_mask_scans_everything() {
+        let mut r = Relation::new(1);
+        for i in 0..5 {
+            r.insert(t(&[i])).unwrap();
+        }
+        assert_eq!(r.matches(0, &[]).len(), 5);
+        assert_eq!(r.cached_indexes(), 0);
+    }
+
+    #[test]
+    fn removal_invalidates_indexes() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[1])).unwrap();
+        r.insert(t(&[2])).unwrap();
+        assert_eq!(r.matches(0b1, &[Value::from(1)]).len(), 1);
+        r.remove(&t(&[1]));
+        assert_eq!(r.matches(0b1, &[Value::from(1)]).len(), 0);
+        assert_eq!(r.matches(0b1, &[Value::from(2)]).len(), 1);
+    }
+
+    #[test]
+    fn clone_preserves_tuples_not_caches() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[7])).unwrap();
+        let _ = r.matches(0b1, &[Value::from(7)]);
+        assert_eq!(r.cached_indexes(), 1);
+        let c = r.clone();
+        assert_eq!(c.cached_indexes(), 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Relation::new(1);
+        let mut b = Relation::new(1);
+        a.insert(t(&[1])).unwrap();
+        a.insert(t(&[2])).unwrap();
+        b.insert(t(&[2])).unwrap();
+        b.insert(t(&[1])).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Variable substitutions (valuations).
+
+use crate::{Symbol, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A substitution maps variables to constant values.
+///
+/// Rule bodies bind at most a handful of variables, so the representation is
+/// a small sorted-by-insertion vector: linear probing over ≤ ~10 entries
+/// beats a hash map in both time and allocation (perf-book: prefer compact
+/// collections for tiny cardinalities).
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subst {
+    bindings: Vec<(Symbol, Value)>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Looks up the binding for `var`.
+    pub fn get(&self, var: Symbol) -> Option<&Value> {
+        self.bindings
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, val)| val)
+    }
+
+    /// True iff `var` is bound.
+    pub fn contains(&self, var: Symbol) -> bool {
+        self.get(var).is_some()
+    }
+
+    /// Binds `var` to `value`. Panics in debug builds if already bound to a
+    /// different value — unification must use [`Subst::unify_var`].
+    pub fn bind(&mut self, var: Symbol, value: Value) {
+        debug_assert!(
+            self.get(var).is_none_or(|v| *v == value),
+            "rebinding {var} to a different value"
+        );
+        if !self.contains(var) {
+            self.bindings.push((var, value));
+        }
+    }
+
+    /// Unifies `var` with `value`: binds if free, succeeds iff consistent.
+    pub fn unify_var(&mut self, var: Symbol, value: &Value) -> bool {
+        match self.get(var) {
+            Some(existing) => existing == value,
+            None => {
+                self.bindings.push((var, value.clone()));
+                true
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True iff nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.bindings.iter().map(|(v, val)| (*v, val))
+    }
+
+    /// Restricts the substitution to the given variables (projection).
+    pub fn project(&self, vars: &[Symbol]) -> Subst {
+        Subst {
+            bindings: self
+                .bindings
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A canonical (sorted) form usable as a deduplication key across peers.
+    pub fn canonical(&self) -> Vec<(Symbol, Value)> {
+        let mut v = self.bindings.clone();
+        v.sort_by_key(|(sym, _)| *sym);
+        v
+    }
+}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (var, val)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "${var} -> {val}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Value)>>(iter: I) -> Self {
+        let mut s = Subst::new();
+        for (var, val) in iter {
+            s.bind(var, val);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn bind_and_get() {
+        let mut s = Subst::new();
+        assert!(s.is_empty());
+        s.bind(sym("a"), Value::from(1));
+        assert_eq!(s.get(sym("a")), Some(&Value::from(1)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(sym("b")));
+    }
+
+    #[test]
+    fn unify_consistent_and_conflicting() {
+        let mut s = Subst::new();
+        assert!(s.unify_var(sym("x"), &Value::from("v")));
+        assert!(s.unify_var(sym("x"), &Value::from("v")));
+        assert!(!s.unify_var(sym("x"), &Value::from("w")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn project_keeps_only_named_vars() {
+        let s: Subst = [
+            (sym("a"), Value::from(1)),
+            (sym("b"), Value::from(2)),
+            (sym("c"), Value::from(3)),
+        ]
+        .into_iter()
+        .collect();
+        let p = s.project(&[sym("a"), sym("c")]);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(sym("a")));
+        assert!(!p.contains(sym("b")));
+    }
+
+    #[test]
+    fn canonical_is_order_independent() {
+        let s1: Subst = [(sym("p"), Value::from(1)), (sym("q"), Value::from(2))]
+            .into_iter()
+            .collect();
+        let s2: Subst = [(sym("q"), Value::from(2)), (sym("p"), Value::from(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(s1.canonical(), s2.canonical());
+    }
+
+    #[test]
+    fn rebinding_same_value_is_noop() {
+        let mut s = Subst::new();
+        s.bind(sym("z"), Value::from(1));
+        s.bind(sym("z"), Value::from(1));
+        assert_eq!(s.len(), 1);
+    }
+}

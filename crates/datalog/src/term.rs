@@ -1,0 +1,119 @@
+//! Terms: constants and variables.
+
+use crate::{Subst, Symbol, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A term is a constant data value or a variable.
+///
+/// In WebdamLog surface syntax variables start with `$` (e.g. `$x`); the `$`
+/// is not part of the interned name.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable, e.g. `$owner`.
+    Var(Symbol),
+    /// A constant, e.g. `"sea.jpg"` or `5`.
+    Const(Value),
+}
+
+impl Term {
+    /// Builds a variable term.
+    pub fn var(name: impl Into<Symbol>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Builds a constant term.
+    pub fn cst(value: impl Into<Value>) -> Term {
+        Term::Const(value.into())
+    }
+
+    /// Returns the variable name if this is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant value if this is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+
+    /// True iff this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Applies a substitution: a bound variable becomes its constant, an
+    /// unbound variable or a constant is returned unchanged.
+    pub fn apply(&self, subst: &Subst) -> Term {
+        match self {
+            Term::Var(v) => match subst.get(*v) {
+                Some(val) => Term::Const(val.clone()),
+                None => self.clone(),
+            },
+            Term::Const(_) => self.clone(),
+        }
+    }
+
+    /// Resolves the term to a value under `subst`, if fully bound.
+    pub fn resolve(&self, subst: &Subst) -> Option<Value> {
+        match self {
+            Term::Var(v) => subst.get(*v).cloned(),
+            Term::Const(c) => Some(c.clone()),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "${v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_binds_variables() {
+        let x = Symbol::intern("x");
+        let mut s = Subst::new();
+        s.bind(x, Value::from(3));
+        assert_eq!(Term::var(x).apply(&s), Term::cst(3));
+        assert_eq!(Term::var("y-unbound").apply(&s), Term::var("y-unbound"));
+        assert_eq!(Term::cst("k").apply(&s), Term::cst("k"));
+    }
+
+    #[test]
+    fn resolve_requires_binding() {
+        let s = Subst::new();
+        assert_eq!(Term::var("nope").resolve(&s), None);
+        assert_eq!(Term::cst(9).resolve(&s), Some(Value::from(9)));
+    }
+
+    #[test]
+    fn display_uses_dollar_for_vars() {
+        assert_eq!(Term::var("owner").to_string(), "$owner");
+        assert_eq!(Term::cst(5).to_string(), "5");
+    }
+}

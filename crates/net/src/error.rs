@@ -1,0 +1,54 @@
+//! Error type for transports and the wire codec.
+
+use std::fmt;
+
+/// Errors raised by transports.
+#[derive(Debug)]
+pub enum NetError {
+    /// Malformed or truncated wire data.
+    Codec(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The target peer is not known to this transport.
+    UnknownPeer(String),
+    /// The transport has been shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Codec(m) => write!(f, "codec error: {m}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::UnknownPeer(p) => write!(f, "unknown peer: {p}"),
+            NetError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NetError::Codec("x".into()).to_string().contains("codec"));
+        assert!(NetError::Closed.to_string().contains("closed"));
+        assert!(NetError::UnknownPeer("p".into()).to_string().contains('p'));
+    }
+}

@@ -1,0 +1,33 @@
+//! # wdl-net — transports for WebdamLog peers
+//!
+//! The original system ran peers on attendee laptops, smartphones and the
+//! Webdam cloud (Figure 2). This crate provides the two substrates our
+//! reproduction runs on:
+//!
+//! * [`memory`] — a deterministic in-process network (crossbeam channels)
+//!   with optional failure injection, used by tests and benches;
+//! * [`tcp`] — a real TCP transport (std::net + threads) with
+//!   length-prefixed binary frames, proving the engine is genuinely
+//!   distributed across processes;
+//! * [`codec`] — the compact hand-rolled binary wire format shared by both
+//!   (the offline dependency allowlist has no serde *format* crate, so the
+//!   codec is written here, over `bytes`);
+//! * [`node`] — glue that drives a [`wdl_core::Peer`] over any
+//!   [`Transport`].
+//!
+//! Stage semantics are transport-independent: a peer ingests whatever
+//! messages arrived since its previous stage, wherever they came from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod error;
+pub mod memory;
+pub mod node;
+pub mod snapshot;
+pub mod tcp;
+mod transport;
+
+pub use error::NetError;
+pub use transport::Transport;

@@ -1,0 +1,199 @@
+//! Deterministic in-process network.
+//!
+//! Models the demo's LAN (Figure 2) inside one process: every peer gets an
+//! endpoint backed by an unbounded channel, a shared hub routes by peer
+//! name. Delivery is FIFO per sender-receiver pair and lossless by default;
+//! a deterministic fault plan (`drop_every_nth`) supports failure-injection
+//! tests without randomness.
+
+use crate::{NetError, Transport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wdl_core::Message;
+use wdl_datalog::Symbol;
+
+/// Deterministic fault plan for the in-memory network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// If `Some(n)`, every n-th send (1-based count) is silently dropped.
+    pub drop_every_nth: Option<u64>,
+}
+
+#[derive(Default)]
+struct Hub {
+    channels: HashMap<Symbol, Sender<Message>>,
+    faults: FaultPlan,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// A shared in-process network hub.
+#[derive(Clone, Default)]
+pub struct InMemoryNetwork {
+    hub: Arc<Mutex<Hub>>,
+}
+
+impl InMemoryNetwork {
+    /// New, fault-free network.
+    pub fn new() -> InMemoryNetwork {
+        InMemoryNetwork::default()
+    }
+
+    /// Creates (and registers) the endpoint for `peer`.
+    ///
+    /// # Panics
+    /// If the peer already has an endpoint.
+    pub fn endpoint(&self, peer: impl Into<Symbol>) -> MemoryEndpoint {
+        let peer = peer.into();
+        let (tx, rx) = unbounded();
+        let mut hub = self.hub.lock();
+        assert!(
+            hub.channels.insert(peer, tx).is_none(),
+            "endpoint for {peer} already exists"
+        );
+        MemoryEndpoint {
+            name: peer,
+            hub: Arc::clone(&self.hub),
+            rx,
+        }
+    }
+
+    /// Installs a fault plan (applies to subsequent sends).
+    pub fn set_faults(&self, plan: FaultPlan) {
+        self.hub.lock().faults = plan;
+    }
+
+    /// `(sent, delivered, dropped)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let hub = self.hub.lock();
+        (hub.sent, hub.delivered, hub.dropped)
+    }
+}
+
+/// One peer's endpoint on an [`InMemoryNetwork`].
+pub struct MemoryEndpoint {
+    name: Symbol,
+    hub: Arc<Mutex<Hub>>,
+    rx: Receiver<Message>,
+}
+
+impl Transport for MemoryEndpoint {
+    fn peer_name(&self) -> Symbol {
+        self.name
+    }
+
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        let mut hub = self.hub.lock();
+        hub.sent += 1;
+        if let Some(n) = hub.faults.drop_every_nth {
+            if n > 0 && hub.sent.is_multiple_of(n) {
+                hub.dropped += 1;
+                return Ok(());
+            }
+        }
+        match hub.channels.get(&msg.to) {
+            Some(tx) => {
+                // Receiver may have been dropped; count as undeliverable.
+                if tx.send(msg).is_ok() {
+                    hub.delivered += 1;
+                } else {
+                    hub.dropped += 1;
+                }
+                Ok(())
+            }
+            None => Err(NetError::UnknownPeer(msg.to.to_string())),
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Message> {
+        self.rx.try_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_core::{Payload, WFact};
+    use wdl_datalog::Value;
+
+    fn msg(from: &str, to: &str, v: i64) -> Message {
+        Message::new(
+            Symbol::intern(from),
+            Symbol::intern(to),
+            Payload::Facts {
+                kind: wdl_core::FactKind::Persistent,
+                additions: vec![WFact::new("r", to, vec![Value::from(v)])],
+                retractions: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn point_to_point_delivery_is_fifo() {
+        let net = InMemoryNetwork::new();
+        let mut a = net.endpoint("a");
+        let mut b = net.endpoint("b");
+        for i in 0..10 {
+            a.send(msg("a", "b", i)).unwrap();
+        }
+        let got = b.drain();
+        assert_eq!(got.len(), 10);
+        for (i, m) in got.iter().enumerate() {
+            if let Payload::Facts { additions, .. } = &m.payload {
+                assert_eq!(additions[0].tuple[0], Value::from(i as i64));
+            }
+        }
+        assert!(b.drain().is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let net = InMemoryNetwork::new();
+        let mut a = net.endpoint("a");
+        assert!(matches!(
+            a.send(msg("a", "ghost", 0)),
+            Err(NetError::UnknownPeer(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_endpoint_panics() {
+        let net = InMemoryNetwork::new();
+        let _x = net.endpoint("dup");
+        let _y = net.endpoint("dup");
+    }
+
+    #[test]
+    fn fault_plan_drops_deterministically() {
+        let net = InMemoryNetwork::new();
+        net.set_faults(FaultPlan {
+            drop_every_nth: Some(3),
+        });
+        let mut a = net.endpoint("a");
+        let mut b = net.endpoint("b");
+        for i in 0..9 {
+            a.send(msg("a", "b", i)).unwrap();
+        }
+        assert_eq!(b.drain().len(), 6); // every 3rd of 9 dropped
+        let (sent, delivered, dropped) = net.counters();
+        assert_eq!((sent, delivered, dropped), (9, 6, 3));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let net = InMemoryNetwork::new();
+        let mut a = net.endpoint("a");
+        let mut b = net.endpoint("b");
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                a.send(msg("a", "b", i)).unwrap();
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(b.drain().len(), 100);
+    }
+}

@@ -1,0 +1,301 @@
+//! Binary snapshots of durable peer state.
+//!
+//! Users "launch their customized peers on their machines with their own
+//! personal data" (paper §1) — so a peer must survive process restarts.
+//! [`save`]/[`load`] serialize a [`PeerState`] with the same hand-rolled
+//! little-endian conventions as the wire codec, and [`save_to_file`]/
+//! [`load_from_file`] persist it on disk.
+//!
+//! The snapshot captures schema, extensional facts, rules, installed
+//! delegations, trust settings and relation grants; transient per-stage
+//! state is rebuilt on the first stage after a restart (see
+//! `wdl_core::PeerState`).
+
+use crate::codec::{put_fact, put_rule, put_symbol, Reader};
+use crate::NetError;
+use bytes::{BufMut, Bytes, BytesMut};
+use wdl_core::acl::UntrustedPolicy;
+use wdl_core::grants::GrantExport;
+use wdl_core::{Delegation, Peer, PeerState, RelationDecl, RelationGrants, RelationKind};
+use wdl_datalog::Symbol;
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Serializes a peer's durable state.
+pub fn save(peer: &Peer) -> Bytes {
+    let state = peer.export_state();
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_u8(SNAPSHOT_VERSION);
+    put_symbol(&mut buf, state.name);
+
+    buf.put_u32_le(state.decls.len() as u32);
+    for d in &state.decls {
+        put_symbol(&mut buf, d.rel);
+        buf.put_u32_le(d.arity as u32);
+        buf.put_u8(match d.kind {
+            RelationKind::Extensional => 0,
+            RelationKind::Intensional => 1,
+        });
+    }
+
+    buf.put_u32_le(state.facts.len() as u32);
+    for f in &state.facts {
+        put_fact(&mut buf, f);
+    }
+
+    buf.put_u32_le(state.rules.len() as u32);
+    for r in &state.rules {
+        put_rule(&mut buf, r);
+    }
+
+    buf.put_u32_le(state.delegated.len() as u32);
+    for d in &state.delegated {
+        crate::codec::put_delegation(&mut buf, d);
+    }
+
+    buf.put_u32_le(state.trusted.len() as u32);
+    for t in &state.trusted {
+        put_symbol(&mut buf, *t);
+    }
+
+    buf.put_u8(match state.untrusted_policy {
+        UntrustedPolicy::Queue => 0,
+        UntrustedPolicy::Accept => 1,
+        UntrustedPolicy::Reject => 2,
+    });
+
+    let grants = state.grants.export();
+    put_grant_entries(&mut buf, &grants.read);
+    put_grant_entries(&mut buf, &grants.write);
+    buf.put_u32_le(grants.declassified.len() as u32);
+    for s in &grants.declassified {
+        put_symbol(&mut buf, *s);
+    }
+
+    buf.freeze()
+}
+
+fn put_grant_entries(buf: &mut BytesMut, entries: &[(Symbol, Vec<Symbol>)]) {
+    buf.put_u32_le(entries.len() as u32);
+    for (rel, peers) in entries {
+        put_symbol(buf, *rel);
+        buf.put_u32_le(peers.len() as u32);
+        for p in peers {
+            put_symbol(buf, *p);
+        }
+    }
+}
+
+/// Deserializes a snapshot back into a runnable peer.
+pub fn load(data: &[u8]) -> Result<Peer, NetError> {
+    let state = load_state(data)?;
+    Peer::import_state(state)
+        .map_err(|e| NetError::Codec(format!("snapshot rejected by engine: {e}")))
+}
+
+/// Deserializes just the state (for inspection without instantiation).
+pub fn load_state(data: &[u8]) -> Result<PeerState, NetError> {
+    let mut r = Reader::new(data);
+    let version = r.u8()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(NetError::Codec(format!(
+            "snapshot version mismatch: got {version}, expected {SNAPSHOT_VERSION}"
+        )));
+    }
+    let name = r.symbol()?;
+
+    let n = r.len()?;
+    let mut decls = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rel = r.symbol()?;
+        let arity = r.u32()? as usize;
+        let kind = match r.u8()? {
+            0 => RelationKind::Extensional,
+            1 => RelationKind::Intensional,
+            t => return Err(NetError::Codec(format!("bad relation kind {t}"))),
+        };
+        decls.push(RelationDecl { rel, arity, kind });
+    }
+
+    let n = r.len()?;
+    let mut facts = Vec::with_capacity(n);
+    for _ in 0..n {
+        facts.push(r.fact()?);
+    }
+
+    let n = r.len()?;
+    let mut rules = Vec::with_capacity(n);
+    for _ in 0..n {
+        rules.push(r.rule()?);
+    }
+
+    let n = r.len()?;
+    let mut delegated: Vec<Delegation> = Vec::with_capacity(n);
+    for _ in 0..n {
+        delegated.push(r.delegation()?);
+    }
+
+    let n = r.len()?;
+    let mut trusted = Vec::with_capacity(n);
+    for _ in 0..n {
+        trusted.push(r.symbol()?);
+    }
+
+    let untrusted_policy = match r.u8()? {
+        0 => UntrustedPolicy::Queue,
+        1 => UntrustedPolicy::Accept,
+        2 => UntrustedPolicy::Reject,
+        t => return Err(NetError::Codec(format!("bad policy tag {t}"))),
+    };
+
+    let read = read_grant_entries(&mut r)?;
+    let write = read_grant_entries(&mut r)?;
+    let n = r.len()?;
+    let mut declassified = Vec::with_capacity(n);
+    for _ in 0..n {
+        declassified.push(r.symbol()?);
+    }
+    r.expect_end()?;
+
+    Ok(PeerState {
+        name,
+        decls,
+        facts,
+        rules,
+        delegated,
+        trusted,
+        untrusted_policy,
+        grants: RelationGrants::import(GrantExport {
+            read,
+            write,
+            declassified,
+        }),
+    })
+}
+
+fn read_grant_entries(r: &mut Reader<'_>) -> Result<Vec<(Symbol, Vec<Symbol>)>, NetError> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rel = r.symbol()?;
+        let m = r.len()?;
+        let mut peers = Vec::with_capacity(m);
+        for _ in 0..m {
+            peers.push(r.symbol()?);
+        }
+        out.push((rel, peers));
+    }
+    Ok(out)
+}
+
+/// Writes a snapshot to a file.
+pub fn save_to_file(peer: &Peer, path: impl AsRef<std::path::Path>) -> Result<(), NetError> {
+    std::fs::write(path, save(peer))?;
+    Ok(())
+}
+
+/// Restores a peer from a snapshot file.
+pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Peer, NetError> {
+    let data = std::fs::read(path)?;
+    load(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_core::WRule;
+    use wdl_datalog::Value;
+
+    fn sample_peer() -> Peer {
+        let mut p = Peer::new("snap-sample");
+        p.declare("pictures", 4, RelationKind::Extensional).unwrap();
+        p.declare("attendeePictures", 4, RelationKind::Intensional)
+            .unwrap();
+        p.insert_local(
+            "pictures",
+            vec![
+                Value::from(1),
+                Value::from("sea.jpg"),
+                Value::from("snap-sample"),
+                Value::bytes(&[1, 2, 3]),
+            ],
+        )
+        .unwrap();
+        p.add_rule(WRule::example_attendee_pictures("snap-sample"))
+            .unwrap();
+        p.install_delegation(Delegation::new(
+            Symbol::intern("other"),
+            Symbol::intern("snap-sample"),
+            WRule::example_attendee_pictures("other"),
+        ));
+        p.acl_mut().trust("sigmod");
+        p.acl_mut().set_untrusted_policy(UntrustedPolicy::Reject);
+        p.grants_mut().restrict_read("pictures");
+        p.grants_mut().grant_read("pictures", "sigmod");
+        p.grants_mut().grant_write("pictures", "sigmod");
+        p.grants_mut().declassify("attendeePictures");
+        p
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let p = sample_peer();
+        let bytes = save(&p);
+        let q = load(&bytes).unwrap();
+
+        assert_eq!(q.name(), p.name());
+        assert_eq!(q.relation_facts("pictures"), p.relation_facts("pictures"));
+        assert_eq!(q.rules().len(), 1);
+        assert_eq!(q.installed_delegations().len(), 1);
+        assert!(q.acl().is_trusted(Symbol::intern("sigmod")));
+        assert_eq!(q.acl().untrusted_policy(), UntrustedPolicy::Reject);
+        assert_eq!(q.grants().export(), p.grants().export());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let p = sample_peer();
+        assert_eq!(save(&p), save(&p));
+        // And stable across a round trip.
+        let q = load(&save(&p)).unwrap();
+        assert_eq!(save(&q), save(&p));
+    }
+
+    #[test]
+    fn restored_peer_runs_stages() {
+        let p = sample_peer();
+        let mut q = load(&save(&p)).unwrap();
+        q.insert_local("selectedAttendee", vec![Value::from("snap-sample")])
+            .unwrap();
+        q.run_stage().unwrap();
+        assert_eq!(q.relation_facts("attendeePictures").len(), 1);
+    }
+
+    #[test]
+    fn truncated_snapshot_errors() {
+        let bytes = save(&sample_peer());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = save(&sample_peer()).to_vec();
+        bytes[0] = 0xff;
+        assert!(load(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("wdl-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("peer.snap");
+        let p = sample_peer();
+        save_to_file(&p, &path).unwrap();
+        let q = load_from_file(&path).unwrap();
+        assert_eq!(q.name(), p.name());
+        std::fs::remove_file(&path).ok();
+    }
+}

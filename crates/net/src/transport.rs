@@ -1,0 +1,24 @@
+//! The transport abstraction peers run on.
+
+use crate::NetError;
+use wdl_core::Message;
+use wdl_datalog::Symbol;
+
+/// A bidirectional message endpoint for one peer.
+///
+/// Implementations: [`crate::memory::MemoryEndpoint`] (deterministic,
+/// in-process) and [`crate::tcp::TcpEndpoint`] (framed TCP). The WebdamLog
+/// stage loop is transport-agnostic: [`crate::node::PeerNode::step`] drains
+/// the endpoint, runs a stage, and sends the produced messages.
+pub trait Transport: Send {
+    /// The peer this endpoint belongs to.
+    fn peer_name(&self) -> Symbol;
+
+    /// Sends a message toward `msg.to`. Implementations may buffer;
+    /// delivery is asynchronous.
+    fn send(&mut self, msg: Message) -> Result<(), NetError>;
+
+    /// Drains every message that has arrived since the last call
+    /// (non-blocking).
+    fn drain(&mut self) -> Vec<Message>;
+}

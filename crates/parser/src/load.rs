@@ -1,0 +1,198 @@
+//! Loading whole programs onto a peer.
+//!
+//! The demo's setup files and rule-editing pane boil down to "apply this
+//! text to this peer": declarations declare, facts insert, rules install.
+//! [`load_program`] does exactly that, reporting what happened.
+
+use crate::{parse_program, ParseError, Statement};
+use wdl_core::{Peer, RuleId, WdlError};
+
+/// What a [`load_program`] call applied.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Relations declared (or re-declared idempotently).
+    pub declarations: usize,
+    /// Facts inserted (duplicates not counted).
+    pub facts: usize,
+    /// Rules installed, with their ids.
+    pub rules: Vec<RuleId>,
+}
+
+/// Errors from loading a program.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The text failed to parse.
+    Parse(ParseError),
+    /// A statement was rejected by the engine (safety, schema, ...).
+    Engine(WdlError),
+    /// A statement targets a different peer.
+    WrongPeer {
+        /// What the statement addressed.
+        addressed: String,
+        /// The peer being loaded.
+        loading: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "{e}"),
+            LoadError::Engine(e) => write!(f, "{e}"),
+            LoadError::WrongPeer { addressed, loading } => write!(
+                f,
+                "statement addresses peer `{addressed}` but is being loaded onto `{loading}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ParseError> for LoadError {
+    fn from(e: ParseError) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
+impl From<WdlError> for LoadError {
+    fn from(e: WdlError) -> Self {
+        LoadError::Engine(e)
+    }
+}
+
+/// Parses `src` and applies every statement to `peer`:
+///
+/// * declarations must address `peer` and declare its relations;
+/// * facts must address `peer` and insert into its extensional relations;
+/// * rules install as the peer's own rules (their *head* may address any
+///   peer — that is what distribution is for).
+///
+/// Application is transactional per statement, not per program: on error,
+/// earlier statements remain applied (matching the demo's interactive
+/// editing model, where each accepted line takes effect immediately).
+pub fn load_program(peer: &mut Peer, src: &str) -> Result<LoadReport, LoadError> {
+    let statements = parse_program(src)?;
+    let mut report = LoadReport::default();
+    for st in statements {
+        match st {
+            Statement::Declaration {
+                rel,
+                peer: at,
+                arity,
+                kind,
+            } => {
+                if at != peer.name() {
+                    return Err(LoadError::WrongPeer {
+                        addressed: at.to_string(),
+                        loading: peer.name().to_string(),
+                    });
+                }
+                peer.declare(rel, arity, kind)?;
+                report.declarations += 1;
+            }
+            Statement::Fact(f) => {
+                if f.peer != peer.name() {
+                    return Err(LoadError::WrongPeer {
+                        addressed: f.peer.to_string(),
+                        loading: peer.name().to_string(),
+                    });
+                }
+                if peer.insert_local(f.rel, f.tuple.to_vec())? {
+                    report.facts += 1;
+                }
+            }
+            Statement::Rule(r) => {
+                report.rules.push(peer.add_rule(r)?);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_core::RelationKind;
+    use wdl_datalog::Symbol;
+
+    const PROGRAM: &str = r#"
+        // Jules' Wepic setup
+        extensional pictures@jules/4;
+        extensional selectedAttendee@jules/1;
+        intensional attendeePictures@jules/4;
+
+        pictures@jules(1, "a.jpg", "jules", 0x01);
+        pictures@jules(2, "b.jpg", "jules", 0x02);
+        selectedAttendee@jules("emilien");
+
+        attendeePictures@jules($id, $n, $o, $d) :-
+            selectedAttendee@jules($a),
+            pictures@$a($id, $n, $o, $d);
+    "#;
+
+    #[test]
+    fn full_program_loads() {
+        let mut p = Peer::new("jules");
+        let report = load_program(&mut p, PROGRAM).unwrap();
+        assert_eq!(report.declarations, 3);
+        assert_eq!(report.facts, 3);
+        assert_eq!(report.rules.len(), 1);
+        assert_eq!(p.relation_facts("pictures").len(), 2);
+        assert_eq!(
+            p.schema().kind_of(Symbol::intern("attendeePictures")),
+            Some(RelationKind::Intensional)
+        );
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn wrong_peer_fact_rejected() {
+        let mut p = Peer::new("jules");
+        let err = load_program(&mut p, "pictures@emilien(1, \"x\", \"e\", 0x00);").unwrap_err();
+        assert!(matches!(err, LoadError::WrongPeer { .. }));
+    }
+
+    #[test]
+    fn wrong_peer_declaration_rejected() {
+        let mut p = Peer::new("jules");
+        let err = load_program(&mut p, "extensional pictures@emilien/4;").unwrap_err();
+        assert!(matches!(err, LoadError::WrongPeer { .. }));
+    }
+
+    #[test]
+    fn remote_head_rule_is_fine() {
+        // Distribution: the head addresses another peer.
+        let mut p = Peer::new("jules");
+        let report = load_program(
+            &mut p,
+            "pictures@sigmod($x, $n, $o, $d) :- pictures@jules($x, $n, $o, $d);",
+        )
+        .unwrap();
+        assert_eq!(report.rules.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut p = Peer::new("jules");
+        assert!(matches!(
+            load_program(&mut p, "this is not webdamlog"),
+            Err(LoadError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_with_engine_error() {
+        let mut p = Peer::new("jules");
+        // head variable never bound
+        let err = load_program(&mut p, "v@jules($x) :- w@jules($y);").unwrap_err();
+        assert!(matches!(err, LoadError::Engine(_)));
+    }
+
+    #[test]
+    fn duplicate_facts_not_double_counted() {
+        let mut p = Peer::new("jules");
+        let report = load_program(&mut p, "r@jules(1);\nr@jules(1);").unwrap();
+        assert_eq!(report.facts, 1);
+    }
+}

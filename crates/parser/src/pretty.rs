@@ -1,0 +1,190 @@
+//! Canonical pretty-printer: renders core AST values back into parseable
+//! surface syntax. `parse(pretty(x)) == x` for facts, rules and programs.
+//!
+//! This is what the demo GUI's rule-inspection pane (Figure 3) prints; the
+//! `Display` impls in `wdl-core` are for logs (they truncate blobs), while
+//! this module is lossless.
+
+use crate::Statement;
+use wdl_core::{NameTerm, RelationKind, WAtom, WBodyItem, WFact, WRule};
+use wdl_datalog::{Expr, Term, Value};
+
+/// Renders a value losslessly.
+pub fn value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    '\0' => out.push_str("\\0"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{{{:x}}}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::Bytes(b) => {
+            let mut out = String::with_capacity(2 + b.len() * 2);
+            out.push_str("0x");
+            for byte in b.iter() {
+                out.push_str(&format!("{byte:02x}"));
+            }
+            out
+        }
+    }
+}
+
+/// Renders a term.
+pub fn term(t: &Term) -> String {
+    match t {
+        Term::Var(v) => format!("${v}"),
+        Term::Const(c) => value(c),
+    }
+}
+
+/// Renders a name term.
+pub fn name_term(n: &NameTerm) -> String {
+    match n {
+        NameTerm::Name(s) => s.to_string(),
+        NameTerm::Var(v) => format!("${v}"),
+    }
+}
+
+/// Renders an expression (fully parenthesized; reparses identically).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Term(t) => term(t),
+        Expr::Bin(op, l, r) => format!("({} {} {})", expr(l), op.token(), expr(r)),
+    }
+}
+
+/// Renders an atom.
+pub fn atom(a: &WAtom) -> String {
+    let args: Vec<String> = a.args.iter().map(term).collect();
+    format!(
+        "{}@{}({})",
+        name_term(&a.rel),
+        name_term(&a.peer),
+        args.join(", ")
+    )
+}
+
+/// Renders a body item.
+pub fn body_item(item: &WBodyItem) -> String {
+    match item {
+        WBodyItem::Literal(l) if l.negated => format!("not {}", atom(&l.atom)),
+        WBodyItem::Literal(l) => atom(&l.atom),
+        WBodyItem::Cmp { op, lhs, rhs } => {
+            format!("{} {} {}", term(lhs), op.token(), term(rhs))
+        }
+        WBodyItem::Assign { var, expr: e } => format!("${var} := {}", expr(e)),
+    }
+}
+
+/// Renders a rule (with terminating `;`).
+pub fn rule(r: &WRule) -> String {
+    let body: Vec<String> = r.body.iter().map(body_item).collect();
+    format!("{} :- {};", atom(&r.head), body.join(", "))
+}
+
+/// Renders a ground fact (with terminating `;`).
+pub fn fact(f: &WFact) -> String {
+    let args: Vec<String> = f.tuple.iter().map(value).collect();
+    format!("{}@{}({});", f.rel, f.peer, args.join(", "))
+}
+
+/// Renders a statement.
+pub fn statement(s: &Statement) -> String {
+    match s {
+        Statement::Fact(f) => fact(f),
+        Statement::Rule(r) => rule(r),
+        Statement::Declaration {
+            rel,
+            peer,
+            arity,
+            kind,
+        } => {
+            let kw = match kind {
+                RelationKind::Extensional => "extensional",
+                RelationKind::Intensional => "intensional",
+            };
+            format!("{kw} {rel}@{peer}/{arity};")
+        }
+    }
+}
+
+/// Renders a whole program, one statement per line.
+pub fn program(stmts: &[Statement]) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        out.push_str(&statement(s));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_fact, parse_program, parse_rule};
+
+    #[test]
+    fn fact_round_trip() {
+        let src = r#"pictures@sigmod(32, "sea.jpg", "Emilien", 0x640001);"#;
+        let f = parse_fact(src).unwrap();
+        assert_eq!(fact(&f), src);
+    }
+
+    #[test]
+    fn rule_round_trip() {
+        let r = WRule::example_attendee_pictures("Jules");
+        let printed = rule(&r);
+        assert_eq!(parse_rule(&printed).unwrap(), r);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let f = WFact::new(
+            "r",
+            "p",
+            vec![Value::str("line1\nline2\t\"quoted\" \\slash\\ \u{1}")],
+        );
+        let printed = fact(&f);
+        assert_eq!(parse_fact(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn long_blob_round_trips_unlike_display() {
+        let f = WFact::new("r", "p", vec![Value::bytes(&[1, 2, 3, 4, 5, 6, 7, 8])]);
+        let printed = fact(&f);
+        assert!(printed.contains("0x0102030405060708"));
+        assert_eq!(parse_fact(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let src = "extensional pictures@Jules/2;\n\
+                   pictures@Jules(1, \"a.jpg\");\n\
+                   all@Jules($x) :- pictures@Jules($x, $n), $x >= 0;\n";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(program(&prog), src);
+    }
+
+    #[test]
+    fn expr_parenthesization_round_trips() {
+        let r = parse_rule("o@p($y) :- n@p($x), $y := ($x + 1) * ($x - 1);").unwrap();
+        let printed = rule(&r);
+        assert_eq!(parse_rule(&printed).unwrap(), r);
+    }
+}

@@ -1,0 +1,487 @@
+//! The conference setup of Figure 2: attendee peers + the sigmod peer +
+//! the Facebook group wrapper + email, wired into one driveable system.
+
+use crate::{rules, schema};
+use wdl_core::acl::UntrustedPolicy;
+use wdl_core::runtime::LocalRuntime;
+use wdl_core::{Peer, Result, WdlError};
+use wdl_datalog::{Symbol, Value};
+use wdl_wrappers::email::{EmailSim, EmailWrapper};
+use wdl_wrappers::facebook::{FacebookSim, GroupWrapper};
+use wdl_wrappers::Wrapper;
+
+/// Configuration for a [`Conference`].
+#[derive(Clone, Debug)]
+pub struct ConferenceConfig {
+    /// Name of the registry/cloud peer (paper: `sigmod`).
+    pub sigmod_name: String,
+    /// Facebook group name; its wrapper peer is `{group}FB` (paper:
+    /// `SigmodFB`).
+    pub fb_group: String,
+    /// Attendee peer names (paper: Émilien, Jules, plus audience members).
+    pub attendees: Vec<String>,
+    /// If true, every peer accepts delegations from anyone (closed
+    /// experiments). If false — the demo's policy — peers trust only the
+    /// sigmod peer and queue everything else for approval.
+    pub open_trust: bool,
+    /// Install the upload-propagation rule (`pictures@sigmod :-
+    /// pictures@me`) at every attendee.
+    pub publish_uploads: bool,
+}
+
+impl ConferenceConfig {
+    /// The paper's demo setup: Émilien and Jules, trusted sigmod peer.
+    pub fn demo() -> ConferenceConfig {
+        ConferenceConfig {
+            sigmod_name: "sigmod".into(),
+            fb_group: "Sigmod".into(),
+            attendees: vec!["Emilien".into(), "Jules".into()],
+            open_trust: false,
+            publish_uploads: true,
+        }
+    }
+
+    /// `n` synthetic attendees, open trust — the experiment configuration.
+    pub fn experiment(n: usize) -> ConferenceConfig {
+        ConferenceConfig {
+            sigmod_name: "sigmod".into(),
+            fb_group: "Sigmod".into(),
+            attendees: (0..n).map(|i| format!("attendee{i:03}")).collect(),
+            open_trust: true,
+            publish_uploads: true,
+        }
+    }
+}
+
+/// Result of [`Conference::settle`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SettleReport {
+    /// Whether the system reached a fully quiet round.
+    pub quiescent: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages routed between peers.
+    pub messages: usize,
+    /// Facts moved between wrappers and the external simulators.
+    pub wrapper_activity: usize,
+}
+
+/// The running conference: a [`LocalRuntime`] plus wrappers and simulators.
+pub struct Conference {
+    /// The peer network (attendees + sigmod + the FB wrapper peer).
+    pub runtime: LocalRuntime,
+    /// The simulated Facebook service.
+    pub fb: FacebookSim,
+    /// The simulated mail service.
+    pub email: EmailSim,
+    fb_wrapper: GroupWrapper,
+    fb_peer: Symbol,
+    email_wrappers: Vec<(Symbol, EmailWrapper)>,
+    sigmod: Symbol,
+    attendees: Vec<Symbol>,
+}
+
+impl Conference {
+    /// Builds the Figure 2 topology from `config`.
+    pub fn new(config: &ConferenceConfig) -> Result<Conference> {
+        let mut runtime = LocalRuntime::new();
+        let fb = FacebookSim::new();
+        let email = EmailSim::new();
+        let sigmod_name = config.sigmod_name.as_str();
+
+        // The Facebook group wrapper peer (e.g. SigmodFB).
+        let (fb_wrapper, mut fb_peer) = GroupWrapper::new(fb.clone(), &config.fb_group)?;
+        let fb_peer_name = fb_peer.name();
+        fb_peer.acl_mut().trust(sigmod_name);
+        if config.open_trust {
+            fb_peer
+                .acl_mut()
+                .set_untrusted_policy(UntrustedPolicy::Accept);
+        }
+
+        // The sigmod (cloud/registry) peer.
+        let mut sigmod = Peer::new(sigmod_name);
+        schema::declare_sigmod(&mut sigmod)?;
+        sigmod.add_rule(rules::publish_to_facebook(
+            sigmod_name,
+            fb_peer_name.as_str(),
+        )?)?;
+        sigmod.add_rule(rules::import_from_facebook(
+            sigmod_name,
+            fb_peer_name.as_str(),
+        )?)?;
+        sigmod.add_rule(rules::import_comments_from_facebook(
+            sigmod_name,
+            fb_peer_name.as_str(),
+        )?)?;
+        sigmod.add_rule(rules::import_tags_from_facebook(
+            sigmod_name,
+            fb_peer_name.as_str(),
+        )?)?;
+        if config.open_trust {
+            sigmod
+                .acl_mut()
+                .set_untrusted_policy(UntrustedPolicy::Accept);
+        } else {
+            // The demo's sigmod peer accepts the wrapper peer's traffic.
+            sigmod.acl_mut().trust(fb_peer_name);
+        }
+
+        // Attendee peers.
+        let mut email_wrappers = Vec::new();
+        let mut attendees = Vec::new();
+        for name in &config.attendees {
+            let mut p = Peer::new(name.as_str());
+            schema::declare_attendee(&mut p)?;
+            p.add_rule(rules::attendee_pictures(name)?)?;
+            p.add_rule(rules::transfer(name)?)?;
+            if config.publish_uploads {
+                p.add_rule(rules::publish_to_sigmod(name, sigmod_name)?)?;
+            }
+            // Demo policy: "all peers except the sigmod peer will be
+            // considered untrusted".
+            p.acl_mut().trust(sigmod_name);
+            if config.open_trust {
+                p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+            }
+            sigmod.insert_local("attendees", vec![Value::from(name.as_str())])?;
+            attendees.push(p.name());
+            email_wrappers.push((p.name(), EmailWrapper::new(email.clone())));
+            runtime.add_peer(p);
+        }
+
+        let sigmod_sym = runtime.add_peer(sigmod);
+        runtime.add_peer(fb_peer);
+
+        Ok(Conference {
+            runtime,
+            fb,
+            email,
+            fb_wrapper,
+            fb_peer: fb_peer_name,
+            email_wrappers,
+            sigmod: sigmod_sym,
+            attendees,
+        })
+    }
+
+    /// The sigmod peer's name.
+    pub fn sigmod_name(&self) -> Symbol {
+        self.sigmod
+    }
+
+    /// The Facebook wrapper peer's name (e.g. `SigmodFB`).
+    pub fn fb_peer_name(&self) -> Symbol {
+        self.fb_peer
+    }
+
+    /// Attendee peer names, in configuration order.
+    pub fn attendee_names(&self) -> &[Symbol] {
+        &self.attendees
+    }
+
+    /// Immutable access to any peer.
+    pub fn peer(&self, name: impl Into<Symbol>) -> Result<&Peer> {
+        let name = name.into();
+        self.runtime
+            .peer(name)
+            .ok_or_else(|| WdlError::UnknownPeer(name.to_string()))
+    }
+
+    /// Mutable access to any peer.
+    pub fn peer_mut(&mut self, name: impl Into<Symbol>) -> Result<&mut Peer> {
+        let name = name.into();
+        self.runtime
+            .peer_mut(name)
+            .ok_or_else(|| WdlError::UnknownPeer(name.to_string()))
+    }
+
+    /// Adds a late-joining attendee (the demo's audience-member scenario,
+    /// E8). Installs the standard rules, registers with sigmod, returns the
+    /// peer name.
+    pub fn add_attendee(&mut self, name: &str, open_trust: bool) -> Result<Symbol> {
+        let mut p = Peer::new(name);
+        schema::declare_attendee(&mut p)?;
+        p.add_rule(rules::attendee_pictures(name)?)?;
+        p.add_rule(rules::transfer(name)?)?;
+        p.add_rule(rules::publish_to_sigmod(name, self.sigmod.as_str())?)?;
+        p.acl_mut().trust(self.sigmod.as_str());
+        if open_trust {
+            p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+        }
+        let sym = p.name();
+        self.peer_mut(self.sigmod)?
+            .insert_local("attendees", vec![Value::from(name)])?;
+        self.email_wrappers
+            .push((sym, EmailWrapper::new(self.email.clone())));
+        self.attendees.push(sym);
+        self.runtime.add_peer(p);
+        Ok(sym)
+    }
+
+    /// One round: sync wrappers, then tick every peer. Returns
+    /// `(wrapper_activity, messages, changed)`.
+    pub fn step(&mut self) -> Result<(usize, usize, bool)> {
+        let mut activity = 0;
+        {
+            let fb_peer = self
+                .runtime
+                .peer_mut(self.fb_peer)
+                .ok_or_else(|| WdlError::UnknownPeer(self.fb_peer.to_string()))?;
+            let r = self.fb_wrapper.sync(fb_peer)?;
+            activity += r.imported + r.exported;
+        }
+        for (peer_name, wrapper) in &mut self.email_wrappers {
+            if let Some(peer) = self.runtime.peer_mut(*peer_name) {
+                let r = wrapper.sync(peer)?;
+                activity += r.imported + r.exported;
+            }
+        }
+        let tick = self.runtime.tick()?;
+        Ok((activity, tick.messages, tick.changed))
+    }
+
+    /// Steps until a fully quiet round (no wrapper activity, no messages,
+    /// no peer change) or until `max_rounds`.
+    pub fn settle(&mut self, max_rounds: usize) -> Result<SettleReport> {
+        let mut report = SettleReport::default();
+        for _ in 0..max_rounds {
+            let (activity, messages, changed) = self.step()?;
+            report.rounds += 1;
+            report.messages += messages;
+            report.wrapper_activity += activity;
+            if activity == 0 && messages == 0 && !changed {
+                report.quiescent = true;
+                return Ok(report);
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops, Picture};
+
+    fn pic(id: i64, owner: &str) -> Picture {
+        Picture {
+            id,
+            name: format!("img{id}.jpg"),
+            owner: owner.into(),
+            data: vec![id as u8, 0, 0],
+        }
+    }
+
+    /// §4 "Interaction via Facebook": upload at Émilien → pictures@sigmod →
+    /// (authorized) → pictures@SigmodFB → the simulated group feed.
+    #[test]
+    fn upload_propagates_to_sigmod_and_facebook() {
+        let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+        let emilien = conf.peer_mut("Emilien").unwrap();
+        ops::upload_picture(emilien, &pic(1, "Emilien")).unwrap();
+        ops::authorize(emilien, "Facebook", 1, "Emilien").unwrap();
+
+        let r = conf.settle(64).unwrap();
+        assert!(r.quiescent, "did not settle: {r:?}");
+
+        assert_eq!(
+            conf.peer("sigmod")
+                .unwrap()
+                .relation_facts("pictures")
+                .len(),
+            1,
+            "picture published to sigmod"
+        );
+        let feed = conf.fb.group_feed("Sigmod");
+        assert_eq!(feed.len(), 1, "picture published to the Facebook group");
+        assert_eq!(feed[0].owner, "Emilien");
+    }
+
+    /// Without authorization the picture stays off Facebook.
+    #[test]
+    fn unauthorized_pictures_stay_off_facebook() {
+        let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+        let emilien = conf.peer_mut("Emilien").unwrap();
+        ops::upload_picture(emilien, &pic(2, "Emilien")).unwrap();
+        conf.settle(64).unwrap();
+        assert_eq!(
+            conf.peer("sigmod")
+                .unwrap()
+                .relation_facts("pictures")
+                .len(),
+            1
+        );
+        assert!(conf.fb.group_feed("Sigmod").is_empty());
+    }
+
+    /// External Facebook posts flow back into pictures@sigmod (the paper's
+    /// converse direction).
+    #[test]
+    fn facebook_posts_import_to_sigmod() {
+        let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+        conf.fb.post_to_group(
+            "Sigmod",
+            wdl_wrappers::facebook::Post {
+                id: 77,
+                name: "external.jpg".into(),
+                owner: "someFacebookUser".into(),
+                data: vec![9],
+            },
+        );
+        let r = conf.settle(64).unwrap();
+        assert!(r.quiescent);
+        let pics = conf.peer("sigmod").unwrap().relation_facts("pictures");
+        assert_eq!(pics.len(), 1);
+        assert_eq!(pics[0][1], Value::from("external.jpg"));
+    }
+
+    /// The transfer rule delivers by email: Jules sends a selected picture
+    /// to Émilien whose preferred protocol is email.
+    #[test]
+    fn transfer_by_email_lands_in_mailbox() {
+        let mut conf = Conference::new(&ConferenceConfig::experiment(0)).unwrap();
+        // Use explicit demo names with open trust for this test.
+        let mut cfg = ConferenceConfig::demo();
+        cfg.open_trust = true;
+        let mut conf2 = Conference::new(&cfg).unwrap();
+        std::mem::swap(&mut conf, &mut conf2);
+
+        let emilien = conf.peer_mut("Emilien").unwrap();
+        ops::set_protocol(emilien, "email").unwrap();
+
+        let jules = conf.peer_mut("Jules").unwrap();
+        ops::select_attendee(jules, "Emilien").unwrap();
+        ops::select_picture(jules, "sea.jpg", 4, "Jules").unwrap();
+
+        let r = conf.settle(64).unwrap();
+        assert!(r.quiescent);
+        let inbox = conf.email.mailbox("Emilien");
+        assert_eq!(inbox.len(), 1, "one email delivered");
+        assert!(inbox[0].fields.iter().any(|f| f.contains("sea.jpg")));
+    }
+
+    /// The demo's delegation-control scenario: with the default (closed)
+    /// policy, Jules' view rule delegation to Émilien waits for approval.
+    #[test]
+    fn delegation_between_attendees_requires_approval() {
+        let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+        let emilien = conf.peer_mut("Emilien").unwrap();
+        ops::upload_picture(emilien, &pic(3, "Emilien")).unwrap();
+
+        let jules = conf.peer_mut("Jules").unwrap();
+        ops::select_attendee(jules, "Emilien").unwrap();
+
+        conf.settle(64).unwrap();
+        // Pending at Émilien, not installed; Jules sees nothing yet. Both of
+        // Jules' rules (view + transfer) delegated once Émilien was
+        // selected, so two delegations wait in the queue.
+        let emilien = conf.peer("Emilien").unwrap();
+        assert_eq!(emilien.pending_delegations().len(), 2);
+        // Delegations from the *trusted* sigmod peer (the Facebook
+        // authorization probe) install immediately; nothing from Jules did.
+        assert!(emilien
+            .installed_delegations()
+            .iter()
+            .all(|d| d.origin.as_str() == "sigmod"));
+        assert!(conf
+            .peer("Jules")
+            .unwrap()
+            .relation_facts("attendeePictures")
+            .is_empty());
+
+        // Émilien approves the view delegation via the (programmatic)
+        // interface — the equivalent of clicking accept in Figure 3.
+        let id = conf
+            .peer("Emilien")
+            .unwrap()
+            .pending_delegations()
+            .iter()
+            .find(|p| p.delegation.rule.head.rel == wdl_core::NameTerm::name("attendeePictures"))
+            .expect("view delegation pending")
+            .delegation
+            .id;
+        conf.peer_mut("Emilien")
+            .unwrap()
+            .approve_delegation(id)
+            .unwrap();
+        let r = conf.settle(64).unwrap();
+        assert!(r.quiescent);
+        assert_eq!(
+            conf.peer("Jules")
+                .unwrap()
+                .relation_facts("attendeePictures")
+                .len(),
+            1,
+            "after approval the view fills"
+        );
+    }
+
+    /// Late-joining audience peer uploads and its photo reaches sigmod.
+    #[test]
+    fn audience_peer_joins_mid_run() {
+        let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+        conf.settle(16).unwrap();
+        conf.add_attendee("audience1", false).unwrap();
+        let p = conf.peer_mut("audience1").unwrap();
+        ops::upload_picture(p, &pic(50, "audience1")).unwrap();
+        let r = conf.settle(64).unwrap();
+        assert!(r.quiescent);
+        assert_eq!(
+            conf.peer("sigmod")
+                .unwrap()
+                .relation_facts("pictures")
+                .len(),
+            1
+        );
+        assert_eq!(
+            conf.peer("sigmod")
+                .unwrap()
+                .relation_facts("attendees")
+                .len(),
+            3
+        );
+    }
+
+    /// Rule customization (§4): replacing the view rule with the rating-5
+    /// filter changes the Attendee pictures frame.
+    #[test]
+    fn rating_filter_customization() {
+        let mut cfg = ConferenceConfig::demo();
+        cfg.open_trust = true;
+        let mut conf = Conference::new(&cfg).unwrap();
+
+        let emilien = conf.peer_mut("Emilien").unwrap();
+        ops::upload_picture(emilien, &pic(10, "Emilien")).unwrap();
+        ops::upload_picture(emilien, &pic(11, "Emilien")).unwrap();
+        ops::rate(emilien, 10, 5).unwrap();
+        ops::rate(emilien, 11, 3).unwrap();
+
+        let jules = conf.peer_mut("Jules").unwrap();
+        ops::select_attendee(jules, "Emilien").unwrap();
+        conf.settle(64).unwrap();
+        assert_eq!(
+            conf.peer("Jules")
+                .unwrap()
+                .relation_facts("attendeePictures")
+                .len(),
+            2,
+            "default rule shows all pictures"
+        );
+
+        // Customize: replace the view rule with the rating filter.
+        let jules = conf.peer_mut("Jules").unwrap();
+        let view_rule_id = jules.rules()[0].id;
+        jules
+            .replace_rule(view_rule_id, rules::rating_filter("Jules", 5).unwrap())
+            .unwrap();
+        let r = conf.settle(64).unwrap();
+        assert!(r.quiescent);
+        let view = conf
+            .peer("Jules")
+            .unwrap()
+            .relation_facts("attendeePictures");
+        assert_eq!(view.len(), 1, "only the 5-rated picture remains");
+        assert_eq!(view[0][0], Value::from(10));
+    }
+}

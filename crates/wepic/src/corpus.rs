@@ -1,0 +1,130 @@
+//! Synthetic picture corpus (substitution for the attendees' real photos).
+//!
+//! Deterministic, seeded generation: names, binary contents, and a skewed
+//! rating distribution (most pictures unrated, a few highly rated — what a
+//! conference crowd actually produces).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A picture as the Wepic relations store it: `(id, name, owner, data)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Picture {
+    /// Globally unique id.
+    pub id: i64,
+    /// File name.
+    pub name: String,
+    /// Owner (attendee peer name).
+    pub owner: String,
+    /// Binary contents.
+    pub data: Vec<u8>,
+}
+
+/// A deterministic corpus generator.
+pub struct PictureCorpus {
+    rng: StdRng,
+    next_id: i64,
+}
+
+impl PictureCorpus {
+    /// New generator with a seed (same seed → same corpus).
+    pub fn new(seed: u64) -> PictureCorpus {
+        PictureCorpus {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 1,
+        }
+    }
+
+    /// Generates `n` pictures owned by `owner`, each with `payload_size`
+    /// bytes of content.
+    pub fn pictures(&mut self, owner: &str, n: usize, payload_size: usize) -> Vec<Picture> {
+        (0..n)
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                let mut data = vec![0u8; payload_size];
+                self.rng.fill(&mut data[..]);
+                Picture {
+                    id,
+                    name: format!("img_{id:05}.jpg"),
+                    owner: owner.to_string(),
+                    data,
+                }
+            })
+            .collect()
+    }
+
+    /// Draws a rating in 1..=5 with a skew toward the extremes (people rate
+    /// what they love or hate). Used by workload generators.
+    pub fn rating(&mut self) -> i64 {
+        // weights: 1:★ 2:★★ ... — 30% fives, 25% fours, 20% ones.
+        let roll: f64 = self.rng.gen();
+        match roll {
+            r if r < 0.30 => 5,
+            r if r < 0.55 => 4,
+            r if r < 0.70 => 3,
+            r if r < 0.80 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Draws `k` distinct indexes in `0..n` (for selecting pictures to rate
+    /// or transfer). `k` is clamped to `n`.
+    pub fn sample_indexes(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates.
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let mut a = PictureCorpus::new(42);
+        let mut b = PictureCorpus::new(42);
+        assert_eq!(a.pictures("x", 5, 16), b.pictures("x", 5, 16));
+    }
+
+    #[test]
+    fn ids_are_unique_across_owners() {
+        let mut c = PictureCorpus::new(1);
+        let p1 = c.pictures("a", 3, 4);
+        let p2 = c.pictures("b", 3, 4);
+        let mut ids: Vec<i64> = p1.iter().chain(p2.iter()).map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn ratings_in_range_and_skewed() {
+        let mut c = PictureCorpus::new(7);
+        let ratings: Vec<i64> = (0..1000).map(|_| c.rating()).collect();
+        assert!(ratings.iter().all(|r| (1..=5).contains(r)));
+        let fives = ratings.iter().filter(|&&r| r == 5).count();
+        let threes = ratings.iter().filter(|&&r| r == 3).count();
+        assert!(fives > threes, "distribution should favor fives");
+    }
+
+    #[test]
+    fn sample_indexes_distinct_and_bounded() {
+        let mut c = PictureCorpus::new(9);
+        let s = c.sample_indexes(10, 4);
+        assert_eq!(s.len(), 4);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert!(s.iter().all(|&i| i < 10));
+        assert_eq!(c.sample_indexes(3, 99).len(), 3, "k clamps to n");
+    }
+}

@@ -1,0 +1,38 @@
+//! # wepic — the conference picture-sharing application (paper §3–§4)
+//!
+//! Wepic is the demo application of the paper: *"a conference picture
+//! manager for the sigmod conference ... attendees share their pictures and
+//! rate, annotate and download the pictures of others"*. It is specified as
+//! a small set of WebdamLog rules over a handful of relations — this crate
+//! contains those rules verbatim (as parser text), the relation schema, the
+//! application-level operations the demo GUI exposed (upload, select,
+//! transfer, annotate, rank, customize rules), and the full three-peer
+//! conference setup of Figure 2 ([`Conference`]).
+//!
+//! Functions of the paper's §3, and where they live here:
+//!
+//! 1. *Upload a picture from a file or a URL* — [`ops::upload_picture`].
+//! 2. *View pictures provided by a particular attendee* —
+//!    [`ops::select_attendee`] + the `attendeePictures` delegation rule.
+//! 3. *Transfer pictures (email / Facebook / Wepic peer)* —
+//!    [`ops::select_picture`], [`ops::set_protocol`] + the
+//!    `$protocol@$attendee(...)` dispatch rule.
+//! 4. *Annotate with ratings, comments, name tags* — [`ops::rate`],
+//!    [`ops::comment`], [`ops::tag`].
+//! 5. *Select and rank photos based on annotations* — [`ops::top_rated`]
+//!    and the rating-filter rule customization ([`rules::rating_filter`]).
+//!
+//! The GUI of Figures 1 and 3 is replaced by this programmatic API plus the
+//! runnable examples at the workspace root (see `examples/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conference;
+pub mod corpus;
+pub mod ops;
+pub mod rules;
+pub mod schema;
+
+pub use conference::{Conference, ConferenceConfig, SettleReport};
+pub use corpus::{Picture, PictureCorpus};

@@ -1,0 +1,162 @@
+//! The Wepic rule set — the rules the paper prints, as surface syntax.
+//!
+//! Each function renders a rule template for a concrete peer and parses it
+//! through `wdl-parser`, exactly as the demo's rule-editing pane would
+//! (Figure 3). Applications install them with [`wdl_core::Peer::add_rule`].
+
+use wdl_core::{Result, WRule, WdlError};
+use wdl_parser::parse_rule;
+
+fn parse(text: &str) -> Result<WRule> {
+    parse_rule(text).map_err(|e| WdlError::UnsafeDistribution(format!("bad rule template: {e}")))
+}
+
+/// §3, the delegation-powered view:
+///
+/// ```text
+/// attendeePictures@Jules($id, $name, $owner, $data) :-
+///     selectedAttendee@Jules($attendee),
+///     pictures@$attendee($id, $name, $owner, $data)
+/// ```
+pub fn attendee_pictures(me: &str) -> Result<WRule> {
+    parse(&format!(
+        "attendeePictures@{me}($id, $name, $owner, $data) :- \
+         selectedAttendee@{me}($attendee), \
+         pictures@$attendee($id, $name, $owner, $data);"
+    ))
+}
+
+/// §3, the protocol-dispatch transfer rule:
+///
+/// ```text
+/// $protocol@$attendee($attendee, $name, $id, $owner) :-
+///     selectedAttendee@Jules($attendee),
+///     communicate@$attendee($protocol),
+///     selectedPictures@Jules($name, $id, $owner)
+/// ```
+pub fn transfer(me: &str) -> Result<WRule> {
+    parse(&format!(
+        "$protocol@$attendee($attendee, $name, $id, $owner) :- \
+         selectedAttendee@{me}($attendee), \
+         communicate@$attendee($protocol), \
+         selectedPictures@{me}($name, $id, $owner);"
+    ))
+}
+
+/// §4 "Interaction via Facebook" setup: every upload at an attendee is
+/// instantly published to the sigmod peer.
+pub fn publish_to_sigmod(me: &str, sigmod: &str) -> Result<WRule> {
+    parse(&format!(
+        "pictures@{sigmod}($id, $name, $owner, $data) :- \
+         pictures@{me}($id, $name, $owner, $data);"
+    ))
+}
+
+/// §4, the paper's Facebook publication rule (verbatim — note the
+/// delegation to `$owner` for the authorization check):
+///
+/// ```text
+/// pictures@SigmodFB($id, $name, $owner, $data) :-
+///     pictures@sigmod($id, $name, $owner, $data),
+///     authorized@$owner("Facebook", $id, $owner)
+/// ```
+pub fn publish_to_facebook(sigmod: &str, fb_group: &str) -> Result<WRule> {
+    parse(&format!(
+        "pictures@{fb_group}($id, $name, $owner, $data) :- \
+         pictures@{sigmod}($id, $name, $owner, $data), \
+         authorized@$owner(\"Facebook\", $id, $owner);"
+    ))
+}
+
+/// §4, the converse flow: the sigmod peer retrieves group pictures from
+/// Facebook and publishes them locally.
+pub fn import_from_facebook(sigmod: &str, fb_group: &str) -> Result<WRule> {
+    parse(&format!(
+        "pictures@{sigmod}($id, $name, $owner, $data) :- \
+         pictures@{fb_group}($id, $name, $owner, $data);"
+    ))
+}
+
+/// §4: "the sigmod peer will automatically retrieve the pictures *with
+/// their comments and tags* from the Facebook group" — the comments half.
+pub fn import_comments_from_facebook(sigmod: &str, fb_group: &str) -> Result<WRule> {
+    parse(&format!(
+        "comments@{sigmod}($picId, $author, $text) :- \
+         comments@{fb_group}($picId, $author, $text);"
+    ))
+}
+
+/// The tags half of the same retrieval.
+pub fn import_tags_from_facebook(sigmod: &str, fb_group: &str) -> Result<WRule> {
+    parse(&format!(
+        "tags@{sigmod}($picId, $person) :- tags@{fb_group}($picId, $person);"
+    ))
+}
+
+/// §4 "Customizing rules": the rating-5 filter the paper demonstrates —
+/// replaces [`attendee_pictures`] so the view keeps only pictures the owner
+/// rated `min_rating` or higher.
+pub fn rating_filter(me: &str, min_rating: i64) -> Result<WRule> {
+    parse(&format!(
+        "attendeePictures@{me}($id, $name, $owner, $data) :- \
+         selectedAttendee@{me}($attendee), \
+         pictures@$attendee($id, $name, $owner, $data), \
+         rate@$owner($id, $r), $r >= {min_rating};"
+    ))
+}
+
+/// Customization from §4's narration: only pictures in which a given
+/// attendee appears (joins the owner's `tag` relation).
+pub fn tagged_person_filter(me: &str, person: &str) -> Result<WRule> {
+    parse(&format!(
+        "attendeePictures@{me}($id, $name, $owner, $data) :- \
+         selectedAttendee@{me}($attendee), \
+         pictures@$attendee($id, $name, $owner, $data), \
+         tag@$owner($id, \"{person}\");"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_parse_and_are_safe() {
+        for rule in [
+            attendee_pictures("jules").unwrap(),
+            transfer("jules").unwrap(),
+            publish_to_sigmod("jules", "sigmod").unwrap(),
+            publish_to_facebook("sigmod", "SigmodFB").unwrap(),
+            import_from_facebook("sigmod", "SigmodFB").unwrap(),
+            rating_filter("jules", 5).unwrap(),
+            tagged_person_filter("jules", "Serge").unwrap(),
+        ] {
+            rule.check_safety().unwrap();
+        }
+    }
+
+    #[test]
+    fn attendee_pictures_matches_builtin_example() {
+        assert_eq!(
+            attendee_pictures("Jules").unwrap(),
+            WRule::example_attendee_pictures("Jules")
+        );
+    }
+
+    #[test]
+    fn rating_filter_embeds_threshold() {
+        let r = rating_filter("me", 5).unwrap();
+        assert!(r.to_string().contains(">= 5"));
+        assert_eq!(r.body.len(), 4);
+    }
+
+    #[test]
+    fn facebook_rule_delegates_authorization_to_owner() {
+        let r = publish_to_facebook("sigmod", "SigmodFB").unwrap();
+        // Second body atom's peer is the $owner variable.
+        let wdl_core::WBodyItem::Literal(l) = &r.body[1] else {
+            panic!("expected literal");
+        };
+        assert!(l.atom.peer.is_var());
+    }
+}

@@ -1,0 +1,72 @@
+//! The Wepic relation schema.
+//!
+//! | relation            | arity | kind | columns                              |
+//! |---------------------|-------|------|--------------------------------------|
+//! | `pictures`          | 4     | ext  | id, name, owner, data                |
+//! | `selectedAttendee`  | 1     | ext  | attendee                             |
+//! | `selectedPictures`  | 3     | ext  | name, id, owner                      |
+//! | `attendeePictures`  | 4     | int  | id, name, owner, data (the view)     |
+//! | `communicate`       | 1     | ext  | protocol                             |
+//! | `authorized`        | 3     | ext  | protocol, picId, owner               |
+//! | `rate`              | 2     | ext  | picId, rating                        |
+//! | `comment`           | 3     | ext  | picId, author, text                  |
+//! | `tag`               | 2     | ext  | picId, person                        |
+//! | `email`             | 4     | ext  | attendee, name, id, owner (dispatch) |
+//! | `wepicInbox`        | 4     | ext  | attendee, name, id, owner (dispatch) |
+//! | `attendees`         | 1     | ext  | attendee (sigmod registry)           |
+
+use wdl_core::RelationKind::{Extensional, Intensional};
+use wdl_core::{Peer, Result};
+
+/// Declares the attendee-side relations on `peer`.
+pub fn declare_attendee(peer: &mut Peer) -> Result<()> {
+    peer.declare("pictures", 4, Extensional)?;
+    peer.declare("selectedAttendee", 1, Extensional)?;
+    peer.declare("selectedPictures", 3, Extensional)?;
+    peer.declare("attendeePictures", 4, Intensional)?;
+    peer.declare("communicate", 1, Extensional)?;
+    peer.declare("authorized", 3, Extensional)?;
+    peer.declare("rate", 2, Extensional)?;
+    peer.declare("comment", 3, Extensional)?;
+    peer.declare("tag", 2, Extensional)?;
+    peer.declare("email", 4, Extensional)?;
+    peer.declare("wepicInbox", 4, Extensional)?;
+    Ok(())
+}
+
+/// Declares the sigmod-peer relations (registry + shared pictures).
+pub fn declare_sigmod(peer: &mut Peer) -> Result<()> {
+    peer.declare("pictures", 4, Extensional)?;
+    peer.declare("attendees", 1, Extensional)?;
+    peer.declare("comments", 3, Extensional)?;
+    peer.declare("tags", 2, Extensional)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_core::RelationKind;
+    use wdl_datalog::Symbol;
+
+    #[test]
+    fn attendee_schema_shape() {
+        let mut p = Peer::new("schema-test-attendee");
+        declare_attendee(&mut p).unwrap();
+        assert_eq!(p.schema().arity_of(Symbol::intern("pictures")), Some(4));
+        assert_eq!(
+            p.schema().kind_of(Symbol::intern("attendeePictures")),
+            Some(RelationKind::Intensional)
+        );
+        assert_eq!(p.schema().len(), 11);
+        // Idempotent.
+        declare_attendee(&mut p).unwrap();
+    }
+
+    #[test]
+    fn sigmod_schema_shape() {
+        let mut p = Peer::new("schema-test-sigmod");
+        declare_sigmod(&mut p).unwrap();
+        assert_eq!(p.schema().arity_of(Symbol::intern("attendees")), Some(1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulated email wrapper.
+//!
+//! The paper's transfer rule dispatches on a preferred protocol:
+//!
+//! ```text
+//! $protocol@$attendee($attendee, $name, $id, $owner) :-
+//!     selectedAttendee@Jules($attendee),
+//!     communicate@$attendee($protocol),
+//!     selectedPictures@Jules($name, $id, $owner)
+//! ```
+//!
+//! When `$protocol` binds to `"email"`, facts land in the attendee peer's
+//! `email` relation. This wrapper watches that relation and *delivers* each
+//! new fact as a message into the attendee's simulated mailbox — the
+//! substitution for the demo's SMTP wrapper.
+
+use crate::{SyncReport, Wrapper};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use wdl_core::{Peer, Result};
+use wdl_datalog::{Symbol, Tuple};
+
+/// One delivered email: the stringified columns of the `email` fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Email {
+    /// Mailbox owner (the peer the wrapper is attached to).
+    pub to: String,
+    /// Rendered fields of the fact that triggered delivery.
+    pub fields: Vec<String>,
+}
+
+/// The simulated mail service: per-user mailboxes.
+#[derive(Clone, Default)]
+pub struct EmailSim {
+    boxes: Arc<Mutex<HashMap<String, Vec<Email>>>>,
+}
+
+impl EmailSim {
+    /// Empty service.
+    pub fn new() -> EmailSim {
+        EmailSim::default()
+    }
+
+    /// Snapshot of a mailbox.
+    pub fn mailbox(&self, user: &str) -> Vec<Email> {
+        self.boxes.lock().get(user).cloned().unwrap_or_default()
+    }
+
+    /// Total delivered messages.
+    pub fn delivered_count(&self) -> usize {
+        self.boxes.lock().values().map(Vec::len).sum()
+    }
+
+    fn deliver(&self, email: Email) {
+        self.boxes
+            .lock()
+            .entry(email.to.clone())
+            .or_default()
+            .push(email);
+    }
+}
+
+/// Watches one peer's `email` relation and delivers new facts as messages.
+pub struct EmailWrapper {
+    sim: EmailSim,
+    relation: Symbol,
+    seen: HashSet<Tuple>,
+}
+
+impl EmailWrapper {
+    /// Attaches to the conventional `email` relation.
+    pub fn new(sim: EmailSim) -> EmailWrapper {
+        EmailWrapper::watching(sim, "email")
+    }
+
+    /// Attaches to a custom relation name.
+    pub fn watching(sim: EmailSim, relation: &str) -> EmailWrapper {
+        EmailWrapper {
+            sim,
+            relation: Symbol::intern(relation),
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl Wrapper for EmailWrapper {
+    fn system(&self) -> &str {
+        "email"
+    }
+
+    fn sync(&mut self, peer: &mut Peer) -> Result<SyncReport> {
+        let mut report = SyncReport::default();
+        for tuple in peer.relation_facts(self.relation) {
+            if !self.seen.insert(tuple.clone()) {
+                continue;
+            }
+            self.sim.deliver(Email {
+                to: peer.name().to_string(),
+                fields: tuple.iter().map(|v| v.to_string()).collect(),
+            });
+            report.exported += 1;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_datalog::Value;
+
+    #[test]
+    fn delivers_each_fact_once() {
+        let sim = EmailSim::new();
+        let mut w = EmailWrapper::new(sim.clone());
+        let mut peer = Peer::new("emilien-mail");
+        peer.insert_local(
+            "email",
+            vec![
+                Value::from("emilien"),
+                Value::from("sea.jpg"),
+                Value::from(1),
+            ],
+        )
+        .unwrap();
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r.exported, 1);
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r.exported, 0, "no duplicate delivery");
+        let inbox = sim.mailbox("emilien-mail");
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].fields[1], "\"sea.jpg\"");
+    }
+
+    #[test]
+    fn custom_relation_name() {
+        let sim = EmailSim::new();
+        let mut w = EmailWrapper::watching(sim.clone(), "outbox");
+        let mut peer = Peer::new("u");
+        peer.insert_local("outbox", vec![Value::from("x")]).unwrap();
+        peer.insert_local("email", vec![Value::from("ignored")])
+            .unwrap();
+        w.sync(&mut peer).unwrap();
+        assert_eq!(sim.delivered_count(), 1);
+    }
+
+    #[test]
+    fn empty_relation_no_deliveries() {
+        let sim = EmailSim::new();
+        let mut w = EmailWrapper::new(sim.clone());
+        let mut peer = Peer::new("quiet");
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r, SyncReport::default());
+        assert_eq!(sim.delivered_count(), 0);
+    }
+}

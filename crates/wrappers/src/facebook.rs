@@ -1,0 +1,412 @@
+//! Simulated Facebook service and its WebdamLog wrappers.
+
+use crate::{SyncReport, Wrapper};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use wdl_core::{Peer, RelationKind, Result};
+use wdl_datalog::{Tuple, Value};
+
+/// A picture post in a group feed.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Post {
+    /// Picture id.
+    pub id: i64,
+    /// File name.
+    pub name: String,
+    /// Owner (attendee) name.
+    pub owner: String,
+    /// Binary contents.
+    pub data: Vec<u8>,
+}
+
+/// A comment on a picture in a group.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Comment {
+    /// Picture id.
+    pub pic_id: i64,
+    /// Comment author.
+    pub author: String,
+    /// Text.
+    pub text: String,
+}
+
+#[derive(Default)]
+struct UserAccount {
+    friends: Vec<(i64, String)>,
+    pictures: Vec<(i64, String, String)>, // (picID, owner, URL)
+}
+
+#[derive(Default)]
+struct Group {
+    feed: Vec<Post>,
+    comments: Vec<Comment>,
+    tags: Vec<(i64, String)>, // (picID, person)
+}
+
+#[derive(Default)]
+struct SimState {
+    users: HashMap<String, UserAccount>,
+    groups: HashMap<String, Group>,
+}
+
+/// The simulated Facebook backend (shared by all wrappers pointing at it).
+///
+/// Deterministic stand-in for the Graph API: seed it, mutate it to simulate
+/// external user activity, inspect it in assertions.
+#[derive(Clone, Default)]
+pub struct FacebookSim {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl FacebookSim {
+    /// Empty service.
+    pub fn new() -> FacebookSim {
+        FacebookSim::default()
+    }
+
+    /// Adds a friend edge to `user`'s account.
+    pub fn add_friend(&self, user: &str, friend_id: i64, friend_name: &str) {
+        self.state
+            .lock()
+            .users
+            .entry(user.to_string())
+            .or_default()
+            .friends
+            .push((friend_id, friend_name.to_string()));
+    }
+
+    /// Uploads a picture to `user`'s account.
+    pub fn add_user_picture(&self, user: &str, pic_id: i64, owner: &str, url: &str) {
+        self.state
+            .lock()
+            .users
+            .entry(user.to_string())
+            .or_default()
+            .pictures
+            .push((pic_id, owner.to_string(), url.to_string()));
+    }
+
+    /// Posts a picture to a group feed (simulating an external member, or
+    /// used internally by the wrapper when a rule publishes).
+    pub fn post_to_group(&self, group: &str, post: Post) -> bool {
+        let mut st = self.state.lock();
+        let feed = &mut st.groups.entry(group.to_string()).or_default().feed;
+        if feed.contains(&post) {
+            return false;
+        }
+        feed.push(post);
+        true
+    }
+
+    /// Adds a comment in a group.
+    pub fn comment(&self, group: &str, comment: Comment) {
+        self.state
+            .lock()
+            .groups
+            .entry(group.to_string())
+            .or_default()
+            .comments
+            .push(comment);
+    }
+
+    /// Tags a person on a picture in a group.
+    pub fn tag(&self, group: &str, pic_id: i64, person: &str) {
+        self.state
+            .lock()
+            .groups
+            .entry(group.to_string())
+            .or_default()
+            .tags
+            .push((pic_id, person.to_string()));
+    }
+
+    /// Snapshot of a group feed.
+    pub fn group_feed(&self, group: &str) -> Vec<Post> {
+        self.state
+            .lock()
+            .groups
+            .get(group)
+            .map(|g| g.feed.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of pictures in a user account.
+    pub fn user_picture_count(&self, user: &str) -> usize {
+        self.state
+            .lock()
+            .users
+            .get(user)
+            .map(|u| u.pictures.len())
+            .unwrap_or(0)
+    }
+}
+
+/// Wrapper for a personal account: exports `friends@{user}FB` and
+/// `pictures@{user}FB` exactly as the paper describes for ÉmilienFB.
+pub struct UserWrapper {
+    sim: FacebookSim,
+    user: String,
+    imported: HashSet<Tuple>,
+}
+
+impl UserWrapper {
+    /// Creates the wrapper and its peer (named `{user}FB`).
+    pub fn new(sim: FacebookSim, user: &str) -> Result<(UserWrapper, Peer)> {
+        let peer_name = format!("{user}FB");
+        let mut peer = Peer::new(peer_name.as_str());
+        peer.declare("friends", 2, RelationKind::Extensional)?;
+        peer.declare("pictures", 3, RelationKind::Extensional)?;
+        Ok((
+            UserWrapper {
+                sim,
+                user: user.to_string(),
+                imported: HashSet::new(),
+            },
+            peer,
+        ))
+    }
+}
+
+impl Wrapper for UserWrapper {
+    fn system(&self) -> &str {
+        "facebook-user"
+    }
+
+    fn sync(&mut self, peer: &mut Peer) -> Result<SyncReport> {
+        let mut report = SyncReport::default();
+        let (friends, pictures) = {
+            let st = self.sim.state.lock();
+            match st.users.get(&self.user) {
+                Some(u) => (u.friends.clone(), u.pictures.clone()),
+                None => (Vec::new(), Vec::new()),
+            }
+        };
+        for (id, name) in friends {
+            let tuple: Tuple = vec![Value::from(id), Value::from(name)].into();
+            if self.imported.insert(tuple.clone()) {
+                peer.insert_local("friends", tuple.to_vec())?;
+                report.imported += 1;
+            }
+        }
+        for (id, owner, url) in pictures {
+            let tuple: Tuple = vec![Value::from(id), Value::from(owner), Value::from(url)].into();
+            if self.imported.insert(tuple.clone()) {
+                peer.insert_local("pictures", tuple.to_vec())?;
+                report.imported += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Wrapper for a Facebook group: exports `pictures@{group}FB` (the feed),
+/// `comments@{group}FB` and `tags@{group}FB`, and pushes rule-derived posts
+/// back to the simulated feed — the paper's SigmodFB peer.
+pub struct GroupWrapper {
+    sim: FacebookSim,
+    group: String,
+    imported: HashSet<Tuple>,
+    exported: HashSet<Tuple>,
+}
+
+impl GroupWrapper {
+    /// Creates the wrapper and its peer (named `{group}FB`).
+    pub fn new(sim: FacebookSim, group: &str) -> Result<(GroupWrapper, Peer)> {
+        let peer_name = format!("{group}FB");
+        let mut peer = Peer::new(peer_name.as_str());
+        peer.declare("pictures", 4, RelationKind::Extensional)?;
+        peer.declare("comments", 3, RelationKind::Extensional)?;
+        peer.declare("tags", 2, RelationKind::Extensional)?;
+        Ok((
+            GroupWrapper {
+                sim,
+                group: group.to_string(),
+                imported: HashSet::new(),
+                exported: HashSet::new(),
+            },
+            peer,
+        ))
+    }
+}
+
+impl Wrapper for GroupWrapper {
+    fn system(&self) -> &str {
+        "facebook-group"
+    }
+
+    fn sync(&mut self, peer: &mut Peer) -> Result<SyncReport> {
+        let mut report = SyncReport::default();
+
+        // Export: pictures that WebdamLog rules inserted into the peer's
+        // relation but that are not yet in the simulated feed.
+        for tuple in peer.relation_facts("pictures") {
+            if self.imported.contains(&tuple) || !self.exported.insert(tuple.clone()) {
+                continue;
+            }
+            let post = post_from_tuple(&tuple);
+            if self.sim.post_to_group(&self.group, post) {
+                report.exported += 1;
+            }
+        }
+
+        // Import: feed posts, comments and tags not yet mirrored as facts.
+        let (feed, comments, tags) = {
+            let st = self.sim.state.lock();
+            match st.groups.get(&self.group) {
+                Some(g) => (g.feed.clone(), g.comments.clone(), g.tags.clone()),
+                None => (Vec::new(), Vec::new(), Vec::new()),
+            }
+        };
+        for post in feed {
+            let tuple: Tuple = vec![
+                Value::from(post.id),
+                Value::from(post.name),
+                Value::from(post.owner),
+                Value::from(post.data),
+            ]
+            .into();
+            if self.exported.contains(&tuple) || !self.imported.insert(tuple.clone()) {
+                continue;
+            }
+            peer.insert_local("pictures", tuple.to_vec())?;
+            report.imported += 1;
+        }
+        for c in comments {
+            let tuple: Tuple = vec![
+                Value::from(c.pic_id),
+                Value::from(c.author),
+                Value::from(c.text),
+            ]
+            .into();
+            if self.imported.insert(tuple.clone()) {
+                peer.insert_local("comments", tuple.to_vec())?;
+                report.imported += 1;
+            }
+        }
+        for (pic_id, person) in tags {
+            let tuple: Tuple = vec![Value::from(pic_id), Value::from(person)].into();
+            if self.imported.insert(tuple.clone()) {
+                peer.insert_local("tags", tuple.to_vec())?;
+                report.imported += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn post_from_tuple(tuple: &Tuple) -> Post {
+    Post {
+        id: tuple[0].as_int().unwrap_or_default(),
+        name: tuple[1].as_str().unwrap_or_default().to_string(),
+        owner: tuple[2].as_str().unwrap_or_default().to_string(),
+        data: tuple[3].as_bytes().unwrap_or_default().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_wrapper_exports_paper_relations() {
+        let sim = FacebookSim::new();
+        sim.add_friend("Emilien", 7, "Jules");
+        sim.add_user_picture("Emilien", 1, "Emilien", "http://fb/p1.jpg");
+        let (mut w, mut peer) = UserWrapper::new(sim.clone(), "Emilien").unwrap();
+        assert_eq!(peer.name().as_str(), "EmilienFB");
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r.imported, 2);
+        assert_eq!(peer.relation_facts("friends").len(), 1);
+        assert_eq!(peer.relation_facts("pictures").len(), 1);
+        // Second sync is a no-op.
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r, SyncReport::default());
+    }
+
+    #[test]
+    fn group_wrapper_imports_feed() {
+        let sim = FacebookSim::new();
+        sim.post_to_group(
+            "Sigmod",
+            Post {
+                id: 5,
+                name: "keynote.jpg".into(),
+                owner: "Julia".into(),
+                data: vec![1, 2],
+            },
+        );
+        sim.comment(
+            "Sigmod",
+            Comment {
+                pic_id: 5,
+                author: "Serge".into(),
+                text: "great talk".into(),
+            },
+        );
+        sim.tag("Sigmod", 5, "Gerome");
+        let (mut w, mut peer) = GroupWrapper::new(sim, "Sigmod").unwrap();
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r.imported, 3);
+        assert_eq!(peer.relation_facts("pictures").len(), 1);
+        assert_eq!(peer.relation_facts("comments").len(), 1);
+        assert_eq!(peer.relation_facts("tags").len(), 1);
+    }
+
+    #[test]
+    fn group_wrapper_exports_rule_derived_posts() {
+        let sim = FacebookSim::new();
+        let (mut w, mut peer) = GroupWrapper::new(sim.clone(), "Sigmod").unwrap();
+        // Simulate a fact derived by the sigmod peer's publication rule
+        // arriving at the wrapper peer.
+        peer.insert_local(
+            "pictures",
+            vec![
+                Value::from(9),
+                Value::from("sea.jpg"),
+                Value::from("Emilien"),
+                Value::bytes(&[3, 4]),
+            ],
+        )
+        .unwrap();
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r.exported, 1);
+        let feed = sim.group_feed("Sigmod");
+        assert_eq!(feed.len(), 1);
+        assert_eq!(feed[0].owner, "Emilien");
+        // No ping-pong: the exported post is not re-imported.
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r, SyncReport::default());
+        assert_eq!(peer.relation_facts("pictures").len(), 1);
+    }
+
+    #[test]
+    fn external_and_rule_posts_coexist() {
+        let sim = FacebookSim::new();
+        let (mut w, mut peer) = GroupWrapper::new(sim.clone(), "G").unwrap();
+        peer.insert_local(
+            "pictures",
+            vec![
+                Value::from(1),
+                Value::from("ours.jpg"),
+                Value::from("us"),
+                Value::bytes(&[1]),
+            ],
+        )
+        .unwrap();
+        w.sync(&mut peer).unwrap();
+        sim.post_to_group(
+            "G",
+            Post {
+                id: 2,
+                name: "theirs.jpg".into(),
+                owner: "them".into(),
+                data: vec![2],
+            },
+        );
+        let r = w.sync(&mut peer).unwrap();
+        assert_eq!(r.imported, 1);
+        assert_eq!(peer.relation_facts("pictures").len(), 2);
+        assert_eq!(sim.group_feed("G").len(), 2);
+    }
+}

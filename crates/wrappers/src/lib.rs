@@ -1,0 +1,55 @@
+//! # wdl-wrappers — wrappers to external Web systems
+//!
+//! The paper (§2 "Wrappers"): *"A wrapper to some existing system X provides
+//! software that exports to WebdamLog one or more relations corresponding to
+//! the data in X, as well as rules to access/update this data."* The demo
+//! used two wrappers, one for Facebook and one for email.
+//!
+//! **Substitution** (documented in DESIGN.md §4): this environment has no
+//! live Facebook or SMTP, so each wrapper fronts a deterministic in-process
+//! simulator with the same relational interface:
+//!
+//! * [`facebook`] — a [`facebook::FacebookSim`] service with user accounts
+//!   (friends, pictures) and groups (a feed with comments and tags). Wrapper
+//!   peers export exactly the relations the paper names:
+//!   `friends@ÉmilienFB($userID, $friendName)`,
+//!   `pictures@ÉmilienFB($picID, $owner, $URL)`, and the group peer's
+//!   `pictures@SigmodFB($id, $name, $owner, $data)`. Facts a WebdamLog rule
+//!   derives *into* the group relation are pushed to the simulated feed;
+//!   posts appearing in the feed (simulated external users) are imported
+//!   back as facts.
+//! * [`email`] — a mailbox service: facts landing in a peer's `email`
+//!   relation (the target of the paper's `$protocol@$attendee(...)` dispatch
+//!   rule) are delivered as messages into per-user mailboxes.
+//!
+//! WebdamLog only ever sees relations, so rules written against these
+//! wrappers are byte-for-byte the rules the paper shows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod email;
+pub mod facebook;
+
+use wdl_core::{Peer, Result};
+
+/// Outcome of one wrapper synchronization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Facts imported from the external system into the peer.
+    pub imported: usize,
+    /// Facts exported from the peer to the external system.
+    pub exported: usize,
+}
+
+/// A wrapper keeps one peer's relations in sync with an external system.
+///
+/// Call [`Wrapper::sync`] between stages (the demo ticked its wrappers on a
+/// timer; our runtimes call it explicitly for determinism).
+pub trait Wrapper {
+    /// Name of the wrapped system, for logs.
+    fn system(&self) -> &str;
+
+    /// Two-way synchronization between `peer` and the external system.
+    fn sync(&mut self, peer: &mut Peer) -> Result<SyncReport>;
+}

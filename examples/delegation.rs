@@ -1,0 +1,135 @@
+//! Delegation under the microscope: installation, cascading, revocation,
+//! and the approval queue — §2's novel feature, step by step.
+//!
+//! ```sh
+//! cargo run --example delegation
+//! ```
+
+use webdamlog::core::acl::UntrustedPolicy;
+use webdamlog::core::runtime::LocalRuntime;
+use webdamlog::core::{Peer, RelationKind};
+use webdamlog::datalog::Value;
+use webdamlog::parser::parse_rule;
+
+fn open_peer(name: &str) -> Peer {
+    let mut p = Peer::new(name);
+    p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+    p
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Cascading delegation: the paper's transfer rule bounces through
+    //    THREE peers (jules -> emilien -> jules -> emilien).
+    // ------------------------------------------------------------------
+    println!("1. cascading delegation (the transfer rule)");
+    let mut rt = LocalRuntime::new();
+    rt.add_peer(open_peer("jules"));
+    rt.add_peer(open_peer("emilien"));
+
+    let jules = rt.peer_mut("jules").unwrap();
+    jules
+        .add_rule(
+            parse_rule(
+                "$protocol@$attendee($name) :- \
+                 selectedAttendee@jules($attendee), \
+                 communicate@$attendee($protocol), \
+                 selectedPictures@jules($name);",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    jules
+        .insert_local("selectedAttendee", vec![Value::from("emilien")])
+        .unwrap();
+    jules
+        .insert_local("selectedPictures", vec![Value::from("sea.jpg")])
+        .unwrap();
+
+    let emilien = rt.peer_mut("emilien").unwrap();
+    emilien
+        .insert_local("communicate", vec![Value::from("inbox")])
+        .unwrap();
+    emilien
+        .declare("inbox", 1, RelationKind::Intensional)
+        .unwrap();
+
+    rt.run_to_quiescence(32).unwrap();
+
+    println!("  rules running at emilien on jules' behalf:");
+    for d in rt.peer("emilien").unwrap().installed_delegations() {
+        println!("    {}", d.rule);
+    }
+    println!("  rules running at jules on emilien's behalf (the bounce):");
+    for d in rt.peer("jules").unwrap().installed_delegations() {
+        println!("    {}", d.rule);
+    }
+    let inbox = rt.peer("emilien").unwrap().relation_facts("inbox");
+    println!("  inbox@emilien = {inbox:?}");
+    assert_eq!(inbox.len(), 1);
+
+    // ------------------------------------------------------------------
+    // 2. Revocation: deselect -> the whole delegation chain unwinds.
+    // ------------------------------------------------------------------
+    println!("\n2. revocation when support disappears");
+    rt.peer_mut("jules")
+        .unwrap()
+        .delete_local("selectedAttendee", vec![Value::from("emilien")])
+        .unwrap();
+    rt.run_to_quiescence(32).unwrap();
+    println!(
+        "  delegations at emilien: {}, at jules: {}, inbox@emilien: {:?}",
+        rt.peer("emilien").unwrap().installed_delegations().len(),
+        rt.peer("jules").unwrap().installed_delegations().len(),
+        rt.peer("emilien").unwrap().relation_facts("inbox"),
+    );
+    assert!(rt
+        .peer("emilien")
+        .unwrap()
+        .installed_delegations()
+        .is_empty());
+    assert!(rt
+        .peer("emilien")
+        .unwrap()
+        .relation_facts("inbox")
+        .is_empty());
+
+    // ------------------------------------------------------------------
+    // 3. The approval queue (control of delegation, §3).
+    // ------------------------------------------------------------------
+    println!("\n3. control of delegation: untrusted peers queue");
+    let mut rt = LocalRuntime::new();
+    rt.add_peer(open_peer("julia")); // julia sends
+    rt.add_peer(Peer::new("jules")); // jules has the default (queue) policy
+
+    let julia = rt.peer_mut("julia").unwrap();
+    julia.declare("view", 1, RelationKind::Intensional).unwrap();
+    julia
+        .add_rule(parse_rule("view@julia($x) :- pictures@jules($x);").unwrap())
+        .unwrap();
+
+    let jules = rt.peer_mut("jules").unwrap();
+    jules
+        .insert_local("pictures", vec![Value::from(7)])
+        .unwrap();
+
+    rt.run_to_quiescence(32).unwrap();
+    let jules = rt.peer("jules").unwrap();
+    println!("  pending at jules: {}", jules.pending_delegations().len());
+    assert_eq!(jules.pending_delegations().len(), 1);
+    assert!(rt.peer("julia").unwrap().relation_facts("view").is_empty());
+
+    let id = rt.peer("jules").unwrap().pending_delegations()[0]
+        .delegation
+        .id;
+    rt.peer_mut("jules")
+        .unwrap()
+        .approve_delegation(id)
+        .unwrap();
+    rt.run_to_quiescence(32).unwrap();
+    let view = rt.peer("julia").unwrap().relation_facts("view");
+    println!("  after approval, view@julia = {view:?}");
+    assert_eq!(view.len(), 1);
+
+    println!("\nok.");
+}

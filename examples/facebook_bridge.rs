@@ -1,0 +1,84 @@
+//! The Facebook wrapper in both directions (§4, "Interaction via
+//! Facebook"): WebdamLog rules publish into the simulated group, and
+//! external group activity flows back as facts — including for users with
+//! no Facebook account, exactly the point the paper makes.
+//!
+//! ```sh
+//! cargo run --example facebook_bridge
+//! ```
+
+use webdamlog::wepic::{ops, Conference, ConferenceConfig, Picture};
+use webdamlog::wrappers::facebook::{Comment, Post, UserWrapper};
+use webdamlog::wrappers::Wrapper;
+
+fn main() {
+    let mut cfg = ConferenceConfig::demo();
+    cfg.open_trust = true;
+    let mut conf = Conference::new(&cfg).unwrap();
+
+    // --- outbound: Émilien's upload, authorized, reaches the group feed.
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::upload_picture(
+        emilien,
+        &Picture {
+            id: 1,
+            name: "sea.jpg".into(),
+            owner: "Emilien".into(),
+            data: vec![0x64, 0, 0],
+        },
+    )
+    .unwrap();
+    ops::authorize(emilien, "Facebook", 1, "Emilien").unwrap();
+    conf.settle(64).unwrap();
+    println!("group feed after Émilien's authorized upload:");
+    for p in conf.fb.group_feed("Sigmod") {
+        println!("  {} {:?} by {}", p.id, p.name, p.owner);
+    }
+    assert_eq!(conf.fb.group_feed("Sigmod").len(), 1);
+
+    // --- inbound: an external Facebook member posts; Jules — who in this
+    // story has NO Facebook account — still sees it through pictures@sigmod.
+    conf.fb.post_to_group(
+        "Sigmod",
+        Post {
+            id: 200,
+            name: "banquet.jpg".into(),
+            owner: "externalMember".into(),
+            data: vec![7; 16],
+        },
+    );
+    conf.fb.comment(
+        "Sigmod",
+        Comment {
+            pic_id: 200,
+            author: "externalMember".into(),
+            text: "great conference!".into(),
+        },
+    );
+    conf.settle(64).unwrap();
+    let sigmod_pics = conf.peer("sigmod").unwrap().relation_facts("pictures");
+    println!("\npictures@sigmod now holds {} facts:", sigmod_pics.len());
+    for f in conf.peer("sigmod").unwrap().facts_of("pictures") {
+        println!("  {f}");
+    }
+    assert!(sigmod_pics.len() >= 2);
+
+    // --- the personal-account wrapper of §2: friends@ÉmilienFB,
+    // pictures@ÉmilienFB.
+    conf.fb.add_friend("Emilien", 42, "Jules");
+    conf.fb
+        .add_user_picture("Emilien", 900, "Emilien", "http://fb.example/900.jpg");
+    let (mut user_wrapper, mut emilien_fb) = UserWrapper::new(conf.fb.clone(), "Emilien").unwrap();
+    user_wrapper.sync(&mut emilien_fb).unwrap();
+    println!("\n{} exports:", emilien_fb.name());
+    for f in emilien_fb.facts_of("friends") {
+        println!("  {f}");
+    }
+    for f in emilien_fb.facts_of("pictures") {
+        println!("  {f}");
+    }
+    assert_eq!(emilien_fb.relation_facts("friends").len(), 1);
+    assert_eq!(emilien_fb.relation_facts("pictures").len(), 1);
+
+    println!("\nok.");
+}

@@ -1,0 +1,160 @@
+//! The full demonstration of the paper's §4, scripted: the Figure 2
+//! topology (Émilien, Jules, the sigmod cloud peer, the SigmodFB group),
+//! every scenario in order.
+//!
+//! ```sh
+//! cargo run --example wepic_demo
+//! ```
+
+use webdamlog::wepic::{ops, rules, Conference, ConferenceConfig, Picture};
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    banner("Setup (Figure 2)");
+    let mut conf = Conference::new(&ConferenceConfig::demo()).expect("conference builds");
+    println!(
+        "peers: {:?}, facebook group peer: {}",
+        conf.runtime.peer_names(),
+        conf.fb_peer_name()
+    );
+
+    // Both attendees install their photo collections locally.
+    for (owner, ids) in [("Emilien", [1, 2]), ("Jules", [3, 4])] {
+        for id in ids {
+            let p = conf.peer_mut(owner).unwrap();
+            ops::upload_picture(
+                p,
+                &Picture {
+                    id,
+                    name: format!("{owner}_{id}.jpg"),
+                    owner: owner.into(),
+                    data: vec![id as u8; 64],
+                },
+            )
+            .unwrap();
+        }
+    }
+    conf.settle(64).unwrap();
+    println!(
+        "pictures@sigmod after uploads: {} facts",
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("pictures")
+            .len()
+    );
+
+    banner("Interaction via Facebook");
+    // Émilien authorizes Facebook publication for picture 1 only.
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::authorize(emilien, "Facebook", 1, "Emilien").unwrap();
+    conf.settle(64).unwrap();
+    let feed = conf.fb.group_feed("Sigmod");
+    println!("SigmodFB group feed: {} post(s)", feed.len());
+    for p in &feed {
+        println!("  post {} {:?} by {}", p.id, p.name, p.owner);
+    }
+    assert_eq!(feed.len(), 1);
+
+    banner("Customizing rules");
+    // Jules looks at Émilien's pictures, then customizes the view rule to
+    // rating-5 pictures only.
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::rate(emilien, 1, 5).unwrap();
+    ops::rate(emilien, 2, 3).unwrap();
+    conf.peer_mut("Emilien")
+        .unwrap()
+        .acl_mut()
+        .set_untrusted_policy(webdamlog::core::acl::UntrustedPolicy::Accept);
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::select_attendee(jules, "Emilien").unwrap();
+    conf.settle(64).unwrap();
+    println!(
+        "attendeePictures@Jules (default rule): {} pictures",
+        conf.peer("Jules")
+            .unwrap()
+            .relation_facts("attendeePictures")
+            .len()
+    );
+
+    let jules = conf.peer_mut("Jules").unwrap();
+    let view_rule = jules.rules()[0].id;
+    jules
+        .replace_rule(view_rule, rules::rating_filter("Jules", 5).unwrap())
+        .unwrap();
+    conf.settle(64).unwrap();
+    let filtered = conf
+        .peer("Jules")
+        .unwrap()
+        .relation_facts("attendeePictures");
+    println!(
+        "attendeePictures@Jules (rating >= 5): {} picture(s)",
+        filtered.len()
+    );
+    assert_eq!(filtered.len(), 1);
+
+    banner("Illustration of the control of delegation");
+    // Julia (an untrusted peer) joins and tries to install a rule at Jules.
+    conf.add_attendee("Julia", false).unwrap();
+    let julia = conf.peer_mut("Julia").unwrap();
+    ops::select_attendee(julia, "Jules").unwrap();
+    conf.settle(64).unwrap();
+    let jules = conf.peer("Jules").unwrap();
+    println!(
+        "pending delegations at Jules: {}",
+        jules.pending_delegations().len()
+    );
+    for p in jules.pending_delegations() {
+        println!("  from {}: {}", p.delegation.origin, p.delegation.rule);
+    }
+    assert!(!jules.pending_delegations().is_empty());
+
+    // Jules approves; his running program changes.
+    let ids: Vec<_> = jules
+        .pending_delegations()
+        .iter()
+        .map(|p| p.delegation.id)
+        .collect();
+    let jules = conf.peer_mut("Jules").unwrap();
+    for id in ids {
+        jules.approve_delegation(id).unwrap();
+    }
+    conf.settle(64).unwrap();
+    println!(
+        "after approval, Julia's view has {} picture(s)",
+        conf.peer("Julia")
+            .unwrap()
+            .relation_facts("attendeePictures")
+            .len()
+    );
+
+    banner("Interaction via the Web (audience peers)");
+    conf.add_attendee("audience1", true).unwrap();
+    let p = conf.peer_mut("audience1").unwrap();
+    ops::upload_picture(
+        p,
+        &Picture {
+            id: 99,
+            name: "selfie.jpg".into(),
+            owner: "audience1".into(),
+            data: vec![9; 32],
+        },
+    )
+    .unwrap();
+    conf.settle(64).unwrap();
+    println!(
+        "sigmod registry now lists {} attendees; pictures@sigmod holds {} facts",
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("attendees")
+            .len(),
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("pictures")
+            .len()
+    );
+
+    println!("\ndemo complete.");
+}

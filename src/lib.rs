@@ -1,0 +1,64 @@
+//! # WebdamLog in Rust
+//!
+//! A from-scratch reproduction of the system demonstrated in *Rule-Based
+//! Application Development using Webdamlog* (Abiteboul, Antoine, Miklau,
+//! Stoyanovich, Testard — SIGMOD 2013): a datalog-style language for
+//! managing distributed data on the Web in a peer-to-peer manner, in which
+//! peers exchange **both facts and rules** (delegation).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`datalog`] — the datalog kernel (the Bud-substitute substrate):
+//!   indexed relations, naive & seminaive fixpoint, stratified negation.
+//! * [`core`] — the WebdamLog language and peer engine: peer-qualified
+//!   atoms with relation/peer variables, the three-step stage loop,
+//!   delegation with per-stage revocation, and the demo's
+//!   delegation-approval access control.
+//! * [`parser`] — the surface syntax (`m@p(...)`, `$vars`, `:-`).
+//! * [`net`] — transports: deterministic in-memory network and framed TCP.
+//! * [`wrappers`] — simulated Facebook and email wrappers.
+//! * [`wepic`] — the Wepic conference picture-sharing application.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use webdamlog::core::{Peer, RelationKind, runtime::LocalRuntime};
+//! use webdamlog::core::acl::UntrustedPolicy;
+//! use webdamlog::parser::parse_rule;
+//! use webdamlog::datalog::Value;
+//!
+//! let mut rt = LocalRuntime::new();
+//! for name in ["jules", "emilien"] {
+//!     let mut p = Peer::new(name);
+//!     p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+//!     rt.add_peer(p);
+//! }
+//!
+//! // The paper's delegation rule, straight from its surface syntax.
+//! let jules = rt.peer_mut("jules").unwrap();
+//! jules.declare("attendeePictures", 4, RelationKind::Intensional).unwrap();
+//! jules.add_rule(parse_rule(
+//!     "attendeePictures@jules($id, $name, $owner, $data) :- \
+//!      selectedAttendee@jules($attendee), \
+//!      pictures@$attendee($id, $name, $owner, $data);",
+//! ).unwrap()).unwrap();
+//! jules.insert_local("selectedAttendee", vec![Value::from("emilien")]).unwrap();
+//!
+//! let emilien = rt.peer_mut("emilien").unwrap();
+//! emilien.insert_local("pictures", vec![
+//!     Value::from(32), Value::from("sea.jpg"),
+//!     Value::from("emilien"), Value::bytes(&[1, 0, 0]),
+//! ]).unwrap();
+//!
+//! rt.run_to_quiescence(32).unwrap();
+//! assert_eq!(rt.peer("jules").unwrap().relation_facts("attendeePictures").len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use wdl_core as core;
+pub use wdl_datalog as datalog;
+pub use wdl_net as net;
+pub use wdl_parser as parser;
+pub use wdl_wrappers as wrappers;
+pub use wepic;

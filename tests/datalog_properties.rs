@@ -1,0 +1,189 @@
+//! Property-based tests on the datalog kernel's core invariants.
+
+use proptest::prelude::*;
+use webdamlog::datalog::{
+    Atom, BodyItem, Database, EvalStrategy, Fact, Program, Relation, Rule, Subst, Symbol, Term,
+    Value,
+};
+
+/// Random edge lists for transitive-closure programs.
+fn edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..12, 0i64..12), 0..60)
+}
+
+fn tc_program() -> Program {
+    let atom = |p: &str, vs: &[&str]| Atom::new(p, vs.iter().map(|v| Term::var(*v)).collect());
+    Program::new(vec![
+        Rule::new(
+            atom("path", &["x", "y"]),
+            vec![atom("edge", &["x", "y"]).into()],
+        ),
+        Rule::new(
+            atom("path", &["x", "z"]),
+            vec![
+                atom("edge", &["x", "y"]).into(),
+                atom("path", &["y", "z"]).into(),
+            ],
+        ),
+    ])
+    .unwrap()
+}
+
+fn db_from_edges(edges: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for &(a, b) in edges {
+        db.insert(Fact::new("edge", vec![Value::from(a), Value::from(b)]))
+            .unwrap();
+    }
+    db
+}
+
+/// Reference transitive closure, independently computed.
+fn reference_tc(edges: &[(i64, i64)]) -> std::collections::BTreeSet<(i64, i64)> {
+    let mut closure: std::collections::BTreeSet<(i64, i64)> = edges.iter().copied().collect();
+    loop {
+        let mut added = false;
+        let snapshot: Vec<(i64, i64)> = closure.iter().copied().collect();
+        for &(a, b) in edges {
+            for &(c, d) in &snapshot {
+                if b == c && closure.insert((a, d)) {
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            return closure;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seminaive and naive agree with each other AND with an independent
+    /// reference implementation on random graphs.
+    #[test]
+    fn seminaive_equals_naive_equals_reference(edges in edges()) {
+        let program = tc_program();
+        let db = db_from_edges(&edges);
+        let (semi, _) = program.eval_with(&db, EvalStrategy::Seminaive).unwrap();
+        let (naive, _) = program.eval_with(&db, EvalStrategy::Naive).unwrap();
+        let reference = reference_tc(&edges);
+
+        let collect = |d: &Database| -> std::collections::BTreeSet<(i64, i64)> {
+            d.relation("path")
+                .map(|r| {
+                    r.iter()
+                        .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        prop_assert_eq!(collect(&semi), reference.clone());
+        prop_assert_eq!(collect(&naive), reference);
+    }
+
+    /// Evaluation is monotone in the input: adding facts never removes
+    /// derived facts.
+    #[test]
+    fn evaluation_is_monotone(base in edges(), extra in edges()) {
+        let program = tc_program();
+        let small = program.eval(&db_from_edges(&base)).unwrap();
+        let mut all = base.clone();
+        all.extend(extra.iter().copied());
+        let big = program.eval(&db_from_edges(&all)).unwrap();
+        if let Some(small_path) = small.relation("path") {
+            let big_path = big.relation("path").unwrap();
+            for t in small_path.iter() {
+                prop_assert!(big_path.contains(t));
+            }
+        }
+    }
+
+    /// Evaluation is idempotent: re-running on the saturated database adds
+    /// nothing.
+    #[test]
+    fn evaluation_is_idempotent(edges in edges()) {
+        let program = tc_program();
+        let once = program.eval(&db_from_edges(&edges)).unwrap();
+        let twice = program.eval(&once).unwrap();
+        prop_assert_eq!(once.fact_count(), twice.fact_count());
+    }
+
+    /// Relation storage behaves like a set under random insert/remove
+    /// sequences, and indexed lookups always agree with full scans.
+    #[test]
+    fn storage_matches_set_model(
+        ops in prop::collection::vec((prop::bool::ANY, 0i64..20, 0i64..20), 0..200),
+    ) {
+        let mut rel = Relation::new(2);
+        let mut model: std::collections::HashSet<(i64, i64)> = Default::default();
+        for (insert, a, b) in ops {
+            let tuple: Box<[Value]> = vec![Value::from(a), Value::from(b)].into();
+            if insert {
+                prop_assert_eq!(rel.insert(tuple).unwrap(), model.insert((a, b)));
+            } else {
+                prop_assert_eq!(rel.remove(&tuple), model.remove(&(a, b)));
+            }
+        }
+        prop_assert_eq!(rel.len(), model.len());
+        // Indexed lookup on column 0 agrees with the model.
+        for probe in 0..20i64 {
+            let hits = rel.matches(0b01, &[Value::from(probe)]);
+            let expected = model.iter().filter(|(a, _)| *a == probe).count();
+            prop_assert_eq!(hits.len(), expected);
+        }
+    }
+
+    /// Substitution unification is consistent: binding then reading back
+    /// returns the bound value; conflicting unification fails.
+    #[test]
+    fn subst_unification(pairs in prop::collection::vec(("[a-e]", 0i64..10), 0..20)) {
+        let mut s = Subst::new();
+        let mut model: std::collections::HashMap<String, i64> = Default::default();
+        for (name, val) in pairs {
+            let sym = Symbol::intern(&name);
+            let expected = match model.get(&name) {
+                Some(&existing) => existing == val,
+                None => { model.insert(name.clone(), val); true }
+            };
+            prop_assert_eq!(s.unify_var(sym, &Value::from(val)), expected);
+        }
+        for (name, val) in &model {
+            prop_assert_eq!(s.get(Symbol::intern(name)), Some(&Value::from(*val)));
+        }
+    }
+
+    /// Negation: `unreach = node − reach`, on random graphs.
+    #[test]
+    fn stratified_negation_is_complement(
+        edges in edges(),
+        src in 0i64..12,
+    ) {
+        let atom = |p: &str, vs: &[&str]| Atom::new(p, vs.iter().map(|v| Term::var(*v)).collect());
+        let program = Program::new(vec![
+            Rule::new(atom("reach", &["x"]), vec![atom("src", &["x"]).into()]),
+            Rule::new(
+                atom("reach", &["y"]),
+                vec![atom("reach", &["x"]).into(), atom("edge", &["x", "y"]).into()],
+            ),
+            Rule::new(
+                atom("unreach", &["x"]),
+                vec![
+                    atom("node", &["x"]).into(),
+                    BodyItem::not_atom(atom("reach", &["x"])),
+                ],
+            ),
+        ])
+        .unwrap();
+        let mut db = db_from_edges(&edges);
+        for n in 0..12 {
+            db.insert(Fact::new("node", vec![Value::from(n)])).unwrap();
+        }
+        db.insert(Fact::new("src", vec![Value::from(src)])).unwrap();
+        let out = program.eval(&db).unwrap();
+        let reach = out.relation("reach").map(|r| r.len()).unwrap_or(0);
+        let unreach = out.relation("unreach").map(|r| r.len()).unwrap_or(0);
+        prop_assert_eq!(reach + unreach, 12);
+    }
+}

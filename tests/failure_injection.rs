@@ -1,0 +1,122 @@
+//! Failure injection: the engine must stay consistent when the network
+//! drops messages. The in-memory transport's deterministic fault plan
+//! (`drop_every_nth`) models lossy links.
+//!
+//! Known limitation, documented in DESIGN.md: like the demo system, the
+//! engine does not retransmit — a dropped install/fact is lost until the
+//! sender's diff changes again. These tests pin down what IS guaranteed:
+//! no crashes, no phantom facts, and delivered state is a subset of the
+//! lossless outcome.
+
+use webdamlog::core::acl::UntrustedPolicy;
+use webdamlog::core::{Peer, RelationKind};
+use webdamlog::datalog::Value;
+use webdamlog::net::memory::{FaultPlan, InMemoryNetwork};
+use webdamlog::net::node::PeerNode;
+use webdamlog::parser::parse_rule;
+
+fn open_peer(name: &str) -> Peer {
+    let mut p = Peer::new(name);
+    p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+    p
+}
+
+fn build_pair(
+    net: &InMemoryNetwork,
+    tag: &str,
+    pics: usize,
+) -> (
+    PeerNode<impl webdamlog::net::Transport>,
+    PeerNode<impl webdamlog::net::Transport>,
+) {
+    let viewer_name = format!("fiViewer{tag}");
+    let source_name = format!("fiSource{tag}");
+    let mut viewer = open_peer(&viewer_name);
+    viewer
+        .declare("view", 1, RelationKind::Intensional)
+        .unwrap();
+    viewer
+        .add_rule(
+            parse_rule(&format!(
+                "view@{viewer_name}($id) :- pictures@{source_name}($id);"
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    let mut source = open_peer(&source_name);
+    for i in 0..pics {
+        source
+            .insert_local("pictures", vec![Value::from(i as i64)])
+            .unwrap();
+    }
+    (
+        PeerNode::new(viewer, net.endpoint(viewer_name.as_str())),
+        PeerNode::new(source, net.endpoint(source_name.as_str())),
+    )
+}
+
+/// Lossless reference: everything arrives.
+#[test]
+fn lossless_reference_delivers_all() {
+    let net = InMemoryNetwork::new();
+    let (mut viewer, mut source) = build_pair(&net, "ref", 10);
+    for _ in 0..10 {
+        viewer.step().unwrap();
+        source.step().unwrap();
+    }
+    assert_eq!(viewer.peer().relation_facts("view").len(), 10);
+}
+
+/// With every 2nd message dropped, the system must not crash or invent
+/// facts; whatever arrives is a subset of the reference.
+#[test]
+fn lossy_network_never_invents_facts() {
+    let net = InMemoryNetwork::new();
+    net.set_faults(FaultPlan {
+        drop_every_nth: Some(2),
+    });
+    let (mut viewer, mut source) = build_pair(&net, "lossy", 10);
+    for _ in 0..20 {
+        viewer.step().unwrap();
+        source.step().unwrap();
+    }
+    let got = viewer.peer().relation_facts("view");
+    assert!(got.len() <= 10, "no phantom facts");
+    for t in &got {
+        let id = t[0].as_int().unwrap();
+        assert!((0..10).contains(&id), "every delivered fact is genuine");
+    }
+    let (sent, delivered, dropped) = net.counters();
+    assert_eq!(sent, delivered + dropped);
+    assert!(dropped > 0, "the fault plan actually fired");
+}
+
+/// Fresh data after the faults are lifted still flows: the diff protocol
+/// resumes from the sender's current state.
+#[test]
+fn recovery_after_faults_lift() {
+    let net = InMemoryNetwork::new();
+    net.set_faults(FaultPlan {
+        drop_every_nth: Some(2),
+    });
+    let (mut viewer, mut source) = build_pair(&net, "rec", 4);
+    for _ in 0..8 {
+        viewer.step().unwrap();
+        source.step().unwrap();
+    }
+    // Lift the faults; insert fresh facts — their diffs deliver.
+    net.set_faults(FaultPlan::default());
+    for i in 100..105 {
+        source
+            .peer_mut()
+            .insert_local("pictures", vec![Value::from(i)])
+            .unwrap();
+    }
+    for _ in 0..10 {
+        viewer.step().unwrap();
+        source.step().unwrap();
+    }
+    let got = viewer.peer().relation_facts("view");
+    let fresh = got.iter().filter(|t| t[0].as_int().unwrap() >= 100).count();
+    assert_eq!(fresh, 5, "post-fault traffic is complete");
+}

@@ -1,0 +1,390 @@
+//! End-to-end integration tests mirroring every demonstration scenario of
+//! the paper's §4, across all workspace crates.
+
+use webdamlog::core::acl::UntrustedPolicy;
+use webdamlog::wepic::{ops, rules, Conference, ConferenceConfig, Picture, PictureCorpus};
+
+fn picture(id: i64, owner: &str) -> Picture {
+    Picture {
+        id,
+        name: format!("img{id}.jpg"),
+        owner: owner.into(),
+        data: vec![id as u8; 32],
+    }
+}
+
+/// §4 "Setup": three peers (Émilien, Jules, sigmod), photos stored locally,
+/// both subscribed to the sigmod registry.
+#[test]
+fn setup_matches_figure_2() {
+    let conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    let names = conf.runtime.peer_names();
+    let names: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    assert!(names.contains(&"Emilien"));
+    assert!(names.contains(&"Jules"));
+    assert!(names.contains(&"sigmod"));
+    assert!(names.contains(&"SigmodFB"));
+    assert_eq!(
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("attendees")
+            .len(),
+        2
+    );
+}
+
+/// §4 "Interaction via Facebook", full pipeline: upload at Émilien →
+/// pictures@sigmod → (authorization by delegation) → pictures@SigmodFB →
+/// the simulated group feed; and the converse import direction.
+#[test]
+fn facebook_interaction_both_directions() {
+    let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::upload_picture(emilien, &picture(1, "Emilien")).unwrap();
+    ops::upload_picture(emilien, &picture(2, "Emilien")).unwrap();
+    ops::authorize(emilien, "Facebook", 1, "Emilien").unwrap();
+    let r = conf.settle(64).unwrap();
+    assert!(r.quiescent);
+
+    // Both pictures published to sigmod, only the authorized one to FB.
+    assert_eq!(
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("pictures")
+            .len(),
+        2
+    );
+    assert_eq!(conf.fb.group_feed("Sigmod").len(), 1);
+
+    // External post flows back to sigmod — "with their comments and tags".
+    conf.fb.post_to_group(
+        "Sigmod",
+        webdamlog::wrappers::facebook::Post {
+            id: 500,
+            name: "ext.jpg".into(),
+            owner: "fbuser".into(),
+            data: vec![5],
+        },
+    );
+    conf.fb.comment(
+        "Sigmod",
+        webdamlog::wrappers::facebook::Comment {
+            pic_id: 500,
+            author: "fbuser".into(),
+            text: "from the banquet".into(),
+        },
+    );
+    conf.fb.tag("Sigmod", 500, "Serge");
+    let r = conf.settle(64).unwrap();
+    assert!(r.quiescent);
+    let sigmod = conf.peer("sigmod").unwrap();
+    assert_eq!(sigmod.relation_facts("pictures").len(), 3);
+    assert_eq!(sigmod.relation_facts("comments").len(), 1);
+    assert_eq!(sigmod.relation_facts("tags").len(), 1);
+}
+
+/// §3 functions 2 + 5: select attendees, view their pictures, rank by
+/// rating.
+#[test]
+fn view_and_rank_attendee_pictures() {
+    let mut cfg = ConferenceConfig::demo();
+    cfg.open_trust = true;
+    let mut conf = Conference::new(&cfg).unwrap();
+
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    for id in 1..=4 {
+        ops::upload_picture(emilien, &picture(id, "Emilien")).unwrap();
+    }
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::select_attendee(jules, "Emilien").unwrap();
+    ops::rate(jules, 2, 5).unwrap();
+    ops::rate(jules, 3, 4).unwrap();
+    conf.settle(64).unwrap();
+
+    let jules = conf.peer("Jules").unwrap();
+    assert_eq!(jules.relation_facts("attendeePictures").len(), 4);
+    let ranked = ops::top_rated(jules, 3);
+    assert_eq!(ranked.len(), 3);
+    assert_eq!(ranked[0].0, 2, "picture 2 (rated 5) ranks first");
+    assert_eq!(ranked[1].0, 3, "picture 3 (rated 4) second");
+    assert_eq!(ranked[2].2, 0, "third is unrated");
+}
+
+/// §3 "download the pictures of others": what the view shows can be copied
+/// into the local collection, after which it persists even if the source
+/// deselects.
+#[test]
+fn download_persists_after_deselection() {
+    let mut cfg = ConferenceConfig::demo();
+    cfg.open_trust = true;
+    let mut conf = Conference::new(&cfg).unwrap();
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::upload_picture(emilien, &picture(77, "Emilien")).unwrap();
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::select_attendee(jules, "Emilien").unwrap();
+    conf.settle(64).unwrap();
+
+    let jules = conf.peer_mut("Jules").unwrap();
+    assert!(ops::download(jules, 77).unwrap());
+    assert!(!ops::download(jules, 99999).unwrap(), "absent id");
+    ops::deselect_attendee(jules, "Emilien").unwrap();
+    conf.settle(64).unwrap();
+
+    let jules = conf.peer("Jules").unwrap();
+    assert!(
+        jules.relation_facts("attendeePictures").is_empty(),
+        "view emptied"
+    );
+    assert!(
+        ops::pictures(jules).iter().any(|p| p.id == 77),
+        "downloaded copy persists"
+    );
+}
+
+/// §3 function 3: transfer by each protocol — email and wepic inbox.
+#[test]
+fn transfer_respects_recipient_protocol() {
+    let mut cfg = ConferenceConfig::demo();
+    cfg.open_trust = true;
+    cfg.attendees.push("Julia".into());
+    let mut conf = Conference::new(&cfg).unwrap();
+
+    // Émilien prefers email; Julia prefers her Wepic inbox.
+    ops::set_protocol(conf.peer_mut("Emilien").unwrap(), "email").unwrap();
+    ops::set_protocol(conf.peer_mut("Julia").unwrap(), "wepicInbox").unwrap();
+
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::select_attendee(jules, "Emilien").unwrap();
+    ops::select_attendee(jules, "Julia").unwrap();
+    ops::select_picture(jules, "banquet.jpg", 9, "Jules").unwrap();
+    let r = conf.settle(64).unwrap();
+    assert!(r.quiescent);
+
+    assert_eq!(conf.email.mailbox("Emilien").len(), 1, "email delivery");
+    assert!(conf.email.mailbox("Julia").is_empty());
+    assert_eq!(
+        conf.peer("Julia")
+            .unwrap()
+            .relation_facts("wepicInbox")
+            .len(),
+        1,
+        "wepic inbox delivery"
+    );
+}
+
+/// §4 "Customizing rules": the rating filter, then a further customization
+/// (tagged person), as the demo invites the audience to do.
+#[test]
+fn successive_rule_customizations() {
+    let mut cfg = ConferenceConfig::demo();
+    cfg.open_trust = true;
+    let mut conf = Conference::new(&cfg).unwrap();
+
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    for id in 1..=3 {
+        ops::upload_picture(emilien, &picture(id, "Emilien")).unwrap();
+    }
+    ops::rate(emilien, 1, 5).unwrap();
+    ops::tag(emilien, 2, "Serge").unwrap();
+
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::select_attendee(jules, "Emilien").unwrap();
+    conf.settle(64).unwrap();
+    assert_eq!(
+        conf.peer("Jules")
+            .unwrap()
+            .relation_facts("attendeePictures")
+            .len(),
+        3
+    );
+
+    // Customization 1: rating >= 5.
+    let jules = conf.peer_mut("Jules").unwrap();
+    let view_id = jules.rules()[0].id;
+    jules
+        .replace_rule(view_id, rules::rating_filter("Jules", 5).unwrap())
+        .unwrap();
+    conf.settle(64).unwrap();
+    let view = conf
+        .peer("Jules")
+        .unwrap()
+        .relation_facts("attendeePictures");
+    assert_eq!(view.len(), 1);
+    assert_eq!(view[0][0], webdamlog::datalog::Value::from(1));
+
+    // Customization 2: pictures in which Serge appears.
+    let jules = conf.peer_mut("Jules").unwrap();
+    jules
+        .replace_rule(
+            view_id,
+            rules::tagged_person_filter("Jules", "Serge").unwrap(),
+        )
+        .unwrap();
+    conf.settle(64).unwrap();
+    let view = conf
+        .peer("Jules")
+        .unwrap()
+        .relation_facts("attendeePictures");
+    assert_eq!(view.len(), 1);
+    assert_eq!(view[0][0], webdamlog::datalog::Value::from(2));
+}
+
+/// §4 "Illustration of the control of delegation": Émilien installs a rule
+/// at Jules' peer; the system requires Jules' approval; after approval the
+/// program of Jules changes and the rule runs.
+#[test]
+fn delegation_control_scenario() {
+    let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::upload_picture(jules, &picture(10, "Jules")).unwrap();
+
+    // Émilien selects Jules — his view rule wants to install at Jules.
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::select_attendee(emilien, "Jules").unwrap();
+    conf.settle(64).unwrap();
+
+    let jules = conf.peer("Jules").unwrap();
+    let before_rules = jules.installed_delegations().len();
+    assert!(!jules.pending_delegations().is_empty(), "approval required");
+    assert!(conf
+        .peer("Emilien")
+        .unwrap()
+        .relation_facts("attendeePictures")
+        .is_empty());
+
+    let ids: Vec<_> = conf
+        .peer("Jules")
+        .unwrap()
+        .pending_delegations()
+        .iter()
+        .map(|p| p.delegation.id)
+        .collect();
+    let jules = conf.peer_mut("Jules").unwrap();
+    for id in ids {
+        jules.approve_delegation(id).unwrap();
+    }
+    let r = conf.settle(64).unwrap();
+    assert!(r.quiescent);
+
+    let jules = conf.peer("Jules").unwrap();
+    assert!(
+        jules.installed_delegations().len() > before_rules,
+        "program changed"
+    );
+    assert_eq!(
+        conf.peer("Emilien")
+            .unwrap()
+            .relation_facts("attendeePictures")
+            .len(),
+        1
+    );
+}
+
+/// Rejecting a pending delegation keeps the program unchanged.
+#[test]
+fn rejected_delegation_never_runs() {
+    let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    let jules = conf.peer_mut("Jules").unwrap();
+    ops::upload_picture(jules, &picture(11, "Jules")).unwrap();
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::select_attendee(emilien, "Jules").unwrap();
+    conf.settle(64).unwrap();
+
+    let ids: Vec<_> = conf
+        .peer("Jules")
+        .unwrap()
+        .pending_delegations()
+        .iter()
+        .map(|p| p.delegation.id)
+        .collect();
+    assert!(!ids.is_empty());
+    let jules = conf.peer_mut("Jules").unwrap();
+    for id in ids {
+        jules.reject_delegation(id).unwrap();
+    }
+    conf.settle(64).unwrap();
+    assert!(conf
+        .peer("Emilien")
+        .unwrap()
+        .relation_facts("attendeePictures")
+        .is_empty());
+    assert!(conf.peer("Jules").unwrap().pending_delegations().is_empty());
+}
+
+/// A larger synthetic conference converges and every picture reaches the
+/// sigmod peer (scalability smoke test for E1/E2 shapes).
+#[test]
+fn synthetic_conference_converges() {
+    let mut conf = Conference::new(&ConferenceConfig::experiment(8)).unwrap();
+    let mut corpus = PictureCorpus::new(7);
+    let names: Vec<String> = conf
+        .attendee_names()
+        .iter()
+        .map(|s| s.as_str().to_string())
+        .collect();
+    let mut total = 0;
+    for name in &names {
+        for pic in corpus.pictures(name, 5, 16) {
+            ops::upload_picture(conf.peer_mut(name.as_str()).unwrap(), &pic).unwrap();
+            total += 1;
+        }
+    }
+    let r = conf.settle(128).unwrap();
+    assert!(r.quiescent);
+    assert_eq!(
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("pictures")
+            .len(),
+        total
+    );
+}
+
+/// Untrusting a peer mid-run: new delegations queue, per the ACL model.
+#[test]
+fn trust_changes_apply_to_new_delegations() {
+    let mut cfg = ConferenceConfig::demo();
+    cfg.open_trust = false;
+    let mut conf = Conference::new(&cfg).unwrap();
+
+    // Jules trusts Émilien explicitly at first.
+    conf.peer_mut("Jules").unwrap().acl_mut().trust("Emilien");
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::select_attendee(emilien, "Jules").unwrap();
+    conf.settle(64).unwrap();
+    assert!(conf.peer("Jules").unwrap().pending_delegations().is_empty());
+    assert!(!conf
+        .peer("Jules")
+        .unwrap()
+        .installed_delegations()
+        .is_empty());
+
+    // Withdraw trust; a *new* delegation (from a newly added rule, so its
+    // content differs from anything already installed) must queue.
+    conf.peer_mut("Jules").unwrap().acl_mut().untrust("Emilien");
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    emilien
+        .add_rule(rules::rating_filter("Emilien", 4).unwrap())
+        .unwrap();
+    conf.settle(64).unwrap();
+    assert!(
+        !conf.peer("Jules").unwrap().pending_delegations().is_empty(),
+        "the new rule's delegation waits for approval now that trust is gone"
+    );
+}
+
+/// Default untrusted policy can be switched to reject everything.
+#[test]
+fn reject_policy_drops_delegations() {
+    let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    conf.peer_mut("Jules")
+        .unwrap()
+        .acl_mut()
+        .set_untrusted_policy(UntrustedPolicy::Reject);
+    let emilien = conf.peer_mut("Emilien").unwrap();
+    ops::select_attendee(emilien, "Jules").unwrap();
+    conf.settle(64).unwrap();
+    let jules = conf.peer("Jules").unwrap();
+    assert!(jules.pending_delegations().is_empty());
+    assert!(jules.installed_delegations().is_empty());
+}

@@ -1,0 +1,201 @@
+//! Property-based round-trip tests: AST → surface syntax → AST, and
+//! AST → wire bytes → AST.
+
+use proptest::prelude::*;
+use webdamlog::core::{
+    Delegation, FactKind, Message, NameTerm, Payload, WAtom, WBodyItem, WFact, WLiteral, WRule,
+};
+use webdamlog::datalog::{BinOp, CmpOp, Expr, Symbol, Term, Value};
+use webdamlog::net::codec;
+use webdamlog::parser::{self, pretty};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Strings exercise escaping: printable ASCII, quotes, backslashes,
+        // newlines, some unicode.
+        "[ -~éλ\\n\\t\"\\\\]{0,12}".prop_map(|s| Value::str(&s)),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(|b| Value::bytes(&b)),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        ident().prop_map(|v| Term::var(v.as_str())),
+        value().prop_map(Term::Const),
+    ]
+}
+
+fn name_term() -> impl Strategy<Value = NameTerm> {
+    prop_oneof![
+        ident().prop_map(|s| NameTerm::name(s.as_str())),
+        ident().prop_map(|s| NameTerm::var(s.as_str())),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = WAtom> {
+    (
+        name_term(),
+        name_term(),
+        prop::collection::vec(term(), 0..4),
+    )
+        .prop_map(|(rel, peer, args)| WAtom::new(rel, peer, args))
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Concat),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = term().prop_map(Expr::Term);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (bin_op(), inner.clone(), inner).prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+}
+
+fn body_item() -> impl Strategy<Value = WBodyItem> {
+    prop_oneof![
+        atom().prop_map(WBodyItem::atom),
+        atom().prop_map(WBodyItem::not_atom),
+        (cmp_op(), term(), term()).prop_map(|(op, lhs, rhs)| WBodyItem::cmp(op, lhs, rhs)),
+        (ident(), expr()).prop_map(|(v, e)| WBodyItem::assign(v.as_str(), e)),
+    ]
+}
+
+fn rule() -> impl Strategy<Value = WRule> {
+    (atom(), prop::collection::vec(body_item(), 1..5))
+        .prop_map(|(head, body)| WRule::new(head, body))
+}
+
+fn wfact() -> impl Strategy<Value = WFact> {
+    (ident(), ident(), prop::collection::vec(value(), 0..5))
+        .prop_map(|(rel, peer, vals)| WFact::new(rel.as_str(), peer.as_str(), vals))
+}
+
+fn payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        (
+            prop_oneof![Just(FactKind::Persistent), Just(FactKind::Derived)],
+            prop::collection::vec(wfact(), 0..4),
+            prop::collection::vec(wfact(), 0..4),
+        )
+            .prop_map(|(kind, additions, retractions)| Payload::Facts {
+                kind,
+                additions,
+                retractions
+            }),
+        prop::collection::vec((ident(), ident(), rule()), 0..3).prop_map(|ds| {
+            Payload::Delegate(
+                ds.into_iter()
+                    .map(|(o, t, r)| Delegation::new(Symbol::intern(&o), Symbol::intern(&t), r))
+                    .collect(),
+            )
+        }),
+        prop::collection::vec((ident(), ident(), rule()), 0..4).prop_map(|ds| {
+            Payload::Revoke(
+                ds.into_iter()
+                    .map(|(o, t, r)| Delegation::new(Symbol::intern(&o), Symbol::intern(&t), r).id)
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// pretty → parse is the identity on rules.
+    #[test]
+    fn rule_pretty_parse_round_trip(r in rule()) {
+        let printed = pretty::rule(&r);
+        let parsed = parser::parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(parsed, r);
+    }
+
+    /// pretty → parse is the identity on facts.
+    #[test]
+    fn fact_pretty_parse_round_trip(f in wfact()) {
+        let printed = pretty::fact(&f);
+        let parsed = parser::parse_fact(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(parsed, f);
+    }
+
+    /// encode → decode is the identity on messages.
+    #[test]
+    fn codec_round_trip(from in ident(), to in ident(), p in payload()) {
+        let msg = Message::new(Symbol::intern(&from), Symbol::intern(&to), p);
+        let bytes = codec::encode(&msg);
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Truncating a valid frame always errors, never panics or succeeds
+    /// with wrong data.
+    #[test]
+    fn truncation_always_detected(f in wfact(), cut_frac in 0.0f64..1.0) {
+        let msg = Message::new(
+            Symbol::intern("a"),
+            Symbol::intern("b"),
+            Payload::Facts { kind: FactKind::Derived, additions: vec![f], retractions: vec![] },
+        );
+        let bytes = codec::encode(&msg);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(codec::decode(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+/// Literal display forms are parseable too (negated atoms).
+#[test]
+fn negated_literal_round_trips() {
+    let lit = WLiteral::neg(WAtom::at("blocked", "me", vec![Term::cst(1)]));
+    let rule = WRule::new(
+        WAtom::at("out", "me", vec![]),
+        vec![
+            WAtom::at("in", "me", vec![Term::cst(1)]).into(),
+            WBodyItem::Literal(lit),
+        ],
+    );
+    let printed = pretty::rule(&rule);
+    assert_eq!(parser::parse_rule(&printed).unwrap(), rule);
+}
