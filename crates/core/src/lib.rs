@@ -86,6 +86,7 @@ mod delegation;
 mod error;
 mod fact;
 pub mod grants;
+mod maintain;
 mod message;
 mod peer;
 mod persist;

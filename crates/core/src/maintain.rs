@@ -1,0 +1,188 @@
+//! Incremental materialization support for the peer stage loop.
+//!
+//! A peer's rule set splits into two layers:
+//!
+//! * **Compiled** rules — fully local, constant-name rules with an
+//!   intensional local head. These translate directly into datalog rules
+//!   over the peer's qualified store and are *maintained* across stages by
+//!   a [`MaterializedView`] (counting + DRed, see
+//!   `wdl_datalog::incremental`): a stage that ingests a deletion pays for
+//!   the change, not for re-deriving the whole database.
+//! * **Dynamic** rules — everything the datalog kernel cannot express
+//!   statically: rules with remote atoms (they delegate), variable
+//!   relation/peer names, extensional heads (buffered self-updates),
+//!   remote heads (fact shipping), and all delegated rules (their reads
+//!   are gated per-origin by the grants policy, which can change without
+//!   notice). These are re-evaluated every stage by the classic walker in
+//!   `stage.rs`, and their local derivations feed the view as *base facts
+//!   with external support*, so the two layers can read each other's
+//!   output: a compiled rule sees dynamic derivations as inputs, and a
+//!   dynamic fact that is also derivable by a compiled rule simply carries
+//!   support from both sides.
+//!
+//! The compiled layer is invalidated by anything that changes the
+//! translation — rule add/remove/replace or a schema declaration — which
+//! bumps [`crate::Peer::ruleset_epoch`]; the view is then rebuilt from
+//! scratch at the next stage. Delegation churn does *not* invalidate it
+//! (delegated rules are always dynamic), which matters because delegations
+//! are re-derived every stage.
+//!
+//! **Semantics note.** The compiled layer evaluates negation with proper
+//! stratified semantics. The recompute fallback keeps the seed engine's
+//! naive monotone loop, which can over-derive when a rule negates an
+//! intensional relation that fills in later rounds (facts are never
+//! retracted within a stage). The two paths therefore agree on stratified
+//! rule sets — and when a rule set is unstratifiable, `Program::new`
+//! rejects it and the fallback's (only well-defined) semantics apply to
+//! the whole peer, so no peer mixes the two.
+//!
+//! **Known cost bound.** The dynamic layer keeps the paper's soft-state
+//! semantics by retracting the previous stage's dynamic derivations and
+//! re-deriving them each stage, so a stage costs O(|change| +
+//! |dynamic-layer facts|): pay-for-the-change is exact only for peers
+//! whose rules all compile. That is still strictly cheaper than the
+//! pre-incremental loop (which paid O(|database|) every stage); making
+//! the dynamic share itself differential would need per-source support
+//! counting inside the view and is left for a future change.
+
+use crate::{qualify, Peer, RelationKind, RuleId, WBodyItem, WRule};
+use std::collections::HashSet;
+use wdl_datalog::incremental::MaterializedView;
+use wdl_datalog::{Atom as DAtom, BodyItem as DItem, Database, Program, Rule as DRule, Symbol};
+
+/// The maintained state of the compiled layer.
+pub(crate) struct IncrementalState {
+    /// The materialized view over the compiled program.
+    pub(crate) view: MaterializedView,
+    /// The ruleset epoch this state was compiled against.
+    pub(crate) epoch: u64,
+    /// Ids of the peer's own rules that the view maintains (the rest run
+    /// dynamically).
+    pub(crate) compiled: HashSet<RuleId>,
+}
+
+/// Translates one WebdamLog rule into a kernel datalog rule, if it is
+/// fully local: constant relation/peer names throughout, every atom at
+/// `me`, and a head that is not extensional (extensional heads buffer
+/// updates for the next stage — a side effect the view must not absorb).
+pub(crate) fn compile_rule(rule: &WRule, me: Symbol, peer: &Peer) -> Option<DRule> {
+    let head_rel = rule.head.rel.as_name()?;
+    let head_peer = rule.head.peer.as_name()?;
+    if head_peer != me {
+        return None;
+    }
+    if peer.schema.kind_of(head_rel) == Some(RelationKind::Extensional) {
+        return None;
+    }
+    let head = DAtom::new(qualify(head_rel, me), rule.head.args.clone());
+    let mut body = Vec::with_capacity(rule.body.len());
+    for item in &rule.body {
+        match item {
+            WBodyItem::Literal(l) => {
+                let rel = l.atom.rel.as_name()?;
+                let atom_peer = l.atom.peer.as_name()?;
+                if atom_peer != me {
+                    return None;
+                }
+                let datom = DAtom::new(qualify(rel, me), l.atom.args.clone());
+                body.push(if l.negated {
+                    DItem::not_atom(datom)
+                } else {
+                    DItem::atom(datom)
+                });
+            }
+            WBodyItem::Cmp { op, lhs, rhs } => {
+                body.push(DItem::cmp(*op, lhs.clone(), rhs.clone()));
+            }
+            WBodyItem::Assign { var, expr } => {
+                body.push(DItem::assign(*var, expr.clone()));
+            }
+        }
+    }
+    Some(DRule::new(head, body))
+}
+
+/// Compiles the peer's own compilable rules into a stratified program.
+/// Returns `None` when nothing compiles or the compiled subset fails
+/// validation (unsafe under the kernel's check, or unstratifiable) — the
+/// caller then falls back to full per-stage recomputation.
+pub(crate) fn compile_local(peer: &Peer) -> Option<(Program, HashSet<RuleId>)> {
+    let mut rules = Vec::new();
+    let mut compiled = HashSet::new();
+    for entry in &peer.rules {
+        if let Some(dr) = compile_rule(&entry.rule, peer.name, peer) {
+            rules.push(dr);
+            compiled.insert(entry.id);
+        }
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    match Program::new(rules) {
+        // The peer's stage-level fixpoint cap bounds the compiled layer
+        // too — set_fixpoint_limit must keep meaning what it says.
+        Ok(program) => Some((program.with_iteration_limit(peer.fixpoint_limit), compiled)),
+        Err(_) => None,
+    }
+}
+
+impl Peer {
+    /// The view's base: the extensional store plus maintained remote
+    /// contributions (dynamic-layer derivations are added as they are
+    /// produced, stage by stage).
+    pub(crate) fn current_base(&self) -> crate::Result<Database> {
+        let mut base = self.store.clone();
+        for (rel, origins) in &self.remote_contrib {
+            let q = qualify(*rel, self.name);
+            for tuples in origins.values() {
+                for t in tuples {
+                    base.insert_tuple(q, t.clone())?;
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    /// Rebuilds the compiled layer if the ruleset epoch moved (or nothing
+    /// is materialized yet).
+    pub(crate) fn ensure_view(&mut self) -> ViewStatus {
+        if let Some(state) = &self.incr {
+            if state.epoch == self.ruleset_epoch {
+                return ViewStatus::Current;
+            }
+        }
+        self.incr = None;
+        self.prev_dynamic.clear();
+        let Some((program, compiled)) = compile_local(self) else {
+            self.base_log.clear();
+            return ViewStatus::Unavailable;
+        };
+        let Ok(base) = self.current_base() else {
+            self.base_log.clear();
+            return ViewStatus::Unavailable;
+        };
+        self.base_log.clear();
+        match MaterializedView::new(program, base) {
+            Ok(view) => {
+                self.incr = Some(IncrementalState {
+                    view,
+                    epoch: self.ruleset_epoch,
+                    compiled,
+                });
+                ViewStatus::Rebuilt
+            }
+            Err(_) => ViewStatus::Unavailable,
+        }
+    }
+}
+
+/// Outcome of [`Peer::ensure_view`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ViewStatus {
+    /// A view from an earlier stage is still valid.
+    Current,
+    /// The view was (re)built this stage from the current base.
+    Rebuilt,
+    /// No compiled layer is available; run the full recompute loop.
+    Unavailable,
+}

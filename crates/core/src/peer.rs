@@ -69,6 +69,21 @@ pub struct Peer {
     pub(crate) prev_sent: HashMap<Symbol, HashSet<WFact>>,
     pub(crate) stage: u64,
     pub(crate) fixpoint_limit: usize,
+    /// Maintained materialization of the compilable (fully local) rules;
+    /// `None` until the first stage builds it, or when compilation is not
+    /// possible (see `maintain.rs`).
+    pub(crate) incr: Option<crate::maintain::IncrementalState>,
+    /// Bumped by every mutation that changes rule compilation (rule
+    /// add/remove/replace, schema declarations); the view rebuilds when it
+    /// trails this counter.
+    pub(crate) ruleset_epoch: u64,
+    /// Base-fact changes (qualified store + remote-contribution updates)
+    /// since the last stage, consumed by the incremental path.
+    pub(crate) base_log: Vec<(wdl_datalog::Fact, bool)>,
+    /// Local facts the dynamic rule layer derived at the previous stage
+    /// (fed to the view as external support; retracted when re-derivation
+    /// stops producing them).
+    pub(crate) prev_dynamic: HashSet<wdl_datalog::Fact>,
 }
 
 impl Peer {
@@ -92,6 +107,10 @@ impl Peer {
             prev_sent: HashMap::new(),
             stage: 0,
             fixpoint_limit: 10_000,
+            incr: None,
+            ruleset_epoch: 0,
+            base_log: Vec::new(),
+            prev_dynamic: HashSet::new(),
         }
     }
 
@@ -147,6 +166,7 @@ impl Peer {
         if kind == RelationKind::Extensional {
             self.store.declare(qualify(rel, self.name), arity)?;
         }
+        self.ruleset_epoch += 1;
         Ok(())
     }
 
@@ -163,6 +183,7 @@ impl Peer {
         };
         self.next_rule_idx += 1;
         self.rules.push(RuleEntry { id, rule });
+        self.ruleset_epoch += 1;
         Ok(id)
     }
 
@@ -174,6 +195,7 @@ impl Peer {
             .iter()
             .position(|e| e.id == id)
             .ok_or_else(|| WdlError::UnknownRule(id.to_string()))?;
+        self.ruleset_epoch += 1;
         Ok(self.rules.remove(idx).rule)
     }
 
@@ -186,6 +208,7 @@ impl Peer {
             .iter_mut()
             .find(|e| e.id == id)
             .ok_or_else(|| WdlError::UnknownRule(id.to_string()))?;
+        self.ruleset_epoch += 1;
         Ok(std::mem::replace(&mut entry.rule, rule))
     }
 
@@ -251,7 +274,13 @@ impl Peer {
     pub fn insert_local(&mut self, rel: impl Into<Symbol>, values: Vec<Value>) -> Result<bool> {
         let rel = rel.into();
         self.ensure_extensional(rel, values.len())?;
-        Ok(self.store.insert_values(qualify(rel, self.name), values)?)
+        let q = qualify(rel, self.name);
+        let tuple: wdl_datalog::Tuple = values.into();
+        let added = self.store.insert_tuple(q, tuple.clone())?;
+        if added {
+            self.log_base_change(wdl_datalog::Fact { pred: q, tuple }, true);
+        }
+        Ok(added)
     }
 
     /// Deletes a fact from a local extensional relation.
@@ -263,10 +292,15 @@ impl Peer {
             )));
         }
         let fact = WFact::new(rel, self.name, values);
-        Ok(self.store.remove(&wdl_datalog::Fact {
+        let dfact = wdl_datalog::Fact {
             pred: fact.qualified(),
             tuple: fact.tuple,
-        }))
+        };
+        let removed = self.store.remove(&dfact);
+        if removed {
+            self.log_base_change(dfact, false);
+        }
+        Ok(removed)
     }
 
     /// Sends an explicit insertion to another peer's extensional relation
@@ -462,6 +496,12 @@ impl Peer {
                 tuple,
             })
             .collect()
+    }
+
+    /// Records a store/contribution change for the incremental path. Cheap
+    /// and unconditional; the log is drained (or discarded) every stage.
+    pub(crate) fn log_base_change(&mut self, fact: wdl_datalog::Fact, added: bool) {
+        self.base_log.push((fact, added));
     }
 
     pub(crate) fn ensure_extensional(&mut self, rel: Symbol, arity: usize) -> Result<()> {

@@ -103,83 +103,29 @@ impl Peer {
         let pending = std::mem::take(&mut self.pending_updates);
         for fact in pending {
             self.ensure_extensional(fact.rel, fact.arity())?;
-            if self.store.insert_tuple(fact.qualified(), fact.tuple)? {
+            let q = fact.qualified();
+            let tuple = fact.tuple;
+            if self.store.insert_tuple(q, tuple.clone())? {
                 stats.applied_updates += 1;
                 store_changed = true;
+                self.log_base_change(DFact { pred: q, tuple }, true);
             }
         }
 
-        // ---- Step 2: local fixpoint.
-        let mut working = self.store.clone();
-        // Inject maintained remote contributions into intensional relations.
-        for (rel, origins) in &self.remote_contrib {
-            let q = qualify(*rel, self.name);
-            for tuples in origins.values() {
-                for t in tuples {
-                    working.insert_tuple(q, t.clone())?;
-                }
+        // ---- Step 2: local fixpoint — incremental when a maintained view
+        // of the compiled (fully local) rules is available, full recompute
+        // otherwise. See `maintain.rs` for the split.
+        let (outcome, rounds, derived_changed) = match self.ensure_view() {
+            crate::maintain::ViewStatus::Current => self.fixpoint_incremental(false)?,
+            crate::maintain::ViewStatus::Rebuilt => self.fixpoint_incremental(true)?,
+            crate::maintain::ViewStatus::Unavailable => {
+                self.base_log.clear();
+                self.fixpoint_recompute()?
             }
-        }
-
-        // Static relation-level provenance of this peer's views, for the
-        // default view read policy applied to delegated rules.
-        let view_bases = crate::grants::view_base_relations(
-            self.name,
-            self.rules.iter().map(|e| e.rule.clone()),
-        );
-
-        let mut outcome = Outcome::default();
-        let mut rounds = 0usize;
-        loop {
-            rounds += 1;
-            if rounds > self.fixpoint_limit {
-                return Err(WdlError::Datalog(
-                    wdl_datalog::DatalogError::IterationLimit(self.fixpoint_limit),
-                ));
-            }
-            let mut new_local: Vec<DFact> = Vec::new();
-            let own = self.rules.iter().map(|e| (&e.rule, None));
-            let delegated = self.delegated.iter().map(|d| (&d.rule, Some(d.origin)));
-            for (rule, origin) in own.chain(delegated) {
-                let ctx = EvalCtx {
-                    peer: self.name,
-                    schema: &self.schema,
-                    grants: &self.grants,
-                    view_bases: &view_bases,
-                    origin,
-                };
-                eval_rule(&ctx, &working, rule, &mut outcome, &mut new_local)?;
-            }
-            let mut changed = false;
-            for fact in new_local {
-                if working.insert(fact)? {
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
+        };
         stats.fixpoint_rounds = rounds;
         stats.derivations = outcome.derivations;
         stats.reads_blocked = outcome.reads_blocked;
-
-        // Snapshot intensional relations (everything in `working` that is
-        // not extensional store content).
-        let mut derived = Database::new();
-        for decl in self.schema.iter() {
-            if decl.kind == RelationKind::Intensional {
-                let q = qualify(decl.rel, self.name);
-                derived.declare(q, decl.arity)?;
-                if let Some(rel) = working.relation(q) {
-                    for t in rel.iter() {
-                        derived.insert_tuple(q, t.clone())?;
-                    }
-                }
-            }
-        }
-        let derived_changed = !db_eq(&derived, &self.derived);
-        self.derived = derived;
 
         // ---- Step 3: emit facts and rules.
         let mut messages = std::mem::take(&mut self.outbox_explicit);
@@ -259,6 +205,268 @@ impl Peer {
         })
     }
 
+    /// The pre-incremental stage fixpoint: clone the store, inject remote
+    /// contributions, and run every rule — own and delegated — to a local
+    /// fixpoint. Kept as the fallback for peers whose rule set does not
+    /// compile (and as the reference semantics for the incremental path).
+    fn fixpoint_recompute(&mut self) -> Result<(Outcome, usize, bool)> {
+        let mut working = self.store.clone();
+        // Inject maintained remote contributions into intensional relations.
+        for (rel, origins) in &self.remote_contrib {
+            let q = qualify(*rel, self.name);
+            for tuples in origins.values() {
+                for t in tuples {
+                    working.insert_tuple(q, t.clone())?;
+                }
+            }
+        }
+
+        // Static relation-level provenance of this peer's views, for the
+        // default view read policy applied to delegated rules.
+        let view_bases = crate::grants::view_base_relations(
+            self.name,
+            self.rules.iter().map(|e| e.rule.clone()),
+        );
+
+        let mut outcome = Outcome::default();
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > self.fixpoint_limit {
+                return Err(WdlError::Datalog(
+                    wdl_datalog::DatalogError::IterationLimit(self.fixpoint_limit),
+                ));
+            }
+            let mut new_local: Vec<DFact> = Vec::new();
+            let own = self.rules.iter().map(|e| (&e.rule, None));
+            let delegated = self.delegated.iter().map(|d| (&d.rule, Some(d.origin)));
+            for (rule, origin) in own.chain(delegated) {
+                let ctx = EvalCtx {
+                    peer: self.name,
+                    schema: &self.schema,
+                    grants: &self.grants,
+                    view_bases: &view_bases,
+                    origin,
+                };
+                eval_rule(&ctx, &working, rule, &mut outcome, &mut new_local)?;
+            }
+            let mut changed = false;
+            for fact in new_local {
+                if working.insert(fact)? {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Snapshot intensional relations (everything in `working` that is
+        // not extensional store content).
+        let derived = self.snapshot_intensional(&working)?;
+        let derived_changed = !db_eq(&derived, &self.derived);
+        self.derived = derived;
+        Ok((outcome, rounds, derived_changed))
+    }
+
+    /// Copies the declared intensional relations out of a saturated
+    /// database — the per-stage snapshot that `relation_facts`/`query`
+    /// read. Shared by the recompute path and incremental rebuilds so the
+    /// two can never drift.
+    fn snapshot_intensional(&self, db: &Database) -> Result<Database> {
+        let mut derived = Database::new();
+        for decl in self.schema.iter() {
+            if decl.kind == RelationKind::Intensional {
+                let q = qualify(decl.rel, self.name);
+                derived.declare(q, decl.arity)?;
+                if let Some(rel) = db.relation(q) {
+                    for t in rel.iter() {
+                        derived.insert_tuple(q, t.clone())?;
+                    }
+                }
+            }
+        }
+        Ok(derived)
+    }
+
+    /// The incremental stage fixpoint: the compiled rules' materialization
+    /// is *maintained* under the base changes logged since the previous
+    /// stage, and only the dynamic rules (delegations, remote atoms,
+    /// variable names, extensional heads) are re-evaluated — their local
+    /// derivations feed the view as base facts with external support, and
+    /// derivations that stop holding are retracted through the view at the
+    /// start of the next stage (per-stage soft state, as in the paper).
+    fn fixpoint_incremental(&mut self, rebuilt: bool) -> Result<(Outcome, usize, bool)> {
+        use wdl_datalog::incremental::Delta;
+
+        let mut state = self.incr.take().expect("ensure_view provided a view");
+
+        // Net membership changes of the materialization this stage:
+        // +1 appeared, -1 disappeared (never beyond ±1 after netting).
+        let mut net: HashMap<DFact, i8> = HashMap::new();
+        let mut apply =
+            |state: &mut crate::maintain::IncrementalState, delta: &Delta| -> Result<()> {
+                let out = state.view.apply(delta)?;
+                for f in out.inserts {
+                    match net.entry(f) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            *e.get_mut() += 1;
+                            if *e.get() == 0 {
+                                e.remove();
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(1);
+                        }
+                    }
+                }
+                for f in out.deletes {
+                    match net.entry(f) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            *e.get_mut() -= 1;
+                            if *e.get() == 0 {
+                                e.remove();
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(-1);
+                        }
+                    }
+                }
+                Ok(())
+            };
+
+        // Base changes since the last stage, compressed to the last
+        // operation per fact (each log entry is a real store transition, so
+        // the last one decides final membership), plus retraction of the
+        // previous stage's dynamic-layer derivations (soft state: what the
+        // dynamic rules still support gets re-added below).
+        let mut last: HashMap<DFact, bool> = HashMap::new();
+        for (fact, added) in self.base_log.drain(..) {
+            last.insert(fact, added);
+        }
+        let mut delta = Delta::new();
+        for (fact, added) in last {
+            if added {
+                delta.insert(fact);
+            } else {
+                delta.delete(fact);
+            }
+        }
+        // The view's base is a set, so a fact can carry external support
+        // from *two* sources at once: the dynamic layer and a maintained
+        // remote contribution. Retract the dynamic share only when no
+        // contribution still stands, otherwise the fact (and everything
+        // compiled on top of it) would vanish while a remote peer still
+        // asserts it.
+        let prev_dynamic = std::mem::take(&mut self.prev_dynamic);
+        let contrib_by_pred: HashMap<Symbol, _> = self
+            .remote_contrib
+            .iter()
+            .map(|(rel, origins)| (qualify(*rel, self.name), origins))
+            .collect();
+        for fact in prev_dynamic {
+            let contributed = contrib_by_pred
+                .get(&fact.pred)
+                .is_some_and(|origins| origins.values().any(|s| s.contains(&fact.tuple)));
+            if !contributed {
+                delta.delete(fact);
+            }
+        }
+        if !delta.is_empty() {
+            apply(&mut state, &delta)?;
+        }
+
+        // Dynamic layer: evaluate non-compiled rules against the
+        // materialization until no new local facts appear; each round's
+        // fresh facts are folded into the view (so compiled rules react to
+        // them) before the next round.
+        let view_bases = crate::grants::view_base_relations(
+            self.name,
+            self.rules.iter().map(|e| e.rule.clone()),
+        );
+        let mut outcome = Outcome::default();
+        let mut dyn_cur: HashSet<DFact> = HashSet::new();
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > self.fixpoint_limit {
+                return Err(WdlError::Datalog(
+                    wdl_datalog::DatalogError::IterationLimit(self.fixpoint_limit),
+                ));
+            }
+            let mut new_local: Vec<DFact> = Vec::new();
+            let own = self
+                .rules
+                .iter()
+                .filter(|e| !state.compiled.contains(&e.id))
+                .map(|e| (&e.rule, None));
+            let delegated = self.delegated.iter().map(|d| (&d.rule, Some(d.origin)));
+            for (rule, origin) in own.chain(delegated) {
+                let ctx = EvalCtx {
+                    peer: self.name,
+                    schema: &self.schema,
+                    grants: &self.grants,
+                    view_bases: &view_bases,
+                    origin,
+                };
+                eval_rule(
+                    &ctx,
+                    state.view.database(),
+                    rule,
+                    &mut outcome,
+                    &mut new_local,
+                )?;
+            }
+            let fresh: Vec<DFact> = new_local
+                .into_iter()
+                .filter(|f| dyn_cur.insert(f.clone()))
+                .collect();
+            if fresh.is_empty() {
+                break;
+            }
+            let mut d = Delta::new();
+            for f in fresh {
+                d.insert(f);
+            }
+            apply(&mut state, &d)?;
+        }
+        self.prev_dynamic = dyn_cur;
+
+        // Refresh the intensional snapshot: full copy after a rebuild,
+        // O(|change|) patching otherwise.
+        let derived_changed = if rebuilt {
+            let derived = self.snapshot_intensional(state.view.database())?;
+            let changed = !db_eq(&derived, &self.derived);
+            self.derived = derived;
+            changed
+        } else {
+            let intensional: HashSet<Symbol> = self
+                .schema
+                .iter()
+                .filter(|d| d.kind == RelationKind::Intensional)
+                .map(|d| qualify(d.rel, self.name))
+                .collect();
+            let mut changed = false;
+            for (fact, sign) in net {
+                if !intensional.contains(&fact.pred) {
+                    continue;
+                }
+                if sign > 0 {
+                    self.derived.insert(fact)?;
+                    changed = true;
+                } else if sign < 0 {
+                    self.derived.remove(&fact);
+                    changed = true;
+                }
+            }
+            changed
+        };
+
+        self.incr = Some(state);
+        Ok((outcome, rounds, derived_changed))
+    }
+
     fn ingest(
         &mut self,
         msg: Message,
@@ -282,19 +490,25 @@ impl Peer {
                     }
                     match (kind, self.local_kind_or_declare(&fact)?) {
                         (_, RelationKind::Extensional) => {
-                            if self.store.insert_tuple(fact.qualified(), fact.tuple)? {
+                            let q = fact.qualified();
+                            let tuple = fact.tuple;
+                            if self.store.insert_tuple(q, tuple.clone())? {
                                 *store_changed = true;
+                                self.log_base_change(DFact { pred: q, tuple }, true);
                             }
                         }
                         (FactKind::Derived, RelationKind::Intensional) => {
+                            let q = fact.qualified();
+                            let tuple = fact.tuple;
                             let entry = self
                                 .remote_contrib
                                 .entry(fact.rel)
                                 .or_default()
                                 .entry(msg.from)
                                 .or_default();
-                            if entry.insert(fact.tuple) {
+                            if entry.insert(tuple.clone()) {
                                 *store_changed = true;
+                                self.log_base_change(DFact { pred: q, tuple }, true);
                             }
                         }
                         (FactKind::Persistent, RelationKind::Intensional) => {
@@ -315,17 +529,35 @@ impl Peer {
                     #[allow(clippy::collapsible_match)]
                     match (kind, self.schema.kind_of(fact.rel)) {
                         (FactKind::Persistent, Some(RelationKind::Extensional)) => {
-                            let removed = self.store.remove(&DFact {
+                            let dfact = DFact {
                                 pred: fact.qualified(),
                                 tuple: fact.tuple,
-                            });
-                            *store_changed |= removed;
+                            };
+                            let removed = self.store.remove(&dfact);
+                            if removed {
+                                *store_changed = true;
+                                self.log_base_change(dfact, false);
+                            }
                         }
                         (FactKind::Derived, Some(RelationKind::Intensional)) => {
+                            let q = fact.qualified();
                             if let Some(origins) = self.remote_contrib.get_mut(&fact.rel) {
                                 if let Some(set) = origins.get_mut(&msg.from) {
                                     if set.remove(&fact.tuple) {
                                         *store_changed = true;
+                                        // The base fact stands while *any*
+                                        // origin still contributes it.
+                                        let still =
+                                            origins.values().any(|s| s.contains(&fact.tuple));
+                                        if !still {
+                                            self.log_base_change(
+                                                DFact {
+                                                    pred: q,
+                                                    tuple: fact.tuple,
+                                                },
+                                                false,
+                                            );
+                                        }
                                     }
                                 }
                             }
@@ -891,6 +1123,328 @@ mod tests {
         .unwrap();
         p.run_stage().unwrap();
         assert_eq!(p.relation_facts("path").len(), 6);
+    }
+
+    /// Fully local rules are compiled into a maintained materialization;
+    /// deletions between stages are maintained incrementally and reach the
+    /// same state as recomputation.
+    #[test]
+    fn compiled_view_maintains_deletions_across_stages() {
+        let mut p = peer("inc");
+        p.declare("visible", 1, RelationKind::Intensional).unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("visible", "inc", vec![Term::var("x")]),
+            vec![
+                WAtom::at("item", "inc", vec![Term::var("x")]).into(),
+                WBodyItem::not_atom(WAtom::at("hidden", "inc", vec![Term::var("x")])),
+            ],
+        ))
+        .unwrap();
+        for i in 0..10 {
+            p.insert_local("item", vec![Value::from(i)]).unwrap();
+        }
+        p.insert_local("hidden", vec![Value::from(3)]).unwrap();
+        p.run_stage().unwrap();
+        assert!(p.incr.is_some(), "fully local rule must compile");
+        assert_eq!(p.relation_facts("visible").len(), 9);
+
+        // A deletion is maintained, not recomputed: the view survives.
+        p.delete_local("item", vec![Value::from(5)]).unwrap();
+        let out = p.run_stage().unwrap();
+        assert!(out.changed);
+        assert_eq!(p.relation_facts("visible").len(), 8);
+        assert!(p.incr.is_some());
+
+        // Un-hiding via deletion from a negated relation *adds* facts.
+        p.delete_local("hidden", vec![Value::from(3)]).unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("visible").len(), 9);
+
+        // Quiescent stage after the churn reports no change.
+        let quiet = p.run_stage().unwrap();
+        assert!(!quiet.changed);
+    }
+
+    /// Recursive local rules stay correct under incremental deletion (the
+    /// DRed path of the maintained view).
+    #[test]
+    fn compiled_view_maintains_recursion() {
+        let mut p = peer("rec");
+        p.declare("path", 2, RelationKind::Intensional).unwrap();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            p.insert_local("edge", vec![Value::from(a), Value::from(b)])
+                .unwrap();
+        }
+        p.add_rule(WRule::new(
+            WAtom::at("path", "rec", vec![Term::var("x"), Term::var("y")]),
+            vec![WAtom::at("edge", "rec", vec![Term::var("x"), Term::var("y")]).into()],
+        ))
+        .unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("path", "rec", vec![Term::var("x"), Term::var("z")]),
+            vec![
+                WAtom::at("edge", "rec", vec![Term::var("x"), Term::var("y")]).into(),
+                WAtom::at("path", "rec", vec![Term::var("y"), Term::var("z")]).into(),
+            ],
+        ))
+        .unwrap();
+        p.run_stage().unwrap();
+        assert!(p.incr.is_some());
+        assert_eq!(p.relation_facts("path").len(), 6);
+
+        p.delete_local("edge", vec![Value::from(2), Value::from(3)])
+            .unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("path").len(), 2);
+
+        p.insert_local("edge", vec![Value::from(2), Value::from(3)])
+            .unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("path").len(), 6);
+    }
+
+    /// Adding or removing a rule invalidates the compiled view (epoch
+    /// bump) and the rebuilt materialization is correct.
+    #[test]
+    fn rule_changes_rebuild_compiled_view() {
+        let mut p = peer("rb");
+        p.declare("a", 1, RelationKind::Intensional).unwrap();
+        p.insert_local("base", vec![Value::from(1)]).unwrap();
+        let id = p
+            .add_rule(WRule::new(
+                WAtom::at("a", "rb", vec![Term::var("x")]),
+                vec![WAtom::at("base", "rb", vec![Term::var("x")]).into()],
+            ))
+            .unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("a").len(), 1);
+
+        p.declare("b", 1, RelationKind::Intensional).unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("b", "rb", vec![Term::var("x")]),
+            vec![WAtom::at("a", "rb", vec![Term::var("x")]).into()],
+        ))
+        .unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("b").len(), 1);
+
+        p.remove_rule(id).unwrap();
+        p.run_stage().unwrap();
+        assert!(p.relation_facts("a").is_empty());
+        assert!(p.relation_facts("b").is_empty());
+    }
+
+    /// Dynamic-layer derivations (here: a delegated rule) feed the
+    /// compiled layer as external support and retract when their own
+    /// support disappears.
+    #[test]
+    fn dynamic_layer_feeds_compiled_layer() {
+        let mut p = peer("mix");
+        p.declare("feed", 1, RelationKind::Intensional).unwrap();
+        p.declare("echo", 1, RelationKind::Intensional).unwrap();
+        // Compiled: echo(x) :- feed(x).
+        p.add_rule(WRule::new(
+            WAtom::at("echo", "mix", vec![Term::var("x")]),
+            vec![WAtom::at("feed", "mix", vec![Term::var("x")]).into()],
+        ))
+        .unwrap();
+        // Dynamic (delegated): feed(x) :- src(x).
+        let d = Delegation::new(
+            Symbol::intern("origin"),
+            Symbol::intern("mix"),
+            WRule::new(
+                WAtom::at("feed", "mix", vec![Term::var("x")]),
+                vec![WAtom::at("src", "mix", vec![Term::var("x")]).into()],
+            ),
+        );
+        p.install_delegation(d);
+        p.insert_local("src", vec![Value::from(7)]).unwrap();
+        p.run_stage().unwrap();
+        assert!(p.incr.is_some());
+        assert_eq!(p.relation_facts("feed").len(), 1);
+        assert_eq!(p.relation_facts("echo").len(), 1);
+
+        // Remove the dynamic rule's support: both layers retract.
+        p.delete_local("src", vec![Value::from(7)]).unwrap();
+        p.run_stage().unwrap();
+        assert!(p.relation_facts("feed").is_empty());
+        assert!(p.relation_facts("echo").is_empty());
+    }
+
+    /// A fact can carry external support from a remote contribution *and*
+    /// the dynamic layer at once; losing the dynamic share must not retract
+    /// it while the contribution still stands (and vice versa).
+    #[test]
+    fn dual_support_contribution_outlives_dynamic_share() {
+        let mut p = peer("dual");
+        p.declare("feed", 1, RelationKind::Intensional).unwrap();
+        p.declare("echo", 1, RelationKind::Intensional).unwrap();
+        // Compiled consumer of feed.
+        p.add_rule(WRule::new(
+            WAtom::at("echo", "dual", vec![Term::var("x")]),
+            vec![WAtom::at("feed", "dual", vec![Term::var("x")]).into()],
+        ))
+        .unwrap();
+        // Dynamic (delegated) producer of feed.
+        p.install_delegation(Delegation::new(
+            Symbol::intern("origin"),
+            Symbol::intern("dual"),
+            WRule::new(
+                WAtom::at("feed", "dual", vec![Term::var("x")]),
+                vec![WAtom::at("src", "dual", vec![Term::var("x")]).into()],
+            ),
+        ));
+        p.insert_local("src", vec![Value::from(7)]).unwrap();
+        // Remote contribution asserting the same fact.
+        p.enqueue(Message::new(
+            Symbol::intern("remote"),
+            Symbol::intern("dual"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![WFact::new("feed", "dual", vec![Value::from(7)])],
+                retractions: vec![],
+            },
+        ));
+        p.run_stage().unwrap();
+        assert!(p.incr.is_some());
+        assert_eq!(p.relation_facts("feed").len(), 1);
+        assert_eq!(p.relation_facts("echo").len(), 1);
+
+        // Dynamic support disappears; the contribution still stands.
+        p.delete_local("src", vec![Value::from(7)]).unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("feed").len(), 1, "contribution holds");
+        assert_eq!(p.relation_facts("echo").len(), 1);
+
+        // Contribution retracts too: now the fact (and its consequence) go.
+        p.enqueue(Message::new(
+            Symbol::intern("remote"),
+            Symbol::intern("dual"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![],
+                retractions: vec![WFact::new("feed", "dual", vec![Value::from(7)])],
+            },
+        ));
+        p.run_stage().unwrap();
+        assert!(p.relation_facts("feed").is_empty());
+        assert!(p.relation_facts("echo").is_empty());
+    }
+
+    /// The mirror ordering: contribution arrives first, dynamic share
+    /// second, then the contribution retracts — the dynamic share must
+    /// keep the fact alive.
+    #[test]
+    fn dual_support_dynamic_share_outlives_contribution() {
+        let mut p = peer("dual2");
+        p.declare("feed", 1, RelationKind::Intensional).unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("keep", "dual2", vec![Term::var("x")]),
+            vec![WAtom::at("feed", "dual2", vec![Term::var("x")]).into()],
+        ))
+        .unwrap();
+        p.declare("keep", 1, RelationKind::Intensional).unwrap();
+        p.enqueue(Message::new(
+            Symbol::intern("remote"),
+            Symbol::intern("dual2"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![WFact::new("feed", "dual2", vec![Value::from(1)])],
+                retractions: vec![],
+            },
+        ));
+        p.run_stage().unwrap();
+        p.install_delegation(Delegation::new(
+            Symbol::intern("origin"),
+            Symbol::intern("dual2"),
+            WRule::new(
+                WAtom::at("feed", "dual2", vec![Term::var("x")]),
+                vec![WAtom::at("src", "dual2", vec![Term::var("x")]).into()],
+            ),
+        ));
+        p.insert_local("src", vec![Value::from(1)]).unwrap();
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("feed").len(), 1);
+
+        // Contribution retracts; the dynamic derivation still supports it.
+        p.enqueue(Message::new(
+            Symbol::intern("remote"),
+            Symbol::intern("dual2"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![],
+                retractions: vec![WFact::new("feed", "dual2", vec![Value::from(1)])],
+            },
+        ));
+        p.run_stage().unwrap();
+        assert_eq!(p.relation_facts("feed").len(), 1, "dynamic share holds");
+        assert_eq!(p.relation_facts("keep").len(), 1);
+
+        // And when the dynamic share goes too, everything retracts.
+        p.delete_local("src", vec![Value::from(1)]).unwrap();
+        p.run_stage().unwrap();
+        assert!(p.relation_facts("feed").is_empty());
+        assert!(p.relation_facts("keep").is_empty());
+    }
+
+    /// Retractions propagate peer to peer: when the source peer's
+    /// derivation stops holding, the target peer's maintained view drops
+    /// the fact at its next stage (delete_remote flowing just like
+    /// insertions).
+    #[test]
+    fn retraction_propagates_through_maintained_views() {
+        let mut source = peer("src-p");
+        // Remote-head rule (dynamic layer): ships derived facts to tgt-p.
+        source
+            .add_rule(WRule::new(
+                WAtom::at("mirror", "tgt-p", vec![Term::var("x")]),
+                vec![WAtom::at("local", "src-p", vec![Term::var("x")]).into()],
+            ))
+            .unwrap();
+        source.insert_local("local", vec![Value::from(1)]).unwrap();
+
+        let mut target = peer("tgt-p");
+        target
+            .declare("mirror", 1, RelationKind::Intensional)
+            .unwrap();
+        target
+            .declare("twice", 1, RelationKind::Intensional)
+            .unwrap();
+        // Compiled rule downstream of the remote contribution.
+        target
+            .add_rule(WRule::new(
+                WAtom::at("twice", "tgt-p", vec![Term::var("x")]),
+                vec![WAtom::at("mirror", "tgt-p", vec![Term::var("x")]).into()],
+            ))
+            .unwrap();
+
+        let out = source.run_stage().unwrap();
+        for m in out.messages {
+            target.enqueue(m);
+        }
+        target.run_stage().unwrap();
+        assert_eq!(target.relation_facts("mirror").len(), 1);
+        assert_eq!(target.relation_facts("twice").len(), 1);
+
+        // Source-side deletion → retraction message → target's maintained
+        // view drops both the contribution and its consequence.
+        source.delete_local("local", vec![Value::from(1)]).unwrap();
+        let out = source.run_stage().unwrap();
+        let retractions: usize = out
+            .messages
+            .iter()
+            .filter_map(|m| match &m.payload {
+                Payload::Facts { retractions, .. } => Some(retractions.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(retractions, 1, "source emits the retraction");
+        for m in out.messages {
+            target.enqueue(m);
+        }
+        target.run_stage().unwrap();
+        assert!(target.relation_facts("mirror").is_empty());
+        assert!(target.relation_facts("twice").is_empty());
     }
 
     /// Local negation within a stage.

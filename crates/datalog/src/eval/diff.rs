@@ -1,0 +1,288 @@
+//! Differential body matching for incremental maintenance.
+//!
+//! The incremental engine (`crate::incremental`) needs to know how the set
+//! of derivations of a rule changes when the database changes. The classic
+//! finite-differencing identity for a join `L1 ⋈ ... ⋈ Ln` is
+//!
+//! ```text
+//! Δ(L1 ⋈ ... ⋈ Ln) = Σ_j  new(L1..L_{j-1}) ⋈ Δ(L_j) ⋈ old(L_{j+1}..Ln)
+//! ```
+//!
+//! — one pass per body literal `j`, reading the *new* state left of the
+//! delta slot and the *old* state right of it. The prefix-new/suffix-old
+//! split is what makes the sum exact: a derivation that touches several
+//! changed facts is counted exactly once, at the leftmost changed slot
+//! (pinning slot `j` forces earlier slots to the new state, where a
+//! removed fact is gone and an added fact is present).
+//!
+//! [`match_body_at_slot`] implements one summand. The non-delta-slot view
+//! is selected by [`DiffSide`]:
+//!
+//! * [`DiffSide::PrefixNewSuffixOld`] — the exact differencing above, used
+//!   by counting maintenance;
+//! * [`DiffSide::Old`] / [`DiffSide::New`] — every non-delta slot reads one
+//!   state, used by DRed's overdelete (old) and insert (new) phases, where
+//!   set semantics make over-counting harmless.
+//!
+//! Negated literals participate as slots too: a tuple *inserted* into a
+//! negated predicate destroys derivations and a *deleted* one enables
+//! them, so the caller pins the slot to the relevant signed half of the
+//! change and assigns the sign itself.
+//!
+//! **Delta-first evaluation.** When the pinned literal is positive it is
+//! matched *first*, against the (small) delta, and the rest of the body is
+//! then walked left to right under those bindings. Which state a slot
+//! reads is decided by its original position, so this reordering changes
+//! cost — O(|delta| · join) instead of O(|db| · join) — but not the
+//! result: joins are commutative in the multiset of satisfying bindings,
+//! comparisons and assignments only ever see *more* bound variables, and
+//! safety-checked rules keep every negated atom ground. A pinned negated
+//! literal cannot be hoisted (it needs its prefix bindings to become
+//! ground) and is evaluated in place.
+
+use crate::eval::match_atom;
+use crate::{BodyItem, Database, DatalogError, Fact, Result, Subst, Term};
+
+/// Which state non-delta slots observe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum DiffSide {
+    /// Every non-delta slot reads the new (current) database.
+    New,
+    /// Every non-delta slot reads the reconstructed old database.
+    Old,
+    /// Slots left of the delta read new, slots right of it read old.
+    PrefixNewSuffixOld,
+}
+
+/// The net changes that separate the old state from the current database:
+/// `old = db ∖ ins ∪ del`. The two deltas are disjoint.
+pub(crate) struct NetChange<'a> {
+    /// Facts present in `db` but absent from the old state.
+    pub ins: &'a Database,
+    /// Facts absent from `db` but present in the old state.
+    pub del: &'a Database,
+}
+
+impl NetChange<'_> {
+    fn old_contains(&self, db: &Database, fact: &Fact) -> bool {
+        (db.contains(fact) && !self.ins.contains(fact)) || self.del.contains(fact)
+    }
+}
+
+/// Matches `body` with the literal at `slot` pinned to `delta`, invoking
+/// `emit` once per satisfying substitution.
+///
+/// * `slot` indexes **literal** body items (comparisons and assignments do
+///   not count); the pinned literal may be positive or negated.
+/// * A pinned positive literal enumerates matching `delta` tuples; a
+///   pinned negated literal requires its (ground, by safety) tuple to be a
+///   member of `delta`.
+/// * `change` supplies the old-state reconstruction; it may be empty when
+///   `side` is [`DiffSide::New`].
+pub(crate) fn match_body_at_slot(
+    db: &Database,
+    change: &NetChange<'_>,
+    side: DiffSide,
+    body: &[BodyItem],
+    slot: usize,
+    delta: &Database,
+    emit: &mut dyn FnMut(Subst) -> Result<()>,
+) -> Result<()> {
+    // Find the pinned literal; hoist it when positive.
+    let pinned = body
+        .iter()
+        .filter_map(|item| match item {
+            BodyItem::Literal(l) => Some(l),
+            _ => None,
+        })
+        .nth(slot);
+    let hoist = matches!(pinned, Some(l) if !l.negated);
+    if hoist {
+        let atom = &pinned.expect("pinned literal exists").atom;
+        for s in match_atom(delta, atom, &Subst::new())? {
+            walk(db, change, side, body, 0, 0, slot, delta, true, s, emit)?;
+        }
+        Ok(())
+    } else {
+        walk(
+            db,
+            change,
+            side,
+            body,
+            0,
+            0,
+            slot,
+            delta,
+            false,
+            Subst::new(),
+            emit,
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    db: &Database,
+    change: &NetChange<'_>,
+    side: DiffSide,
+    body: &[BodyItem],
+    idx: usize,
+    lit_ordinal: usize,
+    slot: usize,
+    delta: &Database,
+    hoisted: bool,
+    subst: Subst,
+    emit: &mut dyn FnMut(Subst) -> Result<()>,
+) -> Result<()> {
+    let Some(item) = body.get(idx) else {
+        return emit(subst);
+    };
+    match item {
+        BodyItem::Cmp { op, lhs, rhs } => {
+            let l = resolve(lhs, &subst)?;
+            let r = resolve(rhs, &subst)?;
+            if op.eval(&l, &r)? {
+                walk(
+                    db,
+                    change,
+                    side,
+                    body,
+                    idx + 1,
+                    lit_ordinal,
+                    slot,
+                    delta,
+                    hoisted,
+                    subst,
+                    emit,
+                )?;
+            }
+            Ok(())
+        }
+        BodyItem::Assign { var, expr } => {
+            let value = expr.eval(&subst)?;
+            let mut s = subst;
+            if !s.unify_var(*var, &value) {
+                return Ok(());
+            }
+            walk(
+                db,
+                change,
+                side,
+                body,
+                idx + 1,
+                lit_ordinal,
+                slot,
+                delta,
+                hoisted,
+                s,
+                emit,
+            )
+        }
+        BodyItem::Literal(l) => {
+            let is_delta_slot = lit_ordinal == slot;
+            if is_delta_slot && hoisted {
+                // Already matched up front; bindings are in `subst`.
+                return walk(
+                    db,
+                    change,
+                    side,
+                    body,
+                    idx + 1,
+                    lit_ordinal + 1,
+                    slot,
+                    delta,
+                    hoisted,
+                    subst,
+                    emit,
+                );
+            }
+            // Which state does a non-delta literal read here?
+            let read_old = match side {
+                DiffSide::New => false,
+                DiffSide::Old => true,
+                DiffSide::PrefixNewSuffixOld => lit_ordinal > slot,
+            };
+            if !l.negated {
+                let matches = if is_delta_slot {
+                    match_atom(delta, &l.atom, &subst)?
+                } else if read_old {
+                    // old = db ∖ ins ∪ del, filtered/extended per tuple.
+                    let mut out = Vec::new();
+                    for s in match_atom(db, &l.atom, &subst)? {
+                        if !member_of(change.ins, &l.atom, &s) {
+                            out.push(s);
+                        }
+                    }
+                    out.extend(match_atom(change.del, &l.atom, &subst)?);
+                    out
+                } else {
+                    match_atom(db, &l.atom, &subst)?
+                };
+                for s in matches {
+                    walk(
+                        db,
+                        change,
+                        side,
+                        body,
+                        idx + 1,
+                        lit_ordinal + 1,
+                        slot,
+                        delta,
+                        hoisted,
+                        s,
+                        emit,
+                    )?;
+                }
+                Ok(())
+            } else {
+                let fact = l.atom.ground(&subst).ok_or_else(|| {
+                    DatalogError::UnboundVariable(format!(
+                        "negated atom {} reached with unbound variables",
+                        l.atom
+                    ))
+                })?;
+                let pass = if is_delta_slot {
+                    // The caller pins negated slots to the half of the
+                    // change whose sign it is accounting: membership in the
+                    // pinned delta *is* the event.
+                    delta.contains(&fact)
+                } else if read_old {
+                    !change.old_contains(db, &fact)
+                } else {
+                    !db.contains(&fact)
+                };
+                if pass {
+                    walk(
+                        db,
+                        change,
+                        side,
+                        body,
+                        idx + 1,
+                        lit_ordinal + 1,
+                        slot,
+                        delta,
+                        hoisted,
+                        subst,
+                        emit,
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// True when the atom instantiated under `subst` denotes a tuple present in
+/// `db`. Used to filter new-state matches down to the old state.
+fn member_of(db: &Database, atom: &crate::Atom, subst: &Subst) -> bool {
+    match atom.ground(subst) {
+        Some(fact) => db.contains(&fact),
+        None => false,
+    }
+}
+
+fn resolve(term: &Term, subst: &Subst) -> Result<crate::Value> {
+    term.resolve(subst).ok_or_else(|| {
+        DatalogError::UnboundVariable(format!("{term} in comparison reached unbound"))
+    })
+}

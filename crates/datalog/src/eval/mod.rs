@@ -5,10 +5,12 @@
 //! reuses it verbatim to evaluate the *local prefix* of a distributed rule
 //! before delegating the remainder (see `wdl-core`).
 
+mod diff;
 mod naive;
 mod seminaive;
 mod stratify;
 
+pub(crate) use diff::{match_body_at_slot, DiffSide, NetChange};
 pub(crate) use naive::naive_fixpoint;
 pub(crate) use seminaive::seminaive_fixpoint;
 pub(crate) use stratify::{stratify, Strata};

@@ -1,0 +1,336 @@
+//! DRed (delete and rederive) maintenance for self-reading strata.
+//!
+//! Counting is unsound under recursion — a fact can sit on a derivation
+//! cycle and keep itself alive — so strata whose rules read their own
+//! predicates use the classic three-phase algorithm (Gupta, Mumick &
+//! Subrahmanian, SIGMOD '93):
+//!
+//! 1. **Overdelete.** Starting from the deleted inputs (and from
+//!    insertions into negated inputs, which also destroy derivations),
+//!    transitively delete every stratum fact with *some* derivation that
+//!    touches a deleted fact. This over-approximates: a fact with an
+//!    untouched alternative derivation is removed here and resurrected in
+//!    phase 2. Matching runs against the **old** state throughout — the
+//!    set of derivations being destroyed is a property of the old
+//!    database.
+//! 2. **Rederive.** For each overdeleted fact, check one derivation step
+//!    against the *remaining* database (or external support from the base
+//!    relation); survivors are reinserted and seed phase 3, which rebuilds
+//!    anything reachable from them.
+//! 3. **Insert.** Derivations gained through inserted inputs (and through
+//!    deletions from negated inputs) seed a standard seminaive fixpoint
+//!    within the stratum, shared with the rederivation seeds.
+//!
+//! Phases 1 and 3 tolerate over-counting (they work with sets), which is
+//! why they can use the cheaper all-old / all-new matching modes instead
+//! of exact differencing.
+
+use super::{Changes, StratumInfo};
+use crate::eval::{match_body, match_body_at_slot, DiffSide};
+use crate::{Atom, BodyItem, Database, DatalogError, Fact, Program, Result, Subst, Term};
+use std::collections::HashSet;
+
+/// Maintains one DRed stratum in place. Parameters as in
+/// [`super::counting::maintain`], except that `base` is consulted for
+/// external support during rederivation instead of through counts.
+pub(super) fn maintain(
+    program: &Program,
+    info: &StratumInfo,
+    db: &mut Database,
+    base: &Database,
+    changes: &mut Changes,
+    ext: &[(&Fact, bool)],
+) -> Result<()> {
+    let limit = program.iteration_limit();
+
+    // ---- Phase 1: overdeletion, against the old state.
+    let mut over: HashSet<Fact> = HashSet::new();
+    let mut frontier = Database::new();
+
+    // Base deletions of this stratum's own predicates start the frontier.
+    for (fact, added) in ext {
+        if !added && db.contains(fact) && over.insert((*fact).clone()) {
+            frontier.insert((*fact).clone())?;
+        }
+    }
+    // Derivations destroyed by input changes: deleted positive inputs,
+    // inserted negated inputs.
+    for &ri in &info.rules {
+        let rule = &program.rules()[ri];
+        let mut slot = 0usize;
+        for item in &rule.body {
+            let BodyItem::Literal(lit) = item else {
+                continue;
+            };
+            let pred = lit.atom.pred;
+            if !info.idb.contains(&pred) {
+                let delta_db = if lit.negated {
+                    &changes.ins
+                } else {
+                    &changes.del
+                };
+                if delta_db.relation(pred).is_some_and(|r| !r.is_empty()) {
+                    let mut heads = Vec::new();
+                    match_body_at_slot(
+                        db,
+                        &changes.as_net(),
+                        DiffSide::Old,
+                        &rule.body,
+                        slot,
+                        delta_db,
+                        &mut |s| {
+                            if let Some(fact) = rule.head.ground(&s) {
+                                heads.push(fact);
+                            }
+                            Ok(())
+                        },
+                    )?;
+                    for fact in heads {
+                        if db.contains(&fact) && over.insert(fact.clone()) {
+                            frontier.insert(fact)?;
+                        }
+                    }
+                }
+            }
+            slot += 1;
+        }
+    }
+    // Transitive overdeletion through intra-stratum dependencies. The
+    // stratum's own relations are still untouched in `db`, so the old
+    // state of a stratum predicate *is* `db` — which is what `DiffSide::Old`
+    // reads for predicates without recorded changes.
+    let mut rounds = 0usize;
+    while frontier.fact_count() > 0 {
+        rounds += 1;
+        if rounds > limit {
+            return Err(DatalogError::IterationLimit(limit));
+        }
+        let mut next = Database::new();
+        for &ri in &info.rules {
+            let rule = &program.rules()[ri];
+            let mut slot = 0usize;
+            for item in &rule.body {
+                let BodyItem::Literal(lit) = item else {
+                    continue;
+                };
+                if !lit.negated
+                    && info.idb.contains(&lit.atom.pred)
+                    && frontier
+                        .relation(lit.atom.pred)
+                        .is_some_and(|r| !r.is_empty())
+                {
+                    let mut heads = Vec::new();
+                    match_body_at_slot(
+                        db,
+                        &changes.as_net(),
+                        DiffSide::Old,
+                        &rule.body,
+                        slot,
+                        &frontier,
+                        &mut |s| {
+                            if let Some(fact) = rule.head.ground(&s) {
+                                heads.push(fact);
+                            }
+                            Ok(())
+                        },
+                    )?;
+                    for fact in heads {
+                        if db.contains(&fact) && over.insert(fact.clone()) {
+                            next.insert(fact)?;
+                        }
+                    }
+                }
+                slot += 1;
+            }
+        }
+        frontier = next;
+    }
+
+    for fact in &over {
+        db.remove(fact);
+    }
+
+    // ---- Phase 2: rederivation against the remaining database.
+    let mut restored: HashSet<Fact> = HashSet::new();
+    let mut added: HashSet<Fact> = HashSet::new();
+    let mut seed = Database::new();
+    for fact in &over {
+        let mut derivable = base.contains(fact);
+        if !derivable {
+            'rules: for &ri in &info.rules {
+                let rule = &program.rules()[ri];
+                if let Some(init) = unify_head(&rule.head, fact) {
+                    if has_any_match(db, &rule.body, init)? {
+                        derivable = true;
+                        break 'rules;
+                    }
+                }
+            }
+        }
+        if derivable && db.insert(fact.clone())? {
+            restored.insert(fact.clone());
+            seed.insert(fact.clone())?;
+        }
+    }
+
+    // ---- Phase 3: insertions, against the new state.
+    let mut insert_fact = |fact: Fact, db: &mut Database, seed: &mut Database| -> Result<()> {
+        if db.insert(fact.clone())? {
+            if over.contains(&fact) {
+                restored.insert(fact.clone());
+            } else {
+                added.insert(fact.clone());
+            }
+            seed.insert(fact)?;
+        }
+        Ok(())
+    };
+    // Base insertions of this stratum's own predicates.
+    for (fact, added_flag) in ext {
+        if *added_flag {
+            insert_fact((*fact).clone(), db, &mut seed)?;
+        }
+    }
+    // Derivations gained through input changes: inserted positive inputs,
+    // deleted negated inputs.
+    for &ri in &info.rules {
+        let rule = &program.rules()[ri];
+        let mut slot = 0usize;
+        for item in &rule.body {
+            let BodyItem::Literal(lit) = item else {
+                continue;
+            };
+            let pred = lit.atom.pred;
+            if !info.idb.contains(&pred) {
+                let delta_db = if lit.negated {
+                    &changes.del
+                } else {
+                    &changes.ins
+                };
+                if delta_db.relation(pred).is_some_and(|r| !r.is_empty()) {
+                    let mut heads = Vec::new();
+                    match_body_at_slot(
+                        db,
+                        &changes.as_net(),
+                        DiffSide::New,
+                        &rule.body,
+                        slot,
+                        delta_db,
+                        &mut |s| {
+                            if let Some(fact) = rule.head.ground(&s) {
+                                heads.push(fact);
+                            }
+                            Ok(())
+                        },
+                    )?;
+                    for fact in heads {
+                        insert_fact(fact, db, &mut seed)?;
+                    }
+                }
+            }
+            slot += 1;
+        }
+    }
+
+    // Seminaive propagation of the seeds through the stratum.
+    let mut rounds = 0usize;
+    while seed.fact_count() > 0 {
+        rounds += 1;
+        if rounds > limit {
+            return Err(DatalogError::IterationLimit(limit));
+        }
+        let mut candidates = Vec::new();
+        for &ri in &info.rules {
+            let rule = &program.rules()[ri];
+            let mut ordinal = 0usize;
+            for item in &rule.body {
+                let Some(atom) = item.as_positive_atom() else {
+                    continue;
+                };
+                if info.idb.contains(&atom.pred)
+                    && seed.relation(atom.pred).is_some_and(|r| !r.is_empty())
+                {
+                    match_body(
+                        db,
+                        Some((&seed, ordinal)),
+                        &rule.body,
+                        Subst::new(),
+                        &mut |s| match rule.head.ground(&s) {
+                            Some(fact) => {
+                                candidates.push(fact);
+                                Ok(())
+                            }
+                            None => Err(DatalogError::UnboundVariable(format!(
+                                "head of {rule} not fully bound"
+                            ))),
+                        },
+                    )?;
+                }
+                ordinal += 1;
+            }
+        }
+        let mut next = Database::new();
+        for fact in candidates {
+            if !db.contains(&fact) {
+                db.insert(fact.clone())?;
+                if over.contains(&fact) {
+                    restored.insert(fact.clone());
+                } else {
+                    added.insert(fact.clone());
+                }
+                next.insert(fact)?;
+            }
+        }
+        seed = next;
+    }
+
+    // ---- Net effect of this stratum.
+    for fact in &over {
+        if !restored.contains(fact) {
+            changes.record_delete(fact)?;
+        }
+    }
+    for fact in &added {
+        changes.record_insert(fact)?;
+    }
+    Ok(())
+}
+
+/// First-witness probe: does `body` have *any* satisfying substitution
+/// under `init`? The matcher has no native early exit, so the emit
+/// callback aborts the walk with a sentinel error once a witness is found
+/// — rederivation only needs one derivation, not all of them.
+fn has_any_match(db: &Database, body: &[BodyItem], init: Subst) -> Result<bool> {
+    const WITNESS: usize = usize::MAX;
+    match match_body(db, None, body, init, &mut |_s| {
+        Err(DatalogError::IterationLimit(WITNESS))
+    }) {
+        Ok(()) => Ok(false),
+        Err(DatalogError::IterationLimit(WITNESS)) => Ok(true),
+        Err(e) => Err(e),
+    }
+}
+
+/// Unifies a rule head with a ground fact, yielding the initial bindings
+/// for a rederivation probe (`None` when the head cannot produce the fact).
+fn unify_head(head: &Atom, fact: &Fact) -> Option<Subst> {
+    if head.pred != fact.pred || head.args.len() != fact.tuple.len() {
+        return None;
+    }
+    let mut subst = Subst::new();
+    for (term, value) in head.args.iter().zip(fact.tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => {
+                if !subst.unify_var(*v, value) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(subst)
+}

@@ -1,0 +1,426 @@
+//! Incremental view maintenance: counting + DRed.
+//!
+//! A [`MaterializedView`] owns a stratified [`Program`] plus its saturated
+//! database and keeps that materialization consistent under **batched base
+//! updates** — insertions *and deletions* — at a cost proportional to the
+//! size of the change rather than the size of the database. This is the
+//! machinery that lets a WebdamLog peer revoke an ACL entry or untag a
+//! picture without re-running its whole fixpoint (the paper's workloads
+//! are churn-heavy: peers leave, pictures are untagged, friends are
+//! removed).
+//!
+//! Two maintenance algorithms cooperate, chosen per stratum:
+//!
+//! * **Counting** ([`counting`]) for strata whose rules read only lower
+//!   strata and base relations (no intra-stratum dependency). Each derived
+//!   fact carries its number of distinct derivations; exact differential
+//!   matching ([`crate::eval::match_body_at_slot`] with the
+//!   prefix-new/suffix-old split) adjusts the counts, and a fact appears or
+//!   disappears exactly when its count crosses zero. Base facts carry one
+//!   unit of *external* support, which is how a base fact and a derivation
+//!   for the same tuple coexist.
+//! * **DRed** ([`dred`]) — delete and rederive — for recursive strata,
+//!   where counting is unsound (a fact could count itself among its own
+//!   support). Overdeletion removes everything whose support *might* be
+//!   gone, rederivation re-proves what still holds from the remainder, and
+//!   a seminaive pass folds in insertions.
+//!
+//! Negation never occurs inside a stratum (stratification), so by the time
+//! a stratum is maintained the changes to its negated inputs are settled;
+//! they enter the differencing with flipped sign (an insertion into a
+//! negated predicate destroys derivations, a deletion enables them).
+//!
+//! ```
+//! use wdl_datalog::{Atom, Database, Delta, Fact, MaterializedView, Program, Rule, Term, Value};
+//!
+//! let atom = |p: &str, vs: &[&str]| Atom::new(p, vs.iter().map(|v| Term::var(*v)).collect());
+//! let program = Program::new(vec![
+//!     Rule::new(atom("path", &["x", "y"]), vec![atom("edge", &["x", "y"]).into()]),
+//!     Rule::new(
+//!         atom("path", &["x", "z"]),
+//!         vec![atom("edge", &["x", "y"]).into(), atom("path", &["y", "z"]).into()],
+//!     ),
+//! ])
+//! .unwrap();
+//!
+//! let mut base = Database::new();
+//! for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+//!     base.insert(Fact::new("edge", vec![Value::from(a), Value::from(b)])).unwrap();
+//! }
+//! let mut view = MaterializedView::new(program, base).unwrap();
+//! assert_eq!(view.database().relation("path").unwrap().len(), 6);
+//!
+//! // Cutting 2→3 splits the chain: only (1,2) and (3,4) remain.
+//! let out = view
+//!     .apply(&Delta::deletion(Fact::new("edge", vec![Value::from(2), Value::from(3)])))
+//!     .unwrap();
+//! assert_eq!(view.database().relation("path").unwrap().len(), 2);
+//! assert!(out.inserts.is_empty());
+//! assert_eq!(out.deletes.len(), 5); // edge(2,3) + paths (2,3),(1,3),(2,4),(1,4)
+//! ```
+
+mod counting;
+mod dred;
+
+use crate::eval::NetChange;
+use crate::{Database, Fact, Program, Result, Symbol};
+use std::collections::{HashMap, HashSet};
+
+/// A batch of base-fact changes: what [`MaterializedView::apply`] consumes
+/// and (as the net observable change) produces.
+///
+/// When the same fact appears in both lists, deletions are applied first,
+/// so insert-after-delete leaves the fact present.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Facts added.
+    pub inserts: Vec<Fact>,
+    /// Facts removed.
+    pub deletes: Vec<Fact>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// A delta carrying a single insertion.
+    pub fn insertion(fact: Fact) -> Delta {
+        Delta {
+            inserts: vec![fact],
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A delta carrying a single deletion.
+    pub fn deletion(fact: Fact) -> Delta {
+        Delta {
+            inserts: Vec::new(),
+            deletes: vec![fact],
+        }
+    }
+
+    /// Queues an insertion.
+    pub fn insert(&mut self, fact: Fact) -> &mut Delta {
+        self.inserts.push(fact);
+        self
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, fact: Fact) -> &mut Delta {
+        self.deletes.push(fact);
+        self
+    }
+
+    /// True when the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total number of changes carried.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// Net signed changes accumulated during one [`MaterializedView::apply`]
+/// pass: `ins`/`del` are disjoint and relate the current database to the
+/// pre-apply state (`old = db ∖ ins ∪ del`).
+#[derive(Default)]
+pub(crate) struct Changes {
+    pub(crate) ins: Database,
+    pub(crate) del: Database,
+}
+
+impl Changes {
+    /// Records that `fact` is now present (netting against an earlier
+    /// recorded deletion).
+    fn record_insert(&mut self, fact: &Fact) -> Result<()> {
+        if !self.del.remove(fact) {
+            self.ins.insert(fact.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Records that `fact` is now absent (netting against an earlier
+    /// recorded insertion).
+    fn record_delete(&mut self, fact: &Fact) -> Result<()> {
+        if !self.ins.remove(fact) {
+            self.del.insert(fact.clone())?;
+        }
+        Ok(())
+    }
+
+    /// The changed predicates among `preds`… (empty = nothing to do).
+    fn touches(&self, pred: Symbol) -> bool {
+        self.ins.relation(pred).is_some_and(|r| !r.is_empty())
+            || self.del.relation(pred).is_some_and(|r| !r.is_empty())
+    }
+
+    pub(crate) fn as_net(&self) -> NetChange<'_> {
+        NetChange {
+            ins: &self.ins,
+            del: &self.del,
+        }
+    }
+}
+
+/// How one stratum is maintained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Maintenance {
+    /// Exact derivation counting (stratum reads only lower inputs).
+    Counting,
+    /// Delete-and-rederive (stratum has intra-stratum dependencies).
+    Dred,
+}
+
+/// Per-stratum metadata derived from the program.
+struct StratumInfo {
+    /// Indices into the program's rule vector.
+    rules: Vec<usize>,
+    /// Predicates whose content this stratum defines.
+    idb: HashSet<Symbol>,
+    /// Maintenance algorithm.
+    maintenance: Maintenance,
+}
+
+/// A continuously maintained materialization of a stratified program over a
+/// base database.
+///
+/// See the module documentation for the algorithms; the contract is:
+/// after `apply(delta)`, [`MaterializedView::database`] equals what
+/// [`Program::eval`] would compute from scratch over the updated base, and
+/// the returned [`Delta`] lists exactly the facts (base and derived) whose
+/// membership changed.
+pub struct MaterializedView {
+    program: Program,
+    /// Current base (extensional) facts — the inputs under the program.
+    base: Database,
+    /// The saturated database: base plus everything derivable.
+    db: Database,
+    /// Derivation counts for facts of counting strata (excluding external
+    /// support, which lives in `base`).
+    counts: HashMap<Fact, u64>,
+    strata: Vec<StratumInfo>,
+}
+
+impl MaterializedView {
+    /// Evaluates `program` over `base` from scratch and starts maintaining
+    /// the result.
+    pub fn new(program: Program, base: Database) -> Result<MaterializedView> {
+        let strata = classify(&program);
+        let db = program.eval(&base)?;
+        let mut view = MaterializedView {
+            program,
+            base,
+            db,
+            counts: HashMap::new(),
+            strata,
+        };
+        view.init_counts()?;
+        Ok(view)
+    }
+
+    /// The maintained materialization (base plus derived facts).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The current base facts.
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    /// The program being maintained.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of derivations currently supporting `fact` (counting strata
+    /// only; facts of recursive strata are maintained by DRed and report
+    /// `None`). Base facts add one unit of external support.
+    pub fn support(&self, fact: &Fact) -> Option<u64> {
+        let stratum = self.stratum_of(fact.pred)?;
+        if self.strata[stratum].maintenance != Maintenance::Counting {
+            return None;
+        }
+        let derived = self.counts.get(fact).copied().unwrap_or(0);
+        let external = u64::from(self.base.contains(fact));
+        Some(derived + external)
+    }
+
+    /// Applies a batch of base changes and returns the net observable
+    /// change: every fact — base or derived — that appeared or disappeared
+    /// from the materialization.
+    ///
+    /// Deletions of absent facts and insertions of present facts are
+    /// ignored (idempotent batches).
+    pub fn apply(&mut self, delta: &Delta) -> Result<Delta> {
+        let mut changes = Changes::default();
+        // Pending external-support adjustments for IDB predicates, routed
+        // to their stratum's maintenance pass.
+        let mut ext: Vec<(usize, Fact, bool)> = Vec::new();
+
+        for fact in &delta.deletes {
+            if !self.base.remove(fact) {
+                continue; // not a base fact: nothing to retract
+            }
+            match self.stratum_of(fact.pred) {
+                None => {
+                    // Pure EDB predicate: the change is immediate.
+                    self.db.remove(fact);
+                    changes.record_delete(fact)?;
+                }
+                Some(s) => ext.push((s, fact.clone(), false)),
+            }
+        }
+        for fact in &delta.inserts {
+            if !self.base.insert(fact.clone())? {
+                continue; // already a base fact
+            }
+            match self.stratum_of(fact.pred) {
+                None => {
+                    if self.db.insert(fact.clone())? {
+                        changes.record_insert(fact)?;
+                    }
+                }
+                Some(s) => ext.push((s, fact.clone(), true)),
+            }
+        }
+
+        for (idx, info) in self.strata.iter().enumerate() {
+            let stratum_ext: Vec<(&Fact, bool)> = ext
+                .iter()
+                .filter(|(s, _, _)| *s == idx)
+                .map(|(_, f, add)| (f, *add))
+                .collect();
+            // Skip strata whose inputs did not change and that received no
+            // external-support adjustments.
+            let inputs_changed = info.rules.iter().any(|&ri| {
+                let rule = &self.program.rules()[ri];
+                rule.positive_preds()
+                    .iter()
+                    .chain(rule.negative_preds().iter())
+                    .any(|p| changes.touches(*p))
+            });
+            if !inputs_changed && stratum_ext.is_empty() {
+                continue;
+            }
+            match info.maintenance {
+                Maintenance::Counting => counting::maintain(
+                    &self.program,
+                    info,
+                    &mut self.db,
+                    &self.base,
+                    &mut self.counts,
+                    &mut changes,
+                    &stratum_ext,
+                )?,
+                Maintenance::Dred => dred::maintain(
+                    &self.program,
+                    info,
+                    &mut self.db,
+                    &self.base,
+                    &mut changes,
+                    &stratum_ext,
+                )?,
+            }
+        }
+
+        Ok(Delta {
+            inserts: changes.ins.facts().collect(),
+            deletes: changes.del.facts().collect(),
+        })
+    }
+
+    /// Recomputes the materialization from scratch (reference semantics;
+    /// used by tests and as a consistency oracle).
+    pub fn recompute(&self) -> Result<Database> {
+        self.program.eval(&self.base)
+    }
+
+    fn stratum_of(&self, pred: Symbol) -> Option<usize> {
+        self.program.strata().pred_stratum.get(&pred).copied()
+    }
+
+    /// Populates derivation counts for counting strata by re-matching every
+    /// rule against the saturated database (runs once, at construction).
+    fn init_counts(&mut self) -> Result<()> {
+        for info in &self.strata {
+            if info.maintenance != Maintenance::Counting {
+                continue;
+            }
+            for &ri in &info.rules {
+                let rule = &self.program.rules()[ri];
+                let mut heads: Vec<Fact> = Vec::new();
+                crate::eval::match_body(
+                    &self.db,
+                    None,
+                    &rule.body,
+                    crate::Subst::new(),
+                    &mut |s| {
+                        if let Some(fact) = rule.head.ground(&s) {
+                            heads.push(fact);
+                        }
+                        Ok(())
+                    },
+                )?;
+                for fact in heads {
+                    *self.counts.entry(fact).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MaterializedView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaterializedView")
+            .field("base_facts", &self.base.fact_count())
+            .field("total_facts", &self.db.fact_count())
+            .field("strata", &self.strata.len())
+            .field("counted_facts", &self.counts.len())
+            .finish()
+    }
+}
+
+/// Derives per-stratum maintenance metadata from the program.
+fn classify(program: &Program) -> Vec<StratumInfo> {
+    let strata = program.strata();
+    let mut out = Vec::with_capacity(strata.rule_strata.len());
+    for (idx, rule_ids) in strata.rule_strata.iter().enumerate() {
+        let idb: HashSet<Symbol> = strata
+            .pred_stratum
+            .iter()
+            .filter(|(_, s)| **s == idx)
+            .map(|(p, _)| *p)
+            .collect();
+        // Counting applies when no rule of the stratum reads a predicate
+        // the stratum itself defines — i.e. the stratum is a single layer
+        // over settled inputs. Everything else (true recursion, but also
+        // non-recursive chains within one stratum) goes through DRed,
+        // which tolerates intra-stratum dependencies.
+        let self_reading = rule_ids.iter().any(|&ri| {
+            let rule = &program.rules()[ri];
+            rule.positive_preds()
+                .iter()
+                .chain(rule.negative_preds().iter())
+                .any(|p| idb.contains(p))
+        });
+        out.push(StratumInfo {
+            rules: rule_ids.clone(),
+            idb,
+            maintenance: if self_reading {
+                Maintenance::Dred
+            } else {
+                Maintenance::Counting
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests;

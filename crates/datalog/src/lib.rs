@@ -62,6 +62,7 @@ mod error;
 pub mod eval;
 mod expr;
 mod fact;
+pub mod incremental;
 pub mod optimize;
 mod program;
 pub mod provenance;
@@ -77,6 +78,7 @@ pub use database::Database;
 pub use error::{DatalogError, Result};
 pub use expr::{BinOp, CmpOp, Expr};
 pub use fact::{Fact, Tuple};
+pub use incremental::{Delta, MaterializedView};
 pub use program::{EvalStats, EvalStrategy, Program};
 pub use rule::Rule;
 pub use storage::Relation;

@@ -92,7 +92,7 @@ pub fn reorder_body(body: &[BodyItem], stats: &dyn Cardinality) -> Vec<BodyItem>
                 // Only ineligible filters remain (an unsafe body): preserve
                 // the original relative order and bail out — the safety
                 // check will reject it downstream with a precise error.
-                out.extend(remaining.drain(..));
+                out.append(&mut remaining);
             }
         }
     }
@@ -141,10 +141,8 @@ fn bind_outputs(item: &BodyItem, bound: &mut Vec<Symbol>) {
                 }
             }
         }
-        BodyItem::Assign { var, .. } => {
-            if !bound.contains(var) {
-                bound.push(*var);
-            }
+        BodyItem::Assign { var, .. } if !bound.contains(var) => {
+            bound.push(*var);
         }
         _ => {}
     }

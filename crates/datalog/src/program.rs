@@ -63,6 +63,16 @@ impl Program {
         self.strata.len()
     }
 
+    /// The stratification (rule indices per stratum, predicate strata).
+    pub(crate) fn strata(&self) -> &Strata {
+        &self.strata
+    }
+
+    /// The fixpoint iteration safety valve.
+    pub(crate) fn iteration_limit(&self) -> usize {
+        self.iteration_limit
+    }
+
     /// Evaluates with the default (seminaive) strategy. Returns a database
     /// containing the input facts plus everything derivable.
     pub fn eval(&self, db: &Database) -> Result<Database> {

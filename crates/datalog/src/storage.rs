@@ -7,9 +7,10 @@
 //! column 0 and later probes are O(1) per matching tuple.
 //!
 //! Indexes are cached behind an `RwLock` so lookups work through `&Relation`
-//! (evaluation holds shared references to the database). Mutation clears the
-//! cache; the workloads of the paper mutate between stages, not inside a
-//! fixpoint, so rebuilds are rare and amortized.
+//! (evaluation holds shared references to the database). Both insertion and
+//! removal update cached indexes in place — single-tuple removal sits on
+//! the incremental maintenance hot path, where dropping the cache would
+//! turn an O(change) step into an O(database) rebuild.
 
 use crate::{Result, Tuple, Value};
 use std::collections::HashMap;
@@ -86,20 +87,47 @@ impl Relation {
 
     /// Removes a tuple; returns `true` if it was present.
     ///
-    /// Removal drops the index cache (deletes happen between WebdamLog
-    /// stages, never inside a fixpoint, so this is off the hot path).
+    /// Cached indexes are updated in place — the incremental maintenance
+    /// engine deletes single tuples on its hot path, so dropping the whole
+    /// cache (and rebuilding it on the next probe) would turn an O(change)
+    /// maintenance step back into an O(database) one. Removal swap-fills
+    /// the vacated slot with the last tuple, so every index entry naming
+    /// the old last id is remapped to the vacated id.
     pub fn remove(&mut self, tuple: &[Value]) -> bool {
         let Some(id) = self.membership.remove(tuple) else {
             return false;
         };
         let id = id as usize;
+        let last = self.tuples.len() - 1;
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        for (&mask, index) in indexes.iter_mut() {
+            // Drop the removed tuple's posting.
+            let key = key_for(tuple, mask);
+            if let Some(ids) = index.get_mut(&key) {
+                if let Some(pos) = ids.iter().position(|&x| x == id as u32) {
+                    ids.swap_remove(pos);
+                }
+                if ids.is_empty() {
+                    index.remove(&key);
+                }
+            }
+            // Remap the tuple that swap_remove moves into slot `id`.
+            if id != last {
+                let moved_key = key_for(&self.tuples[last], mask);
+                if let Some(ids) = index.get_mut(&moved_key) {
+                    if let Some(pos) = ids.iter().position(|&x| x == last as u32) {
+                        ids[pos] = id as u32;
+                    }
+                }
+            }
+        }
+        drop(indexes);
         self.tuples.swap_remove(id);
         if id < self.tuples.len() {
             // The former last tuple moved into slot `id`.
             let moved = self.tuples[id].clone();
             self.membership.insert(moved, id as u32);
         }
-        self.indexes.write().expect("index lock poisoned").clear();
         true
     }
 
@@ -295,14 +323,84 @@ mod tests {
     }
 
     #[test]
-    fn removal_invalidates_indexes() {
+    fn removal_updates_indexes_in_place() {
         let mut r = Relation::new(1);
         r.insert(t(&[1])).unwrap();
         r.insert(t(&[2])).unwrap();
         assert_eq!(r.matches(0b1, &[Value::from(1)]).len(), 1);
+        assert_eq!(r.cached_indexes(), 1);
         r.remove(&t(&[1]));
+        // The index survives the removal (no cache drop) and stays correct.
+        assert_eq!(r.cached_indexes(), 1);
         assert_eq!(r.matches(0b1, &[Value::from(1)]).len(), 0);
         assert_eq!(r.matches(0b1, &[Value::from(2)]).len(), 1);
+    }
+
+    /// Regression: the swap-fill in `remove` moves the last tuple into the
+    /// vacated slot; a stale index entry would then resolve probes of the
+    /// moved tuple to the wrong row (or past the end).
+    #[test]
+    fn remove_remaps_swapped_tuple_in_indexes() {
+        let mut r = Relation::new(2);
+        for i in 0..6i64 {
+            r.insert(t(&[i, i * 10])).unwrap();
+        }
+        // Build two indexes with different masks.
+        assert_eq!(r.matches(0b01, &[Value::from(5)]).len(), 1);
+        assert_eq!(r.matches(0b11, &[Value::from(5), Value::from(50)]).len(), 1);
+        // Removing row 0 swap-fills slot 0 with row 5.
+        assert!(r.remove(&t(&[0, 0])));
+        assert_eq!(r.cached_indexes(), 2);
+        let hits = r.matches(0b01, &[Value::from(5)]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][1], Value::from(50));
+        assert_eq!(r.matches(0b11, &[Value::from(5), Value::from(50)]).len(), 1);
+        // Every remaining tuple is still findable through the index.
+        for i in 1..6i64 {
+            assert_eq!(r.matches(0b01, &[Value::from(i)]).len(), 1, "probe {i}");
+        }
+        assert_eq!(r.matches(0b01, &[Value::from(0)]).len(), 0);
+    }
+
+    /// Interleaved inserts and removes keep index probes identical to full
+    /// scans, including duplicate-key buckets.
+    #[test]
+    fn interleaved_mutation_keeps_indexes_consistent() {
+        let mut r = Relation::new(2);
+        // Touch the index early so every later mutation maintains it.
+        let _ = r.matches(0b01, &[Value::from(0)]);
+        let ops: &[(bool, i64, i64)] = &[
+            (true, 1, 1),
+            (true, 1, 2),
+            (true, 2, 1),
+            (false, 1, 1),
+            (true, 3, 3),
+            (false, 2, 1),
+            (true, 1, 1),
+            (false, 1, 2),
+            (false, 3, 3),
+        ];
+        for &(insert, a, b) in ops {
+            if insert {
+                r.insert(t(&[a, b])).unwrap();
+            } else {
+                r.remove(&t(&[a, b]));
+            }
+            for probe in 0..4i64 {
+                let via_index = r.matches(0b01, &[Value::from(probe)]);
+                let via_scan: Vec<_> = r
+                    .iter()
+                    .filter(|tu| tu[0] == Value::from(probe))
+                    .cloned()
+                    .collect();
+                assert_eq!(
+                    via_index.len(),
+                    via_scan.len(),
+                    "probe {probe} after {ops:?}"
+                );
+            }
+        }
+        assert_eq!(r.cached_indexes(), 1);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Offline stand-in for `criterion` that actually measures.
+//!
+//! It mirrors the API subset the bench binaries use — `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter*`, `BenchmarkId`, `Throughput` — and
+//! performs a real warm-up + timed measurement, reporting mean/min/max
+//! nanoseconds per iteration to stdout. No statistics engine, no plots;
+//! enough to compare workloads in the same process reliably.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (each sample is ≥1 iteration).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// CLI-argument configuration: accepted and ignored in the shim.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the shim; results were already
+    /// printed as they were measured).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Declares the volume of work per iteration (reported, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Per-group sample-size override.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares per-iteration throughput (printed alongside results).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(b) => println!("  throughput: {b} bytes/iter"),
+            Throughput::Elements(e) => println!("  throughput: {e} elems/iter"),
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+        );
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs an unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+        );
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`] (strings or ready-made ids).
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+/// Drives the measured closure; collected samples are reported by the group.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Bencher {
+        Bencher {
+            sample_size,
+            warm_up,
+            measurement,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Measures `routine`, timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Like [`Bencher::iter`] but drops the (possibly large) output outside
+    /// the timed section. The shim times the call including the drop — the
+    /// distinction only matters for criterion's statistics.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Batched measurement: `setup` runs untimed before each `routine` call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: a few setup+routine cycles.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let per_sample = self.measurement / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let mut iters = 0u64;
+            let mut elapsed = Duration::ZERO;
+            while elapsed < per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                elapsed += t0.elapsed();
+                iters += 1;
+                if iters >= 1_000_000 {
+                    break;
+                }
+            }
+            if iters > 0 {
+                self.samples_ns
+                    .push(elapsed.as_nanos() as f64 / iters as f64);
+            }
+        }
+    }
+
+    fn run(&mut self, mut once: impl FnMut()) {
+        // Warm-up phase, also used to size iteration batches.
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            once();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let per_sample = self.measurement / self.sample_size as u32;
+        let batch = ((per_sample.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                once();
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("  {group}/{id}: no samples");
+            return;
+        }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  {group}/{id}: mean {} (min {}, max {}) over {} samples",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.samples_ns.len()
+        );
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (shim ignores it).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1u64, |b, &x| {
+            b.iter(|| {
+                count = count.wrapping_add(x);
+                count
+            })
+        });
+        g.finish();
+        c.final_summary();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serializes through serde (the wire codec in `wdl-net`
+//! is hand-rolled). The derives scattered through the tree only need to
+//! *compile*, so this shim provides the trait surface they reference and a
+//! pair of no-op derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Minimal `serde::Serializer` surface.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Minimal `serde::Deserializer` surface.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error;
+    /// Deserializes an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace never serializes through serde (see the `serde` shim), so
+//! deriving `Serialize`/`Deserialize` expands to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,7 +41,11 @@ fn main() {
     joe.grants_mut().restrict_read("reviews");
     joe.grants_mut().declassify("toPublish");
 
-    println!("before snapshot: {} rules, {} relations", joe.rules().len(), joe.schema().len());
+    println!(
+        "before snapshot: {} rules, {} relations",
+        joe.rules().len(),
+        joe.schema().len()
+    );
     snapshot::save_to_file(&joe, &path).expect("snapshot saves");
     println!("snapshot written to {}", path.display());
     drop(joe); // the machine "shuts down"
@@ -52,7 +56,9 @@ fn main() {
         "restored: {} rules, {} movie(s), trusts blogHost: {}",
         restored.rules().len(),
         restored.relation_facts("movies").len(),
-        restored.acl().is_trusted(webdamlog::datalog::Symbol::intern("blogHost")),
+        restored
+            .acl()
+            .is_trusted(webdamlog::datalog::Symbol::intern("blogHost")),
     );
 
     // The restored peer computes exactly as before.

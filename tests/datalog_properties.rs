@@ -1,14 +1,24 @@
 //! Property-based tests on the datalog kernel's core invariants.
+//!
+//! Hand-rolled generators over a seeded PRNG (the offline environment has
+//! no `proptest`): every case is deterministic, and failures print the case
+//! seed so they can be replayed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use webdamlog::datalog::{
     Atom, BodyItem, Database, EvalStrategy, Fact, Program, Relation, Rule, Subst, Symbol, Term,
     Value,
 };
 
-/// Random edge lists for transitive-closure programs.
-fn edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((0i64..12, 0i64..12), 0..60)
+const CASES: u64 = 64;
+
+/// Random edge list: up to 60 edges over 12 nodes.
+fn edges(rng: &mut StdRng) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(0..60usize);
+    (0..n)
+        .map(|_| (rng.gen_range(0..12i64), rng.gen_range(0..12i64)))
+        .collect()
 }
 
 fn tc_program() -> Program {
@@ -57,13 +67,13 @@ fn reference_tc(edges: &[(i64, i64)]) -> std::collections::BTreeSet<(i64, i64)> 
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Seminaive and naive agree with each other AND with an independent
-    /// reference implementation on random graphs.
-    #[test]
-    fn seminaive_equals_naive_equals_reference(edges in edges()) {
+/// Seminaive and naive agree with each other AND with an independent
+/// reference implementation on random graphs.
+#[test]
+fn seminaive_equals_naive_equals_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0001 + case);
+        let edges = edges(&mut rng);
         let program = tc_program();
         let db = db_from_edges(&edges);
         let (semi, _) = program.eval_with(&db, EvalStrategy::Seminaive).unwrap();
@@ -79,14 +89,19 @@ proptest! {
                 })
                 .unwrap_or_default()
         };
-        prop_assert_eq!(collect(&semi), reference.clone());
-        prop_assert_eq!(collect(&naive), reference);
+        assert_eq!(collect(&semi), reference, "case {case}");
+        assert_eq!(collect(&naive), reference, "case {case}");
     }
+}
 
-    /// Evaluation is monotone in the input: adding facts never removes
-    /// derived facts.
-    #[test]
-    fn evaluation_is_monotone(base in edges(), extra in edges()) {
+/// Evaluation is monotone in the input: adding facts never removes
+/// derived facts.
+#[test]
+fn evaluation_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0002 + case);
+        let base = edges(&mut rng);
+        let extra = edges(&mut rng);
         let program = tc_program();
         let small = program.eval(&db_from_edges(&base)).unwrap();
         let mut all = base.clone();
@@ -95,77 +110,100 @@ proptest! {
         if let Some(small_path) = small.relation("path") {
             let big_path = big.relation("path").unwrap();
             for t in small_path.iter() {
-                prop_assert!(big_path.contains(t));
+                assert!(big_path.contains(t), "case {case}: lost {t:?}");
             }
         }
     }
+}
 
-    /// Evaluation is idempotent: re-running on the saturated database adds
-    /// nothing.
-    #[test]
-    fn evaluation_is_idempotent(edges in edges()) {
+/// Evaluation is idempotent: re-running on the saturated database adds
+/// nothing.
+#[test]
+fn evaluation_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0003 + case);
+        let edges = edges(&mut rng);
         let program = tc_program();
         let once = program.eval(&db_from_edges(&edges)).unwrap();
         let twice = program.eval(&once).unwrap();
-        prop_assert_eq!(once.fact_count(), twice.fact_count());
+        assert_eq!(once.fact_count(), twice.fact_count(), "case {case}");
     }
+}
 
-    /// Relation storage behaves like a set under random insert/remove
-    /// sequences, and indexed lookups always agree with full scans.
-    #[test]
-    fn storage_matches_set_model(
-        ops in prop::collection::vec((prop::bool::ANY, 0i64..20, 0i64..20), 0..200),
-    ) {
+/// Relation storage behaves like a set under random insert/remove
+/// sequences, and indexed lookups always agree with full scans.
+#[test]
+fn storage_matches_set_model() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0004 + case);
         let mut rel = Relation::new(2);
         let mut model: std::collections::HashSet<(i64, i64)> = Default::default();
-        for (insert, a, b) in ops {
+        let ops = rng.gen_range(0..200usize);
+        for _ in 0..ops {
+            let insert = rng.gen_bool(0.5);
+            let a = rng.gen_range(0..20i64);
+            let b = rng.gen_range(0..20i64);
             let tuple: Box<[Value]> = vec![Value::from(a), Value::from(b)].into();
             if insert {
-                prop_assert_eq!(rel.insert(tuple).unwrap(), model.insert((a, b)));
+                assert_eq!(rel.insert(tuple).unwrap(), model.insert((a, b)));
             } else {
-                prop_assert_eq!(rel.remove(&tuple), model.remove(&(a, b)));
+                assert_eq!(rel.remove(&tuple), model.remove(&(a, b)));
             }
         }
-        prop_assert_eq!(rel.len(), model.len());
+        assert_eq!(rel.len(), model.len(), "case {case}");
         // Indexed lookup on column 0 agrees with the model.
         for probe in 0..20i64 {
             let hits = rel.matches(0b01, &[Value::from(probe)]);
             let expected = model.iter().filter(|(a, _)| *a == probe).count();
-            prop_assert_eq!(hits.len(), expected);
+            assert_eq!(hits.len(), expected, "case {case} probe {probe}");
         }
     }
+}
 
-    /// Substitution unification is consistent: binding then reading back
-    /// returns the bound value; conflicting unification fails.
-    #[test]
-    fn subst_unification(pairs in prop::collection::vec(("[a-e]", 0i64..10), 0..20)) {
+/// Substitution unification is consistent: binding then reading back
+/// returns the bound value; conflicting unification fails.
+#[test]
+fn subst_unification() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0005 + case);
         let mut s = Subst::new();
         let mut model: std::collections::HashMap<String, i64> = Default::default();
-        for (name, val) in pairs {
+        let pairs = rng.gen_range(0..20usize);
+        for _ in 0..pairs {
+            let name = char::from(b'a' + rng.gen_range(0..5u8)).to_string();
+            let val = rng.gen_range(0..10i64);
             let sym = Symbol::intern(&name);
             let expected = match model.get(&name) {
                 Some(&existing) => existing == val,
-                None => { model.insert(name.clone(), val); true }
+                None => {
+                    model.insert(name.clone(), val);
+                    true
+                }
             };
-            prop_assert_eq!(s.unify_var(sym, &Value::from(val)), expected);
+            assert_eq!(s.unify_var(sym, &Value::from(val)), expected, "case {case}");
         }
         for (name, val) in &model {
-            prop_assert_eq!(s.get(Symbol::intern(name)), Some(&Value::from(*val)));
+            assert_eq!(s.get(Symbol::intern(name)), Some(&Value::from(*val)));
         }
     }
+}
 
-    /// Negation: `unreach = node − reach`, on random graphs.
-    #[test]
-    fn stratified_negation_is_complement(
-        edges in edges(),
-        src in 0i64..12,
-    ) {
+/// Negation: `unreach = node − reach`, on random graphs.
+#[test]
+fn stratified_negation_is_complement() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0006 + case);
+        let edges = edges(&mut rng);
+        let src = rng.gen_range(0..12i64);
         let atom = |p: &str, vs: &[&str]| Atom::new(p, vs.iter().map(|v| Term::var(*v)).collect());
         let program = Program::new(vec![
             Rule::new(atom("reach", &["x"]), vec![atom("src", &["x"]).into()]),
             Rule::new(
                 atom("reach", &["y"]),
-                vec![atom("reach", &["x"]).into(), atom("edge", &["x", "y"]).into()],
+                vec![
+                    atom("reach", &["x"]).into(),
+                    atom("edge", &["x", "y"]).into(),
+                ],
             ),
             Rule::new(
                 atom("unreach", &["x"]),
@@ -184,6 +222,6 @@ proptest! {
         let out = program.eval(&db).unwrap();
         let reach = out.relation("reach").map(|r| r.len()).unwrap_or(0);
         let unreach = out.relation("unreach").map(|r| r.len()).unwrap_or(0);
-        prop_assert_eq!(reach + unreach, 12);
+        assert_eq!(reach + unreach, 12, "case {case}");
     }
 }

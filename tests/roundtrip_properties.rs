@@ -1,7 +1,11 @@
 //! Property-based round-trip tests: AST → surface syntax → AST, and
 //! AST → wire bytes → AST.
+//!
+//! Hand-rolled generators over a seeded PRNG (the offline environment has
+//! no `proptest`): each case is deterministic and replayable by seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use webdamlog::core::{
     Delegation, FactKind, Message, NameTerm, Payload, WAtom, WBodyItem, WFact, WLiteral, WRule,
 };
@@ -9,178 +13,249 @@ use webdamlog::datalog::{BinOp, CmpOp, Expr, Symbol, Term, Value};
 use webdamlog::net::codec;
 use webdamlog::parser::{self, pretty};
 
+const CASES: u64 = 128;
+
 // ---------------------------------------------------------------------
-// Strategies
+// Generators
 // ---------------------------------------------------------------------
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-zA-Z0-9_]{0,8}".prop_map(|s| s)
+/// Lowercase identifier: `[a-z][a-zA-Z0-9_]{0,8}`.
+fn ident(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..rng.gen_range(0..=8usize) {
+        s.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    s
 }
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
-        // Strings exercise escaping: printable ASCII, quotes, backslashes,
-        // newlines, some unicode.
-        "[ -~éλ\\n\\t\"\\\\]{0,12}".prop_map(|s| Value::str(&s)),
-        prop::collection::vec(any::<u8>(), 0..16).prop_map(|b| Value::bytes(&b)),
-    ]
+/// Strings exercising escaping: printable ASCII, quotes, backslashes,
+/// newlines, some unicode.
+fn tricky_string(rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    for _ in 0..rng.gen_range(0..=12usize) {
+        let c = match rng.gen_range(0..8u32) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => '\t',
+            4 => 'é',
+            5 => 'λ',
+            _ => char::from(rng.gen_range(0x20..0x7fu8)),
+        };
+        s.push(c);
+    }
+    s
 }
 
-fn term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        ident().prop_map(|v| Term::var(v.as_str())),
-        value().prop_map(Term::Const),
-    ]
+fn value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..4u32) {
+        0 => Value::Int(rng.gen::<i64>()),
+        1 => Value::Bool(rng.gen::<bool>()),
+        2 => Value::str(&tricky_string(rng)),
+        _ => {
+            let n = rng.gen_range(0..16usize);
+            let mut b = vec![0u8; n];
+            rng.fill(&mut b[..]);
+            Value::bytes(&b)
+        }
+    }
 }
 
-fn name_term() -> impl Strategy<Value = NameTerm> {
-    prop_oneof![
-        ident().prop_map(|s| NameTerm::name(s.as_str())),
-        ident().prop_map(|s| NameTerm::var(s.as_str())),
-    ]
+fn term(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.5) {
+        Term::var(ident(rng).as_str())
+    } else {
+        Term::Const(value(rng))
+    }
 }
 
-fn atom() -> impl Strategy<Value = WAtom> {
-    (
-        name_term(),
-        name_term(),
-        prop::collection::vec(term(), 0..4),
-    )
-        .prop_map(|(rel, peer, args)| WAtom::new(rel, peer, args))
+fn name_term(rng: &mut StdRng) -> NameTerm {
+    if rng.gen_bool(0.5) {
+        NameTerm::name(ident(rng).as_str())
+    } else {
+        NameTerm::var(ident(rng).as_str())
+    }
 }
 
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn atom(rng: &mut StdRng) -> WAtom {
+    let rel = name_term(rng);
+    let peer = name_term(rng);
+    let args = (0..rng.gen_range(0..4usize)).map(|_| term(rng)).collect();
+    WAtom::new(rel, peer, args)
 }
 
-fn bin_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Mod),
-        Just(BinOp::Concat),
-    ]
+fn cmp_op(rng: &mut StdRng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.gen_range(0..6usize)]
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = term().prop_map(Expr::Term);
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        (bin_op(), inner.clone(), inner).prop_map(|(op, l, r)| Expr::bin(op, l, r))
-    })
+fn bin_op(rng: &mut StdRng) -> BinOp {
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Concat,
+    ][rng.gen_range(0..6usize)]
 }
 
-fn body_item() -> impl Strategy<Value = WBodyItem> {
-    prop_oneof![
-        atom().prop_map(WBodyItem::atom),
-        atom().prop_map(WBodyItem::not_atom),
-        (cmp_op(), term(), term()).prop_map(|(op, lhs, rhs)| WBodyItem::cmp(op, lhs, rhs)),
-        (ident(), expr()).prop_map(|(v, e)| WBodyItem::assign(v.as_str(), e)),
-    ]
+fn expr(rng: &mut StdRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        Expr::Term(term(rng))
+    } else {
+        Expr::bin(bin_op(rng), expr(rng, depth - 1), expr(rng, depth - 1))
+    }
 }
 
-fn rule() -> impl Strategy<Value = WRule> {
-    (atom(), prop::collection::vec(body_item(), 1..5))
-        .prop_map(|(head, body)| WRule::new(head, body))
+fn body_item(rng: &mut StdRng) -> WBodyItem {
+    match rng.gen_range(0..4u32) {
+        0 => WBodyItem::atom(atom(rng)),
+        1 => WBodyItem::not_atom(atom(rng)),
+        2 => WBodyItem::cmp(cmp_op(rng), term(rng), term(rng)),
+        _ => WBodyItem::assign(ident(rng).as_str(), expr(rng, 3)),
+    }
 }
 
-fn wfact() -> impl Strategy<Value = WFact> {
-    (ident(), ident(), prop::collection::vec(value(), 0..5))
-        .prop_map(|(rel, peer, vals)| WFact::new(rel.as_str(), peer.as_str(), vals))
+fn rule(rng: &mut StdRng) -> WRule {
+    let head = atom(rng);
+    let body = (0..rng.gen_range(1..5usize))
+        .map(|_| body_item(rng))
+        .collect();
+    WRule::new(head, body)
 }
 
-fn payload() -> impl Strategy<Value = Payload> {
-    prop_oneof![
-        (
-            prop_oneof![Just(FactKind::Persistent), Just(FactKind::Derived)],
-            prop::collection::vec(wfact(), 0..4),
-            prop::collection::vec(wfact(), 0..4),
-        )
-            .prop_map(|(kind, additions, retractions)| Payload::Facts {
+fn wfact(rng: &mut StdRng) -> WFact {
+    let rel = ident(rng);
+    let peer = ident(rng);
+    let vals: Vec<Value> = (0..rng.gen_range(0..5usize)).map(|_| value(rng)).collect();
+    WFact::new(rel.as_str(), peer.as_str(), vals)
+}
+
+fn payload(rng: &mut StdRng) -> Payload {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let kind = if rng.gen_bool(0.5) {
+                FactKind::Persistent
+            } else {
+                FactKind::Derived
+            };
+            let additions = (0..rng.gen_range(0..4usize)).map(|_| wfact(rng)).collect();
+            let retractions = (0..rng.gen_range(0..4usize)).map(|_| wfact(rng)).collect();
+            Payload::Facts {
                 kind,
                 additions,
-                retractions
-            }),
-        prop::collection::vec((ident(), ident(), rule()), 0..3).prop_map(|ds| {
-            Payload::Delegate(
-                ds.into_iter()
-                    .map(|(o, t, r)| Delegation::new(Symbol::intern(&o), Symbol::intern(&t), r))
-                    .collect(),
-            )
-        }),
-        prop::collection::vec((ident(), ident(), rule()), 0..4).prop_map(|ds| {
-            Payload::Revoke(
-                ds.into_iter()
-                    .map(|(o, t, r)| Delegation::new(Symbol::intern(&o), Symbol::intern(&t), r).id)
-                    .collect(),
-            )
-        }),
-    ]
+                retractions,
+            }
+        }
+        1 => Payload::Delegate(
+            (0..rng.gen_range(0..3usize))
+                .map(|_| {
+                    let o = ident(rng);
+                    let t = ident(rng);
+                    Delegation::new(Symbol::intern(&o), Symbol::intern(&t), rule(rng))
+                })
+                .collect(),
+        ),
+        _ => Payload::Revoke(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| {
+                    let o = ident(rng);
+                    let t = ident(rng);
+                    Delegation::new(Symbol::intern(&o), Symbol::intern(&t), rule(rng)).id
+                })
+                .collect(),
+        ),
+    }
 }
 
 // ---------------------------------------------------------------------
 // Properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// pretty → parse is the identity on rules.
-    #[test]
-    fn rule_pretty_parse_round_trip(r in rule()) {
+/// pretty → parse is the identity on rules.
+#[test]
+fn rule_pretty_parse_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0001 + case);
+        let r = rule(&mut rng);
         let printed = pretty::rule(&r);
         let parsed = parser::parse_rule(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
-        prop_assert_eq!(parsed, r);
+            .unwrap_or_else(|e| panic!("case {case}: failed to reparse {printed:?}: {e}"));
+        assert_eq!(parsed, r, "case {case}");
     }
+}
 
-    /// pretty → parse is the identity on facts.
-    #[test]
-    fn fact_pretty_parse_round_trip(f in wfact()) {
+/// pretty → parse is the identity on facts.
+#[test]
+fn fact_pretty_parse_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0002 + case);
+        let f = wfact(&mut rng);
         let printed = pretty::fact(&f);
         let parsed = parser::parse_fact(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
-        prop_assert_eq!(parsed, f);
+            .unwrap_or_else(|e| panic!("case {case}: failed to reparse {printed:?}: {e}"));
+        assert_eq!(parsed, f, "case {case}");
     }
+}
 
-    /// encode → decode is the identity on messages.
-    #[test]
-    fn codec_round_trip(from in ident(), to in ident(), p in payload()) {
+/// encode → decode is the identity on messages.
+#[test]
+fn codec_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0003 + case);
+        let from = ident(&mut rng);
+        let to = ident(&mut rng);
+        let p = payload(&mut rng);
         let msg = Message::new(Symbol::intern(&from), Symbol::intern(&to), p);
         let bytes = codec::encode(&msg);
         let back = codec::decode(&bytes).unwrap();
-        prop_assert_eq!(back, msg);
+        assert_eq!(back, msg, "case {case}");
     }
+}
 
-    /// Decoding arbitrary bytes never panics (it may error).
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+/// Decoding arbitrary bytes never panics (it may error).
+#[test]
+fn decoder_is_total() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0004 + case);
+        let n = rng.gen_range(0..256usize);
+        let mut bytes = vec![0u8; n];
+        rng.fill(&mut bytes[..]);
         let _ = codec::decode(&bytes);
     }
+}
 
-    /// Truncating a valid frame always errors, never panics or succeeds
-    /// with wrong data.
-    #[test]
-    fn truncation_always_detected(f in wfact(), cut_frac in 0.0f64..1.0) {
+/// Truncating a valid frame always errors, never panics or succeeds
+/// with wrong data.
+#[test]
+fn truncation_always_detected() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0DE_0005 + case);
+        let f = wfact(&mut rng);
+        let cut_frac: f64 = rng.gen();
         let msg = Message::new(
             Symbol::intern("a"),
             Symbol::intern("b"),
-            Payload::Facts { kind: FactKind::Derived, additions: vec![f], retractions: vec![] },
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![f],
+                retractions: vec![],
+            },
         );
         let bytes = codec::encode(&msg);
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         if cut < bytes.len() {
-            prop_assert!(codec::decode(&bytes[..cut]).is_err());
+            assert!(codec::decode(&bytes[..cut]).is_err(), "case {case}");
         }
     }
 }

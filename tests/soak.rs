@@ -35,8 +35,7 @@ fn randomized_conference_soak() {
                 // select someone
                 let other = names[rng.gen_range(0..names.len())].clone();
                 if other != actor {
-                    ops::select_attendee(conf.peer_mut(actor.as_str()).unwrap(), &other)
-                        .unwrap();
+                    ops::select_attendee(conf.peer_mut(actor.as_str()).unwrap(), &other).unwrap();
                 }
             }
             2 => {
@@ -106,7 +105,11 @@ fn randomized_conference_soak() {
         .map(|n| snapshot::save(conf.peer(n.as_str()).unwrap()).to_vec())
         .collect();
     for (n, bytes) in names.iter().zip(&snaps) {
-        let before = conf.peer(n.as_str()).unwrap().relation_facts("pictures").len();
+        let before = conf
+            .peer(n.as_str())
+            .unwrap()
+            .relation_facts("pictures")
+            .len();
         conf.runtime.remove_peer(n.as_str()).unwrap();
         let restored = snapshot::load(bytes).unwrap();
         assert_eq!(restored.relation_facts("pictures").len(), before);
@@ -156,7 +159,10 @@ fn open_trust_volume_soak() {
     }
     // And the sigmod pool holds all 120.
     assert_eq!(
-        conf.peer("sigmod").unwrap().relation_facts("pictures").len(),
+        conf.peer("sigmod")
+            .unwrap()
+            .relation_facts("pictures")
+            .len(),
         names.len() * 20
     );
 }
