@@ -19,7 +19,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
+
 use wdl_bench::open_peer;
 use wdl_core::{Peer, RelationKind};
 use wdl_datalog::incremental::{Delta, MaterializedView};
@@ -27,6 +27,17 @@ use wdl_datalog::{Atom, BodyItem, Database, Fact, Program, Rule, Term, Value};
 
 /// Wepic-style workload sizes: (pictures, tags per picture, persons).
 const SCALES: &[(usize, usize, usize)] = &[(500, 4, 100), (2500, 4, 200)];
+
+/// Scales for this run: `BENCH_QUICK` keeps only the small workload (whose
+/// base stays under the 10k-fact threshold, so the headline assertion —
+/// which needs the full-size database — is naturally skipped).
+fn scales() -> &'static [(usize, usize, usize)] {
+    if wdl_bench::quick() {
+        &SCALES[..1]
+    } else {
+        SCALES
+    }
+}
 
 fn atom(pred: &str, vars: &[&str]) -> Atom {
     Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
@@ -120,19 +131,6 @@ fn churn_facts(pics: usize, persons: usize) -> (Fact, Fact) {
     (tag, friend)
 }
 
-/// Median wall time of `runs` executions of `f`.
-fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
-    let mut samples: Vec<u128> = (0..runs)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_nanos()
-        })
-        .collect();
-    samples.sort();
-    samples[samples.len() / 2]
-}
-
 /// A single peer running the same rules through `Peer::run_stage` (the
 /// maintained path end to end).
 fn wepic_peer(tag: &str, pics: usize, tags_per: usize, persons: usize) -> Peer {
@@ -179,13 +177,14 @@ fn wepic_peer(tag: &str, pics: usize, tags_per: usize, persons: usize) -> Peer {
     p
 }
 
-fn table() {
+fn table(c: &mut Criterion) {
+    let runs = if wdl_bench::quick() { 3 } else { 9 };
     println!("\n# E10: incremental maintenance vs from-scratch recomputation");
     println!(
         "{:>8} {:>8} {:>7} {:>16} {:>16} {:>16} {:>9}",
         "base", "derived", "strata", "untag_pair_ns", "unfriend_pair", "recompute_ns", "speedup"
     );
-    for &(pics, tags_per, persons) in SCALES {
+    for &(pics, tags_per, persons) in scales() {
         let program = wepic_program();
         let base = wepic_base(pics, tags_per, persons);
         let base_facts = base.fact_count();
@@ -199,15 +198,15 @@ fn table() {
         assert_eq!(view.database().fact_count(), reference.fact_count());
         view.apply(&Delta::insertion(tag.clone())).unwrap();
 
-        let untag_ns = median_ns(9, || {
+        let untag_ns = wdl_bench::median_ns(runs, || {
             view.apply(&Delta::deletion(tag.clone())).unwrap();
             view.apply(&Delta::insertion(tag.clone())).unwrap();
         });
-        let unfriend_ns = median_ns(9, || {
+        let unfriend_ns = wdl_bench::median_ns(runs, || {
             view.apply(&Delta::deletion(friend.clone())).unwrap();
             view.apply(&Delta::insertion(friend.clone())).unwrap();
         });
-        let recompute_ns = median_ns(9, || {
+        let recompute_ns = wdl_bench::median_ns(runs, || {
             black_box(program.eval(&base).unwrap());
         });
         // The maintained number covers a delete *and* the re-insert that
@@ -223,6 +222,9 @@ fn table() {
             recompute_ns,
             speedup
         );
+        c.record_metric(format!("untag_pair_ns_{base_facts}"), untag_ns as f64);
+        c.record_metric(format!("recompute_ns_{base_facts}"), recompute_ns as f64);
+        c.record_metric(format!("speedup_{base_facts}"), speedup);
         if base_facts >= 10_000 {
             assert!(
                 speedup >= 10.0,
@@ -235,7 +237,7 @@ fn table() {
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_incremental");
-    for (i, &(pics, tags_per, persons)) in SCALES.iter().enumerate() {
+    for (i, &(pics, tags_per, persons)) in scales().iter().enumerate() {
         let program = wepic_program();
         let base = wepic_base(pics, tags_per, persons);
         let n = base.fact_count();
@@ -285,8 +287,8 @@ fn bench(c: &mut Criterion) {
 }
 
 fn main() {
-    table();
     let mut c = wdl_bench::criterion();
+    table(&mut c);
     bench(&mut c);
     c.final_summary();
 }

@@ -1,0 +1,200 @@
+//! E11 — parallel evaluation (ISSUE 2): sharded seminaive joins.
+//!
+//! The paper's pitch is that declarative rules let the system optimize
+//! freely; this bench measures the sharded fixpoint of
+//! `wdl_datalog::eval::parallel` on a scaled-up Wepic workload — a
+//! friendship graph partitioned into conference "tables", closed under the
+//! recursive `reach` rule, joined against a `PictureCorpus` of uploaded
+//! pictures:
+//!
+//! ```text
+//! reach(x, y) :- knows(x, y)
+//! reach(x, z) :- reach(x, y), knows(y, z)
+//! feed(p, id) :- reach(p, q), pictures(id, n, q, d)
+//! ```
+//!
+//! The table sweeps `EvalConfig::workers` over {1, 2, 4}, verifies every
+//! worker count computes the *same* relations (the parallel ≡ sequential
+//! contract, property-tested in `tests/parallel_properties.rs`), and —
+//! when the machine actually has ≥ 4 CPUs and the workload is full-size —
+//! asserts the headline claim: ≥ 2× fixpoint speedup at 4 workers over
+//! `workers = 1`.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wdl_datalog::{Atom, Database, Fact, Program, Rule, Term, Value};
+use wepic::PictureCorpus;
+
+/// Workload sizes: (components, persons per component, pictures per person).
+const FULL_SCALES: &[(usize, usize, usize)] = &[(16, 28, 2), (24, 40, 2)];
+const QUICK_SCALES: &[(usize, usize, usize)] = &[(4, 10, 1)];
+
+const WORKER_SWEEP: &[usize] = &[1, 2, 4];
+
+fn atom(pred: &str, vars: &[&str]) -> Atom {
+    Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
+}
+
+fn reach_program() -> Program {
+    Program::new(vec![
+        Rule::new(
+            atom("reach", &["x", "y"]),
+            vec![atom("knows", &["x", "y"]).into()],
+        ),
+        Rule::new(
+            atom("reach", &["x", "z"]),
+            vec![
+                atom("reach", &["x", "y"]).into(),
+                atom("knows", &["y", "z"]).into(),
+            ],
+        ),
+        Rule::new(
+            atom("feed", &["p", "id"]),
+            vec![
+                atom("reach", &["p", "q"]).into(),
+                atom("pictures", &["id", "n", "q", "d"]).into(),
+            ],
+        ),
+    ])
+    .unwrap()
+}
+
+/// Builds the base: `comps` disjoint friendship components ("tables" at the
+/// conference) of `persons` people each — a ring plus deterministic chords,
+/// so `reach` closes each component to `persons²` pairs over ~`persons`
+/// delta rounds — with `pics` corpus pictures uploaded per person.
+fn scaled_base(comps: usize, persons: usize, pics: usize) -> Database {
+    let mut db = Database::new();
+    let mut corpus = PictureCorpus::new(0xE11);
+    let mut pic_id = 0i64;
+    for c in 0..comps {
+        for i in 0..persons {
+            let name = format!("p{c}n{i}");
+            let next = format!("p{c}n{}", (i + 1) % persons);
+            db.insert(Fact::new(
+                "knows",
+                vec![Value::from(name.as_str()), Value::from(next.as_str())],
+            ))
+            .unwrap();
+            if i % 3 == 0 {
+                let chord = format!("p{c}n{}", (i * 7 + 3) % persons);
+                db.insert(Fact::new(
+                    "knows",
+                    vec![Value::from(name.as_str()), Value::from(chord.as_str())],
+                ))
+                .unwrap();
+            }
+            for pic in corpus.pictures(&name, pics, 16) {
+                db.insert(Fact::new(
+                    "pictures",
+                    vec![
+                        Value::from(pic_id),
+                        Value::from(pic.name.as_str()),
+                        Value::from(pic.owner.as_str()),
+                        Value::from(pic.data.clone()),
+                    ],
+                ))
+                .unwrap();
+                pic_id += 1;
+            }
+        }
+    }
+    db
+}
+
+fn scales() -> &'static [(usize, usize, usize)] {
+    if wdl_bench::quick() {
+        QUICK_SCALES
+    } else {
+        FULL_SCALES
+    }
+}
+
+fn table(c: &mut Criterion) {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runs = if wdl_bench::quick() { 3 } else { 5 };
+    println!("\n# E11: sharded seminaive fixpoint, worker sweep ({cpus} CPUs available)");
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "base", "derived", "w=1 ns", "w=2 ns", "w=4 ns", "x2", "x4"
+    );
+    for &(comps, persons, pics) in scales() {
+        let program = reach_program();
+        let base = scaled_base(comps, persons, pics);
+        let base_facts = base.fact_count();
+
+        // Parallel ≡ sequential: every worker count computes the same sets.
+        let reference = program.eval(&base).unwrap();
+        for &w in WORKER_SWEEP {
+            let out = program.clone().with_workers(w).eval(&base).unwrap();
+            for rel in ["reach", "feed"] {
+                assert_eq!(
+                    out.relation(rel).unwrap(),
+                    reference.relation(rel).unwrap(),
+                    "workers={w} diverged on {rel}"
+                );
+            }
+        }
+        let derived = reference.fact_count() - base_facts;
+
+        let mut times = Vec::new();
+        for &w in WORKER_SWEEP {
+            let p = program.clone().with_workers(w);
+            times.push(wdl_bench::median_ns(runs, || {
+                black_box(p.eval(&base).unwrap());
+            }));
+        }
+        let speedup2 = times[0] as f64 / times[1] as f64;
+        let speedup4 = times[0] as f64 / times[2] as f64;
+        println!(
+            "{:>8} {:>8} {:>14} {:>14} {:>14} {:>8.2}x {:>8.2}x",
+            base_facts, derived, times[0], times[1], times[2], speedup2, speedup4
+        );
+        c.record_metric(format!("fixpoint_w1_ns_{base_facts}"), times[0] as f64);
+        c.record_metric(format!("fixpoint_w2_ns_{base_facts}"), times[1] as f64);
+        c.record_metric(format!("fixpoint_w4_ns_{base_facts}"), times[2] as f64);
+        c.record_metric(format!("speedup_w4_{base_facts}"), speedup4);
+
+        // The headline claim needs real cores and the full-size workload.
+        if cpus >= 4 && !wdl_bench::quick() {
+            assert!(
+                speedup4 >= 2.0,
+                "sharded fixpoint must reach ≥2× at 4 workers on a ≥4-CPU \
+                 machine (got {speedup4:.2}× on {base_facts} base facts)"
+            );
+        } else {
+            println!(
+                "  (speedup assertion skipped: {} CPUs, quick={})",
+                cpus,
+                wdl_bench::quick()
+            );
+        }
+    }
+    c.record_metric("cpus", cpus as f64);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_parallel");
+    for &(comps, persons, pics) in scales() {
+        let program = reach_program();
+        let base = scaled_base(comps, persons, pics);
+        let n = base.fact_count();
+        for &w in WORKER_SWEEP {
+            let p = program.clone().with_workers(w);
+            g.bench_with_input(
+                BenchmarkId::new(format!("fixpoint_w{w}"), n),
+                &base,
+                |b, base| b.iter(|| black_box(p.eval(base).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = wdl_bench::criterion();
+    table(&mut c);
+    bench(&mut c);
+    c.final_summary();
+}

@@ -48,7 +48,31 @@
 use crate::{qualify, Peer, RelationKind, RuleId, WBodyItem, WRule};
 use std::collections::HashSet;
 use wdl_datalog::incremental::MaterializedView;
+use wdl_datalog::optimize::{self, Cardinality};
 use wdl_datalog::{Atom as DAtom, BodyItem as DItem, Database, Program, Rule as DRule, Symbol};
+
+/// Live cardinality estimates for the join-order optimizer, read straight
+/// off the peer: a qualified predicate counts its extensional store tuples,
+/// the previous stage's derivation snapshot (intensional relations), and
+/// maintained remote contributions. No clone — compilation happens only on
+/// ruleset-epoch bumps, but the peer may be large.
+struct LiveStats<'a> {
+    peer: &'a Peer,
+}
+
+impl Cardinality for LiveStats<'_> {
+    fn cardinality(&self, rel: Symbol) -> usize {
+        let peer = self.peer;
+        let mut n = peer.store.relation(rel).map_or(0, |r| r.len());
+        n += peer.derived.relation(rel).map_or(0, |r| r.len());
+        for (r, origins) in &peer.remote_contrib {
+            if qualify(*r, peer.name) == rel {
+                n += origins.values().map(|s| s.len()).sum::<usize>();
+            }
+        }
+        n
+    }
+}
 
 /// The maintained state of the compiled layer.
 pub(crate) struct IncrementalState {
@@ -118,10 +142,20 @@ pub(crate) fn compile_local(peer: &Peer) -> Option<(Program, HashSet<RuleId>)> {
     if rules.is_empty() {
         return None;
     }
+    // Compiled bodies are fully local, so positive-atom joins commute and
+    // the greedy join-order optimizer applies (WebdamLog body order only
+    // carries meaning up to the delegation split, which these rules never
+    // reach). Reorder against live cardinalities before validation.
+    let rules = optimize::reorder_rules(&rules, &LiveStats { peer });
     match Program::new(rules) {
         // The peer's stage-level fixpoint cap bounds the compiled layer
         // too — set_fixpoint_limit must keep meaning what it says.
-        Ok(program) => Some((program.with_iteration_limit(peer.fixpoint_limit), compiled)),
+        Ok(program) => Some((
+            program
+                .with_iteration_limit(peer.fixpoint_limit)
+                .with_workers(peer.eval_workers),
+            compiled,
+        )),
         Err(_) => None,
     }
 }

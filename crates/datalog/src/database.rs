@@ -31,7 +31,7 @@ impl Database {
             }),
             Some(_) => Ok(()),
             None => {
-                self.relations.insert(pred, Relation::new(arity));
+                self.relations.insert(pred, Relation::try_new(arity)?);
                 Ok(())
             }
         }
@@ -44,10 +44,12 @@ impl Database {
 
     /// Inserts a tuple into `pred`.
     pub fn insert_tuple(&mut self, pred: Symbol, tuple: Tuple) -> Result<bool> {
-        let rel = self
-            .relations
-            .entry(pred)
-            .or_insert_with(|| Relation::new(tuple.len()));
+        let rel = match self.relations.entry(pred) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Relation::try_new(tuple.len())?)
+            }
+        };
         if rel.arity() != tuple.len() {
             return Err(DatalogError::ArityMismatch {
                 relation: pred.to_string(),
@@ -61,6 +63,16 @@ impl Database {
     /// Convenience: insert from a `Vec<Value>`.
     pub fn insert_values(&mut self, pred: impl Into<Symbol>, values: Vec<Value>) -> Result<bool> {
         self.insert_tuple(pred.into(), values.into())
+    }
+
+    /// Shard-building fast path for the parallel evaluator: appends a
+    /// tuple known to be distinct (see [`Relation::push_distinct`]),
+    /// creating the relation with `arity` on first use.
+    pub(crate) fn push_distinct(&mut self, pred: Symbol, arity: usize, tuple: Tuple) {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+            .push_distinct(tuple);
     }
 
     /// Removes a fact. Returns `true` if it was present.

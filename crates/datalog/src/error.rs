@@ -30,6 +30,22 @@ pub enum DatalogError {
     UnboundVariable(String),
     /// Fixpoint exceeded the configured iteration bound (safety valve).
     IterationLimit(usize),
+    /// A relation was declared with more columns than indexes support.
+    UnsupportedArity {
+        /// The requested arity.
+        arity: usize,
+        /// The maximum supported arity ([`crate::MAX_ARITY`]).
+        max: usize,
+    },
+    /// A relation reached its maximum tuple capacity.
+    CapacityExceeded {
+        /// The capacity that was hit.
+        capacity: u64,
+    },
+    /// A parallel evaluation worker terminated abnormally mid-round; the
+    /// fixpoint was abandoned (the worker's panic is re-raised once its
+    /// thread is joined).
+    WorkerFailed,
 }
 
 impl fmt::Display for DatalogError {
@@ -50,6 +66,21 @@ impl fmt::Display for DatalogError {
             DatalogError::UnboundVariable(msg) => write!(f, "unbound variable: {msg}"),
             DatalogError::IterationLimit(n) => {
                 write!(f, "fixpoint did not converge within {n} iterations")
+            }
+            DatalogError::UnsupportedArity { arity, max } => {
+                write!(
+                    f,
+                    "relation arity {arity} exceeds the supported maximum of {max} columns"
+                )
+            }
+            DatalogError::CapacityExceeded { capacity } => {
+                write!(
+                    f,
+                    "relation reached its maximum capacity of {capacity} tuples"
+                )
+            }
+            DatalogError::WorkerFailed => {
+                write!(f, "a parallel evaluation worker terminated abnormally")
             }
         }
     }
@@ -72,5 +103,10 @@ mod tests {
         assert!(e.to_string().contains('4'));
         let e = DatalogError::IterationLimit(10);
         assert!(e.to_string().contains("10"));
+        let e = DatalogError::UnsupportedArity { arity: 70, max: 64 };
+        assert!(e.to_string().contains("70"));
+        assert!(e.to_string().contains("64"));
+        let e = DatalogError::CapacityExceeded { capacity: 1 << 32 };
+        assert!(e.to_string().contains("4294967296"));
     }
 }

@@ -7,11 +7,15 @@
 
 mod diff;
 mod naive;
+mod parallel;
 mod seminaive;
 mod stratify;
 
+pub use parallel::EvalConfig;
+
 pub(crate) use diff::{match_body_at_slot, DiffSide, NetChange};
 pub(crate) use naive::naive_fixpoint;
+pub(crate) use parallel::seminaive_fixpoint_sharded;
 pub(crate) use seminaive::seminaive_fixpoint;
 pub(crate) use stratify::{stratify, Strata};
 
@@ -131,17 +135,17 @@ pub(crate) fn match_atom(db: &Database, atom: &Atom, subst: &Subst) -> Result<Ve
         });
     }
     // Build the index probe from bound positions.
-    let mut mask: u32 = 0;
+    let mut mask: crate::storage::ColMask = 0;
     let mut key = Vec::new();
     for (i, t) in atom.args.iter().enumerate() {
         match t {
             Term::Const(v) => {
-                mask |= 1 << i;
+                mask |= 1u64 << i;
                 key.push(v.clone());
             }
             Term::Var(v) => {
                 if let Some(val) = subst.get(*v) {
-                    mask |= 1 << i;
+                    mask |= 1u64 << i;
                     key.push(val.clone());
                 }
             }

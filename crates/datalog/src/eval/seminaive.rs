@@ -71,7 +71,10 @@ pub(crate) fn seminaive_fixpoint(
     Ok(())
 }
 
-fn derive_into(
+/// Derives every head instantiation of `rule` (optionally delta-rewritten
+/// at one positive occurrence) into `out`. Shared with the sharded
+/// parallel evaluator, whose workers run exactly this per shard.
+pub(crate) fn derive_into(
     db: &Database,
     delta: Option<(&Database, usize)>,
     rule: &Rule,

@@ -76,12 +76,13 @@ mod value;
 pub use atom::{Atom, BodyItem, Literal};
 pub use database::Database;
 pub use error::{DatalogError, Result};
+pub use eval::EvalConfig;
 pub use expr::{BinOp, CmpOp, Expr};
 pub use fact::{Fact, Tuple};
 pub use incremental::{Delta, MaterializedView};
 pub use program::{EvalStats, EvalStrategy, Program};
 pub use rule::Rule;
-pub use storage::Relation;
+pub use storage::{ColMask, Relation, MAX_ARITY};
 pub use subst::Subst;
 pub use symbol::Symbol;
 pub use term::Term;

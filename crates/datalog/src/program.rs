@@ -1,6 +1,8 @@
 //! Programs: validated rule sets with stratified fixpoint evaluation.
 
-use crate::eval::{naive_fixpoint, seminaive_fixpoint, stratify, Strata};
+use crate::eval::{
+    naive_fixpoint, seminaive_fixpoint, seminaive_fixpoint_sharded, stratify, EvalConfig, Strata,
+};
 use crate::{Database, Result, Rule};
 
 /// Which bottom-up strategy [`Program::eval`] uses.
@@ -30,6 +32,7 @@ pub struct Program {
     rules: Vec<Rule>,
     strata: Strata,
     iteration_limit: usize,
+    eval_config: EvalConfig,
 }
 
 impl Program {
@@ -44,6 +47,7 @@ impl Program {
             rules,
             strata,
             iteration_limit: 1_000_000,
+            eval_config: EvalConfig::default(),
         })
     }
 
@@ -51,6 +55,31 @@ impl Program {
     pub fn with_iteration_limit(mut self, limit: usize) -> Program {
         self.iteration_limit = limit;
         self
+    }
+
+    /// Sets the number of seminaive worker threads (default 1 = serial).
+    /// Every worker count computes the same result; see
+    /// [`crate::eval::EvalConfig`].
+    pub fn with_workers(mut self, workers: usize) -> Program {
+        self.eval_config.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the whole evaluation config.
+    pub fn with_eval_config(mut self, config: EvalConfig) -> Program {
+        self.eval_config = config;
+        self
+    }
+
+    /// Adjusts the worker count in place (used when re-tuning a program
+    /// that is already owned by a materialized view).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.eval_config.workers = workers.max(1);
+    }
+
+    /// The configured seminaive worker count.
+    pub fn workers(&self) -> usize {
+        self.eval_config.workers
     }
 
     /// The rules, in the order given to [`Program::new`].
@@ -111,7 +140,18 @@ impl Program {
                 }
                 EvalStrategy::Seminaive => {
                     let idb = self.strata.preds_of(stratum_idx);
-                    seminaive_fixpoint(db, &rules, &idb, stats, self.iteration_limit)?;
+                    if self.eval_config.workers > 1 {
+                        seminaive_fixpoint_sharded(
+                            db,
+                            &rules,
+                            &idb,
+                            stats,
+                            self.iteration_limit,
+                            self.eval_config.workers,
+                        )?;
+                    } else {
+                        seminaive_fixpoint(db, &rules, &idb, stats, self.iteration_limit)?;
+                    }
                 }
             }
         }

@@ -16,7 +16,15 @@ use crate::{Result, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::RwLock;
 
-type ColMask = u32;
+/// A binding pattern: bit `i` set means column `i` is bound at the lookup.
+/// 64 bits wide, so every supported arity ([`MAX_ARITY`]) indexes without
+/// aliasing — with a narrower mask, columns ≥ the width would silently
+/// collide into the same index slots.
+pub type ColMask = u64;
+
+/// The widest relation the index masks can address.
+pub const MAX_ARITY: usize = ColMask::BITS as usize;
+
 type Index = HashMap<Box<[Value]>, Vec<u32>>;
 
 /// A stored relation: a set of same-arity tuples with lazy secondary indexes.
@@ -29,14 +37,31 @@ pub struct Relation {
 
 impl Relation {
     /// Creates an empty relation of the given arity.
+    ///
+    /// # Panics
+    /// Panics when `arity` exceeds [`MAX_ARITY`]; use [`Relation::try_new`]
+    /// for a recoverable error (the [`crate::Database`] entry points do).
     pub fn new(arity: usize) -> Relation {
-        assert!(arity <= 32, "relations support at most 32 columns");
-        Relation {
+        Relation::try_new(arity).expect("relation arity exceeds MAX_ARITY")
+    }
+
+    /// Creates an empty relation, rejecting arities the index masks cannot
+    /// address ([`MAX_ARITY`]) with [`DatalogError::UnsupportedArity`].
+    ///
+    /// [`DatalogError::UnsupportedArity`]: crate::DatalogError::UnsupportedArity
+    pub fn try_new(arity: usize) -> Result<Relation> {
+        if arity > MAX_ARITY {
+            return Err(crate::DatalogError::UnsupportedArity {
+                arity,
+                max: MAX_ARITY,
+            });
+        }
+        Ok(Relation {
             arity,
             tuples: Vec::new(),
             membership: HashMap::new(),
             indexes: RwLock::new(HashMap::new()),
-        }
+        })
     }
 
     /// The number of columns.
@@ -73,7 +98,13 @@ impl Relation {
         if self.membership.contains_key(&tuple) {
             return Ok(false);
         }
-        let id = u32::try_from(self.tuples.len()).expect("relation overflow");
+        let id = u32::try_from(self.tuples.len()).map_err(|_| {
+            // Tuple ids are u32 to keep index postings compact; a relation
+            // at 2^32 tuples fails recoverably instead of panicking.
+            crate::DatalogError::CapacityExceeded {
+                capacity: u64::from(u32::MAX) + 1,
+            }
+        })?;
         let mut indexes = self.indexes.write().expect("index lock poisoned");
         for (&mask, index) in indexes.iter_mut() {
             let key = key_for(&tuple, mask);
@@ -83,6 +114,21 @@ impl Relation {
         self.membership.insert(tuple.clone(), id);
         self.tuples.push(tuple);
         Ok(true)
+    }
+
+    /// Appends a tuple assuming it is distinct and no indexes are cached
+    /// yet — the parallel evaluator builds per-worker delta shards from
+    /// already-deduplicated facts, and shards only ever serve
+    /// [`Relation::for_each_match`] probes (which index off the tuple
+    /// vector), so paying for the membership map would be pure overhead.
+    pub(crate) fn push_distinct(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.len(), self.arity);
+        debug_assert!(self
+            .indexes
+            .get_mut()
+            .expect("index lock poisoned")
+            .is_empty());
+        self.tuples.push(tuple);
     }
 
     /// Removes a tuple; returns `true` if it was present.
@@ -207,7 +253,7 @@ impl Relation {
 fn key_for(tuple: &[Value], mask: ColMask) -> Box<[Value]> {
     let mut key = Vec::with_capacity(mask.count_ones() as usize);
     for (col, v) in tuple.iter().enumerate() {
-        if mask & (1 << col) != 0 {
+        if mask & (1u64 << col) != 0 {
             key.push(v.clone());
         }
     }
@@ -413,6 +459,59 @@ mod tests {
         assert_eq!(c.cached_indexes(), 0);
         assert_eq!(c.len(), 1);
         assert_eq!(r, c);
+    }
+
+    /// Regression: masks are 64-bit, so columns ≥ 32 index without
+    /// aliasing (a u32 mask would have collided `1 << 35` into low bits),
+    /// and arities beyond [`MAX_ARITY`] are rejected recoverably rather
+    /// than corrupting index slots.
+    #[test]
+    fn wide_arities_index_high_columns_without_aliasing() {
+        let mut r = Relation::try_new(40).unwrap();
+        // Two tuples differing only in column 35.
+        let mut a: Vec<Value> = (0..40i64).map(Value::from).collect();
+        let mut b = a.clone();
+        a[35] = Value::from(1000);
+        b[35] = Value::from(2000);
+        r.insert(a.clone().into()).unwrap();
+        r.insert(b.into()).unwrap();
+        let mask: ColMask = 1 << 35;
+        let hits = r.matches(mask, &[Value::from(1000)]);
+        assert_eq!(hits.len(), 1, "column 35 must discriminate");
+        assert_eq!(hits[0][35], Value::from(1000));
+        // The widest supported arity works end to end…
+        let mut widest = Relation::try_new(MAX_ARITY).unwrap();
+        let t: Vec<Value> = (0..MAX_ARITY as i64).map(Value::from).collect();
+        widest.insert(t.into()).unwrap();
+        let top: ColMask = 1 << (MAX_ARITY - 1);
+        assert_eq!(
+            widest
+                .matches(top, &[Value::from(MAX_ARITY as i64 - 1)])
+                .len(),
+            1
+        );
+        // …and one past it is a recoverable error, not a panic.
+        assert!(matches!(
+            Relation::try_new(MAX_ARITY + 1),
+            Err(crate::DatalogError::UnsupportedArity { arity: 65, max: 64 })
+        ));
+    }
+
+    /// The database entry points surface the arity bound as an error too.
+    #[test]
+    fn database_rejects_oversized_arity_recoverably() {
+        let mut db = crate::Database::new();
+        assert!(matches!(
+            db.declare("wide", MAX_ARITY + 3),
+            Err(crate::DatalogError::UnsupportedArity { .. })
+        ));
+        let tuple: Tuple = (0..(MAX_ARITY as i64 + 1)).map(Value::from).collect();
+        assert!(matches!(
+            db.insert_tuple(crate::Symbol::intern("wide2"), tuple),
+            Err(crate::DatalogError::UnsupportedArity { .. })
+        ));
+        // A failed insert must not leave a half-created relation behind.
+        assert!(db.relation("wide2").is_none());
     }
 
     #[test]

@@ -5,16 +5,41 @@
 //! performs a real warm-up + timed measurement, reporting mean/min/max
 //! nanoseconds per iteration to stdout. No statistics engine, no plots;
 //! enough to compare workloads in the same process reliably.
+//!
+//! Beyond stdout, every measurement (and any custom metric recorded with
+//! [`Criterion::record_metric`]) is kept, and [`Criterion::final_summary`]
+//! writes the lot as a machine-readable `BENCH_<bench>.json` next to the
+//! working directory (or under `$BENCH_JSON_DIR`) — the artifact CI
+//! uploads.
 
 pub use std::hint::black_box;
 
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, as serialized into the JSON summary.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
 
 /// Top-level harness configuration.
 pub struct Criterion {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    results: Vec<BenchResult>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -23,6 +48,8 @@ impl Default for Criterion {
             sample_size: 10,
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(2),
+            results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 }
@@ -62,9 +89,105 @@ impl Criterion {
         }
     }
 
-    /// Prints the closing summary (no-op in the shim; results were already
-    /// printed as they were measured).
-    pub fn final_summary(&mut self) {}
+    /// Records a custom scalar metric (table-derived numbers like speedups)
+    /// for the JSON summary.
+    pub fn record_metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Writes the machine-readable summary: `BENCH_<bench>.json` in
+    /// `$BENCH_JSON_DIR` (default: the working directory), where `<bench>`
+    /// is the bench binary's name. Results were already printed to stdout
+    /// as they were measured.
+    pub fn final_summary(&mut self) {
+        if cfg!(test) {
+            return; // the shim's own tests must not litter the workspace
+        }
+        let Some(bench) = bench_binary_name() else {
+            return;
+        };
+        let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+        let json = self.to_json(&bench);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn to_json(&self, bench: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), json_num(*v)));
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {}, \
+                 \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}",
+                escape(&r.group),
+                escape(&r.id),
+                json_num(r.mean_ns),
+                json_num(r.min_ns),
+                json_num(r.max_ns),
+                r.samples
+            ));
+        }
+        if !self.results.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// The bench binary's logical name: the executable file stem with cargo's
+/// trailing `-<metadata hash>` stripped.
+fn bench_binary_name() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?;
+    let name = match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if suffix.len() >= 8 && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            base
+        }
+        _ => stem,
+    };
+    Some(name.to_string())
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// JSON has no NaN/Inf; clamp them to null-safe zero.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
 }
 
 /// Identifies one benchmark within a group.
@@ -131,7 +254,9 @@ impl BenchmarkGroup<'_> {
             self.criterion.measurement_time,
         );
         f(&mut b, input);
-        b.report(&self.name, &id.id);
+        if let Some(result) = b.report(&self.name, &id.id) {
+            self.criterion.results.push(result);
+        }
         self
     }
 
@@ -147,7 +272,9 @@ impl BenchmarkGroup<'_> {
             self.criterion.measurement_time,
         );
         f(&mut b);
-        b.report(&self.name, &id.id);
+        if let Some(result) = b.report(&self.name, &id.id) {
+            self.criterion.results.push(result);
+        }
         self
     }
 
@@ -263,10 +390,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, group: &str, id: &str) {
+    fn report(&self, group: &str, id: &str) -> Option<BenchResult> {
         if self.samples_ns.is_empty() {
             println!("  {group}/{id}: no samples");
-            return;
+            return None;
         }
         let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
         let min = self
@@ -286,6 +413,14 @@ impl Bencher {
             fmt_ns(max),
             self.samples_ns.len()
         );
+        Some(BenchResult {
+            group: group.to_string(),
+            id: id.to_string(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: self.samples_ns.len(),
+        })
     }
 }
 
