@@ -57,8 +57,8 @@ fn table() {
     for &s in SIZES {
         // memory
         let net = InMemoryNetwork::new();
-        let mut a = net.endpoint(format!("m7a{s}").as_str());
-        let mut b = net.endpoint(format!("m7b{s}").as_str());
+        let mut a = net.endpoint(format!("m7a{s}").as_str()).unwrap();
+        let mut b = net.endpoint(format!("m7b{s}").as_str()).unwrap();
         for i in 0..BATCH {
             a.send(picture_msg(
                 &format!("m7a{s}"),
@@ -118,8 +118,8 @@ fn bench(c: &mut Criterion) {
             let net = InMemoryNetwork::new();
             let an = format!("bench7a{s}");
             let bn = format!("bench7b{s}");
-            let mut a = net.endpoint(an.as_str());
-            let mut bb = net.endpoint(bn.as_str());
+            let mut a = net.endpoint(an.as_str()).unwrap();
+            let mut bb = net.endpoint(bn.as_str()).unwrap();
             b.iter(|| {
                 for i in 0..BATCH {
                     a.send(picture_msg(&an, &bn, i as i64, s)).unwrap();

@@ -166,6 +166,34 @@ impl LocalRuntime {
         Ok(report)
     }
 
+    /// Runs one stage on a *single* peer, then routes the messages it
+    /// produced — the event-at-a-time hook the simulation layer and
+    /// schedule-exploration tests build on. Interleaving `step_peer` calls
+    /// in any fair order (every peer keeps getting stepped until quiet)
+    /// reaches the same quiescent state as the round-robin [`tick`]
+    /// (`LocalRuntime::tick`) loop; `tests/sim_conformance.rs` sweeps
+    /// random schedules to pin that down.
+    pub fn step_peer(&mut self, name: impl Into<Symbol>) -> Result<TickReport> {
+        let name = name.into();
+        let Some(peer) = self.peer_mut(name) else {
+            return Err(crate::WdlError::UnknownPeer(name.to_string()));
+        };
+        let out = peer.run_stage()?;
+        let mut report = TickReport {
+            changed: out.changed,
+            ..TickReport::default()
+        };
+        report.stats.insert(name, out.stats);
+        for msg in out.messages {
+            if self.deliver(msg) {
+                report.messages += 1;
+            } else {
+                report.undeliverable += 1;
+            }
+        }
+        Ok(report)
+    }
+
     /// Like [`LocalRuntime::tick`], but runs peers' stages concurrently on
     /// scoped worker threads, then merges at a barrier.
     ///
@@ -480,6 +508,79 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    /// Stepping peers one at a time through the `step_peer` hook reaches
+    /// the same outcome as the lockstep `tick` loop, and routes messages
+    /// the same way.
+    #[test]
+    fn step_peer_matches_tick_outcome() {
+        let build = || {
+            let mut rt = LocalRuntime::new();
+            rt.add_peer(open_peer("sp-jules"));
+            rt.add_peer(open_peer("sp-emilien"));
+            let jules = rt.peer_mut("sp-jules").unwrap();
+            jules
+                .declare("attendeePictures", 4, RelationKind::Intensional)
+                .unwrap();
+            jules
+                .add_rule(WRule::example_attendee_pictures("sp-jules"))
+                .unwrap();
+            jules
+                .insert_local("selectedAttendee", vec![Value::from("sp-emilien")])
+                .unwrap();
+            rt.peer_mut("sp-emilien")
+                .unwrap()
+                .insert_local(
+                    "pictures",
+                    vec![
+                        Value::from(1),
+                        Value::from("sea.jpg"),
+                        Value::from("sp-emilien"),
+                        Value::bytes(&[1]),
+                    ],
+                )
+                .unwrap();
+            rt
+        };
+
+        let mut lockstep = build();
+        lockstep.run_to_quiescence(16).unwrap();
+
+        // An unfair but eventually-fair schedule: jules twice per round.
+        let mut stepped = build();
+        for _ in 0..24 {
+            stepped.step_peer("sp-jules").unwrap();
+            stepped.step_peer("sp-jules").unwrap();
+            stepped.step_peer("sp-emilien").unwrap();
+        }
+        assert_eq!(
+            stepped
+                .peer("sp-jules")
+                .unwrap()
+                .relation_facts("attendeePictures"),
+            lockstep
+                .peer("sp-jules")
+                .unwrap()
+                .relation_facts("attendeePictures"),
+        );
+        assert_eq!(
+            stepped
+                .peer("sp-jules")
+                .unwrap()
+                .relation_facts("attendeePictures")
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn step_peer_unknown_peer_errors() {
+        let mut rt = LocalRuntime::new();
+        assert!(matches!(
+            rt.step_peer("nobody"),
+            Err(crate::WdlError::UnknownPeer(_))
+        ));
     }
 
     /// Multi-hop: a remote fact lands in an extensional relation at a third

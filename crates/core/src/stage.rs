@@ -157,10 +157,18 @@ impl Peer {
                 revokes.entry(d.target).or_default().push(*id);
             }
         }
+        // Emit per-target messages in sorted target order: hash-map
+        // iteration order varies per map instance, and a stage's message
+        // order must be a deterministic function of peer state so that
+        // seeded simulation runs replay exactly (`tests/sim_conformance`).
+        let mut installs: Vec<(Symbol, Vec<Delegation>)> = installs.into_iter().collect();
+        installs.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
         for (target, ds) in installs {
             stats.delegations_out += ds.len();
             messages.push(Message::new(self.name, target, Payload::Delegate(ds)));
         }
+        let mut revokes: Vec<(Symbol, Vec<DelegationId>)> = revokes.into_iter().collect();
+        revokes.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
         for (target, ids) in revokes {
             stats.revocations_out += ids.len();
             messages.push(Message::new(self.name, target, Payload::Revoke(ids)));
@@ -168,8 +176,14 @@ impl Peer {
         self.prev_delegations = outcome.delegations;
 
         // Remote fact diff per target.
-        let mut targets: HashSet<Symbol> = outcome.remote_facts.keys().copied().collect();
-        targets.extend(self.prev_sent.keys().copied());
+        let targets: HashSet<Symbol> = outcome
+            .remote_facts
+            .keys()
+            .chain(self.prev_sent.keys())
+            .copied()
+            .collect();
+        let mut targets: Vec<Symbol> = targets.into_iter().collect();
+        targets.sort_by(|a, b| a.as_str().cmp(b.as_str()));
         let empty = HashSet::new();
         for target in targets {
             let cur = outcome.remote_facts.get(&target).unwrap_or(&empty);

@@ -19,6 +19,14 @@ use wdl_datalog::{BinOp, CmpOp, Expr, Symbol, Term, Value};
 /// Format version magic; bump on incompatible changes.
 pub const WIRE_VERSION: u8 = 1;
 
+/// Maximum expression nesting a frame may carry. Decoding is recursive,
+/// so adversarial or corrupted frames nesting deeper are rejected with a
+/// codec error instead of a stack overflow. The limit is far above any
+/// expression the parser or rule builders produce; note that [`encode`]
+/// does not enforce it, so a (pathological) rule nesting deeper would
+/// encode but be rejected by the receiver's decode.
+pub const MAX_EXPR_DEPTH: usize = 512;
+
 /// Encodes a message into a standalone buffer (without outer length prefix —
 /// framing is the transport's job).
 pub fn encode(msg: &Message) -> Bytes {
@@ -342,12 +350,24 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn expr(&mut self) -> Result<Expr, NetError> {
+        self.expr_at(0)
+    }
+
+    fn expr_at(&mut self, depth: usize) -> Result<Expr, NetError> {
+        // Expressions decode recursively; cap the nesting so an
+        // adversarial (or corrupted) frame degrades to a clean error
+        // instead of exhausting the stack.
+        if depth > MAX_EXPR_DEPTH {
+            return Err(NetError::Codec(format!(
+                "expression nests deeper than {MAX_EXPR_DEPTH}"
+            )));
+        }
         match self.u8()? {
             0 => Ok(Expr::Term(self.term()?)),
             1 => {
                 let op = binop_from(self.u8()?)?;
-                let l = self.expr()?;
-                let r = self.expr()?;
+                let l = self.expr_at(depth + 1)?;
+                let r = self.expr_at(depth + 1)?;
                 Ok(Expr::bin(op, l, r))
             }
             t => Err(NetError::Codec(format!("bad expr tag {t}"))),
@@ -617,6 +637,163 @@ mod tests {
         let id_offset = 1 + 5 + 5 + 1 + 4;
         bytes[id_offset] ^= 0xff;
         assert!(decode(&bytes).is_err());
+    }
+
+    /// One message per payload variant, collectively covering every value,
+    /// term, name-term, body-item and expression shape the wire knows.
+    fn fuzz_corpus() -> Vec<Message> {
+        let all_values_fact = sample_fact();
+        let facts_persistent = Message::new(
+            sym("fz-a"),
+            sym("fz-b"),
+            Payload::Facts {
+                kind: FactKind::Persistent,
+                additions: vec![all_values_fact.clone()],
+                retractions: vec![WFact::new("r", "fz-b", vec![Value::from(i64::MIN)])],
+            },
+        );
+        let facts_derived = Message::new(
+            sym("fz-b"),
+            sym("fz-a"),
+            Payload::Facts {
+                kind: FactKind::Derived,
+                additions: vec![],
+                retractions: vec![all_values_fact],
+            },
+        );
+        // A rule with a negated literal, a comparison, an assignment with a
+        // nested binary expression, and peer/relation variables.
+        let rule = WRule::new(
+            WAtom::new(
+                wdl_core::NameTerm::var("rel"),
+                wdl_core::NameTerm::var("peer"),
+                vec![Term::var("y")],
+            ),
+            vec![
+                WBodyItem::Literal(WLiteral::pos(WAtom::at("n", "p", vec![Term::var("x")]))),
+                WBodyItem::Literal(WLiteral::neg(WAtom::at(
+                    "blocked",
+                    "p",
+                    vec![Term::var("x")],
+                ))),
+                WBodyItem::Cmp {
+                    op: CmpOp::Ge,
+                    lhs: Term::var("x"),
+                    rhs: Term::Const(Value::from(2)),
+                },
+                WBodyItem::Assign {
+                    var: Symbol::intern("y"),
+                    expr: Expr::bin(
+                        BinOp::Concat,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::Term(Term::var("x")),
+                            Expr::Term(Term::Const(Value::from(3))),
+                        ),
+                        Expr::Term(Term::Const(Value::str(""))),
+                    ),
+                },
+            ],
+        );
+        let d1 = Delegation::new(sym("fz-a"), sym("fz-b"), rule);
+        let d2 = Delegation::new(
+            sym("fz-b"),
+            sym("fz-a"),
+            WRule::example_attendee_pictures("fz-a"),
+        );
+        let delegate = Message::new(
+            sym("fz-a"),
+            sym("fz-b"),
+            Payload::Delegate(vec![d1, d2.clone()]),
+        );
+        let revoke = Message::new(sym("fz-b"), sym("fz-a"), Payload::Revoke(vec![d2.id]));
+        vec![facts_persistent, facts_derived, delegate, revoke]
+    }
+
+    /// The decoder must be total: whatever bytes arrive, the result is a
+    /// clean `Ok` or `NetError::Codec` — never a panic, never a different
+    /// error class. Seeded, so any failure replays.
+    #[test]
+    fn mutation_fuzz_decodes_cleanly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0DEC);
+        let check = |bytes: &[u8], what: &str| match decode(bytes) {
+            Ok(_) | Err(NetError::Codec(_)) => {}
+            Err(other) => panic!("{what}: unexpected error class: {other}"),
+        };
+        for msg in fuzz_corpus() {
+            let bytes = encode(&msg).to_vec();
+            // Every truncation point.
+            for cut in 0..bytes.len() {
+                check(&bytes[..cut], "truncation");
+            }
+            // Random bit flips, 1–4 bytes at a time.
+            for _ in 0..300 {
+                let mut b = bytes.clone();
+                for _ in 0..rng.gen_range(1..=4usize) {
+                    let i = rng.gen_range(0..b.len());
+                    b[i] ^= 1 << rng.gen_range(0..8u32);
+                }
+                check(&b, "bit flip");
+            }
+            // Random splices: overwrite a window with random bytes, or
+            // insert/remove a small chunk.
+            for _ in 0..150 {
+                let mut b = bytes.clone();
+                match rng.gen_range(0..3u8) {
+                    0 => {
+                        let start = rng.gen_range(0..b.len());
+                        let len = rng.gen_range(1..=8usize).min(b.len() - start);
+                        for x in &mut b[start..start + len] {
+                            *x = rng.gen::<u8>();
+                        }
+                    }
+                    1 => {
+                        let at = rng.gen_range(0..=b.len());
+                        let chunk: Vec<u8> = (0..rng.gen_range(1..=6usize))
+                            .map(|_| rng.gen::<u8>())
+                            .collect();
+                        b.splice(at..at, chunk);
+                    }
+                    _ => {
+                        let at = rng.gen_range(0..b.len());
+                        let len = rng.gen_range(1..=6usize).min(b.len() - at);
+                        b.drain(at..at + len);
+                    }
+                }
+                check(&b, "splice");
+            }
+        }
+    }
+
+    /// An adversarial frame nesting expressions past the cap is rejected
+    /// cleanly instead of blowing the decoder's stack.
+    #[test]
+    fn deep_expression_nesting_is_rejected() {
+        let mut buf = BytesMut::with_capacity(256);
+        buf.put_u8(WIRE_VERSION);
+        put_symbol(&mut buf, sym("deep-a"));
+        put_symbol(&mut buf, sym("deep-b"));
+        buf.put_u8(1); // Payload::Delegate
+        buf.put_u32_le(1);
+        buf.put_u64_le(0); // id (never reached)
+        put_symbol(&mut buf, sym("deep-a"));
+        put_symbol(&mut buf, sym("deep-b"));
+        // Rule head.
+        put_atom(&mut buf, &WAtom::at("h", "deep-a", vec![Term::var("x")]));
+        buf.put_u32_le(1); // one body item
+        buf.put_u8(2); // Assign
+        put_symbol(&mut buf, sym("x"));
+        for _ in 0..(MAX_EXPR_DEPTH + 8) {
+            buf.put_u8(1); // Expr::Bin
+            buf.put_u8(0); // Add
+        }
+        let err = decode(&buf).unwrap_err();
+        assert!(
+            err.to_string().contains("nests deeper"),
+            "wanted the depth error, got: {err}"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub enum NetError {
     Io(std::io::Error),
     /// The target peer is not known to this transport.
     UnknownPeer(String),
+    /// The peer already has an endpoint on this network.
+    DuplicateEndpoint(String),
     /// The transport has been shut down.
     Closed,
 }
@@ -21,6 +23,9 @@ impl fmt::Display for NetError {
             NetError::Codec(m) => write!(f, "codec error: {m}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::UnknownPeer(p) => write!(f, "unknown peer: {p}"),
+            NetError::DuplicateEndpoint(p) => {
+                write!(f, "endpoint for {p} already exists")
+            }
             NetError::Closed => write!(f, "transport closed"),
         }
     }
@@ -50,5 +55,8 @@ mod tests {
         assert!(NetError::Codec("x".into()).to_string().contains("codec"));
         assert!(NetError::Closed.to_string().contains("closed"));
         assert!(NetError::UnknownPeer("p".into()).to_string().contains('p'));
+        assert!(NetError::DuplicateEndpoint("p".into())
+            .to_string()
+            .contains("already exists"));
     }
 }

@@ -13,7 +13,10 @@
 //!   (the offline dependency allowlist has no serde *format* crate, so the
 //!   codec is written here, over `bytes`);
 //! * [`node`] — glue that drives a [`wdl_core::Peer`] over any
-//!   [`Transport`].
+//!   [`Transport`];
+//! * [`sim`] — a deterministic seeded discrete-event network simulator
+//!   (drop/duplicate/reorder/delay/partition/crash) with a convergence
+//!   oracle, for conformance testing the full peer stack.
 //!
 //! Stage semantics are transport-independent: a peer ingests whatever
 //! messages arrived since its previous stage, wherever they came from.
@@ -25,6 +28,7 @@ pub mod codec;
 mod error;
 pub mod memory;
 pub mod node;
+pub mod sim;
 pub mod snapshot;
 pub mod tcp;
 mod transport;

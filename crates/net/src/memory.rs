@@ -44,21 +44,22 @@ impl InMemoryNetwork {
 
     /// Creates (and registers) the endpoint for `peer`.
     ///
-    /// # Panics
-    /// If the peer already has an endpoint.
-    pub fn endpoint(&self, peer: impl Into<Symbol>) -> MemoryEndpoint {
+    /// Registering the same peer twice is a recoverable
+    /// [`NetError::DuplicateEndpoint`] (the existing endpoint keeps
+    /// working).
+    pub fn endpoint(&self, peer: impl Into<Symbol>) -> Result<MemoryEndpoint, NetError> {
         let peer = peer.into();
-        let (tx, rx) = unbounded();
         let mut hub = self.hub.lock();
-        assert!(
-            hub.channels.insert(peer, tx).is_none(),
-            "endpoint for {peer} already exists"
-        );
-        MemoryEndpoint {
+        if hub.channels.contains_key(&peer) {
+            return Err(NetError::DuplicateEndpoint(peer.to_string()));
+        }
+        let (tx, rx) = unbounded();
+        hub.channels.insert(peer, tx);
+        Ok(MemoryEndpoint {
             name: peer,
             hub: Arc::clone(&self.hub),
             rx,
-        }
+        })
     }
 
     /// Installs a fault plan (applies to subsequent sends).
@@ -134,8 +135,8 @@ mod tests {
     #[test]
     fn point_to_point_delivery_is_fifo() {
         let net = InMemoryNetwork::new();
-        let mut a = net.endpoint("a");
-        let mut b = net.endpoint("b");
+        let mut a = net.endpoint("a").unwrap();
+        let mut b = net.endpoint("b").unwrap();
         for i in 0..10 {
             a.send(msg("a", "b", i)).unwrap();
         }
@@ -152,7 +153,7 @@ mod tests {
     #[test]
     fn unknown_peer_errors() {
         let net = InMemoryNetwork::new();
-        let mut a = net.endpoint("a");
+        let mut a = net.endpoint("a").unwrap();
         assert!(matches!(
             a.send(msg("a", "ghost", 0)),
             Err(NetError::UnknownPeer(_))
@@ -160,11 +161,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already exists")]
-    fn duplicate_endpoint_panics() {
+    fn duplicate_endpoint_is_a_recoverable_error() {
         let net = InMemoryNetwork::new();
-        let _x = net.endpoint("dup");
-        let _y = net.endpoint("dup");
+        let _x = net.endpoint("dup").unwrap();
+        assert!(matches!(
+            net.endpoint("dup"),
+            Err(NetError::DuplicateEndpoint(_))
+        ));
+        // The original registration survives the failed attempt.
+        let mut b = net.endpoint("dup2").unwrap();
+        b.send(msg("dup2", "dup", 1)).unwrap();
+        assert_eq!(_x.hub.lock().delivered, 1);
     }
 
     #[test]
@@ -173,8 +180,8 @@ mod tests {
         net.set_faults(FaultPlan {
             drop_every_nth: Some(3),
         });
-        let mut a = net.endpoint("a");
-        let mut b = net.endpoint("b");
+        let mut a = net.endpoint("a").unwrap();
+        let mut b = net.endpoint("b").unwrap();
         for i in 0..9 {
             a.send(msg("a", "b", i)).unwrap();
         }
@@ -186,8 +193,8 @@ mod tests {
     #[test]
     fn cross_thread_delivery() {
         let net = InMemoryNetwork::new();
-        let mut a = net.endpoint("a");
-        let mut b = net.endpoint("b");
+        let mut a = net.endpoint("a").unwrap();
+        let mut b = net.endpoint("b").unwrap();
         let t = std::thread::spawn(move || {
             for i in 0..100 {
                 a.send(msg("a", "b", i)).unwrap();

@@ -193,7 +193,7 @@ mod tests {
     #[should_panic(expected = "different peer")]
     fn mismatched_names_panic() {
         let net = InMemoryNetwork::new();
-        let ep = net.endpoint("x");
+        let ep = net.endpoint("x").unwrap();
         let _ = PeerNode::new(Peer::new("y"), ep);
     }
 
@@ -202,8 +202,8 @@ mod tests {
     #[test]
     fn delegation_over_memory_transport() {
         let net = InMemoryNetwork::new();
-        let mut jules = PeerNode::new(open_peer("jules"), net.endpoint("jules"));
-        let mut emilien = PeerNode::new(open_peer("emilien"), net.endpoint("emilien"));
+        let mut jules = PeerNode::new(open_peer("jules"), net.endpoint("jules").unwrap());
+        let mut emilien = PeerNode::new(open_peer("emilien"), net.endpoint("emilien").unwrap());
 
         jules
             .peer_mut()
@@ -245,8 +245,8 @@ mod tests {
     #[test]
     fn threaded_nodes_converge() {
         let net = InMemoryNetwork::new();
-        let mut jules = PeerNode::new(open_peer("t-jules"), net.endpoint("t-jules"));
-        let mut emilien = PeerNode::new(open_peer("t-emilien"), net.endpoint("t-emilien"));
+        let mut jules = PeerNode::new(open_peer("t-jules"), net.endpoint("t-jules").unwrap());
+        let mut emilien = PeerNode::new(open_peer("t-emilien"), net.endpoint("t-emilien").unwrap());
 
         jules
             .peer_mut()
@@ -284,7 +284,7 @@ mod tests {
     #[test]
     fn run_until_quiet_detects_quiescence() {
         let net = InMemoryNetwork::new();
-        let mut solo = PeerNode::new(open_peer("solo-q"), net.endpoint("solo-q"));
+        let mut solo = PeerNode::new(open_peer("solo-q"), net.endpoint("solo-q").unwrap());
         solo.peer_mut()
             .insert_local("r", vec![Value::from(1)])
             .unwrap();

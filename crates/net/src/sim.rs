@@ -1,0 +1,37 @@
+//! # Deterministic distributed simulation (simnet)
+//!
+//! A FoundationDB-style seeded discrete-event simulator for the full peer
+//! stack. One virtual clock, one event queue, one seeded generator: every
+//! run is a pure function of `(scenario, fault plan, u64 seed)`, so any
+//! failure a thousand-seed sweep finds replays exactly from its printed
+//! seed.
+//!
+//! The pieces:
+//!
+//! * [`FaultPlan`] (+ [`LinkFaults`], [`Partition`]) — composable fault
+//!   plans: drop, duplicate, reorder, latency distributions, deterministic
+//!   every-nth drop, bidirectional/asymmetric partitions with heal, per
+//!   link or globally.
+//! * [`SimNet`] / [`SimEndpoint`] — the simulated network. Implements the
+//!   same [`crate::Transport`] trait as the memory and TCP transports, and
+//!   routes **every message through the real wire codec**, so wire-format
+//!   bugs surface in simulation.
+//! * [`SimRuntime`] — the scheduler: interleaves peer stages, deliveries,
+//!   scripted mutations ([`SimOp`]) and crash/restart event-by-event.
+//!   Crash/restart round-trips peers through the real snapshot
+//!   persistence path.
+//! * [`oracle`] — the convergence oracle grading faulty runs against a
+//!   fault-free reference (universe membership, subset of the lossless
+//!   outcome, eventual equality once faults heal).
+//!
+//! See the README's "Simulation testing" section for the seed-replay
+//! workflow, and `tests/sim_conformance.rs` for the seed-sweep suite.
+
+mod fault;
+mod hub;
+pub mod oracle;
+mod runtime;
+
+pub use fault::{FaultPlan, LinkFaults, Partition};
+pub use hub::{SimCounters, SimEndpoint, SimNet, SimOp};
+pub use runtime::{SimConfig, SimReport, SimRuntime};

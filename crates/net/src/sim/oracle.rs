@@ -1,0 +1,458 @@
+//! The convergence oracle: what a faulty run is *allowed* to produce.
+//!
+//! WebdamLog under faults has a set of admissible outcomes, not one golden
+//! trace (cf. the nondeterministic-outcome taxonomy of *Determination
+//! Provenance*). The oracle grades a simulated run against a fault-free
+//! reference computed on [`wdl_core::runtime::LocalRuntime`]:
+//!
+//! 1. **Universe membership** (always): every delivered tuple appears
+//!    somewhere in the fault-free run's history — the network can lose and
+//!    duplicate, but it can never *invent* facts.
+//! 2. **Subset of the lossless outcome** (monotone scenarios): for
+//!    insert-only workloads the faulty final state is a subset of the
+//!    fault-free final state, whatever was dropped.
+//! 3. **Eventual equality** (lossless plans): once partitions heal,
+//!    crashed peers restart, and buffered messages flush, the faulty run
+//!    converges to *exactly* the fault-free outcome. For workloads with
+//!    retractions this additionally requires an **ordered** plan (per-link
+//!    FIFO, no duplication) — the engine does not sequence its diff
+//!    protocol, so a duplicated retraction overtaken by its insertion is
+//!    an admissible divergence, exactly like UDP.
+//!
+//! The applicable checks are derived from the plan and scenario, so one
+//! `check_conformance` call grades any `(scenario, plan, seed)` triple.
+
+use super::fault::FaultPlan;
+use super::hub::SimOp;
+use super::runtime::{SimConfig, SimReport, SimRuntime};
+use crate::node::NodeError;
+use std::collections::{BTreeMap, BTreeSet};
+use wdl_core::runtime::LocalRuntime;
+use wdl_core::Peer;
+use wdl_datalog::{Symbol, Tuple};
+
+/// A watched location: `(peer, relation)`.
+pub type Watch = (Symbol, Symbol);
+
+/// Final (and historical) watched state, keyed by watch.
+pub type StateMap = BTreeMap<Watch, BTreeSet<Tuple>>;
+
+/// A reproducible distributed workload: how to build the peers, which
+/// mutations arrive in which batch, and which relations the oracle grades.
+pub struct Scenario {
+    /// Name for failure reports.
+    pub name: String,
+    /// True iff no batch ever deletes (monotone workload).
+    pub additive: bool,
+    /// Peers whose crash+restart preserves convergence. A peer qualifies
+    /// when its watched-relevant state is all durable (base facts, rules,
+    /// delegations — what the snapshot carries) and it re-sends its diffs
+    /// from scratch on restart. Peers holding *received* remote
+    /// contributions do NOT qualify: those are transient, and the
+    /// no-retransmit diff protocol never refills them (the crash analogue
+    /// of the documented drop limitation).
+    pub crashable: Vec<Symbol>,
+    /// Relations the oracle grades.
+    pub watched: Vec<Watch>,
+    /// Builds the peers (must be deterministic).
+    pub build: Box<dyn Fn() -> Vec<Peer>>,
+    /// Scripted mutation batches, applied in order.
+    pub batches: Vec<Vec<(Symbol, SimOp)>>,
+}
+
+/// The fault-free outcome of a scenario.
+#[derive(Clone, Debug)]
+pub struct Reference {
+    /// Watched state after the final batch quiesced.
+    pub final_state: StateMap,
+    /// Union of watched state after every batch — the universe of tuples
+    /// the network could legitimately carry at any point.
+    pub universe: StateMap,
+}
+
+/// Everything needed to reproduce one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// The seed printed on failure.
+    pub seed: u64,
+    /// The fault plan.
+    pub plan: FaultPlan,
+    /// Virtual µs between op batches.
+    pub batch_spacing: u64,
+    /// Crash script: `(at, peer, restart_after)`.
+    pub crashes: Vec<(u64, Symbol, Option<u64>)>,
+    /// Destroy in-flight frames on crash (see [`SimConfig`]).
+    pub crash_drops_inflight: bool,
+    /// Event budget for the run.
+    pub max_events: usize,
+}
+
+impl RunSpec {
+    /// Defaults: 4ms batch spacing, 200k events.
+    pub fn new(seed: u64, plan: FaultPlan) -> RunSpec {
+        RunSpec {
+            seed,
+            plan,
+            batch_spacing: 4_000,
+            crashes: Vec::new(),
+            crash_drops_inflight: false,
+            max_events: 200_000,
+        }
+    }
+
+    /// Adds a crash (+ optional restart) to the script.
+    pub fn crash(
+        mut self,
+        at: u64,
+        peer: impl Into<Symbol>,
+        restart_after: Option<u64>,
+    ) -> RunSpec {
+        self.crashes.push((at, peer.into(), restart_after));
+        self
+    }
+
+    /// True iff every crashed peer restarts and no in-flight loss is
+    /// configured — a precondition for the equality oracle.
+    fn crashes_recover(&self) -> bool {
+        !self.crash_drops_inflight && self.crashes.iter().all(|(_, _, r)| r.is_some())
+    }
+}
+
+/// Which checks a conformance run performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Universe-membership check ran (always true on success).
+    pub checked_universe: bool,
+    /// Subset-of-final check ran.
+    pub checked_subset: bool,
+    /// Eventual-equality check ran.
+    pub checked_equality: bool,
+    /// The simulated run's report.
+    pub steps: usize,
+}
+
+/// A graded failure, with everything needed to replay it.
+#[derive(Debug)]
+pub struct ConformanceError {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed to replay with.
+    pub seed: u64,
+    /// Which check failed.
+    pub check: &'static str,
+    /// Human-readable details (watch, sample tuples).
+    pub detail: String,
+}
+
+impl std::fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] seed {} failed {}: {}",
+            self.scenario, self.seed, self.check, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+impl Scenario {
+    /// Computes the fault-free reference on the in-process runtime:
+    /// batches apply sequentially, each followed by quiescence.
+    pub fn reference(&self) -> Result<Reference, NodeError> {
+        let mut rt = LocalRuntime::new();
+        for p in (self.build)() {
+            rt.add_peer(p);
+        }
+        let mut universe: StateMap = BTreeMap::new();
+        let record = |rt: &LocalRuntime, universe: &mut StateMap| -> StateMap {
+            let mut state: StateMap = BTreeMap::new();
+            for &(peer, rel) in &self.watched {
+                let tuples: BTreeSet<Tuple> = rt
+                    .peer(peer)
+                    .map(|p| p.relation_facts(rel).into_iter().collect())
+                    .unwrap_or_default();
+                universe
+                    .entry((peer, rel))
+                    .or_default()
+                    .extend(tuples.iter().cloned());
+                state.insert((peer, rel), tuples);
+            }
+            state
+        };
+        ref_quiesce(&mut rt)?;
+        let mut final_state = record(&rt, &mut universe);
+        for batch in &self.batches {
+            for (peer, op) in batch {
+                apply_ref_op(&mut rt, *peer, op)?;
+            }
+            ref_quiesce(&mut rt)?;
+            final_state = record(&rt, &mut universe);
+        }
+        Ok(Reference {
+            final_state,
+            universe,
+        })
+    }
+
+    /// Runs the scenario through the simulator under `spec`.
+    pub fn run_sim(&self, spec: &RunSpec) -> Result<(StateMap, SimReport), NodeError> {
+        let mut config = SimConfig::new(spec.seed).plan(spec.plan.clone());
+        if spec.crash_drops_inflight {
+            config = config.crash_drops_inflight();
+        }
+        let mut sim = SimRuntime::new(config);
+        for p in (self.build)() {
+            sim.add_peer(p).map_err(NodeError::Net)?;
+        }
+        for (i, batch) in self.batches.iter().enumerate() {
+            let at = (i as u64 + 1) * spec.batch_spacing;
+            for (peer, op) in batch {
+                sim.schedule_op(at, *peer, op.clone());
+            }
+        }
+        for (at, peer, restart_after) in &spec.crashes {
+            sim.schedule_crash(*at, *peer, *restart_after);
+        }
+        let report = sim.run_to_quiescence(spec.max_events)?;
+        let mut state: StateMap = BTreeMap::new();
+        for &(peer, rel) in &self.watched {
+            let tuples: BTreeSet<Tuple> = sim
+                .relation_facts(peer, rel)
+                .map(|v| v.into_iter().collect())
+                .unwrap_or_default();
+            state.insert((peer, rel), tuples);
+        }
+        Ok((state, report))
+    }
+}
+
+/// Stage budget per reference quiescence phase.
+const REF_ROUNDS: usize = 64;
+
+/// Runs the reference runtime to quiescence, erroring if the budget is
+/// exhausted — a half-computed reference must never be recorded as the
+/// fault-free truth.
+fn ref_quiesce(rt: &mut LocalRuntime) -> Result<(), NodeError> {
+    let report = rt
+        .run_to_quiescence(REF_ROUNDS)
+        .map_err(NodeError::Engine)?;
+    if !report.quiescent {
+        return Err(NodeError::Engine(wdl_core::WdlError::NoQuiescence {
+            stages: REF_ROUNDS,
+        }));
+    }
+    Ok(())
+}
+
+fn apply_ref_op(rt: &mut LocalRuntime, peer: Symbol, op: &SimOp) -> Result<(), NodeError> {
+    let p = rt
+        .peer_mut(peer)
+        .ok_or_else(|| NodeError::Engine(wdl_core::WdlError::UnknownPeer(peer.to_string())))?;
+    let r = match op {
+        SimOp::Insert { rel, tuple } => p.insert_local(*rel, tuple.clone()),
+        SimOp::Delete { rel, tuple } => p.delete_local(*rel, tuple.clone()),
+    };
+    r.map(|_| ()).map_err(NodeError::Engine)
+}
+
+fn sample(set: &BTreeSet<Tuple>, limit: usize) -> String {
+    let shown: Vec<String> = set.iter().take(limit).map(|t| format!("{t:?}")).collect();
+    let suffix = if set.len() > limit { ", …" } else { "" };
+    format!("{{{}{suffix}}}", shown.join(", "))
+}
+
+/// Grades one `(scenario, spec)` run against the fault-free reference.
+///
+/// Returns the checks performed, or a [`ConformanceError`] carrying the
+/// seed — the error's `Display` is self-contained for CI logs.
+pub fn check_conformance(scenario: &Scenario, spec: &RunSpec) -> Result<Verdict, ConformanceError> {
+    let fail = |check: &'static str, detail: String| ConformanceError {
+        scenario: scenario.name.clone(),
+        seed: spec.seed,
+        check,
+        detail,
+    };
+    let reference = scenario
+        .reference()
+        .map_err(|e| fail("reference-run", e.to_string()))?;
+    let (state, report) = scenario
+        .run_sim(spec)
+        .map_err(|e| fail("sim-run", e.to_string()))?;
+    if !report.quiescent {
+        return Err(fail(
+            "quiescence",
+            format!(
+                "simulation did not quiesce within {} events ({} steps, t={}µs)",
+                spec.max_events, report.steps, report.virtual_time
+            ),
+        ));
+    }
+
+    let mut verdict = Verdict {
+        steps: report.steps,
+        ..Verdict::default()
+    };
+
+    // 1. Universe membership: the network never invents facts.
+    for (watch, tuples) in &state {
+        let empty = BTreeSet::new();
+        let universe = reference.universe.get(watch).unwrap_or(&empty);
+        let phantom: BTreeSet<Tuple> = tuples.difference(universe).cloned().collect();
+        if !phantom.is_empty() {
+            return Err(fail(
+                "universe-membership",
+                format!(
+                    "{}@{} carries {} invented tuple(s): {}",
+                    watch.1,
+                    watch.0,
+                    phantom.len(),
+                    sample(&phantom, 3)
+                ),
+            ));
+        }
+    }
+    verdict.checked_universe = true;
+
+    // 2. Monotone workloads: delivered ⊆ lossless, whatever was dropped.
+    if scenario.additive {
+        for (watch, tuples) in &state {
+            let empty = BTreeSet::new();
+            let lossless = reference.final_state.get(watch).unwrap_or(&empty);
+            let extra: BTreeSet<Tuple> = tuples.difference(lossless).cloned().collect();
+            if !extra.is_empty() {
+                return Err(fail(
+                    "subset-of-lossless",
+                    format!(
+                        "{}@{} exceeds the lossless outcome by {} tuple(s): {}",
+                        watch.1,
+                        watch.0,
+                        extra.len(),
+                        sample(&extra, 3)
+                    ),
+                ));
+            }
+        }
+        verdict.checked_subset = true;
+    }
+
+    // 3. Eventual equality, when the plan makes it admissible.
+    // Crashes compose with equality only when every crashed peer restarts,
+    // is scenario-declared crash-safe, and the workload is monotone (a
+    // restarted sender re-adds but cannot re-retract: its pre-crash diff
+    // memory is transient).
+    let crash_ok = spec.crashes.is_empty()
+        || (scenario.additive
+            && spec.crashes_recover()
+            && spec
+                .crashes
+                .iter()
+                .all(|(_, peer, _)| scenario.crashable.contains(peer)));
+    let equality_applies =
+        spec.plan.is_lossless() && crash_ok && (scenario.additive || spec.plan.is_ordered());
+    if equality_applies {
+        for (watch, tuples) in &state {
+            let empty = BTreeSet::new();
+            let lossless = reference.final_state.get(watch).unwrap_or(&empty);
+            if tuples != lossless {
+                let missing: BTreeSet<Tuple> = lossless.difference(tuples).cloned().collect();
+                let extra: BTreeSet<Tuple> = tuples.difference(lossless).cloned().collect();
+                return Err(fail(
+                    "eventual-equality",
+                    format!(
+                        "{}@{} diverged after heal: missing {} {}, extra {} {}",
+                        watch.1,
+                        watch.0,
+                        missing.len(),
+                        sample(&missing, 3),
+                        extra.len(),
+                        sample(&extra, 3)
+                    ),
+                ));
+            }
+        }
+        verdict.checked_equality = true;
+    }
+
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_core::acl::UntrustedPolicy;
+    use wdl_core::{RelationKind, WRule};
+    use wdl_datalog::Value;
+
+    /// Minimal two-peer delegation scenario, built inline (the Wepic-corpus
+    /// generators live in the `wepic` crate to avoid a dependency cycle).
+    fn tiny_scenario(tag: &str) -> Scenario {
+        let viewer = format!("orv{tag}");
+        let source = format!("ors{tag}");
+        let v2 = viewer.clone();
+        let s2 = source.clone();
+        Scenario {
+            name: format!("tiny-{tag}"),
+            additive: true,
+            crashable: vec![Symbol::intern(&source)],
+            watched: vec![(Symbol::intern(&viewer), Symbol::intern("attendeePictures"))],
+            build: Box::new(move || {
+                let mut v = Peer::new(v2.as_str());
+                v.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+                v.declare("attendeePictures", 4, RelationKind::Intensional)
+                    .unwrap();
+                v.add_rule(WRule::example_attendee_pictures(v2.as_str()))
+                    .unwrap();
+                let mut s = Peer::new(s2.as_str());
+                s.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+                vec![v, s]
+            }),
+            batches: vec![
+                vec![(
+                    Symbol::intern(&source),
+                    SimOp::Insert {
+                        rel: Symbol::intern("pictures"),
+                        tuple: vec![
+                            Value::from(1),
+                            Value::from("a.jpg"),
+                            Value::from(source.as_str()),
+                            Value::bytes(&[1]),
+                        ],
+                    },
+                )],
+                vec![(
+                    Symbol::intern(&viewer),
+                    SimOp::Insert {
+                        rel: Symbol::intern("selectedAttendee"),
+                        tuple: vec![Value::from(source.as_str())],
+                    },
+                )],
+            ],
+        }
+    }
+
+    #[test]
+    fn lossless_run_passes_equality() {
+        let sc = tiny_scenario("eq");
+        let spec = RunSpec::new(3, FaultPlan::lossless().delay(20, 1_500).duplicate(0.2));
+        let v = check_conformance(&sc, &spec).unwrap();
+        assert!(v.checked_universe && v.checked_subset && v.checked_equality);
+    }
+
+    #[test]
+    fn lossy_run_downgrades_to_subset() {
+        let sc = tiny_scenario("sub");
+        let spec = RunSpec::new(4, FaultPlan::lossless().drop(0.25).delay(20, 1_500));
+        let v = check_conformance(&sc, &spec).unwrap();
+        assert!(v.checked_universe && v.checked_subset);
+        assert!(!v.checked_equality, "drops preclude the equality oracle");
+    }
+
+    #[test]
+    fn reference_matches_manual_expectation() {
+        let sc = tiny_scenario("ref");
+        let r = sc.reference().unwrap();
+        let key = sc.watched[0];
+        assert_eq!(r.final_state[&key].len(), 1, "one picture flows");
+    }
+}

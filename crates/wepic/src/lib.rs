@@ -32,6 +32,7 @@ pub mod conference;
 pub mod corpus;
 pub mod ops;
 pub mod rules;
+pub mod scenarios;
 pub mod schema;
 
 pub use conference::{Conference, ConferenceConfig, SettleReport};

@@ -1,19 +1,36 @@
 //! Failure injection: the engine must stay consistent when the network
-//! drops messages. The in-memory transport's deterministic fault plan
-//! (`drop_every_nth`) models lossy links.
+//! misbehaves. Ported from the in-memory transport's single fault knob
+//! onto the deterministic simulator (`wdl_net::sim`), so the same
+//! drop-loss scenarios also run under reordering, duplication, delay and
+//! crash/restart.
 //!
-//! Known limitation, documented in DESIGN.md: like the demo system, the
-//! engine does not retransmit — a dropped install/fact is lost until the
-//! sender's diff changes again. These tests pin down what IS guaranteed:
-//! no crashes, no phantom facts, and delivered state is a subset of the
-//! lossless outcome.
+//! ## The failure model, pinned
+//!
+//! Like the demo system, the engine does **not** retransmit: a dropped
+//! install/fact is lost until the sender's diff changes again
+//! (`no_retransmit_guarantee_is_pinned`). What IS guaranteed, and what
+//! these tests pin down:
+//!
+//! * no crashes, no phantom facts — whatever arrives is a subset of the
+//!   lossless outcome, under drops *and* under reordering/duplication;
+//! * fresh traffic after faults lift flows completely (the diff protocol
+//!   resumes from the sender's current state);
+//! * a crash/restart round-trips the peer through the real snapshot
+//!   path: durable state (facts, rules, delegations, grants) survives,
+//!   transient diff memory dies, and the restarted peer re-sends its
+//!   diffs from scratch — so a crash-safe *source* converges to the same
+//!   state as one that never crashed (`crash_recovery_equivalence`).
+//!   The asymmetry: a peer holding *received* remote contributions is
+//!   not crash-safe, because nobody re-sends them (the crash analogue of
+//!   the drop limitation above).
 
 use webdamlog::core::acl::UntrustedPolicy;
 use webdamlog::core::{Peer, RelationKind};
 use webdamlog::datalog::Value;
-use webdamlog::net::memory::{FaultPlan, InMemoryNetwork};
-use webdamlog::net::node::PeerNode;
+use webdamlog::net::sim::oracle::{check_conformance, RunSpec};
+use webdamlog::net::sim::{FaultPlan, SimConfig, SimOp, SimRuntime};
 use webdamlog::parser::parse_rule;
+use wepic::scenarios;
 
 fn open_peer(name: &str) -> Peer {
     let mut p = Peer::new(name);
@@ -21,14 +38,9 @@ fn open_peer(name: &str) -> Peer {
     p
 }
 
-fn build_pair(
-    net: &InMemoryNetwork,
-    tag: &str,
-    pics: usize,
-) -> (
-    PeerNode<impl webdamlog::net::Transport>,
-    PeerNode<impl webdamlog::net::Transport>,
-) {
+/// The classic pair: a source with `pics` pictures, a viewer whose rule
+/// pulls their ids through a delegation.
+fn build_pair(tag: &str, pics: usize) -> (Peer, Peer) {
     let viewer_name = format!("fiViewer{tag}");
     let source_name = format!("fiSource{tag}");
     let mut viewer = open_peer(&viewer_name);
@@ -49,74 +61,195 @@ fn build_pair(
             .insert_local("pictures", vec![Value::from(i as i64)])
             .unwrap();
     }
-    (
-        PeerNode::new(viewer, net.endpoint(viewer_name.as_str())),
-        PeerNode::new(source, net.endpoint(source_name.as_str())),
-    )
+    (viewer, source)
 }
 
-/// Lossless reference: everything arrives.
+fn run_pair(tag: &str, pics: usize, seed: u64, plan: FaultPlan) -> (SimRuntime, Vec<i64>) {
+    let (viewer, source) = build_pair(tag, pics);
+    let vname = viewer.name();
+    let mut sim = SimRuntime::new(SimConfig::new(seed).plan(plan));
+    sim.add_peer(viewer).unwrap();
+    sim.add_peer(source).unwrap();
+    let r = sim.run_to_quiescence(100_000).unwrap();
+    assert!(r.quiescent, "no quiescence: {r:?}");
+    let mut ids: Vec<i64> = sim
+        .relation_facts(vname, "view")
+        .unwrap()
+        .iter()
+        .map(|t| t[0].as_int().unwrap())
+        .collect();
+    ids.sort_unstable();
+    (sim, ids)
+}
+
+/// Lossless reference: everything arrives, even under heavy reordering
+/// and duplication.
 #[test]
 fn lossless_reference_delivers_all() {
-    let net = InMemoryNetwork::new();
-    let (mut viewer, mut source) = build_pair(&net, "ref", 10);
-    for _ in 0..10 {
-        viewer.step().unwrap();
-        source.step().unwrap();
-    }
-    assert_eq!(viewer.peer().relation_facts("view").len(), 10);
+    let (_, ids) = run_pair("ref", 10, 1, FaultPlan::lossless());
+    assert_eq!(ids, (0..10).collect::<Vec<i64>>());
+
+    let adversarial = FaultPlan::lossless()
+        .delay(10, 3_000)
+        .duplicate(0.4)
+        .reorder(0.5, 3_000);
+    let (_, ids) = run_pair("ref2", 10, 2, adversarial);
+    assert_eq!(ids, (0..10).collect::<Vec<i64>>(), "lossless ⇒ complete");
 }
 
-/// With every 2nd message dropped, the system must not crash or invent
-/// facts; whatever arrives is a subset of the reference.
+/// With messages dropped, the system must not crash or invent facts;
+/// whatever arrives is a subset of the reference. Runs the drop-loss
+/// scenario under plain drops AND under drops combined with reordering
+/// and duplication.
 #[test]
 fn lossy_network_never_invents_facts() {
-    let net = InMemoryNetwork::new();
-    net.set_faults(FaultPlan {
-        drop_every_nth: Some(2),
-    });
-    let (mut viewer, mut source) = build_pair(&net, "lossy", 10);
-    for _ in 0..20 {
-        viewer.step().unwrap();
-        source.step().unwrap();
+    // Deterministic drop: exact counting, loss guaranteed.
+    let (sim, ids) = run_pair("lossy", 10, 3, FaultPlan::lossless().drop_every_nth(2));
+    assert!(ids.len() <= 10, "no phantom facts");
+    for id in &ids {
+        assert!((0..10).contains(id), "every delivered fact is genuine");
     }
-    let got = viewer.peer().relation_facts("view");
-    assert!(got.len() <= 10, "no phantom facts");
-    for t in &got {
-        let id = t[0].as_int().unwrap();
-        assert!((0..10).contains(&id), "every delivered fact is genuine");
+    let c = sim.net().counters();
+    assert_eq!(c.sent + c.duplicated, c.delivered + c.dropped);
+    assert!(c.dropped > 0, "the fault plan actually fired");
+
+    // Probabilistic drops combined with reordering and duplication: the
+    // diff protocol batches facts into few messages, so sweep a handful
+    // of seeds — the subset property must hold on every one, and the
+    // faults must actually fire on at least one.
+    let mut any_dropped = false;
+    for seed in 4..12u64 {
+        let plan = FaultPlan::lossless()
+            .drop(0.3)
+            .duplicate(0.3)
+            .reorder(0.5, 2_500)
+            .delay(10, 2_000);
+        let (sim, ids) = run_pair(&format!("lossyMix{seed}"), 10, seed, plan);
+        assert!(ids.len() <= 10, "no phantom facts (seed {seed})");
+        for id in &ids {
+            assert!((0..10).contains(id), "genuine facts only (seed {seed})");
+        }
+        let c = sim.net().counters();
+        assert_eq!(c.sent + c.duplicated, c.delivered + c.dropped);
+        any_dropped |= c.dropped > 0;
     }
-    let (sent, delivered, dropped) = net.counters();
-    assert_eq!(sent, delivered + dropped);
-    assert!(dropped > 0, "the fault plan actually fired");
+    assert!(any_dropped, "the probabilistic fault plan never fired");
 }
 
-/// Fresh data after the faults are lifted still flows: the diff protocol
-/// resumes from the sender's current state.
+/// Fresh data after the faults are lifted still flows — and what was
+/// dropped before stays missing: the engine does not retransmit. This
+/// pins the documented no-retransmit guarantee.
 #[test]
-fn recovery_after_faults_lift() {
-    let net = InMemoryNetwork::new();
-    net.set_faults(FaultPlan {
-        drop_every_nth: Some(2),
-    });
-    let (mut viewer, mut source) = build_pair(&net, "rec", 4);
-    for _ in 0..8 {
-        viewer.step().unwrap();
-        source.step().unwrap();
-    }
-    // Lift the faults; insert fresh facts — their diffs deliver.
-    net.set_faults(FaultPlan::default());
+fn no_retransmit_guarantee_is_pinned() {
+    let (viewer, source) = build_pair("noRtx", 10);
+    let vname = viewer.name();
+    let sname = source.name();
+    let mut sim = SimRuntime::new(
+        SimConfig::new(7).plan(FaultPlan::lossless().drop_every_nth(2).delay(10, 1_500)),
+    );
+    sim.add_peer(viewer).unwrap();
+    sim.add_peer(source).unwrap();
+    let r = sim.run_to_quiescence(100_000).unwrap();
+    assert!(r.quiescent);
+    let after_loss: Vec<i64> = sim
+        .relation_facts(vname, "view")
+        .unwrap()
+        .iter()
+        .map(|t| t[0].as_int().unwrap())
+        .collect();
+    assert!(after_loss.len() < 10, "some facts were lost (dropped > 0)");
+
+    // Lift the faults; give the system plenty of extra virtual time.
+    sim.net().set_plan(FaultPlan::lossless());
+    let r = sim.run_to_quiescence(100_000).unwrap();
+    assert!(r.quiescent);
+    assert_eq!(
+        sim.relation_facts(vname, "view").unwrap().len(),
+        after_loss.len(),
+        "no retransmission: lost facts stay lost while diffs are unchanged"
+    );
+
+    // Fresh inserts produce fresh diffs, which deliver completely.
+    let now = sim.net().now();
     for i in 100..105 {
-        source
-            .peer_mut()
-            .insert_local("pictures", vec![Value::from(i)])
-            .unwrap();
+        sim.schedule_op(
+            now + 200,
+            sname,
+            SimOp::Insert {
+                rel: webdamlog::datalog::Symbol::intern("pictures"),
+                tuple: vec![Value::from(i)],
+            },
+        );
     }
-    for _ in 0..10 {
-        viewer.step().unwrap();
-        source.step().unwrap();
-    }
-    let got = viewer.peer().relation_facts("view");
-    let fresh = got.iter().filter(|t| t[0].as_int().unwrap() >= 100).count();
+    let r = sim.run_to_quiescence(100_000).unwrap();
+    assert!(r.quiescent);
+    let got: Vec<i64> = sim
+        .relation_facts(vname, "view")
+        .unwrap()
+        .iter()
+        .map(|t| t[0].as_int().unwrap())
+        .collect();
+    let fresh = got.iter().filter(|&&id| id >= 100).count();
     assert_eq!(fresh, 5, "post-fault traffic is complete");
+}
+
+/// Dropped partitions behave like drops (loss), buffered partitions like
+/// delay (no loss): the same scenario under both partition modes.
+#[test]
+fn partition_modes_drop_vs_buffer() {
+    let (_, buffered) = run_pair(
+        "partBuf",
+        8,
+        11,
+        FaultPlan::lossless().partition("fiViewerpartBuf", "fiSourcepartBuf", 0, 8_000),
+    );
+    assert_eq!(
+        buffered,
+        (0..8).collect::<Vec<i64>>(),
+        "buffered ⇒ complete"
+    );
+
+    let (sim, dropped) = run_pair(
+        "partDrop",
+        8,
+        11,
+        FaultPlan::lossless()
+            .partition("fiViewerpartDrop", "fiSourcepartDrop", 0, 8_000)
+            .drop_partitions(),
+    );
+    assert!(dropped.len() < 8, "dropped partition loses the early diffs");
+    assert!(sim.net().counters().dropped > 0);
+}
+
+/// Satellite: snapshot crash-recovery equivalence. A crash-safe source
+/// killed mid-exchange and restored from its snapshot converges to
+/// exactly the same state as a run where it never crashed — on the same
+/// seed and fault plan.
+#[test]
+fn crash_recovery_equivalence() {
+    for seed in 0..8u64 {
+        let sc = scenarios::delegation_fanout(seed);
+        let plan = FaultPlan::lossless().delay(20, 2_000).duplicate(0.15);
+
+        let baseline = RunSpec::new(seed, plan.clone());
+        let (state_no_crash, r1) = sc.run_sim(&baseline).unwrap();
+        assert!(r1.quiescent);
+
+        // Crash the first crash-safe attendee mid-exchange (while batches
+        // are still being applied), restart 6ms later.
+        let victim = sc.crashable[0];
+        let crashed = RunSpec::new(seed, plan).crash(2_500, victim, Some(6_000));
+        let (state_crash, r2) = sc.run_sim(&crashed).unwrap();
+        assert!(r2.quiescent);
+
+        assert_eq!(
+            state_no_crash, state_crash,
+            "seed {seed}: crash+snapshot-restore of {victim} changed the outcome"
+        );
+
+        // And both agree with the lossless reference (the oracle's
+        // equality check, end to end).
+        let v = check_conformance(&sc, &crashed).unwrap();
+        assert!(v.checked_equality, "equality oracle must apply here");
+    }
 }

@@ -1,0 +1,447 @@
+//! Simulation conformance: seed sweeps over Wepic scenarios × fault
+//! plans, graded by the convergence oracle.
+//!
+//! Every run is a pure function of its `u64` seed: the fault plan, crash
+//! script, latencies, and interleaving all derive from it. On failure the
+//! harness prints the seed and the exact reproduction command —
+//!
+//! ```text
+//! WDL_SIM_SEED=1234 cargo test --test sim_conformance <group>
+//! ```
+//!
+//! — which replays the identical event sequence. `WDL_SIM_SEEDS=lo..hi`
+//! overrides a group's whole seed range (used by the CI `sim-conformance`
+//! job to pin the sweep).
+//!
+//! The oracle grades each run at the strongest level the plan admits
+//! (see `wdl_net::sim::oracle`):
+//! * any plan — delivered facts are genuine (universe membership);
+//! * monotone scenarios — delivered state ⊆ the lossless outcome;
+//! * lossless plans (and ordered ones, for workloads with retractions) —
+//!   eventual equality once partitions heal, crashed peers restart, and
+//!   buffered messages flush.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use webdamlog::core::runtime::LocalRuntime;
+use webdamlog::datalog::Symbol;
+use webdamlog::net::sim::oracle::{check_conformance, RunSpec, Scenario, Verdict};
+use webdamlog::net::sim::{FaultPlan, SimOp};
+use wepic::scenarios;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn seed_range(default: Range<u64>) -> Range<u64> {
+    if let Ok(v) = std::env::var("WDL_SIM_SEED") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            return n..n + 1;
+        }
+    }
+    if let Ok(v) = std::env::var("WDL_SIM_SEEDS") {
+        if let Some((lo, hi)) = v.trim().split_once("..") {
+            if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                return lo..hi;
+            }
+        }
+    }
+    default
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Runs `make(seed)` for every seed in the group's range, failing with a
+/// replayable seed on the first divergence. `expect` asserts the oracle
+/// reached the intended strength (so a misconfigured plan can't silently
+/// downgrade a group meant to prove equality).
+fn sweep_with(
+    group: &str,
+    seeds: Range<u64>,
+    expect: impl Fn(&Verdict) -> bool,
+    make: impl Fn(u64) -> (Scenario, RunSpec),
+) {
+    let mut checked = 0usize;
+    for seed in seed_range(seeds) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (sc, spec) = make(seed);
+            check_conformance(&sc, &spec)
+        }));
+        match outcome {
+            Ok(Ok(v)) => {
+                assert!(
+                    expect(&v),
+                    "\n[sim-conformance] group `{group}` seed {seed}: oracle did not reach \
+                     the expected strength: {v:?}\n\
+                     reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance {group}\n"
+                );
+                checked += 1;
+            }
+            Ok(Err(e)) => panic!(
+                "\n[sim-conformance] group `{group}` FAILED: {e}\n\
+                 reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance {group}\n"
+            ),
+            Err(p) => panic!(
+                "\n[sim-conformance] group `{group}` seed {seed} panicked: {}\n\
+                 reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance {group}\n",
+                panic_text(p)
+            ),
+        }
+    }
+    assert!(checked > 0, "empty seed range");
+}
+
+/// [`sweep_with`] without a strength requirement.
+fn sweep(group: &str, seeds: Range<u64>, make: impl Fn(u64) -> (Scenario, RunSpec)) {
+    sweep_with(group, seeds, |_| true, make)
+}
+
+fn names_of(sc: &Scenario) -> Vec<Symbol> {
+    (sc.build)().iter().map(|p| p.name()).collect()
+}
+
+fn prob(rng: &mut StdRng, max: f64) -> f64 {
+    rng.gen::<f64>() * max
+}
+
+// ---------------------------------------------------------------------
+// Plan generators (all derived from the seed)
+// ---------------------------------------------------------------------
+
+/// With probability `p`, cuts a random distinct peer pair for a random
+/// window starting in `start` and lasting a duration drawn from `len`.
+/// `drop_prob` is the chance the partition destroys traffic instead of
+/// buffering it until heal.
+fn maybe_partition(
+    rng: &mut StdRng,
+    names: &[Symbol],
+    mut plan: FaultPlan,
+    p: f64,
+    start: Range<u64>,
+    len: Range<u64>,
+    drop_prob: f64,
+) -> FaultPlan {
+    if rng.gen_bool(p) && names.len() >= 2 {
+        let a = names[rng.gen_range(0..names.len())];
+        let mut b = names[rng.gen_range(0..names.len())];
+        while b == a {
+            b = names[rng.gen_range(0..names.len())];
+        }
+        let from = rng.gen_range(start);
+        let until = from + rng.gen_range(len);
+        plan = plan.partition(a, b, from, until);
+        if drop_prob > 0.0 && rng.gen_bool(drop_prob) {
+            plan = plan.drop_partitions();
+        }
+    }
+    plan
+}
+
+/// Anything goes: drops, duplication, reordering latency, partitions
+/// (buffered or dropped), sometimes a crash of a crash-safe peer.
+fn mixed_spec(seed: u64, sc: &Scenario) -> RunSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3141_5926);
+    let names = names_of(sc);
+    let mut plan =
+        FaultPlan::lossless().delay(rng.gen_range(0..200u64), rng.gen_range(500..4_000u64));
+    if rng.gen_bool(0.5) {
+        plan = plan.drop(0.05 + prob(&mut rng, 0.25));
+    }
+    if rng.gen_bool(0.4) {
+        plan = plan.duplicate(0.05 + prob(&mut rng, 0.3));
+    }
+    if rng.gen_bool(0.4) {
+        plan = plan.reorder(0.3, rng.gen_range(500..4_000u64));
+    }
+    let plan = maybe_partition(&mut rng, &names, plan, 0.5, 1_000..6_000, 2_000..8_000, 0.4);
+    let mut spec = RunSpec::new(seed, plan);
+    if rng.gen_bool(0.3) && !sc.crashable.is_empty() {
+        let victim = sc.crashable[rng.gen_range(0..sc.crashable.len())];
+        spec = spec.crash(
+            rng.gen_range(1_000..5_000u64),
+            victim,
+            Some(rng.gen_range(3_000..8_000u64)),
+        );
+    }
+    spec
+}
+
+/// Lossless but adversarial: duplication, reordering, wide latency,
+/// buffered partitions — the plan class whose runs must converge to the
+/// exact fault-free outcome on monotone scenarios.
+fn lossless_adversarial_spec(seed: u64, sc: &Scenario) -> RunSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x105_51E55);
+    let names = names_of(sc);
+    let plan = FaultPlan::lossless()
+        .delay(rng.gen_range(0..300u64), rng.gen_range(1_000..5_000u64))
+        .duplicate(prob(&mut rng, 0.4))
+        .reorder(0.4, rng.gen_range(1_000..5_000u64));
+    let plan = maybe_partition(&mut rng, &names, plan, 0.6, 1_000..5_000, 2_000..9_000, 0.0);
+    RunSpec::new(seed, plan)
+}
+
+/// TCP-like: per-link FIFO, no duplication, no loss, buffered partitions.
+/// The only plan class where retraction streams must replay exactly.
+fn ordered_spec(seed: u64, sc: &Scenario) -> RunSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0FD0_FD0F);
+    let names = names_of(sc);
+    let plan = FaultPlan::lossless()
+        .delay(rng.gen_range(0..500u64), rng.gen_range(1_000..6_000u64))
+        .fifo();
+    let plan = maybe_partition(&mut rng, &names, plan, 0.5, 1_000..6_000, 2_000..8_000, 0.0);
+    RunSpec::new(seed, plan)
+}
+
+/// Lossless + a crash/restart of a crash-safe peer.
+fn crash_spec(seed: u64, sc: &Scenario) -> RunSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5);
+    let mut spec = lossless_adversarial_spec(seed, sc);
+    if !sc.crashable.is_empty() {
+        let victim = sc.crashable[rng.gen_range(0..sc.crashable.len())];
+        spec = spec.crash(
+            rng.gen_range(1_000..5_000u64),
+            victim,
+            Some(rng.gen_range(3_000..9_000u64)),
+        );
+        if sc.crashable.len() > 1 && rng.gen_bool(0.4) {
+            let second = sc.crashable[rng.gen_range(0..sc.crashable.len())];
+            if second != victim {
+                spec = spec.crash(rng.gen_range(6_000..10_000u64), second, Some(4_000));
+            }
+        }
+    }
+    spec
+}
+
+// ---------------------------------------------------------------------
+// The sweeps (group name == test name)
+// ---------------------------------------------------------------------
+
+#[test]
+fn fanout_mixed_faults() {
+    sweep("fanout_mixed_faults", 0..60, |seed| {
+        let sc = scenarios::delegation_fanout(seed);
+        let spec = mixed_spec(seed, &sc);
+        (sc, spec)
+    });
+}
+
+#[test]
+fn fanout_lossless_adversarial() {
+    sweep_with(
+        "fanout_lossless_adversarial",
+        100..150,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::delegation_fanout(seed);
+            let spec = lossless_adversarial_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+#[test]
+fn fanout_crash_restart() {
+    sweep_with(
+        "fanout_crash_restart",
+        200..240,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::delegation_fanout(seed);
+            let spec = crash_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+#[test]
+fn churn_ordered_tcp() {
+    sweep_with(
+        "churn_ordered_tcp",
+        300..340,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::delegation_churn(seed);
+            let spec = ordered_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+#[test]
+fn churn_lossy() {
+    sweep("churn_lossy", 400..430, |seed| {
+        let sc = scenarios::delegation_churn(seed);
+        let spec = mixed_spec(seed, &sc);
+        (sc, spec)
+    });
+}
+
+#[test]
+fn acl_mixed_faults() {
+    sweep("acl_mixed_faults", 500..525, |seed| {
+        let sc = scenarios::acl_restricted(seed);
+        let spec = mixed_spec(seed, &sc);
+        (sc, spec)
+    });
+}
+
+#[test]
+fn transfer_lossless_adversarial() {
+    sweep_with(
+        "transfer_lossless_adversarial",
+        600..620,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::transfer_dispatch(seed);
+            let spec = lossless_adversarial_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+#[test]
+fn publish_chain_mixed() {
+    sweep("publish_chain_mixed", 700..735, |seed| {
+        let sc = scenarios::publish_chain(seed);
+        let spec = mixed_spec(seed, &sc);
+        (sc, spec)
+    });
+}
+
+// ---------------------------------------------------------------------
+// Exact replayability: the acceptance criterion that a printed seed
+// reproduces its run bit-for-bit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn seed_replay_is_exact() {
+    for seed in [17u64, 90_210] {
+        let run = || {
+            let sc = scenarios::delegation_fanout(seed);
+            let spec = mixed_spec(seed, &sc);
+            sc.run_sim(&spec).unwrap()
+        };
+        let (state_a, report_a) = run();
+        let (state_b, report_b) = run();
+        assert_eq!(state_a, state_b, "same seed, same final state");
+        assert_eq!(
+            (
+                report_a.events,
+                report_a.steps,
+                report_a.virtual_time,
+                report_a.counters
+            ),
+            (
+                report_b.events,
+                report_b.steps,
+                report_b.virtual_time,
+                report_b.counters
+            ),
+            "same seed, same trajectory"
+        );
+    }
+    // And different seeds genuinely explore different trajectories.
+    let sc = scenarios::delegation_fanout(17);
+    let a = sc.run_sim(&mixed_spec(17, &sc)).unwrap().1;
+    let sc2 = scenarios::delegation_fanout(17);
+    let b = sc2.run_sim(&mixed_spec(18, &sc2)).unwrap().1;
+    assert_ne!(
+        (a.events, a.virtual_time),
+        (b.events, b.virtual_time),
+        "different seeds diverge"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Random-schedule equivalence on the single-peer stepping hook: any fair
+// interleaving of `LocalRuntime::step_peer` reaches the lossless outcome
+// ("any admissible outcome" includes every scheduler choice).
+// ---------------------------------------------------------------------
+
+fn shuffled(rng: &mut StdRng, names: &[Symbol]) -> Vec<Symbol> {
+    let mut v = names.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+fn random_quiesce(rt: &mut LocalRuntime, rng: &mut StdRng, names: &[Symbol]) {
+    let mut quiet = 0;
+    for _ in 0..200 {
+        let mut active = false;
+        for n in shuffled(rng, names) {
+            let reps = if rng.gen_bool(0.3) { 2 } else { 1 };
+            for _ in 0..reps {
+                let r = rt.step_peer(n).unwrap();
+                active |= r.changed || r.messages > 0;
+            }
+        }
+        quiet = if active { 0 } else { quiet + 1 };
+        if quiet >= 2 {
+            return;
+        }
+    }
+    panic!("random schedule failed to quiesce");
+}
+
+#[test]
+fn random_schedules_reach_the_lossless_outcome() {
+    for seed in seed_range(800..820) {
+        let sc = scenarios::delegation_churn(seed);
+        let reference = sc.reference().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5C4ED);
+        let mut rt = LocalRuntime::new();
+        let names: Vec<Symbol> = (sc.build)()
+            .into_iter()
+            .map(|p| {
+                let n = p.name();
+                rt.add_peer(p);
+                n
+            })
+            .collect();
+        random_quiesce(&mut rt, &mut rng, &names);
+        for batch in &sc.batches {
+            for (peer, op) in batch {
+                let p = rt.peer_mut(*peer).unwrap();
+                match op {
+                    SimOp::Insert { rel, tuple } => {
+                        p.insert_local(*rel, tuple.clone()).unwrap();
+                    }
+                    SimOp::Delete { rel, tuple } => {
+                        p.delete_local(*rel, tuple.clone()).unwrap();
+                    }
+                }
+            }
+            random_quiesce(&mut rt, &mut rng, &names);
+        }
+        for &(peer, rel) in &sc.watched {
+            let got: std::collections::BTreeSet<_> = rt
+                .peer(peer)
+                .unwrap()
+                .relation_facts(rel)
+                .into_iter()
+                .collect();
+            assert_eq!(
+                &got,
+                reference.final_state.get(&(peer, rel)).unwrap(),
+                "seed {seed}: schedule-dependent outcome at {rel}@{peer}\n\
+                 reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance \
+                 random_schedules_reach_the_lossless_outcome"
+            );
+        }
+    }
+}
