@@ -21,9 +21,10 @@ use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use wdl_bench::open_peer;
+use wdl_bench::workloads::{churn_facts, wepic_base, wepic_program};
 use wdl_core::{Peer, RelationKind};
 use wdl_datalog::incremental::{Delta, MaterializedView};
-use wdl_datalog::{Atom, BodyItem, Database, Fact, Program, Rule, Term, Value};
+use wdl_datalog::{Term, Value};
 
 /// Wepic-style workload sizes: (pictures, tags per picture, persons).
 const SCALES: &[(usize, usize, usize)] = &[(500, 4, 100), (2500, 4, 200)];
@@ -37,98 +38,6 @@ fn scales() -> &'static [(usize, usize, usize)] {
     } else {
         SCALES
     }
-}
-
-fn atom(pred: &str, vars: &[&str]) -> Atom {
-    Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
-}
-
-/// The Wepic visibility program:
-///
-/// ```text
-/// taggedPics(id, p) :- tag(id, p), friends(p)
-/// visible(id, owner) :- pictures(id, n, owner, d), taggedPics(id, p)
-/// feed(owner, id)   :- visible(id, owner), not muted(owner)
-/// ```
-fn wepic_program() -> Program {
-    Program::new(vec![
-        Rule::new(
-            atom("taggedPics", &["id", "p"]),
-            vec![
-                atom("tag", &["id", "p"]).into(),
-                atom("friends", &["p"]).into(),
-            ],
-        ),
-        Rule::new(
-            atom("visible", &["id", "owner"]),
-            vec![
-                atom("pictures", &["id", "n", "owner", "d"]).into(),
-                atom("taggedPics", &["id", "p"]).into(),
-            ],
-        ),
-        Rule::new(
-            atom("feed", &["owner", "id"]),
-            vec![
-                atom("visible", &["id", "owner"]).into(),
-                BodyItem::not_atom(atom("muted", &["owner"])),
-            ],
-        ),
-    ])
-    .unwrap()
-}
-
-/// Builds the base: `pics` pictures, `tags_per` tags each over `persons`
-/// people (all friended, a few owners muted).
-fn wepic_base(pics: usize, tags_per: usize, persons: usize) -> Database {
-    let mut db = Database::new();
-    for p in 0..persons {
-        db.insert(Fact::new("friends", vec![Value::from(format!("p{p}"))]))
-            .unwrap();
-        if p % 17 == 0 {
-            db.insert(Fact::new(
-                "muted",
-                vec![Value::from(format!("owner{}", p % 50))],
-            ))
-            .unwrap();
-        }
-    }
-    for i in 0..pics {
-        db.insert(Fact::new(
-            "pictures",
-            vec![
-                Value::from(i as i64),
-                Value::from(format!("pic{i}.jpg")),
-                Value::from(format!("owner{}", i % 50)),
-                Value::bytes(&[(i % 251) as u8]),
-            ],
-        ))
-        .unwrap();
-        for t in 0..tags_per {
-            db.insert(Fact::new(
-                "tag",
-                vec![
-                    Value::from(i as i64),
-                    Value::from(format!("p{}", (i * 7 + t * 13) % persons)),
-                ],
-            ))
-            .unwrap();
-        }
-    }
-    db
-}
-
-/// The churn facts: one tag to untag, one friend to unfriend.
-fn churn_facts(pics: usize, persons: usize) -> (Fact, Fact) {
-    let i = pics / 2;
-    let tag = Fact::new(
-        "tag",
-        vec![
-            Value::from(i as i64),
-            Value::from(format!("p{}", (i * 7) % persons)),
-        ],
-    );
-    let friend = Fact::new("friends", vec![Value::from(format!("p{}", persons / 2))]);
-    (tag, friend)
 }
 
 /// A single peer running the same rules through `Peer::run_stage` (the

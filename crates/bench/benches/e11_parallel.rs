@@ -23,85 +23,13 @@
 use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use wdl_datalog::{Atom, Database, Fact, Program, Rule, Term, Value};
-use wepic::PictureCorpus;
+use wdl_bench::workloads::{reach_base as scaled_base, reach_program};
 
 /// Workload sizes: (components, persons per component, pictures per person).
 const FULL_SCALES: &[(usize, usize, usize)] = &[(16, 28, 2), (24, 40, 2)];
 const QUICK_SCALES: &[(usize, usize, usize)] = &[(4, 10, 1)];
 
 const WORKER_SWEEP: &[usize] = &[1, 2, 4];
-
-fn atom(pred: &str, vars: &[&str]) -> Atom {
-    Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
-}
-
-fn reach_program() -> Program {
-    Program::new(vec![
-        Rule::new(
-            atom("reach", &["x", "y"]),
-            vec![atom("knows", &["x", "y"]).into()],
-        ),
-        Rule::new(
-            atom("reach", &["x", "z"]),
-            vec![
-                atom("reach", &["x", "y"]).into(),
-                atom("knows", &["y", "z"]).into(),
-            ],
-        ),
-        Rule::new(
-            atom("feed", &["p", "id"]),
-            vec![
-                atom("reach", &["p", "q"]).into(),
-                atom("pictures", &["id", "n", "q", "d"]).into(),
-            ],
-        ),
-    ])
-    .unwrap()
-}
-
-/// Builds the base: `comps` disjoint friendship components ("tables" at the
-/// conference) of `persons` people each — a ring plus deterministic chords,
-/// so `reach` closes each component to `persons²` pairs over ~`persons`
-/// delta rounds — with `pics` corpus pictures uploaded per person.
-fn scaled_base(comps: usize, persons: usize, pics: usize) -> Database {
-    let mut db = Database::new();
-    let mut corpus = PictureCorpus::new(0xE11);
-    let mut pic_id = 0i64;
-    for c in 0..comps {
-        for i in 0..persons {
-            let name = format!("p{c}n{i}");
-            let next = format!("p{c}n{}", (i + 1) % persons);
-            db.insert(Fact::new(
-                "knows",
-                vec![Value::from(name.as_str()), Value::from(next.as_str())],
-            ))
-            .unwrap();
-            if i % 3 == 0 {
-                let chord = format!("p{c}n{}", (i * 7 + 3) % persons);
-                db.insert(Fact::new(
-                    "knows",
-                    vec![Value::from(name.as_str()), Value::from(chord.as_str())],
-                ))
-                .unwrap();
-            }
-            for pic in corpus.pictures(&name, pics, 16) {
-                db.insert(Fact::new(
-                    "pictures",
-                    vec![
-                        Value::from(pic_id),
-                        Value::from(pic.name.as_str()),
-                        Value::from(pic.owner.as_str()),
-                        Value::from(pic.data.clone()),
-                    ],
-                ))
-                .unwrap();
-                pic_id += 1;
-            }
-        }
-    }
-    db
-}
 
 fn scales() -> &'static [(usize, usize, usize)] {
     if wdl_bench::quick() {

@@ -1,0 +1,122 @@
+//! CI perf-regression gate: compares freshly measured `BENCH_*.json`
+//! metrics against the committed baselines and fails on regressions
+//! beyond a tolerance.
+//!
+//! Usage: `bench-gate <baseline_dir> <fresh_dir>`
+//!
+//! Only **ratio** metrics are pinned — speedups of one in-process code
+//! path over another — because they are comparable across machines
+//! (committed baselines come from the development box; CI runners have
+//! different absolute speeds but see the same relative gains). A pinned
+//! metric regresses the gate when
+//! `fresh < baseline * (1 - TOLERANCE)`.
+//!
+//! The JSON involved is the flat `"metrics": {"name": number, ...}`
+//! object the criterion shim writes; a tiny scanner avoids a JSON
+//! dependency (no crates.io in the build image).
+
+use std::process::ExitCode;
+
+/// Allowed relative regression before the gate fails.
+const TOLERANCE: f64 = 0.25;
+
+/// (bench json file, metric name) pairs pinned by the gate. All are
+/// speedup ratios measured on the **same workload scale** in both quick
+/// (CI smoke) and full runs — like-for-like comparisons, not aggregates
+/// whose constituent scales differ between modes.
+const PINNED: &[(&str, &str)] = &[
+    // Incremental maintenance vs from-scratch recomputation (PR 1 claim).
+    ("BENCH_e10_incremental.json", "speedup_2606"),
+    // Compiled+interned engine vs interpreted baseline (PR 4 claims):
+    // fixpoint at the 1488-fact e11 scale (quick mode runs that scale
+    // too), untag pair at the 2606-fact e10 scale. The unfriend ratio is
+    // recorded but not gated — it sits closer to its floor under
+    // 3-sample quick runs and would flake on shared runners.
+    ("BENCH_e12_interned.json", "fixpoint_speedup_1488"),
+    ("BENCH_e12_interned.json", "untag_speedup_2606"),
+];
+
+/// Extracts `"name": <number>` from the shim's flat JSON. Good enough for
+/// the format we write ourselves; returns `None` when absent.
+fn metric(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_dir = args.next().unwrap_or_else(|| ".".into());
+    let fresh_dir = args.next().unwrap_or_else(|| ".".into());
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for (file, name) in PINNED {
+        let baseline_path = format!("{baseline_dir}/{file}");
+        let fresh_path = format!("{fresh_dir}/{file}");
+        let baseline_json = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench-gate: cannot read baseline {baseline_path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let fresh_json = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench-gate: cannot read fresh {fresh_path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let (Some(base), Some(fresh)) = (metric(&baseline_json, name), metric(&fresh_json, name))
+        else {
+            eprintln!("bench-gate: metric {name} missing in {file} (baseline or fresh)");
+            failures += 1;
+            continue;
+        };
+        checked += 1;
+        let floor = base * (1.0 - TOLERANCE);
+        let status = if fresh >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "bench-gate: {file} {name}: baseline {base:.2}, fresh {fresh:.2}, \
+             floor {floor:.2} -> {status}"
+        );
+        if fresh < floor {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench-gate: {failures} failure(s) across {checked} checked metric(s)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-gate: all {checked} pinned metrics within tolerance ({:.0}%)",
+        TOLERANCE * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::metric;
+
+    #[test]
+    fn scanner_reads_shim_json() {
+        let json = r#"{
+  "bench": "e12_interned",
+  "metrics": {
+    "fixpoint_speedup": 3.53,
+    "incremental_speedup": 2.16,
+    "count": 7
+  }
+}"#;
+        assert_eq!(metric(json, "fixpoint_speedup"), Some(3.53));
+        assert_eq!(metric(json, "incremental_speedup"), Some(2.16));
+        assert_eq!(metric(json, "count"), Some(7.0));
+        assert_eq!(metric(json, "missing"), None);
+    }
+}

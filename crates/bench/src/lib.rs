@@ -5,6 +5,8 @@
 //! stages to quiescence, messages routed, delegations installed, view
 //! sizes), then runs Criterion timing groups over the same workloads.
 
+pub mod workloads;
+
 use wdl_core::acl::UntrustedPolicy;
 use wdl_core::runtime::LocalRuntime;
 use wdl_core::{Peer, RelationKind, WRule};
@@ -163,16 +165,8 @@ impl SelectionWorld {
 
 /// Uploads a picture into any peer with a `pictures/4` relation.
 pub fn upload_raw(peer: &mut Peer, pic: &Picture) {
-    peer.insert_local(
-        "pictures",
-        vec![
-            Value::from(pic.id),
-            Value::from(pic.name.as_str()),
-            Value::from(pic.owner.as_str()),
-            Value::from(pic.data.clone()),
-        ],
-    )
-    .expect("insert picture");
+    peer.insert_local("pictures", pic.to_values())
+        .expect("insert picture");
 }
 
 /// The *broadcast baseline* for E2: instead of delegation-driven pull,

@@ -389,7 +389,7 @@ impl Peer {
             None => return Vec::new(),
         };
         db.relation(q)
-            .map(|r| r.iter().cloned().collect())
+            .map(|r| r.iter().collect())
             .unwrap_or_default()
     }
 

@@ -53,7 +53,7 @@ impl Peer {
                         facts.push(WFact {
                             rel: d.rel,
                             peer: self.name,
-                            tuple: tuple.clone(),
+                            tuple,
                         });
                     }
                 }

@@ -294,9 +294,8 @@ impl Peer {
                 let q = qualify(decl.rel, self.name);
                 derived.declare(q, decl.arity)?;
                 if let Some(rel) = db.relation(q) {
-                    for t in rel.iter() {
-                        derived.insert_tuple(q, t.clone())?;
-                    }
+                    // Id-plane copy: no per-row value resolution/re-intern.
+                    derived.copy_relation(q, rel)?;
                 }
             }
         }

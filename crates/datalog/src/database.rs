@@ -1,5 +1,6 @@
 //! A database: a map from relation name to stored relation.
 
+use crate::intern::ValueId;
 use crate::{DatalogError, Fact, Relation, Result, Symbol, Tuple, Value};
 use std::collections::HashMap;
 
@@ -65,14 +66,51 @@ impl Database {
         self.insert_tuple(pred.into(), values.into())
     }
 
-    /// Shard-building fast path for the parallel evaluator: appends a
-    /// tuple known to be distinct (see [`Relation::push_distinct`]),
+    /// Shard-building fast path for the parallel evaluator: appends a row
+    /// known to be distinct (see [`Relation::push_distinct_ids`]),
     /// creating the relation with `arity` on first use.
-    pub(crate) fn push_distinct(&mut self, pred: Symbol, arity: usize, tuple: Tuple) {
+    pub(crate) fn push_distinct_ids(&mut self, pred: Symbol, arity: usize, ids: &[ValueId]) {
         self.relations
             .entry(pred)
             .or_insert_with(|| Relation::new(arity))
-            .push_distinct(tuple);
+            .push_distinct_ids(ids);
+    }
+
+    /// Id-native insert: inserts an interned row into `pred`, creating the
+    /// relation with `arity` on first use. Same semantics as
+    /// [`Database::insert_tuple`].
+    pub(crate) fn insert_ids(
+        &mut self,
+        pred: Symbol,
+        arity: usize,
+        ids: &[ValueId],
+    ) -> Result<bool> {
+        let rel = match self.relations.entry(pred) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(Relation::try_new(arity)?),
+        };
+        if rel.arity() != ids.len() {
+            return Err(DatalogError::ArityMismatch {
+                relation: pred.to_string(),
+                expected: rel.arity(),
+                found: ids.len(),
+            });
+        }
+        rel.insert_ids(ids)
+    }
+
+    /// Id-native membership test.
+    pub(crate) fn contains_ids(&self, pred: Symbol, ids: &[ValueId]) -> bool {
+        self.relations
+            .get(&pred)
+            .is_some_and(|rel| rel.contains_ids(ids))
+    }
+
+    /// Id-native removal.
+    pub(crate) fn remove_ids(&mut self, pred: Symbol, ids: &[ValueId]) -> bool {
+        self.relations
+            .get_mut(&pred)
+            .is_some_and(|rel| rel.remove_ids(ids))
     }
 
     /// Removes a fact. Returns `true` if it was present.
@@ -104,7 +142,7 @@ impl Database {
         self.relations.iter().flat_map(|(pred, rel)| {
             rel.iter().map(move |t| Fact {
                 pred: *pred,
-                tuple: t.clone(),
+                tuple: t,
             })
         })
     }
@@ -126,10 +164,21 @@ impl Database {
     pub fn absorb(&mut self, other: &Database) -> Result<usize> {
         let mut added = 0;
         for (pred, rel) in other.relations() {
-            for tuple in rel.iter() {
-                if self.insert_tuple(pred, tuple.clone())? {
-                    added += 1;
-                }
+            added += self.copy_relation(pred, rel)?;
+        }
+        Ok(added)
+    }
+
+    /// Copies every tuple of `rel` into this database's `pred` relation,
+    /// staying in the interned id plane (no resolution to values and no
+    /// re-interning — the fast path for snapshotting/merging whole
+    /// relations). Returns the number of tuples that were new.
+    pub fn copy_relation(&mut self, pred: impl Into<Symbol>, rel: &Relation) -> Result<usize> {
+        let pred = pred.into();
+        let mut added = 0;
+        for row in rel.iter_ids() {
+            if self.insert_ids(pred, rel.arity(), row)? {
+                added += 1;
             }
         }
         Ok(added)

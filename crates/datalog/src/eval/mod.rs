@@ -8,18 +8,29 @@
 mod diff;
 mod naive;
 mod parallel;
+mod plan;
 mod seminaive;
 mod stratify;
 
 pub use parallel::EvalConfig;
 
 pub(crate) use diff::{match_body_at_slot, DiffSide, NetChange};
-pub(crate) use naive::naive_fixpoint;
+pub(crate) use naive::{naive_fixpoint, naive_fixpoint_compiled};
 pub(crate) use parallel::seminaive_fixpoint_sharded;
-pub(crate) use seminaive::seminaive_fixpoint;
+pub(crate) use plan::{derive_plan, has_witness, run_plan, DiffCtx, FixCtx, RulePlan, Scratch};
+pub(crate) use seminaive::{seminaive_fixpoint, seminaive_fixpoint_compiled};
 pub(crate) use stratify::{stratify, Strata};
 
 use crate::{Atom, BodyItem, Database, DatalogError, Result, Subst, Symbol, Term};
+
+/// A rule paired with its compiled plan — what the fixpoint strategies
+/// consume (the interpreted paths read the rule, the compiled paths the
+/// plan; both are needed for delta-task discovery).
+#[derive(Clone, Copy)]
+pub(crate) struct PlannedRule<'a> {
+    pub(crate) rule: &'a crate::Rule,
+    pub(crate) plan: &'a RulePlan,
+}
 
 /// Evaluates a body-item sequence left to right against `db`, starting from
 /// `initial`, and returns every substitution that satisfies the whole
@@ -134,36 +145,45 @@ pub(crate) fn match_atom(db: &Database, atom: &Atom, subst: &Subst) -> Result<Ve
             found: atom.arity(),
         });
     }
-    // Build the index probe from bound positions.
+    // Build the index probe from bound positions. A bound value the
+    // interner has never seen cannot occur in any stored tuple.
     let mut mask: crate::storage::ColMask = 0;
     let mut key = Vec::new();
     for (i, t) in atom.args.iter().enumerate() {
-        match t {
-            Term::Const(v) => {
-                mask |= 1u64 << i;
-                key.push(v.clone());
-            }
-            Term::Var(v) => {
-                if let Some(val) = subst.get(*v) {
+        let bound = match t {
+            Term::Const(v) => Some(v),
+            Term::Var(v) => subst.get(*v),
+        };
+        if let Some(v) = bound {
+            match crate::intern::ValueId::lookup(v) {
+                Some(id) => {
                     mask |= 1u64 << i;
-                    key.push(val.clone());
+                    key.push(id);
                 }
+                None => return Ok(Vec::new()),
             }
         }
     }
     let mut out = Vec::new();
-    rel.for_each_match(mask, &key, |tuple| {
+    rel.for_each_match_ids(mask, &key, |row| {
+        // Bound columns (mask bits) were verified by the probe; only the
+        // unbound variable columns extend the substitution. Resolve the
+        // row once and unify — repeated fresh variables in the atom are
+        // checked by `unify_var`.
         let mut s = subst.clone();
         for (i, t) in atom.args.iter().enumerate() {
-            let ok = match t {
-                Term::Const(v) => *v == tuple[i],
-                Term::Var(v) => s.unify_var(*v, &tuple[i]),
+            if mask & (1u64 << i) != 0 {
+                continue;
+            }
+            let Term::Var(v) = t else {
+                continue;
             };
-            if !ok {
-                return;
+            if !s.unify_var_id(*v, row[i]) {
+                return true;
             }
         }
         out.push(s);
+        true
     });
     Ok(out)
 }

@@ -13,8 +13,8 @@
 //!   lives in exactly one shard: the union of the workers' outputs is
 //!   precisely the serial round's output, with no duplicated and no lost
 //!   derivations. Each worker builds its own shard from the shared delta
-//!   (scanning concurrently, cloning only its 1/n share), so partitioning
-//!   itself costs no serial time.
+//!   (scanning concurrently, copying only its 1/n share of interned id
+//!   rows), so partitioning itself costs no serial time.
 //! * **Persistent workers, shared read-only probes.** Worker threads are
 //!   spawned once per fixpoint (crossbeam scoped threads) and driven round
 //!   by round over channels. During a round they join their shard against
@@ -23,7 +23,7 @@
 //!   concurrent probes (and first-probe index builds) are safe without
 //!   copying data.
 //! * **Single-writer merge.** Workers never mutate the database. Each
-//!   sends its candidate facts over a channel; once every worker has
+//!   sends its candidate head rows over a channel; once every worker has
 //!   reported (the round barrier), the coordinating thread merges batches
 //!   in **worker-index order**, deduplicates against the database, seeds
 //!   the next delta, and updates the statistics. The merged *set* is
@@ -33,20 +33,22 @@
 //! **Determinism argument.** Rounds are barriers: round *t+1* starts only
 //! after every worker of round *t* finished and its output was merged.
 //! Within a round workers share nothing mutable (the database is read-only
-//! until the merge), so the only schedule-dependent artifact is message
-//! arrival order on the channel — which the merge erases by ordering
-//! batches by worker index. Consequently `workers = n` computes the same
-//! relation sets and the same [`EvalStats`] counters as `workers = 1` for
-//! every `n` (property-tested in `tests/parallel_properties.rs`), and
-//! `workers = 1` short-circuits to the serial code path, bit for bit.
+//! until the merge; the value interner is append-only and ids never change
+//! meaning), so the only schedule-dependent artifact is message arrival
+//! order on the channel — which the merge erases by ordering batches by
+//! worker index. Consequently `workers = n` computes the same relation
+//! sets and the same [`EvalStats`] counters as `workers = 1` for every `n`
+//! (property-tested in `tests/parallel_properties.rs`), and `workers = 1`
+//! short-circuits to the serial code path, bit for bit.
 
 use crate::eval::seminaive::derive_into;
+use crate::eval::{derive_plan, PlannedRule, Scratch};
+use crate::intern::ValueId;
 use crate::program::EvalStats;
-use crate::{Database, DatalogError, Fact, Result, Rule, Symbol, Value};
+use crate::storage::hash_ids;
+use crate::{Database, DatalogError, Fact, Result, Symbol};
 use crossbeam::channel;
 use crossbeam::thread as cb_thread;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
 /// Evaluation tuning knobs, threaded from [`crate::Program`] down to the
@@ -60,11 +62,21 @@ pub struct EvalConfig {
     /// to evaluation, and stay at `1` for small databases where the
     /// per-round thread setup outweighs the join work.
     pub workers: usize,
+    /// Whether rules run as compiled register-file plans over interned ids
+    /// (`true`, the default) or through the symbol-keyed substitution
+    /// interpreter (`false`). Both compute identical relation sets and
+    /// [`crate::EvalStats`]; the interpreter is retained as the semantic
+    /// reference (property-tested against the compiled path) and as the
+    /// baseline the `e12_interned` bench measures against.
+    pub compiled: bool,
 }
 
 impl Default for EvalConfig {
     fn default() -> EvalConfig {
-        EvalConfig { workers: 1 }
+        EvalConfig {
+            workers: 1,
+            compiled: true,
+        }
     }
 }
 
@@ -73,7 +85,14 @@ impl EvalConfig {
     pub fn with_workers(workers: usize) -> EvalConfig {
         EvalConfig {
             workers: workers.max(1),
+            ..EvalConfig::default()
         }
+    }
+
+    /// Selects compiled-plan (default) or interpreted evaluation.
+    pub fn with_compiled(mut self, compiled: bool) -> EvalConfig {
+        self.compiled = compiled;
+        self
     }
 }
 
@@ -100,13 +119,26 @@ enum RoundMsg {
     },
 }
 
-/// What one worker reports for one round.
-type WorkerBatch = (Vec<Fact>, usize);
+/// One rule's derived head rows from one worker (flat id buffer; the
+/// explicit row count keeps nullary heads working).
+struct RuleOut {
+    rule_idx: usize,
+    rows: usize,
+    flat: Vec<ValueId>,
+}
+
+/// What one worker reports for one round: per-rule outputs in task order
+/// (compiled) or facts (interpreted), plus its derivation count.
+enum BatchBody {
+    Rows(Vec<RuleOut>),
+    Facts(Vec<Fact>),
+}
+
+type WorkerBatch = (BatchBody, usize);
 
 /// Runs the seminaive fixpoint for one stratum's rules over `db` in place,
 /// sharding each round across `workers` threads. Computes the same final
-/// database and the same [`EvalStats`] as the serial
-/// [`super::seminaive_fixpoint`].
+/// database and the same [`EvalStats`] as the serial strategies.
 ///
 /// Workers are spawned once and live for the whole fixpoint; rounds are
 /// driven by broadcasting a [`RoundMsg`] to each worker and collecting one
@@ -115,22 +147,33 @@ type WorkerBatch = (Vec<Fact>, usize);
 /// share — so the only serial section per round is the merge.
 pub(crate) fn seminaive_fixpoint_sharded(
     db: &mut Database,
-    rules: &[&Rule],
+    rules: &[PlannedRule<'_>],
     stratum_idb: &[Symbol],
     stats: &mut EvalStats,
     iteration_limit: usize,
     workers: usize,
+    compiled: bool,
 ) -> Result<()> {
     if workers <= 1 {
-        return super::seminaive_fixpoint(db, rules, stratum_idb, stats, iteration_limit);
+        if compiled {
+            return super::seminaive_fixpoint_compiled(
+                db,
+                rules,
+                stratum_idb,
+                stats,
+                iteration_limit,
+            );
+        }
+        let plain: Vec<&crate::Rule> = rules.iter().map(|pr| pr.rule).collect();
+        return super::seminaive_fixpoint(db, &plain, stratum_idb, stats, iteration_limit);
     }
 
     // ---- Round 0 tasks: each rule's first positive atom plays the delta
     // role; rules without one run whole on worker 0.
     let mut seed_tasks: Vec<Task> = Vec::new();
     let mut whole_rules: Vec<usize> = Vec::new();
-    for (ri, rule) in rules.iter().enumerate() {
-        match rule.body.iter().find_map(|item| item.as_positive_atom()) {
+    for (ri, pr) in rules.iter().enumerate() {
+        match pr.rule.body.iter().find_map(|item| item.as_positive_atom()) {
             Some(atom) => {
                 // An empty/missing first relation derives nothing; skip.
                 if db.relation(atom.pred).is_some_and(|r| !r.is_empty()) {
@@ -158,7 +201,7 @@ pub(crate) fn seminaive_fixpoint_sharded(
             round_txs.push(tx);
             let res_tx = res_tx.clone();
             let state = &state;
-            scope.spawn(move || worker_loop(me, workers, rules, state, &rx, &res_tx));
+            scope.spawn(move || worker_loop(me, workers, rules, compiled, state, &rx, &res_tx));
         }
         drop(res_tx);
 
@@ -175,7 +218,7 @@ pub(crate) fn seminaive_fixpoint_sharded(
         {
             let mut guard = state.write().unwrap_or_else(|e| e.into_inner());
             let (db, delta) = &mut *guard;
-            merge(db, batches, delta, stats)?;
+            merge(db, rules, batches, delta, stats)?;
         }
 
         // ---- Subsequent rounds: join through the delta only.
@@ -187,9 +230,9 @@ pub(crate) fn seminaive_fixpoint_sharded(
                     break;
                 }
                 let mut tasks: Vec<Task> = Vec::new();
-                for (ri, rule) in rules.iter().enumerate() {
+                for (ri, pr) in rules.iter().enumerate() {
                     let mut ordinal = 0usize;
-                    for item in &rule.body {
+                    for item in &pr.rule.body {
                         let Some(atom) = item.as_positive_atom() else {
                             continue;
                         };
@@ -219,7 +262,7 @@ pub(crate) fn seminaive_fixpoint_sharded(
             let mut guard = state.write().unwrap_or_else(|e| e.into_inner());
             let (db, delta) = &mut *guard;
             let mut next_delta = Database::new();
-            merge(db, batches, &mut next_delta, stats)?;
+            merge(db, rules, batches, &mut next_delta, stats)?;
             *delta = next_delta;
         }
         Ok(())
@@ -258,11 +301,13 @@ impl Drop for PanicReport<'_> {
 fn worker_loop(
     me: usize,
     n: usize,
-    rules: &[&Rule],
+    rules: &[PlannedRule<'_>],
+    compiled: bool,
     state: &RwLock<(Database, Database)>,
     rx: &channel::Receiver<RoundMsg>,
     res_tx: &channel::Sender<(usize, Result<WorkerBatch>)>,
 ) {
+    let mut scratches: Vec<Scratch> = rules.iter().map(|pr| Scratch::for_plan(pr.plan)).collect();
     while let Ok(msg) = rx.recv() {
         let mut panic_report = PanicReport {
             me,
@@ -273,10 +318,28 @@ fn worker_loop(
             let guard = state.read().unwrap_or_else(|e| e.into_inner());
             let (db, delta) = &*guard;
             match &msg {
-                RoundMsg::Seed { tasks, whole_rules } => {
-                    run_tasks(me, n, rules, db, db, tasks, whole_rules)
-                }
-                RoundMsg::Delta { tasks } => run_tasks(me, n, rules, db, delta, tasks, &[]),
+                RoundMsg::Seed { tasks, whole_rules } => run_tasks(
+                    me,
+                    n,
+                    rules,
+                    compiled,
+                    &mut scratches,
+                    db,
+                    db,
+                    tasks,
+                    whole_rules,
+                ),
+                RoundMsg::Delta { tasks } => run_tasks(
+                    me,
+                    n,
+                    rules,
+                    compiled,
+                    &mut scratches,
+                    db,
+                    delta,
+                    tasks,
+                    &[],
+                ),
             }
             // Guard drops before the send, so the coordinator's write lock
             // never contends with a worker that already reported.
@@ -292,42 +355,90 @@ fn worker_loop(
 /// database itself in round 0), then derive through the shard at each
 /// task's occurrence. Worker 0 additionally evaluates `whole_rules` with
 /// no delta rewriting.
+#[allow(clippy::too_many_arguments)]
 fn run_tasks(
     me: usize,
     n: usize,
-    rules: &[&Rule],
+    rules: &[PlannedRule<'_>],
+    compiled: bool,
+    scratches: &mut [Scratch],
     db: &Database,
     source: &Database,
     tasks: &[Task],
     whole_rules: &[usize],
 ) -> Result<WorkerBatch> {
     let shard = build_shard(source, tasks, me, n);
-    let mut local = EvalStats::default();
-    let mut out: Vec<Fact> = Vec::new();
-    for task in tasks {
-        if shard.relation(task.pred).is_none_or(|r| r.is_empty()) {
-            continue;
+    let mut derivations = 0usize;
+    if compiled {
+        let mut outs: Vec<RuleOut> = Vec::new();
+        let mut derive = |ri: usize,
+                          delta: Option<(&Database, usize)>,
+                          scratches: &mut [Scratch],
+                          outs: &mut Vec<RuleOut>|
+         -> Result<()> {
+            let mut out = RuleOut {
+                rule_idx: ri,
+                rows: 0,
+                flat: Vec::new(),
+            };
+            derive_plan(
+                db,
+                delta,
+                rules[ri].plan,
+                &mut scratches[ri],
+                &mut out.flat,
+                &mut out.rows,
+            )?;
+            derivations += out.rows;
+            outs.push(out);
+            Ok(())
+        };
+        for task in tasks {
+            if shard.relation(task.pred).is_none_or(|r| r.is_empty()) {
+                continue;
+            }
+            derive(
+                task.rule_idx,
+                Some((&shard, task.ordinal)),
+                scratches,
+                &mut outs,
+            )?;
         }
-        derive_into(
-            db,
-            Some((&shard, task.ordinal)),
-            rules[task.rule_idx],
-            &mut out,
-            &mut local,
-        )?;
-    }
-    if me == 0 {
-        for &ri in whole_rules {
-            derive_into(db, None, rules[ri], &mut out, &mut local)?;
+        if me == 0 {
+            for &ri in whole_rules {
+                derive(ri, None, scratches, &mut outs)?;
+            }
         }
+        Ok((BatchBody::Rows(outs), derivations))
+    } else {
+        let mut local = EvalStats::default();
+        let mut out: Vec<Fact> = Vec::new();
+        for task in tasks {
+            if shard.relation(task.pred).is_none_or(|r| r.is_empty()) {
+                continue;
+            }
+            derive_into(
+                db,
+                Some((&shard, task.ordinal)),
+                rules[task.rule_idx].rule,
+                &mut out,
+                &mut local,
+            )?;
+        }
+        if me == 0 {
+            for &ri in whole_rules {
+                derive_into(db, None, rules[ri].rule, &mut out, &mut local)?;
+            }
+        }
+        Ok((BatchBody::Facts(out), local.derivations))
     }
-    Ok((out, local.derivations))
 }
 
-/// Builds worker `me`'s shard: every tuple of the task predicates whose
-/// hash lands on `me`. Each worker scans the shared source (n scans run
-/// concurrently) but clones only its own 1/n share, and the shard skips
-/// membership bookkeeping — the facts are distinct by construction.
+/// Builds worker `me`'s shard: every row of the task predicates whose hash
+/// lands on `me`. Each worker scans the shared source (n scans run
+/// concurrently) but copies only its own 1/n share of id rows, and the
+/// shard skips membership bookkeeping — the rows are distinct by
+/// construction.
 fn build_shard(source: &Database, tasks: &[Task], me: usize, n: usize) -> Database {
     let mut shard = Database::new();
     let mut done: Vec<Symbol> = Vec::new();
@@ -339,22 +450,21 @@ fn build_shard(source: &Database, tasks: &[Task], me: usize, n: usize) -> Databa
         let Some(rel) = source.relation(task.pred) else {
             continue;
         };
-        for tuple in rel.iter() {
-            if shard_of(task.pred, tuple, n) == me {
-                shard.push_distinct(task.pred, rel.arity(), tuple.clone());
+        for row in rel.iter_ids() {
+            if shard_of(task.pred, row, n) == me {
+                shard.push_distinct_ids(task.pred, rel.arity(), row);
             }
         }
     }
     shard
 }
 
-/// The shard a fact belongs to: `hash(pred, tuple) % n`. Every fact lands
-/// in exactly one shard, so the shards partition the derivation work.
-fn shard_of(pred: Symbol, tuple: &[Value], n: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    pred.id().hash(&mut h);
-    tuple.hash(&mut h);
-    (h.finish() % n as u64) as usize
+/// The shard a row belongs to: `hash(pred, ids) % n`. Every row lands in
+/// exactly one shard, so the shards partition the derivation work; ids are
+/// stable for the process lifetime, so all workers agree.
+fn shard_of(pred: Symbol, row: &[ValueId], n: usize) -> usize {
+    let h = hash_ids(row) ^ (u64::from(pred.id()).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (h % n as u64) as usize
 }
 
 /// Receives exactly one batch per worker, ordered by worker index; returns
@@ -378,18 +488,38 @@ fn collect(
 /// `db`, seeding `next_delta` with the genuinely new facts.
 fn merge(
     db: &mut Database,
-    batches: Vec<(Vec<Fact>, usize)>,
+    rules: &[PlannedRule<'_>],
+    batches: Vec<WorkerBatch>,
     next_delta: &mut Database,
     stats: &mut EvalStats,
 ) -> Result<()> {
-    for (facts, derivations) in batches {
+    for (body, derivations) in batches {
         stats.derivations += derivations;
-        for fact in facts {
-            if !db.contains(&fact) {
-                if next_delta.insert(fact.clone())? {
-                    stats.facts_derived += 1;
+        match body {
+            BatchBody::Rows(outs) => {
+                for out in outs {
+                    let pred = rules[out.rule_idx].plan.head_pred;
+                    let arity = rules[out.rule_idx].plan.head_arity();
+                    for r in 0..out.rows {
+                        let row = &out.flat[r * arity..(r + 1) * arity];
+                        if !db.contains_ids(pred, row) {
+                            if next_delta.insert_ids(pred, arity, row)? {
+                                stats.facts_derived += 1;
+                            }
+                            db.insert_ids(pred, arity, row)?;
+                        }
+                    }
                 }
-                db.insert(fact)?;
+            }
+            BatchBody::Facts(facts) => {
+                for fact in facts {
+                    if !db.contains(&fact) {
+                        if next_delta.insert(fact.clone())? {
+                            stats.facts_derived += 1;
+                        }
+                        db.insert(fact)?;
+                    }
+                }
             }
         }
     }
@@ -399,7 +529,8 @@ fn merge(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Atom, BodyItem, CmpOp, Term, Value};
+    use crate::eval::RulePlan;
+    use crate::{Atom, BodyItem, CmpOp, Rule, Term, Value};
 
     fn atom(pred: &str, vars: &[&str]) -> Atom {
         Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
@@ -421,6 +552,21 @@ mod tests {
         ]
     }
 
+    fn plans_of(rules: &[Rule]) -> Vec<RulePlan> {
+        rules
+            .iter()
+            .map(|r| RulePlan::compile(r).unwrap())
+            .collect()
+    }
+
+    fn planned<'a>(rules: &'a [Rule], plans: &'a [RulePlan]) -> Vec<PlannedRule<'a>> {
+        rules
+            .iter()
+            .zip(plans)
+            .map(|(rule, plan)| PlannedRule { rule, plan })
+            .collect()
+    }
+
     fn chain_db(n: i64) -> Database {
         let mut db = Database::new();
         for i in 0..n {
@@ -433,38 +579,55 @@ mod tests {
     #[test]
     fn sharded_matches_serial_on_transitive_closure() {
         let rules = tc_rules();
-        let refs: Vec<&Rule> = rules.iter().collect();
+        let plans = plans_of(&rules);
+        let pr = planned(&rules, &plans);
         let idb = [Symbol::intern("path")];
 
+        let refs: Vec<&Rule> = rules.iter().collect();
         let mut serial_db = chain_db(24);
         let mut serial_stats = EvalStats::default();
         crate::eval::seminaive_fixpoint(&mut serial_db, &refs, &idb, &mut serial_stats, 10_000)
             .unwrap();
 
-        for workers in [2, 3, 4] {
-            let mut par_db = chain_db(24);
-            let mut par_stats = EvalStats::default();
-            seminaive_fixpoint_sharded(&mut par_db, &refs, &idb, &mut par_stats, 10_000, workers)
+        for compiled in [false, true] {
+            for workers in [2, 3, 4] {
+                let mut par_db = chain_db(24);
+                let mut par_stats = EvalStats::default();
+                seminaive_fixpoint_sharded(
+                    &mut par_db,
+                    &pr,
+                    &idb,
+                    &mut par_stats,
+                    10_000,
+                    workers,
+                    compiled,
+                )
                 .unwrap();
-            assert_eq!(
-                par_db.relation("path").unwrap(),
-                serial_db.relation("path").unwrap(),
-                "workers={workers}"
-            );
-            assert_eq!(par_stats, serial_stats, "stats drift at workers={workers}");
+                assert_eq!(
+                    par_db.relation("path").unwrap(),
+                    serial_db.relation("path").unwrap(),
+                    "workers={workers} compiled={compiled}"
+                );
+                assert_eq!(
+                    par_stats, serial_stats,
+                    "stats drift at workers={workers} compiled={compiled}"
+                );
+            }
         }
     }
 
     #[test]
     fn workers_one_uses_serial_path() {
         let rules = tc_rules();
+        let plans = plans_of(&rules);
+        let pr = planned(&rules, &plans);
         let refs: Vec<&Rule> = rules.iter().collect();
         let idb = [Symbol::intern("path")];
         let mut a = chain_db(8);
         let mut b = chain_db(8);
         let (mut sa, mut sb) = (EvalStats::default(), EvalStats::default());
         crate::eval::seminaive_fixpoint(&mut a, &refs, &idb, &mut sa, 100).unwrap();
-        seminaive_fixpoint_sharded(&mut b, &refs, &idb, &mut sb, 100, 1).unwrap();
+        seminaive_fixpoint_sharded(&mut b, &pr, &idb, &mut sb, 100, 1, true).unwrap();
         assert_eq!(a.relation("path").unwrap(), b.relation("path").unwrap());
         assert_eq!(sa, sb);
     }
@@ -476,11 +639,20 @@ mod tests {
             Atom::new("out", vec![Term::cst(1)]),
             vec![BodyItem::cmp(CmpOp::Lt, Term::cst(1), Term::cst(2))],
         )];
-        let refs: Vec<&Rule> = rules.iter().collect();
+        let plans = plans_of(&rules);
+        let pr = planned(&rules, &plans);
         let mut db = Database::new();
         let mut stats = EvalStats::default();
-        seminaive_fixpoint_sharded(&mut db, &refs, &[Symbol::intern("out")], &mut stats, 100, 3)
-            .unwrap();
+        seminaive_fixpoint_sharded(
+            &mut db,
+            &pr,
+            &[Symbol::intern("out")],
+            &mut stats,
+            100,
+            3,
+            true,
+        )
+        .unwrap();
         assert_eq!(db.relation("out").unwrap().len(), 1);
     }
 
@@ -501,12 +673,20 @@ mod tests {
                 ),
             ],
         )];
-        let refs: Vec<&Rule> = rules.iter().collect();
+        let plans = plans_of(&rules);
+        let pr = planned(&rules, &plans);
         let mut db = Database::new();
         db.insert(Fact::new("n", vec![Value::from(0)])).unwrap();
         let mut stats = EvalStats::default();
-        let res =
-            seminaive_fixpoint_sharded(&mut db, &refs, &[Symbol::intern("n")], &mut stats, 10, 2);
+        let res = seminaive_fixpoint_sharded(
+            &mut db,
+            &pr,
+            &[Symbol::intern("n")],
+            &mut stats,
+            10,
+            2,
+            true,
+        );
         assert!(matches!(res, Err(DatalogError::IterationLimit(10))));
     }
 
@@ -524,14 +704,14 @@ mod tests {
             .map(|s| s.relation("edge").map_or(0, |r| r.len()))
             .sum();
         assert_eq!(total, 50, "every tuple lands in exactly one shard");
-        // Same tuple -> same shard: re-sharding is stable, and shards are
-        // disjoint (each tuple's shard_of names exactly one worker).
+        // Same row -> same shard: re-sharding is stable, and shards are
+        // disjoint (each row's shard_of names exactly one worker).
         for (w, shard) in shards.iter().enumerate() {
             let Some(rel) = shard.relation("edge") else {
                 continue;
             };
-            for tuple in rel.iter() {
-                assert_eq!(shard_of(Symbol::intern("edge"), tuple, 4), w);
+            for row in rel.iter_ids() {
+                assert_eq!(shard_of(Symbol::intern("edge"), row, 4), w);
             }
         }
     }

@@ -3,7 +3,8 @@
 //! database are not re-scanned. This is the default strategy, mirroring the
 //! delta-driven evaluation of the Bud runtime the paper builds on.
 
-use crate::eval::match_body;
+use crate::eval::{derive_plan, match_body, PlannedRule};
+use crate::intern::ValueId;
 use crate::program::EvalStats;
 use crate::{Database, DatalogError, Fact, Result, Rule, Subst, Symbol};
 
@@ -67,6 +68,115 @@ pub(crate) fn seminaive_fixpoint(
             }
         }
         delta = next_delta;
+    }
+    Ok(())
+}
+
+/// A per-rule flat buffer of derived head rows (`head_arity`-strided ids;
+/// the explicit row count keeps nullary heads working). Candidates are
+/// buffered because derivation scans the database that the merge then
+/// mutates.
+#[derive(Default)]
+pub(crate) struct HeadBuf {
+    pub(crate) rows: usize,
+    pub(crate) flat: Vec<ValueId>,
+}
+
+/// Compiled seminaive fixpoint: identical round/merge structure (and
+/// [`EvalStats`]) to [`seminaive_fixpoint`], but each rule runs its
+/// register-file [`crate::eval::RulePlan`] and candidates stay in the
+/// interned id plane end to end — the only `Value` traffic is inside
+/// builtins.
+pub(crate) fn seminaive_fixpoint_compiled(
+    db: &mut Database,
+    rules: &[PlannedRule<'_>],
+    stratum_idb: &[Symbol],
+    stats: &mut EvalStats,
+    iteration_limit: usize,
+) -> Result<()> {
+    let mut scratches: Vec<crate::eval::Scratch> = rules
+        .iter()
+        .map(|pr| crate::eval::Scratch::for_plan(pr.plan))
+        .collect();
+    let mut bufs: Vec<HeadBuf> = rules.iter().map(|_| HeadBuf::default()).collect();
+
+    // Round 0: full evaluation seeds the delta.
+    stats.iterations += 1;
+    for (ri, pr) in rules.iter().enumerate() {
+        let mut n = 0usize;
+        derive_plan(
+            db,
+            None,
+            pr.plan,
+            &mut scratches[ri],
+            &mut bufs[ri].flat,
+            &mut n,
+        )?;
+        bufs[ri].rows += n;
+        stats.derivations += n;
+    }
+    let mut delta = Database::new();
+    merge_round(db, &mut delta, rules, &mut bufs, stats)?;
+
+    // Subsequent rounds: join through the delta only.
+    while delta.fact_count() > 0 {
+        stats.iterations += 1;
+        if stats.iterations > iteration_limit {
+            return Err(DatalogError::IterationLimit(iteration_limit));
+        }
+        for (ri, pr) in rules.iter().enumerate() {
+            let mut ordinal = 0usize;
+            for item in &pr.rule.body {
+                let Some(atom) = item.as_positive_atom() else {
+                    continue;
+                };
+                if stratum_idb.contains(&atom.pred) && delta.relation(atom.pred).is_some() {
+                    let mut n = 0usize;
+                    derive_plan(
+                        db,
+                        Some((&delta, ordinal)),
+                        pr.plan,
+                        &mut scratches[ri],
+                        &mut bufs[ri].flat,
+                        &mut n,
+                    )?;
+                    bufs[ri].rows += n;
+                    stats.derivations += n;
+                }
+                ordinal += 1;
+            }
+        }
+        let mut next_delta = Database::new();
+        merge_round(db, &mut next_delta, rules, &mut bufs, stats)?;
+        delta = next_delta;
+    }
+    Ok(())
+}
+
+/// The per-round merge: folds each rule's buffered candidates (in rule
+/// order, emission order) into `db`, seeding `delta` with the genuinely
+/// new rows; buffers are drained for reuse.
+fn merge_round(
+    db: &mut Database,
+    delta: &mut Database,
+    rules: &[PlannedRule<'_>],
+    bufs: &mut [HeadBuf],
+    stats: &mut EvalStats,
+) -> Result<()> {
+    for (ri, buf) in bufs.iter_mut().enumerate() {
+        let pred = rules[ri].plan.head_pred;
+        let arity = rules[ri].plan.head_arity();
+        for r in 0..buf.rows {
+            let row = &buf.flat[r * arity..(r + 1) * arity];
+            if !db.contains_ids(pred, row) {
+                if delta.insert_ids(pred, arity, row)? {
+                    stats.facts_derived += 1;
+                }
+                db.insert_ids(pred, arity, row)?;
+            }
+        }
+        buf.rows = 0;
+        buf.flat.clear();
     }
     Ok(())
 }

@@ -132,13 +132,23 @@ impl Expr {
 
     /// Evaluates under `subst`; all mentioned variables must be bound.
     pub fn eval(&self, subst: &Subst) -> Result<Value> {
+        self.eval_with(&|v| subst.get(v).cloned())
+    }
+
+    /// Evaluates against an arbitrary variable lookup — the compiled
+    /// register-file evaluator resolves variables from numbered slots
+    /// instead of a symbol-keyed substitution.
+    pub fn eval_with(&self, lookup: &dyn Fn(crate::Symbol) -> Option<Value>) -> Result<Value> {
         match self {
-            Expr::Term(t) => t.resolve(subst).ok_or_else(|| {
-                DatalogError::UnboundVariable(format!("{t} in arithmetic expression"))
-            }),
+            Expr::Term(t) => match t {
+                Term::Const(c) => Ok(c.clone()),
+                Term::Var(v) => lookup(*v).ok_or_else(|| {
+                    DatalogError::UnboundVariable(format!("{t} in arithmetic expression"))
+                }),
+            },
             Expr::Bin(op, lhs, rhs) => {
-                let l = lhs.eval(subst)?;
-                let r = rhs.eval(subst)?;
+                let l = lhs.eval_with(lookup)?;
+                let r = rhs.eval_with(lookup)?;
                 apply_binop(*op, &l, &r)
             }
         }

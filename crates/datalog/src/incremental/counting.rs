@@ -9,15 +9,18 @@
 //! fact — crosses zero.
 //!
 //! Exactness of the per-rule differencing comes from the
-//! prefix-new/suffix-old evaluation in [`crate::eval::match_body_at_slot`];
-//! see that module for why self-joins on changed relations are counted
-//! exactly once. Negated literals contribute with flipped sign: an
-//! insertion into a negated input destroys derivations, a deletion creates
-//! them.
+//! prefix-new/suffix-old evaluation — compiled differential plans
+//! ([`crate::Program`] pre-compiles one per (rule, literal), see
+//! `eval::plan`) on the default path, [`crate::eval::match_body_at_slot`]
+//! on the interpreted reference path; see `eval::diff` for why self-joins
+//! on changed relations are counted exactly once. Negated literals
+//! contribute with flipped sign: an insertion into a negated input
+//! destroys derivations, a deletion creates them. All bookkeeping stays in
+//! the interned id plane ([`IdFact`]).
 
-use super::{Changes, StratumInfo};
-use crate::eval::{match_body_at_slot, DiffSide};
-use crate::{BodyItem, Database, Fact, Program, Result};
+use super::{Changes, IdFact, StratumInfo};
+use crate::eval::{match_body_at_slot, run_plan, DiffCtx, DiffSide, Scratch};
+use crate::{BodyItem, Database, Program, Result};
 use std::collections::HashMap;
 
 /// Maintains one counting stratum in place.
@@ -34,12 +37,15 @@ pub(super) fn maintain(
     info: &StratumInfo,
     db: &mut Database,
     base: &Database,
-    counts: &mut HashMap<Fact, u64>,
+    counts: &mut HashMap<IdFact, u64>,
     changes: &mut Changes,
-    ext: &[(&Fact, bool)],
+    ext: &[(&crate::Fact, bool)],
 ) -> Result<()> {
+    let compiled = program.eval_config().compiled;
+    // One scratch reused across every plan invocation of this pass.
+    let mut scratch = Scratch::new();
     // Signed change in the number of derivations, per head fact.
-    let mut deriv_delta: HashMap<Fact, i64> = HashMap::new();
+    let mut deriv_delta: HashMap<IdFact, i64> = HashMap::new();
 
     for &ri in &info.rules {
         let rule = &program.rules()[ri];
@@ -57,20 +63,38 @@ pub(super) fn maintain(
             };
             for (delta_db, sign) in halves {
                 if delta_db.relation(pred).is_some_and(|r| !r.is_empty()) {
-                    match_body_at_slot(
-                        db,
-                        &changes.as_net(),
-                        DiffSide::PrefixNewSuffixOld,
-                        &rule.body,
-                        slot,
-                        delta_db,
-                        &mut |s| {
-                            if let Some(fact) = rule.head.ground(&s) {
-                                *deriv_delta.entry(fact).or_insert(0) += sign;
-                            }
+                    if compiled {
+                        let plan = program.diff_plan(ri, slot);
+                        let ctx = DiffCtx {
+                            db,
+                            ins: &changes.ins,
+                            del: &changes.del,
+                            side: DiffSide::PrefixNewSuffixOld,
+                            slot,
+                            delta: delta_db,
+                        };
+                        run_plan(plan, &ctx, &mut scratch, &mut |row| {
+                            *deriv_delta
+                                .entry(IdFact::new(plan.head_pred, row))
+                                .or_insert(0) += sign;
                             Ok(())
-                        },
-                    )?;
+                        })?;
+                    } else {
+                        match_body_at_slot(
+                            db,
+                            &changes.as_net(),
+                            DiffSide::PrefixNewSuffixOld,
+                            &rule.body,
+                            slot,
+                            delta_db,
+                            &mut |s| {
+                                if let Some(fact) = rule.head.ground(&s) {
+                                    *deriv_delta.entry(IdFact::of_fact(&fact)).or_insert(0) += sign;
+                                }
+                                Ok(())
+                            },
+                        )?;
+                    }
                 }
             }
             slot += 1;
@@ -82,10 +106,11 @@ pub(super) fn maintain(
     // the derivation count and is *not* stored in `counts` (base membership
     // is the source of truth); `ext_flip` remembers which facts flipped so
     // the old total can be reconstructed.
-    let mut ext_flip: HashMap<&Fact, bool> = HashMap::new();
+    let mut ext_flip: HashMap<IdFact, bool> = HashMap::new();
     for (fact, added) in ext {
-        ext_flip.insert(fact, *added);
-        deriv_delta.entry((*fact).clone()).or_insert(0);
+        let idf = IdFact::of_fact(fact);
+        deriv_delta.entry(idf.clone()).or_insert(0);
+        ext_flip.insert(idf, *added);
     }
 
     for (fact, d) in deriv_delta {
@@ -93,12 +118,13 @@ pub(super) fn maintain(
         let new_derived = old_derived + d;
         debug_assert!(
             new_derived >= 0,
-            "derivation count of {fact} went negative ({old_derived} {d:+})"
+            "derivation count of {} went negative ({old_derived} {d:+})",
+            fact.to_fact()
         );
         let new_derived = new_derived.max(0) as u64;
 
         // External support now / before this apply.
-        let ext_now = u64::from(base.contains(&fact));
+        let ext_now = u64::from(base.contains_ids(fact.pred, &fact.row));
         let ext_before = match ext_flip.get(&fact) {
             Some(true) => 0,  // inserted this round: was absent
             Some(false) => 1, // deleted this round: was present
@@ -115,11 +141,11 @@ pub(super) fn maintain(
         }
 
         if total_before == 0 && total_now > 0 {
-            if db.insert(fact.clone())? {
-                changes.record_insert(&fact)?;
+            if db.insert_ids(fact.pred, fact.row.len(), &fact.row)? {
+                changes.record_insert_ids(&fact)?;
             }
-        } else if total_before > 0 && total_now == 0 && db.remove(&fact) {
-            changes.record_delete(&fact)?;
+        } else if total_before > 0 && total_now == 0 && db.remove_ids(fact.pred, &fact.row) {
+            changes.record_delete_ids(&fact)?;
         }
     }
     Ok(())

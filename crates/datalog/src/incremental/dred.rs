@@ -23,10 +23,16 @@
 //!
 //! Phases 1 and 3 tolerate over-counting (they work with sets), which is
 //! why they can use the cheaper all-old / all-new matching modes instead
-//! of exact differencing.
+//! of exact differencing. On the default path every phase runs compiled
+//! plans over interned ids — differential plans for the slot scans, the
+//! head-bound rederivation plan for phase 2's single-witness probes, and
+//! the fixpoint plans for phase 3's seminaive propagation; the interpreted
+//! `Subst` matcher remains selectable as the semantic reference.
 
-use super::{Changes, StratumInfo};
-use crate::eval::{match_body, match_body_at_slot, DiffSide};
+use super::{Changes, IdFact, StratumInfo};
+use crate::eval::{
+    has_witness, match_body, match_body_at_slot, run_plan, DiffCtx, DiffSide, FixCtx, Scratch,
+};
 use crate::{Atom, BodyItem, Database, DatalogError, Fact, Program, Result, Subst, Term};
 use std::collections::HashSet;
 
@@ -41,16 +47,67 @@ pub(super) fn maintain(
     changes: &mut Changes,
     ext: &[(&Fact, bool)],
 ) -> Result<()> {
+    let compiled = program.eval_config().compiled;
     let limit = program.iteration_limit();
+    // One scratch reused across every plan invocation of this pass.
+    let mut scratch = Scratch::new();
+
+    // Collects every head produced by the differential plan / matcher for
+    // (rule `ri`, literal `slot`) with the given side and pinned delta.
+    let diff_heads = |ri: usize,
+                      slot: usize,
+                      side: DiffSide,
+                      delta_db: &Database,
+                      db: &Database,
+                      changes: &Changes,
+                      scratch: &mut Scratch|
+     -> Result<Vec<IdFact>> {
+        let mut heads = Vec::new();
+        if compiled {
+            let plan = program.diff_plan(ri, slot);
+            let ctx = DiffCtx {
+                db,
+                ins: &changes.ins,
+                del: &changes.del,
+                side,
+                slot,
+                delta: delta_db,
+            };
+            run_plan(plan, &ctx, scratch, &mut |row| {
+                heads.push(IdFact::new(plan.head_pred, row));
+                Ok(())
+            })?;
+        } else {
+            let rule = &program.rules()[ri];
+            match_body_at_slot(
+                db,
+                &changes.as_net(),
+                side,
+                &rule.body,
+                slot,
+                delta_db,
+                &mut |s| {
+                    if let Some(fact) = rule.head.ground(&s) {
+                        heads.push(IdFact::of_fact(&fact));
+                    }
+                    Ok(())
+                },
+            )?;
+        }
+        Ok(heads)
+    };
 
     // ---- Phase 1: overdeletion, against the old state.
-    let mut over: HashSet<Fact> = HashSet::new();
+    let mut over: HashSet<IdFact> = HashSet::new();
     let mut frontier = Database::new();
 
     // Base deletions of this stratum's own predicates start the frontier.
     for (fact, added) in ext {
-        if !added && db.contains(fact) && over.insert((*fact).clone()) {
-            frontier.insert((*fact).clone())?;
+        if !added {
+            let idf = IdFact::of_fact(fact);
+            if db.contains_ids(idf.pred, &idf.row) && over.insert(idf.clone()) {
+                frontier.insert_ids(idf.pred, idf.row.len(), &idf.row)?;
+            }
         }
     }
     // Derivations destroyed by input changes: deleted positive inputs,
@@ -70,24 +127,11 @@ pub(super) fn maintain(
                     &changes.del
                 };
                 if delta_db.relation(pred).is_some_and(|r| !r.is_empty()) {
-                    let mut heads = Vec::new();
-                    match_body_at_slot(
-                        db,
-                        &changes.as_net(),
-                        DiffSide::Old,
-                        &rule.body,
-                        slot,
-                        delta_db,
-                        &mut |s| {
-                            if let Some(fact) = rule.head.ground(&s) {
-                                heads.push(fact);
-                            }
-                            Ok(())
-                        },
-                    )?;
+                    let heads =
+                        diff_heads(ri, slot, DiffSide::Old, delta_db, db, changes, &mut scratch)?;
                     for fact in heads {
-                        if db.contains(&fact) && over.insert(fact.clone()) {
-                            frontier.insert(fact)?;
+                        if db.contains_ids(fact.pred, &fact.row) && over.insert(fact.clone()) {
+                            frontier.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
                         }
                     }
                 }
@@ -119,24 +163,18 @@ pub(super) fn maintain(
                         .relation(lit.atom.pred)
                         .is_some_and(|r| !r.is_empty())
                 {
-                    let mut heads = Vec::new();
-                    match_body_at_slot(
-                        db,
-                        &changes.as_net(),
-                        DiffSide::Old,
-                        &rule.body,
+                    let heads = diff_heads(
+                        ri,
                         slot,
+                        DiffSide::Old,
                         &frontier,
-                        &mut |s| {
-                            if let Some(fact) = rule.head.ground(&s) {
-                                heads.push(fact);
-                            }
-                            Ok(())
-                        },
+                        db,
+                        changes,
+                        &mut scratch,
                     )?;
                     for fact in heads {
-                        if db.contains(&fact) && over.insert(fact.clone()) {
-                            next.insert(fact)?;
+                        if db.contains_ids(fact.pred, &fact.row) && over.insert(fact.clone()) {
+                            next.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
                         }
                     }
                 }
@@ -147,48 +185,63 @@ pub(super) fn maintain(
     }
 
     for fact in &over {
-        db.remove(fact);
+        db.remove_ids(fact.pred, &fact.row);
     }
 
     // ---- Phase 2: rederivation against the remaining database.
-    let mut restored: HashSet<Fact> = HashSet::new();
-    let mut added: HashSet<Fact> = HashSet::new();
+    let mut restored: HashSet<IdFact> = HashSet::new();
+    let mut added: HashSet<IdFact> = HashSet::new();
     let mut seed = Database::new();
     for fact in &over {
-        let mut derivable = base.contains(fact);
-        if !derivable {
-            'rules: for &ri in &info.rules {
+        let mut derivable = base.contains_ids(fact.pred, &fact.row);
+        if !derivable && compiled {
+            for &ri in &info.rules {
+                let plan = program.rederive_plan(ri);
+                if plan.head_pred != fact.pred || plan.head_arity() != fact.row.len() {
+                    continue;
+                }
+                scratch.fit(plan);
+                if plan.unify_head(&fact.row, &mut scratch.regs)
+                    && has_witness(plan, &FixCtx { db, delta: None }, &mut scratch)?
+                {
+                    derivable = true;
+                    break;
+                }
+            }
+        } else if !derivable {
+            let ground = fact.to_fact();
+            for &ri in &info.rules {
                 let rule = &program.rules()[ri];
-                if let Some(init) = unify_head(&rule.head, fact) {
+                if let Some(init) = unify_head(&rule.head, &ground) {
                     if has_any_match(db, &rule.body, init)? {
                         derivable = true;
-                        break 'rules;
+                        break;
                     }
                 }
             }
         }
-        if derivable && db.insert(fact.clone())? {
+        if derivable && db.insert_ids(fact.pred, fact.row.len(), &fact.row)? {
             restored.insert(fact.clone());
-            seed.insert(fact.clone())?;
+            seed.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
         }
     }
 
     // ---- Phase 3: insertions, against the new state.
-    let mut insert_fact = |fact: Fact, db: &mut Database, seed: &mut Database| -> Result<()> {
-        if db.insert(fact.clone())? {
+    let mut insert_fact = |fact: IdFact, db: &mut Database, seed: &mut Database| -> Result<()> {
+        if db.insert_ids(fact.pred, fact.row.len(), &fact.row)? {
+            seed.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
             if over.contains(&fact) {
-                restored.insert(fact.clone());
+                restored.insert(fact);
             } else {
-                added.insert(fact.clone());
+                added.insert(fact);
             }
-            seed.insert(fact)?;
         }
         Ok(())
     };
     // Base insertions of this stratum's own predicates.
     for (fact, added_flag) in ext {
         if *added_flag {
-            insert_fact((*fact).clone(), db, &mut seed)?;
+            insert_fact(IdFact::of_fact(fact), db, &mut seed)?;
         }
     }
     // Derivations gained through input changes: inserted positive inputs,
@@ -208,21 +261,8 @@ pub(super) fn maintain(
                     &changes.ins
                 };
                 if delta_db.relation(pred).is_some_and(|r| !r.is_empty()) {
-                    let mut heads = Vec::new();
-                    match_body_at_slot(
-                        db,
-                        &changes.as_net(),
-                        DiffSide::New,
-                        &rule.body,
-                        slot,
-                        delta_db,
-                        &mut |s| {
-                            if let Some(fact) = rule.head.ground(&s) {
-                                heads.push(fact);
-                            }
-                            Ok(())
-                        },
-                    )?;
+                    let heads =
+                        diff_heads(ri, slot, DiffSide::New, delta_db, db, changes, &mut scratch)?;
                     for fact in heads {
                         insert_fact(fact, db, &mut seed)?;
                     }
@@ -239,7 +279,7 @@ pub(super) fn maintain(
         if rounds > limit {
             return Err(DatalogError::IterationLimit(limit));
         }
-        let mut candidates = Vec::new();
+        let mut candidates: Vec<IdFact> = Vec::new();
         for &ri in &info.rules {
             let rule = &program.rules()[ri];
             let mut ordinal = 0usize;
@@ -250,35 +290,47 @@ pub(super) fn maintain(
                 if info.idb.contains(&atom.pred)
                     && seed.relation(atom.pred).is_some_and(|r| !r.is_empty())
                 {
-                    match_body(
-                        db,
-                        Some((&seed, ordinal)),
-                        &rule.body,
-                        Subst::new(),
-                        &mut |s| match rule.head.ground(&s) {
-                            Some(fact) => {
-                                candidates.push(fact);
-                                Ok(())
-                            }
-                            None => Err(DatalogError::UnboundVariable(format!(
-                                "head of {rule} not fully bound"
-                            ))),
-                        },
-                    )?;
+                    if compiled {
+                        let plan = program.plan(ri);
+                        let ctx = FixCtx {
+                            db,
+                            delta: Some((&seed, ordinal)),
+                        };
+                        run_plan(plan, &ctx, &mut scratch, &mut |row| {
+                            candidates.push(IdFact::new(plan.head_pred, row));
+                            Ok(())
+                        })?;
+                    } else {
+                        match_body(
+                            db,
+                            Some((&seed, ordinal)),
+                            &rule.body,
+                            Subst::new(),
+                            &mut |s| match rule.head.ground(&s) {
+                                Some(fact) => {
+                                    candidates.push(IdFact::of_fact(&fact));
+                                    Ok(())
+                                }
+                                None => Err(DatalogError::UnboundVariable(format!(
+                                    "head of {rule} not fully bound"
+                                ))),
+                            },
+                        )?;
+                    }
                 }
                 ordinal += 1;
             }
         }
         let mut next = Database::new();
         for fact in candidates {
-            if !db.contains(&fact) {
-                db.insert(fact.clone())?;
+            if !db.contains_ids(fact.pred, &fact.row) {
+                db.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
+                next.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
                 if over.contains(&fact) {
-                    restored.insert(fact.clone());
+                    restored.insert(fact);
                 } else {
-                    added.insert(fact.clone());
+                    added.insert(fact);
                 }
-                next.insert(fact)?;
             }
         }
         seed = next;
@@ -287,19 +339,20 @@ pub(super) fn maintain(
     // ---- Net effect of this stratum.
     for fact in &over {
         if !restored.contains(fact) {
-            changes.record_delete(fact)?;
+            changes.record_delete_ids(fact)?;
         }
     }
     for fact in &added {
-        changes.record_insert(fact)?;
+        changes.record_insert_ids(fact)?;
     }
     Ok(())
 }
 
-/// First-witness probe: does `body` have *any* satisfying substitution
-/// under `init`? The matcher has no native early exit, so the emit
-/// callback aborts the walk with a sentinel error once a witness is found
-/// — rederivation only needs one derivation, not all of them.
+/// First-witness probe (interpreted reference path): does `body` have *any*
+/// satisfying substitution under `init`? The matcher has no native early
+/// exit, so the emit callback aborts the walk with a sentinel error once a
+/// witness is found — rederivation only needs one derivation, not all of
+/// them.
 fn has_any_match(db: &Database, body: &[BodyItem], init: Subst) -> Result<bool> {
     const WITNESS: usize = usize::MAX;
     match match_body(db, None, body, init, &mut |_s| {

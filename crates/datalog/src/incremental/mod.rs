@@ -63,8 +63,44 @@ mod counting;
 mod dred;
 
 use crate::eval::NetChange;
+use crate::intern::{self, ValueId};
 use crate::{Database, Fact, Program, Result, Symbol};
 use std::collections::{HashMap, HashSet};
+
+/// A ground fact in the interned id plane: the representation the
+/// maintenance bookkeeping (derivation counts, overdeletion sets) works
+/// in, so churn-heavy maintenance never hashes string/byte payloads.
+/// Resolved back to a [`Fact`] only at the observable-delta boundary.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct IdFact {
+    pub(crate) pred: Symbol,
+    pub(crate) row: Box<[ValueId]>,
+}
+
+impl IdFact {
+    pub(crate) fn new(pred: Symbol, row: &[ValueId]) -> IdFact {
+        IdFact {
+            pred,
+            row: row.into(),
+        }
+    }
+
+    pub(crate) fn of_fact(fact: &Fact) -> IdFact {
+        let mut ids = Vec::with_capacity(fact.tuple.len());
+        intern::intern_row(&fact.tuple, &mut ids);
+        IdFact {
+            pred: fact.pred,
+            row: ids.into(),
+        }
+    }
+
+    pub(crate) fn to_fact(&self) -> Fact {
+        Fact {
+            pred: self.pred,
+            tuple: intern::resolve_row(&self.row),
+        }
+    }
+}
 
 /// A batch of base-fact changes: what [`MaterializedView::apply`] consumes
 /// and (as the net observable change) produces.
@@ -152,6 +188,22 @@ impl Changes {
         Ok(())
     }
 
+    /// Id-plane variant of [`Changes::record_insert`].
+    fn record_insert_ids(&mut self, fact: &IdFact) -> Result<()> {
+        if !self.del.remove_ids(fact.pred, &fact.row) {
+            self.ins.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
+        }
+        Ok(())
+    }
+
+    /// Id-plane variant of [`Changes::record_delete`].
+    fn record_delete_ids(&mut self, fact: &IdFact) -> Result<()> {
+        if !self.ins.remove_ids(fact.pred, &fact.row) {
+            self.del.insert_ids(fact.pred, fact.row.len(), &fact.row)?;
+        }
+        Ok(())
+    }
+
     /// The changed predicates among `preds`… (empty = nothing to do).
     fn touches(&self, pred: Symbol) -> bool {
         self.ins.relation(pred).is_some_and(|r| !r.is_empty())
@@ -200,8 +252,8 @@ pub struct MaterializedView {
     /// The saturated database: base plus everything derivable.
     db: Database,
     /// Derivation counts for facts of counting strata (excluding external
-    /// support, which lives in `base`).
-    counts: HashMap<Fact, u64>,
+    /// support, which lives in `base`), keyed in the interned id plane.
+    counts: HashMap<IdFact, u64>,
     strata: Vec<StratumInfo>,
 }
 
@@ -253,7 +305,20 @@ impl MaterializedView {
         if self.strata[stratum].maintenance != Maintenance::Counting {
             return None;
         }
-        let derived = self.counts.get(fact).copied().unwrap_or(0);
+        let derived = {
+            let mut ids = Vec::with_capacity(fact.tuple.len());
+            if intern::lookup_row(&fact.tuple, &mut ids) {
+                self.counts
+                    .get(&IdFact {
+                        pred: fact.pred,
+                        row: ids.into(),
+                    })
+                    .copied()
+                    .unwrap_or(0)
+            } else {
+                0
+            }
+        };
         let external = u64::from(self.base.contains(fact));
         Some(derived + external)
     }
@@ -355,27 +420,42 @@ impl MaterializedView {
     /// Populates derivation counts for counting strata by re-matching every
     /// rule against the saturated database (runs once, at construction).
     fn init_counts(&mut self) -> Result<()> {
+        let compiled = self.program.eval_config().compiled;
+        let mut scratch = crate::eval::Scratch::new();
         for info in &self.strata {
             if info.maintenance != Maintenance::Counting {
                 continue;
             }
             for &ri in &info.rules {
-                let rule = &self.program.rules()[ri];
-                let mut heads: Vec<Fact> = Vec::new();
-                crate::eval::match_body(
-                    &self.db,
-                    None,
-                    &rule.body,
-                    crate::Subst::new(),
-                    &mut |s| {
-                        if let Some(fact) = rule.head.ground(&s) {
-                            heads.push(fact);
-                        }
+                if compiled {
+                    let plan = self.program.plan(ri);
+                    let ctx = crate::eval::FixCtx {
+                        db: &self.db,
+                        delta: None,
+                    };
+                    let counts = &mut self.counts;
+                    crate::eval::run_plan(plan, &ctx, &mut scratch, &mut |row| {
+                        *counts.entry(IdFact::new(plan.head_pred, row)).or_insert(0) += 1;
                         Ok(())
-                    },
-                )?;
-                for fact in heads {
-                    *self.counts.entry(fact).or_insert(0) += 1;
+                    })?;
+                } else {
+                    let rule = &self.program.rules()[ri];
+                    let mut heads: Vec<Fact> = Vec::new();
+                    crate::eval::match_body(
+                        &self.db,
+                        None,
+                        &rule.body,
+                        crate::Subst::new(),
+                        &mut |s| {
+                            if let Some(fact) = rule.head.ground(&s) {
+                                heads.push(fact);
+                            }
+                            Ok(())
+                        },
+                    )?;
+                    for fact in heads {
+                        *self.counts.entry(IdFact::of_fact(&fact)).or_insert(0) += 1;
+                    }
                 }
             }
         }

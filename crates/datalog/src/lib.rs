@@ -63,6 +63,7 @@ pub mod eval;
 mod expr;
 mod fact;
 pub mod incremental;
+pub mod intern;
 pub mod optimize;
 mod program;
 pub mod provenance;
@@ -80,6 +81,7 @@ pub use eval::EvalConfig;
 pub use expr::{BinOp, CmpOp, Expr};
 pub use fact::{Fact, Tuple};
 pub use incremental::{Delta, MaterializedView};
+pub use intern::ValueId;
 pub use program::{EvalStats, EvalStrategy, Program};
 pub use rule::Rule;
 pub use storage::{ColMask, Relation, MAX_ARITY};

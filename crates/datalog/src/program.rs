@@ -1,7 +1,8 @@
 //! Programs: validated rule sets with stratified fixpoint evaluation.
 
 use crate::eval::{
-    naive_fixpoint, seminaive_fixpoint, seminaive_fixpoint_sharded, stratify, EvalConfig, Strata,
+    naive_fixpoint, naive_fixpoint_compiled, seminaive_fixpoint, seminaive_fixpoint_sharded,
+    stratify, EvalConfig, PlannedRule, RulePlan, Strata,
 };
 use crate::{Database, Result, Rule};
 
@@ -26,28 +27,61 @@ pub struct EvalStats {
     pub facts_derived: usize,
 }
 
-/// A validated datalog program: safety-checked rules plus their strata.
+/// A validated datalog program: safety-checked rules plus their strata and
+/// compiled execution plans.
+///
+/// Every rule is compiled **once**, at construction: a fixpoint plan (the
+/// register-file program the bottom-up strategies run), one differential
+/// plan per body literal (the incremental engine's finite differencing),
+/// and a rederivation plan (DRed's single-witness probe). See
+/// `eval::plan` for the compilation scheme.
 #[derive(Debug, Clone)]
 pub struct Program {
     rules: Vec<Rule>,
     strata: Strata,
     iteration_limit: usize,
     eval_config: EvalConfig,
+    plans: Vec<RulePlan>,
+    /// Per rule, per literal slot (positive and negated literals counted
+    /// left to right).
+    diff_plans: Vec<Vec<RulePlan>>,
+    rederive_plans: Vec<RulePlan>,
 }
 
 impl Program {
-    /// Validates rules (left-to-right safety, stratifiability) and builds a
-    /// program.
+    /// Validates rules (left-to-right safety, stratifiability), compiles
+    /// their execution plans and builds a program.
     pub fn new(rules: Vec<Rule>) -> Result<Program> {
         for rule in &rules {
             rule.check_safety()?;
         }
         let strata = stratify(&rules)?;
+        let plans = rules
+            .iter()
+            .map(RulePlan::compile)
+            .collect::<Result<Vec<_>>>()?;
+        let mut diff_plans = Vec::with_capacity(rules.len());
+        for rule in &rules {
+            let mut per_slot = Vec::new();
+            let mut slot = 0usize;
+            while let Some(plan) = RulePlan::compile_diff(rule, slot)? {
+                per_slot.push(plan);
+                slot += 1;
+            }
+            diff_plans.push(per_slot);
+        }
+        let rederive_plans = rules
+            .iter()
+            .map(RulePlan::compile_rederive)
+            .collect::<Result<Vec<_>>>()?;
         Ok(Program {
             rules,
             strata,
             iteration_limit: 1_000_000,
             eval_config: EvalConfig::default(),
+            plans,
+            diff_plans,
+            rederive_plans,
         })
     }
 
@@ -102,6 +136,26 @@ impl Program {
         self.iteration_limit
     }
 
+    /// The evaluation config (workers, compiled/interpreted).
+    pub(crate) fn eval_config(&self) -> EvalConfig {
+        self.eval_config
+    }
+
+    /// The compiled fixpoint plan of rule `ri`.
+    pub(crate) fn plan(&self, ri: usize) -> &RulePlan {
+        &self.plans[ri]
+    }
+
+    /// The differential plan of rule `ri` pinned at literal `slot`.
+    pub(crate) fn diff_plan(&self, ri: usize, slot: usize) -> &RulePlan {
+        &self.diff_plans[ri][slot]
+    }
+
+    /// The rederivation (head-bound) plan of rule `ri`.
+    pub(crate) fn rederive_plan(&self, ri: usize) -> &RulePlan {
+        &self.rederive_plans[ri]
+    }
+
     /// Evaluates with the default (seminaive) strategy. Returns a database
     /// containing the input facts plus everything derivable.
     pub fn eval(&self, db: &Database) -> Result<Database> {
@@ -133,23 +187,45 @@ impl Program {
             if rule_ids.is_empty() {
                 continue;
             }
-            let rules: Vec<&Rule> = rule_ids.iter().map(|&i| &self.rules[i]).collect();
+            let planned: Vec<PlannedRule<'_>> = rule_ids
+                .iter()
+                .map(|&i| PlannedRule {
+                    rule: &self.rules[i],
+                    plan: &self.plans[i],
+                })
+                .collect();
+            let compiled = self.eval_config.compiled;
             match strategy {
                 EvalStrategy::Naive => {
-                    naive_fixpoint(db, &rules, stats, self.iteration_limit)?;
+                    if compiled {
+                        naive_fixpoint_compiled(db, &planned, stats, self.iteration_limit)?;
+                    } else {
+                        let rules: Vec<&Rule> = planned.iter().map(|pr| pr.rule).collect();
+                        naive_fixpoint(db, &rules, stats, self.iteration_limit)?;
+                    }
                 }
                 EvalStrategy::Seminaive => {
                     let idb = self.strata.preds_of(stratum_idx);
                     if self.eval_config.workers > 1 {
                         seminaive_fixpoint_sharded(
                             db,
-                            &rules,
+                            &planned,
                             &idb,
                             stats,
                             self.iteration_limit,
                             self.eval_config.workers,
+                            compiled,
+                        )?;
+                    } else if compiled {
+                        crate::eval::seminaive_fixpoint_compiled(
+                            db,
+                            &planned,
+                            &idb,
+                            stats,
+                            self.iteration_limit,
                         )?;
                     } else {
+                        let rules: Vec<&Rule> = planned.iter().map(|pr| pr.rule).collect();
                         seminaive_fixpoint(db, &rules, &idb, stats, self.iteration_limit)?;
                     }
                 }

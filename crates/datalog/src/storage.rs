@@ -1,19 +1,35 @@
-//! Indexed in-memory relation storage.
+//! Indexed in-memory relation storage over a flat interned-tuple arena.
 //!
-//! A [`Relation`] stores a set of tuples plus lazily built hash indexes, one
-//! per *binding pattern* (the set of columns that are bound at a lookup). A
-//! join like `pictures($id, $n, $owner, $d), rate($owner, 5)` probes `rate`
-//! with its first column bound; the first such probe builds an index keyed on
-//! column 0 and later probes are O(1) per matching tuple.
+//! A [`Relation`] stores its tuples as one `arity`-strided `Vec<ValueId>`
+//! arena — row `i` is the slice `arena[i*arity .. (i+1)*arity]` — rather
+//! than one heap allocation per tuple. Values are interned once at the
+//! boundary ([`crate::intern`]); everything below works on dense `u32` ids,
+//! where tuple equality is a slice compare and hashing is a few integer
+//! multiplies instead of a walk over string/byte payloads.
 //!
-//! Indexes are cached behind an `RwLock` so lookups work through `&Relation`
-//! (evaluation holds shared references to the database). Both insertion and
-//! removal update cached indexes in place — single-tuple removal sits on
-//! the incremental maintenance hot path, where dropping the cache would
-//! turn an O(change) step into an O(database) rebuild.
+//! Membership and every secondary index share one shape: a map from a
+//! 64-bit **slice hash** to the posting list of row ids whose (masked)
+//! columns hash there. There is no second copy of any tuple — the arena is
+//! the single canonical store, and probes verify candidates against it
+//! (collisions are possible but only cost an extra compare). Index keys
+//! that used to be `Box<[Value]>` per entry are gone entirely; probe keys
+//! are integer slices in caller-provided buffers, so lookups allocate
+//! nothing.
+//!
+//! A join like `pictures($id, $n, $owner, $d), rate($owner, 5)` probes
+//! `rate` with column 0 bound: the first such probe builds the index for
+//! that *binding pattern* (the [`ColMask`] of bound columns) and later
+//! probes are O(1) per matching tuple. Indexes are cached behind an
+//! `RwLock` so lookups work through `&Relation` (evaluation holds shared
+//! references to the database) and are maintained in place by insertion
+//! and removal — single-tuple removal sits on the incremental maintenance
+//! hot path, where dropping the cache would turn an O(change) step into an
+//! O(database) rebuild.
 
+use crate::intern::{self, ValueId};
 use crate::{Result, Tuple, Value};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::RwLock;
 
 /// A binding pattern: bit `i` set means column `i` is bound at the lookup.
@@ -25,14 +41,53 @@ pub type ColMask = u64;
 /// The widest relation the index masks can address.
 pub const MAX_ARITY: usize = ColMask::BITS as usize;
 
-type Index = HashMap<Box<[Value]>, Vec<u32>>;
+/// Hashes a slice of interned ids (fxhash-style multiply-rotate-xor).
+/// Quality only affects collision rates — every lookup verifies candidates
+/// against the arena, so a collision costs a compare, never a wrong match.
+#[inline]
+pub(crate) fn hash_ids(ids: &[ValueId]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = ids.len() as u64;
+    for id in ids {
+        h = (h.rotate_left(5) ^ u64::from(id.raw())).wrapping_mul(K);
+    }
+    h
+}
 
-/// A stored relation: a set of same-arity tuples with lazy secondary indexes.
+/// Pass-through hasher for keys that are already well-mixed 64-bit slice
+/// hashes; avoids re-hashing them through SipHash on every map operation.
+#[derive(Default, Clone)]
+pub(crate) struct PreHashed(u64);
+
+impl Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed with this; keep a fallback anyway.
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type IdTable = HashMap<u64, Vec<u32>, BuildHasherDefault<PreHashed>>;
+
+/// A stored relation: a set of same-arity tuples in a flat arena with lazy
+/// secondary indexes.
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Tuple>,
-    membership: HashMap<Tuple, u32>,
-    indexes: RwLock<HashMap<ColMask, Index>>,
+    /// Number of rows; tracked explicitly so arity-0 relations work.
+    len: usize,
+    /// Flat `arity`-strided tuple storage — the single canonical copy.
+    arena: Vec<ValueId>,
+    /// Full-row hash → row ids with that hash (usually exactly one).
+    membership: IdTable,
+    /// Binding pattern → (masked-columns hash → row ids).
+    indexes: RwLock<HashMap<ColMask, IdTable>>,
 }
 
 impl Relation {
@@ -58,8 +113,9 @@ impl Relation {
         }
         Ok(Relation {
             arity,
-            tuples: Vec::new(),
-            membership: HashMap::new(),
+            len: 0,
+            arena: Vec::new(),
+            membership: IdTable::default(),
             indexes: RwLock::new(HashMap::new()),
         })
     }
@@ -71,143 +127,228 @@ impl Relation {
 
     /// The number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// True iff the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
-    /// Membership test.
+    /// Row `id` as an id slice.
+    #[inline]
+    pub(crate) fn row(&self, id: u32) -> &[ValueId] {
+        let start = id as usize * self.arity;
+        &self.arena[start..start + self.arity]
+    }
+
+    /// Total `ValueId` slots held by the arena. Exposed so tests can assert
+    /// the one-canonical-copy invariant: always exactly `len() * arity()` —
+    /// no shadow copies in membership or index structures.
+    pub fn arena_slots(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The row id storing `ids`, if present.
+    #[inline]
+    pub(crate) fn find(&self, ids: &[ValueId]) -> Option<u32> {
+        let candidates = self.membership.get(&hash_ids(ids))?;
+        candidates.iter().copied().find(|&id| self.row(id) == ids)
+    }
+
+    /// Membership test on interned ids.
+    pub(crate) fn contains_ids(&self, ids: &[ValueId]) -> bool {
+        ids.len() == self.arity && self.find(ids).is_some()
+    }
+
+    /// Membership test. A tuple containing a never-interned value cannot be
+    /// stored here (storage interns on insert), so it is absent by
+    /// construction.
     pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.membership.contains_key(tuple)
+        if tuple.len() != self.arity {
+            return false;
+        }
+        let mut ids = Vec::with_capacity(tuple.len());
+        intern::lookup_row(tuple, &mut ids) && self.find(&ids).is_some()
     }
 
-    /// Iterates over all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Iterates over all tuples in insertion order, resolving each row back
+    /// to owned values.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.len).map(move |i| intern::resolve_row(self.row(i as u32)))
     }
 
-    /// Inserts a tuple; returns `true` if it was new.
+    /// Iterates over all rows as id slices, in insertion order.
+    pub(crate) fn iter_ids(&self) -> impl Iterator<Item = &[ValueId]> + '_ {
+        (0..self.len).map(move |i| self.row(i as u32))
+    }
+
+    /// Inserts a tuple; returns `true` if it was new. Values are interned
+    /// here — the single boundary where data enters the id plane.
     ///
     /// Existing indexes are updated incrementally so a fixpoint loop that
     /// inserts into a derived relation does not keep invalidating them.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
         self.check_arity(tuple.len())?;
-        if self.membership.contains_key(&tuple) {
-            return Ok(false);
+        let mut ids = Vec::with_capacity(tuple.len());
+        intern::intern_row(&tuple, &mut ids);
+        self.insert_ids(&ids)
+    }
+
+    /// Id-native insert (same semantics as [`Relation::insert`]).
+    pub(crate) fn insert_ids(&mut self, ids: &[ValueId]) -> Result<bool> {
+        self.check_arity(ids.len())?;
+        let h = hash_ids(ids);
+        if let Some(candidates) = self.membership.get(&h) {
+            if candidates.iter().any(|&id| self.row(id) == ids) {
+                return Ok(false);
+            }
         }
-        let id = u32::try_from(self.tuples.len()).map_err(|_| {
-            // Tuple ids are u32 to keep index postings compact; a relation
-            // at 2^32 tuples fails recoverably instead of panicking.
+        let id = u32::try_from(self.len).map_err(|_| {
+            // Row ids are u32 to keep postings compact; a relation at 2^32
+            // tuples fails recoverably instead of panicking.
             crate::DatalogError::CapacityExceeded {
                 capacity: u64::from(u32::MAX) + 1,
             }
         })?;
         let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let mut key: Vec<ValueId> = Vec::new();
         for (&mask, index) in indexes.iter_mut() {
-            let key = key_for(&tuple, mask);
-            index.entry(key).or_default().push(id);
+            key.clear();
+            masked_key(ids, mask, &mut key);
+            index.entry(hash_ids(&key)).or_default().push(id);
         }
         drop(indexes);
-        self.membership.insert(tuple.clone(), id);
-        self.tuples.push(tuple);
+        self.membership.entry(h).or_default().push(id);
+        self.arena.extend_from_slice(ids);
+        self.len += 1;
         Ok(true)
     }
 
-    /// Appends a tuple assuming it is distinct and no indexes are cached
-    /// yet — the parallel evaluator builds per-worker delta shards from
-    /// already-deduplicated facts, and shards only ever serve
-    /// [`Relation::for_each_match`] probes (which index off the tuple
-    /// vector), so paying for the membership map would be pure overhead.
-    pub(crate) fn push_distinct(&mut self, tuple: Tuple) {
-        debug_assert_eq!(tuple.len(), self.arity);
-        debug_assert!(self
-            .indexes
-            .get_mut()
-            .expect("index lock poisoned")
-            .is_empty());
-        self.tuples.push(tuple);
+    /// Appends a row assuming it is distinct and no indexes are cached yet
+    /// — the parallel evaluator builds per-worker delta shards from already
+    /// deduplicated facts, and shards only ever serve probe lookups (which
+    /// index off the arena), so paying for membership would be pure
+    /// overhead. Note: such rows are invisible to [`Relation::contains`].
+    pub(crate) fn push_distinct_ids(&mut self, ids: &[ValueId]) {
+        debug_assert_eq!(ids.len(), self.arity);
+        debug_assert!(self.indexes.read().expect("index lock poisoned").is_empty());
+        self.arena.extend_from_slice(ids);
+        self.len += 1;
     }
 
     /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        if tuple.len() != self.arity {
+            return false;
+        }
+        let mut ids = Vec::with_capacity(tuple.len());
+        if !intern::lookup_row(tuple, &mut ids) {
+            return false;
+        }
+        self.remove_ids(&ids)
+    }
+
+    /// Id-native removal (same semantics as [`Relation::remove`]).
     ///
     /// Cached indexes are updated in place — the incremental maintenance
     /// engine deletes single tuples on its hot path, so dropping the whole
     /// cache (and rebuilding it on the next probe) would turn an O(change)
     /// maintenance step back into an O(database) one. Removal swap-fills
-    /// the vacated slot with the last tuple, so every index entry naming
+    /// the vacated arena slot with the last row, so every posting naming
     /// the old last id is remapped to the vacated id.
-    pub fn remove(&mut self, tuple: &[Value]) -> bool {
-        let Some(id) = self.membership.remove(tuple) else {
+    pub(crate) fn remove_ids(&mut self, ids: &[ValueId]) -> bool {
+        let Some(id) = self.find(ids) else {
             return false;
         };
-        let id = id as usize;
-        let last = self.tuples.len() - 1;
+        let last = (self.len - 1) as u32;
+        // Membership: drop the removed row's posting, remap the moved row.
+        remove_posting(&mut self.membership, hash_ids(ids), id);
+        if id != last {
+            let last_hash = hash_ids(self.row(last));
+            remap_posting(&mut self.membership, last_hash, last, id);
+        }
         let mut indexes = self.indexes.write().expect("index lock poisoned");
+        let mut key: Vec<ValueId> = Vec::new();
         for (&mask, index) in indexes.iter_mut() {
-            // Drop the removed tuple's posting.
-            let key = key_for(tuple, mask);
-            if let Some(ids) = index.get_mut(&key) {
-                if let Some(pos) = ids.iter().position(|&x| x == id as u32) {
-                    ids.swap_remove(pos);
-                }
-                if ids.is_empty() {
-                    index.remove(&key);
-                }
-            }
-            // Remap the tuple that swap_remove moves into slot `id`.
+            key.clear();
+            masked_key(ids, mask, &mut key);
+            remove_posting(index, hash_ids(&key), id);
             if id != last {
-                let moved_key = key_for(&self.tuples[last], mask);
-                if let Some(ids) = index.get_mut(&moved_key) {
-                    if let Some(pos) = ids.iter().position(|&x| x == last as u32) {
-                        ids[pos] = id as u32;
-                    }
-                }
+                key.clear();
+                masked_key(self.row(last), mask, &mut key);
+                remap_posting(index, hash_ids(&key), last, id);
             }
         }
         drop(indexes);
-        self.tuples.swap_remove(id);
-        if id < self.tuples.len() {
-            // The former last tuple moved into slot `id`.
-            let moved = self.tuples[id].clone();
-            self.membership.insert(moved, id as u32);
+        // Arena: swap-fill the hole with the last row, then truncate.
+        if id != last {
+            let (dst, src) = (id as usize * self.arity, last as usize * self.arity);
+            self.arena.copy_within(src..src + self.arity, dst);
         }
+        self.arena.truncate(last as usize * self.arity);
+        self.len -= 1;
         true
     }
 
     /// Removes all tuples.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        self.arena.clear();
+        self.len = 0;
         self.membership.clear();
         self.indexes.write().expect("index lock poisoned").clear();
     }
 
-    /// Looks up tuple ids matching `key` on the columns of `mask`, building
-    /// the index for `mask` on first use, and passes each matching tuple to
-    /// `f`. A zero mask visits every tuple.
-    pub fn for_each_match(&self, mask: ColMask, key: &[Value], mut f: impl FnMut(&Tuple)) {
+    /// Looks up rows matching `key` on the columns of `mask`, building the
+    /// index for `mask` on first use, and passes each matching row (as an
+    /// id slice) to `f`; `f` returns `false` to stop early. A zero mask
+    /// visits every row. Probing allocates nothing: the key is hashed as a
+    /// slice and candidates are verified against the arena.
+    pub(crate) fn for_each_match_ids(
+        &self,
+        mask: ColMask,
+        key: &[ValueId],
+        mut f: impl FnMut(&[ValueId]) -> bool,
+    ) {
         if mask == 0 {
-            for t in &self.tuples {
-                f(t);
+            for i in 0..self.len {
+                if !f(self.row(i as u32)) {
+                    return;
+                }
             }
             return;
         }
         self.ensure_index(mask);
         let indexes = self.indexes.read().expect("index lock poisoned");
         let index = indexes.get(&mask).expect("index just ensured");
-        if let Some(ids) = index.get(key) {
+        if let Some(ids) = index.get(&hash_ids(key)) {
             for &id in ids {
-                f(&self.tuples[id as usize]);
+                let row = self.row(id);
+                if masked_eq(row, mask, key) && !f(row) {
+                    return;
+                }
             }
         }
+    }
+
+    /// Value-facing variant of [`Relation::for_each_match_ids`]: the key is
+    /// looked up in the interner (a never-interned value cannot match) and
+    /// each matching row is resolved for the callback.
+    pub fn for_each_match(&self, mask: ColMask, key: &[Value], mut f: impl FnMut(&[Value])) {
+        let mut key_ids = Vec::with_capacity(key.len());
+        if !intern::lookup_row(key, &mut key_ids) {
+            return;
+        }
+        self.for_each_match_ids(mask, &key_ids, |row| {
+            f(&intern::resolve_row(row));
+            true
+        });
     }
 
     /// Like [`Relation::for_each_match`] but collects matches (test helper).
     pub fn matches(&self, mask: ColMask, key: &[Value]) -> Vec<Tuple> {
         let mut out = Vec::new();
-        self.for_each_match(mask, key, |t| out.push(t.clone()));
+        self.for_each_match(mask, key, |t| out.push(t.iter().cloned().collect()));
         out
     }
 
@@ -223,12 +364,12 @@ impl Relation {
                 return;
             }
         }
-        let mut index: Index = HashMap::with_capacity(self.tuples.len());
-        for (id, tuple) in self.tuples.iter().enumerate() {
-            index
-                .entry(key_for(tuple, mask))
-                .or_default()
-                .push(id as u32);
+        let mut index = IdTable::default();
+        let mut key: Vec<ValueId> = Vec::new();
+        for id in 0..self.len as u32 {
+            key.clear();
+            masked_key(self.row(id), mask, &mut key);
+            index.entry(hash_ids(&key)).or_default().push(id);
         }
         self.indexes
             .write()
@@ -249,22 +390,58 @@ impl Relation {
     }
 }
 
-/// Extracts the index key: the values at the set bits of `mask`, in column order.
-fn key_for(tuple: &[Value], mask: ColMask) -> Box<[Value]> {
-    let mut key = Vec::with_capacity(mask.count_ones() as usize);
-    for (col, v) in tuple.iter().enumerate() {
-        if mask & (1u64 << col) != 0 {
-            key.push(v.clone());
+/// Extracts the masked columns of `row` (in column order) into `key`.
+#[inline]
+fn masked_key(row: &[ValueId], mask: ColMask, key: &mut Vec<ValueId>) {
+    let mut m = mask;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        key.push(row[col]);
+        m &= m - 1;
+    }
+}
+
+/// True iff `row`'s masked columns equal `key` (in column order).
+#[inline]
+fn masked_eq(row: &[ValueId], mask: ColMask, key: &[ValueId]) -> bool {
+    let mut m = mask;
+    let mut i = 0;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        if row[col] != key[i] {
+            return false;
+        }
+        i += 1;
+        m &= m - 1;
+    }
+    true
+}
+
+fn remove_posting(table: &mut IdTable, hash: u64, id: u32) {
+    if let Some(ids) = table.get_mut(&hash) {
+        if let Some(pos) = ids.iter().position(|&x| x == id) {
+            ids.swap_remove(pos);
+        }
+        if ids.is_empty() {
+            table.remove(&hash);
         }
     }
-    key.into()
+}
+
+fn remap_posting(table: &mut IdTable, hash: u64, from: u32, to: u32) {
+    if let Some(ids) = table.get_mut(&hash) {
+        if let Some(pos) = ids.iter().position(|&x| x == from) {
+            ids[pos] = to;
+        }
+    }
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
         Relation {
             arity: self.arity,
-            tuples: self.tuples.clone(),
+            len: self.len,
+            arena: self.arena.clone(),
             membership: self.membership.clone(),
             // Index caches are rebuilt on demand in the clone.
             indexes: RwLock::new(HashMap::new()),
@@ -276,7 +453,7 @@ impl std::fmt::Debug for Relation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Relation")
             .field("arity", &self.arity)
-            .field("len", &self.tuples.len())
+            .field("len", &self.len)
             .finish()
     }
 }
@@ -284,8 +461,8 @@ impl std::fmt::Debug for Relation {
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.arity == other.arity
-            && self.tuples.len() == other.tuples.len()
-            && self.tuples.iter().all(|t| other.contains(t))
+            && self.len == other.len
+            && self.iter_ids().all(|row| other.contains_ids(row))
     }
 }
 
@@ -382,9 +559,9 @@ mod tests {
         assert_eq!(r.matches(0b1, &[Value::from(2)]).len(), 1);
     }
 
-    /// Regression: the swap-fill in `remove` moves the last tuple into the
-    /// vacated slot; a stale index entry would then resolve probes of the
-    /// moved tuple to the wrong row (or past the end).
+    /// Regression: the swap-fill in `remove` moves the last row into the
+    /// vacated slot; a stale posting would then resolve probes of the moved
+    /// tuple to the wrong row (or past the end).
     #[test]
     fn remove_remaps_swapped_tuple_in_indexes() {
         let mut r = Relation::new(2);
@@ -434,11 +611,7 @@ mod tests {
             }
             for probe in 0..4i64 {
                 let via_index = r.matches(0b01, &[Value::from(probe)]);
-                let via_scan: Vec<_> = r
-                    .iter()
-                    .filter(|tu| tu[0] == Value::from(probe))
-                    .cloned()
-                    .collect();
+                let via_scan: Vec<_> = r.iter().filter(|tu| tu[0] == Value::from(probe)).collect();
                 assert_eq!(
                     via_index.len(),
                     via_scan.len(),
@@ -523,5 +696,43 @@ mod tests {
         b.insert(t(&[2])).unwrap();
         b.insert(t(&[1])).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// The arena is the single canonical copy: exactly `len * arity` value
+    /// ids are stored, through inserts, duplicate inserts and removals —
+    /// the membership structure keys rows by hash and holds row ids only
+    /// (the double-storage `HashMap<Tuple, id>` of the old layout is gone).
+    #[test]
+    fn one_canonical_copy_per_tuple() {
+        let mut r = Relation::new(3);
+        for i in 0..50i64 {
+            assert!(r.insert(t(&[i, i * 2, i % 7])).unwrap());
+            assert!(!r.insert(t(&[i, i * 2, i % 7])).unwrap(), "dup rejected");
+            assert_eq!(r.arena_slots(), r.len() * r.arity());
+        }
+        // Build an index, then mutate: the invariant must survive in-place
+        // index maintenance and swap-fill removals.
+        assert_eq!(r.matches(0b100, &[Value::from(3)]).len(), 7);
+        for i in (0..50i64).step_by(3) {
+            assert!(r.remove(&t(&[i, i * 2, i % 7])));
+            assert_eq!(r.arena_slots(), r.len() * r.arity());
+        }
+        assert_eq!(r.len(), 33);
+        assert_eq!(r.arena_slots(), 33 * 3);
+    }
+
+    /// Nullary relations (zero columns) hold at most the empty tuple and
+    /// survive the arena layout (no division by arity anywhere).
+    #[test]
+    fn nullary_relation_works() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(t(&[])).unwrap());
+        assert!(!r.insert(t(&[])).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.iter().count(), 1);
+        assert_eq!(r.matches(0, &[]).len(), 1);
+        assert!(r.remove(&[]));
+        assert!(r.is_empty());
     }
 }

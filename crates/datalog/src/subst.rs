@@ -57,6 +57,19 @@ impl Subst {
         }
     }
 
+    /// Id-plane variant of [`Subst::unify_var`]: the candidate arrives as an
+    /// interned id from the storage layer and is only resolved when it
+    /// actually binds (or needs comparing against an existing binding).
+    pub(crate) fn unify_var_id(&mut self, var: Symbol, id: crate::intern::ValueId) -> bool {
+        match self.get(var) {
+            Some(existing) => *existing == id.value(),
+            None => {
+                self.bindings.push((var, id.value()));
+                true
+            }
+        }
+    }
+
     /// Number of bound variables.
     pub fn len(&self) -> usize {
         self.bindings.len()

@@ -5,8 +5,13 @@
 //! single magic byte so incompatible peers fail fast instead of
 //! misinterpreting frames.
 //!
-//! Symbols travel as strings: peers in different processes have different
-//! interner tables, so numeric ids would be meaningless on the wire.
+//! Symbols travel as strings and values travel as their payloads: peers in
+//! different processes have different interner tables, so numeric ids —
+//! `Symbol`s and the engine's `ValueId`s alike — would be meaningless on
+//! the wire. `wdl_datalog::ValueId` implements neither `Serialize` nor any
+//! codec hook, so the interned data plane cannot leak into frames by
+//! construction; `tests/interned_equivalence.rs` additionally pins that
+//! encoded bytes are independent of interner state.
 
 use crate::NetError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};

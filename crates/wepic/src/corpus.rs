@@ -20,6 +20,22 @@ pub struct Picture {
     pub data: Vec<u8>,
 }
 
+impl Picture {
+    /// The `pictures/4` relation row for this picture — the single place
+    /// that defines the column order. The payload is cloned once here and
+    /// interned once on insert (the engine's value interner dedupes
+    /// repeated inserts of the same blob to an id compare).
+    pub fn to_values(&self) -> Vec<wdl_datalog::Value> {
+        use wdl_datalog::Value;
+        vec![
+            Value::from(self.id),
+            Value::from(self.name.as_str()),
+            Value::from(self.owner.as_str()),
+            Value::from(self.data.clone()),
+        ]
+    }
+}
+
 /// A deterministic corpus generator.
 pub struct PictureCorpus {
     rng: StdRng,

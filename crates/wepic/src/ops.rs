@@ -7,15 +7,7 @@ use wdl_datalog::Value;
 
 /// §3.1 — uploads a picture into the peer's `pictures` relation.
 pub fn upload_picture(peer: &mut Peer, pic: &Picture) -> Result<bool> {
-    peer.insert_local(
-        "pictures",
-        vec![
-            Value::from(pic.id),
-            Value::from(pic.name.as_str()),
-            Value::from(pic.owner.as_str()),
-            Value::from(pic.data.clone()),
-        ],
-    )
+    peer.insert_local("pictures", pic.to_values())
 }
 
 /// §3.2 — highlights an attendee (adds to `selectedAttendee`; the

@@ -110,7 +110,7 @@ fn evaluation_is_monotone() {
         if let Some(small_path) = small.relation("path") {
             let big_path = big.relation("path").unwrap();
             for t in small_path.iter() {
-                assert!(big_path.contains(t), "case {case}: lost {t:?}");
+                assert!(big_path.contains(&t), "case {case}: lost {t:?}");
             }
         }
     }
