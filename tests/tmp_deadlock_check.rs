@@ -1,0 +1,34 @@
+//! Temporary review check: nested probes of the same relation with
+//! different binding masks, where the inner mask's index is not yet built.
+use wdl_datalog::{Atom, Database, Fact, Program, Rule, Term, Value};
+
+fn atom(pred: &str, vars: &[&str]) -> Atom {
+    Atom::new(pred, vars.iter().map(|v| Term::var(*v)).collect())
+}
+
+#[test]
+fn nested_same_relation_probe_with_fresh_mask() {
+    let mut db = Database::new();
+    db.insert(Fact::new("a", vec![Value::from(1), Value::from(2)]))
+        .unwrap();
+    for (x, y, w) in [(1, 2, 3), (4, 2, 3), (5, 2, 3)] {
+        db.insert(Fact::new(
+            "e",
+            vec![Value::from(x), Value::from(y), Value::from(w)],
+        ))
+        .unwrap();
+    }
+    // q(z) :- a(x, y), e(x, y, w), e(z, y, w)
+    // outer e probe: mask 0b011; inner e probe: mask 0b110 (fresh index).
+    let rules = vec![Rule::new(
+        atom("q", &["z"]),
+        vec![
+            atom("a", &["x", "y"]).into(),
+            atom("e", &["x", "y", "w"]).into(),
+            atom("e", &["z", "y", "w"]).into(),
+        ],
+    )];
+    let program = Program::new(rules).unwrap();
+    let out = program.eval(&db).unwrap();
+    assert_eq!(out.relation("q").unwrap().len(), 3);
+}
