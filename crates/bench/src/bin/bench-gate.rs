@@ -34,6 +34,9 @@ const PINNED: &[(&str, &str)] = &[
     // 3-sample quick runs and would flake on shared runners.
     ("BENCH_e12_interned.json", "fixpoint_speedup_1488"),
     ("BENCH_e12_interned.json", "untag_speedup_2606"),
+    // Compiled stage-layer matcher vs the Subst interpreter on the
+    // delegated Wepic workload (PR 5 claim, ISSUE 5 headline >= 1.3x).
+    ("BENCH_e13_stage.json", "delegated_stage_speedup"),
 ];
 
 /// Extracts `"name": <number>` from the shim's flat JSON. Good enough for
@@ -46,6 +49,20 @@ fn metric(json: &str, name: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Lists the `BENCH_*.json` file names in `dir` (sorted; empty on error —
+/// the caller reports unreadable directories through the pinned checks).
+fn bench_files(dir: &str) -> Vec<String> {
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    out.sort();
+    out
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let baseline_dir = args.next().unwrap_or_else(|| ".".into());
@@ -53,6 +70,38 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     let mut checked = 0usize;
+
+    // Directory-level cross-check, so a bench that silently stopped
+    // producing (or never grew) its JSON cannot slip through as "nothing
+    // to compare": every fresh summary needs a committed baseline, and
+    // every committed baseline needs a fresh counterpart.
+    let fresh_files = bench_files(&fresh_dir);
+    if fresh_files.is_empty() {
+        eprintln!(
+            "bench-gate: no BENCH_*.json produced in {fresh_dir} — bench \
+             runs are not writing summaries"
+        );
+        failures += 1;
+    }
+    for f in &fresh_files {
+        if !std::path::Path::new(&baseline_dir).join(f).exists() {
+            eprintln!(
+                "bench-gate: fresh {f} has NO committed baseline in \
+                 {baseline_dir} — commit one (run the bench with \
+                 BENCH_JSON_DIR pointing at the repo root)"
+            );
+            failures += 1;
+        }
+    }
+    for f in bench_files(&baseline_dir) {
+        if !fresh_files.contains(&f) {
+            eprintln!(
+                "bench-gate: committed baseline {f} was NOT re-measured \
+                 into {fresh_dir} — add its bench to the CI bench-smoke run"
+            );
+            failures += 1;
+        }
+    }
     for (file, name) in PINNED {
         let baseline_path = format!("{baseline_dir}/{file}");
         let fresh_path = format!("{fresh_dir}/{file}");
@@ -89,6 +138,12 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
+    if checked == 0 {
+        // A gate that checked nothing must not pass: that is exactly the
+        // silent state where the bench trajectory goes empty.
+        eprintln!("bench-gate: 0 pinned metrics were comparable — failing loudly");
+        failures += 1;
+    }
     if failures > 0 {
         eprintln!("bench-gate: {failures} failure(s) across {checked} checked metric(s)");
         return ExitCode::FAILURE;
@@ -102,7 +157,21 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::metric;
+    use super::{bench_files, metric};
+
+    #[test]
+    fn bench_files_lists_only_bench_jsons() {
+        let dir = std::env::temp_dir().join("wdl-bench-gate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["BENCH_b.json", "BENCH_a.json", "notes.txt", "BENCH_c.txt"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let listed = bench_files(dir.to_str().unwrap());
+        assert_eq!(listed, vec!["BENCH_a.json", "BENCH_b.json"]);
+        assert!(bench_files("/nonexistent-dir-for-bench-gate").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn scanner_reads_shim_json() {

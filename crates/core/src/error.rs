@@ -28,6 +28,10 @@ pub enum WdlError {
     },
     /// A peer-name or relation-name variable was bound to a non-string value.
     BadNameBinding(String),
+    /// The maintained materialization disappeared between stage
+    /// classification and evaluation (e.g. a concurrent invalidation).
+    /// Recoverable: the stage loop falls back to full recomputation.
+    ViewInvalidated(String),
 }
 
 impl std::fmt::Display for WdlError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for WdlError {
                 write!(f, "runtime did not quiesce within {stages} stages")
             }
             WdlError::BadNameBinding(m) => write!(f, "bad name binding: {m}"),
+            WdlError::ViewInvalidated(m) => write!(f, "view invalidated: {m}"),
         }
     }
 }

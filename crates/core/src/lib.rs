@@ -94,6 +94,7 @@ mod rule;
 pub mod runtime;
 mod schema;
 mod stage;
+mod stage_plan;
 
 pub use acl::{AccessControl, DelegationDecision, PendingDelegation};
 pub use atom::{NameTerm, WAtom, WBodyItem, WLiteral};

@@ -149,13 +149,20 @@ pub(crate) fn compile_local(peer: &Peer) -> Option<(Program, HashSet<RuleId>)> {
     let rules = optimize::reorder_rules(&rules, &LiveStats { peer });
     match Program::new(rules) {
         // The peer's stage-level fixpoint cap bounds the compiled layer
-        // too — set_fixpoint_limit must keep meaning what it says.
-        Ok(program) => Some((
-            program
-                .with_iteration_limit(peer.fixpoint_limit)
-                .with_workers(peer.eval_workers),
-            compiled,
-        )),
+        // too — set_fixpoint_limit must keep meaning what it says. The
+        // peer-level engine toggle (`Peer::set_compiled_stage`) rides
+        // along: an interpreted peer runs its maintained view on the
+        // interpreter too, so the whole peer is one semantic reference.
+        Ok(program) => {
+            let config = wdl_datalog::EvalConfig::with_workers(peer.eval_workers)
+                .with_compiled(peer.compiled_stage);
+            Some((
+                program
+                    .with_iteration_limit(peer.fixpoint_limit)
+                    .with_eval_config(config),
+                compiled,
+            ))
+        }
         Err(_) => None,
     }
 }

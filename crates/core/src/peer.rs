@@ -86,6 +86,15 @@ pub struct Peer {
     /// (fed to the view as external support; retracted when re-derivation
     /// stops producing them).
     pub(crate) prev_dynamic: HashSet<wdl_datalog::Fact>,
+    /// Whether stage-layer rules run as compiled register-file prefix
+    /// plans (default) or on the `Subst` reference interpreter.
+    pub(crate) compiled_stage: bool,
+    /// Bumped on every access to the mutable grants handle: the hoisted
+    /// per-origin ACL read gates of cached stage plans must be re-derived
+    /// when grants may have changed.
+    pub(crate) grants_epoch: u64,
+    /// Cached classified stage plans (see `stage_plan.rs`).
+    pub(crate) stage_plans: crate::stage_plan::StagePlans,
 }
 
 impl Peer {
@@ -114,6 +123,9 @@ impl Peer {
             ruleset_epoch: 0,
             base_log: Vec::new(),
             prev_dynamic: HashSet::new(),
+            compiled_stage: true,
+            grants_epoch: 0,
+            stage_plans: crate::stage_plan::StagePlans::default(),
         }
     }
 
@@ -143,8 +155,44 @@ impl Peer {
     }
 
     /// Relation-level grants, mutably (restrict/grant/declassify).
+    ///
+    /// Any access through this handle may change what delegated rules can
+    /// read, so it conservatively bumps the grants epoch — cached stage
+    /// plans (whose per-literal ACL read gates are hoisted to compile
+    /// time) re-classify at the next stage.
     pub fn grants_mut(&mut self) -> &mut RelationGrants {
+        self.grants_epoch += 1;
         &mut self.grants
+    }
+
+    /// Selects compiled register-file evaluation for this peer's stage
+    /// loop (`true`, the default) or the symbol-keyed `Subst` interpreter
+    /// (`false`) — the stage-layer mirror of the datalog kernel's
+    /// `EvalConfig::with_compiled(false)`. Both paths compute identical
+    /// outcomes, delegations and blocked-read counts (property-tested in
+    /// `tests/stage_parity.rs`); the interpreter is retained as the
+    /// semantic reference and bench baseline. The toggle also selects the
+    /// engine of the maintained local view and of [`Peer::query`], so the
+    /// whole peer runs one engine.
+    ///
+    /// Like [`Peer::set_eval_workers`] and [`Peer::set_fixpoint_limit`],
+    /// this is a runtime tuning knob, **not durable state**: snapshots
+    /// ([`crate::PeerState`]) carry semantic state only, so a restored
+    /// peer starts back on the default (compiled) engine — re-apply the
+    /// toggle after restore when pinning the interpreter matters.
+    pub fn set_compiled_stage(&mut self, compiled: bool) {
+        if self.compiled_stage != compiled {
+            self.compiled_stage = compiled;
+            // The maintained view's program carries the engine choice;
+            // force a rebuild.
+            self.ruleset_epoch += 1;
+        }
+    }
+
+    /// Whether the stage loop runs compiled plans (see
+    /// [`Peer::set_compiled_stage`]).
+    pub fn compiled_stage(&self) -> bool {
+        self.compiled_stage
     }
 
     /// The peer's schema.
@@ -440,6 +488,25 @@ impl Peer {
         // Query view: store plus the latest derivation snapshot.
         let mut db = self.store.clone();
         db.absorb(&self.derived)?;
+        // Ad-hoc queries ride the same engine selection as the stage loop:
+        // a compiled prefix plan when possible, the interpreter otherwise
+        // (or when a body the plan compiler rejects must keep its
+        // runtime-error-per-reaching-binding semantics).
+        if self.compiled_stage {
+            if let Ok(plan) = wdl_datalog::eval::BodyPlan::compile(&compiled, &[]) {
+                let mut out = Vec::new();
+                let mut scratch = wdl_datalog::eval::BodyScratch::new();
+                plan.run(&db, &mut scratch, &[], &mut |regs| {
+                    let mut s = wdl_datalog::Subst::new();
+                    for &(v, r) in plan.bindings() {
+                        s.bind(v, regs[r as usize].value());
+                    }
+                    out.push(s);
+                    Ok(())
+                })?;
+                return Ok(out);
+            }
+        }
         Ok(wdl_datalog::eval::evaluate_body(
             &db,
             &compiled,

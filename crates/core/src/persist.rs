@@ -20,6 +20,13 @@ use serde::{Deserialize, Serialize};
 use wdl_datalog::Symbol;
 
 /// A peer's durable state.
+///
+/// Runtime tuning knobs — worker count, fixpoint limit, and the
+/// compiled-vs-interpreted stage engine selection
+/// ([`Peer::set_compiled_stage`]) — are deliberately **not** part of this
+/// state: snapshots are semantic (what the peer knows and runs, not how
+/// fast or with which engine it computes it), and restores come back on
+/// the defaults.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PeerState {
     /// Peer name.

@@ -12,11 +12,13 @@
 //! remote fact batches are *diffed* against the previous stage so that
 //! retractions propagate (install/revoke, add/retract).
 
+use crate::stage_plan::{classify, CompiledRule, Cut, HeadPlan, NameSrc, PlanKey, StagePlans};
 use crate::{
     qualify, Delegation, DelegationDecision, DelegationId, FactKind, Message, Payload, Peer,
     RelationKind, Result, WBodyItem, WFact, WRule, WdlError,
 };
 use std::collections::{HashMap, HashSet};
+use wdl_datalog::intern::ValueId;
 use wdl_datalog::{eval, Atom as DAtom, Database, Fact as DFact, Subst, Symbol};
 
 /// Counters describing one stage, for observability and the bench harness.
@@ -116,8 +118,8 @@ impl Peer {
         // of the compiled (fully local) rules is available, full recompute
         // otherwise. See `maintain.rs` for the split.
         let (outcome, rounds, derived_changed) = match self.ensure_view() {
-            crate::maintain::ViewStatus::Current => self.fixpoint_incremental(false)?,
-            crate::maintain::ViewStatus::Rebuilt => self.fixpoint_incremental(true)?,
+            crate::maintain::ViewStatus::Current => self.fixpoint_maintained(false)?,
+            crate::maintain::ViewStatus::Rebuilt => self.fixpoint_maintained(true)?,
             crate::maintain::ViewStatus::Unavailable => {
                 self.base_log.clear();
                 self.fixpoint_recompute()?
@@ -126,6 +128,10 @@ impl Peer {
         stats.fixpoint_rounds = rounds;
         stats.derivations = outcome.derivations;
         stats.reads_blocked = outcome.reads_blocked;
+
+        // Delegation churn does not bump the plan-cache epochs; drop plans
+        // whose delegations are gone so the cache cannot grow unboundedly.
+        self.stage_plans.retain_delegations(&self.delegated);
 
         // ---- Step 3: emit facts and rules.
         let mut messages = std::mem::take(&mut self.outbox_explicit);
@@ -242,6 +248,13 @@ impl Peer {
             self.rules.iter().map(|e| e.rule.clone()),
         );
 
+        // Classified stage plans: taken out of the peer for the duration of
+        // the fixpoint (an error path drops the cache, which only costs a
+        // re-classification at the next stage).
+        let mut plans = std::mem::take(&mut self.stage_plans);
+        plans.ensure_epoch(self.ruleset_epoch, self.grants_epoch);
+        let use_plans = self.compiled_stage;
+
         let mut outcome = Outcome::default();
         let mut rounds = 0usize;
         loop {
@@ -252,9 +265,18 @@ impl Peer {
                 ));
             }
             let mut new_local: Vec<DFact> = Vec::new();
-            let own = self.rules.iter().map(|e| (&e.rule, None));
-            let delegated = self.delegated.iter().map(|d| (&d.rule, Some(d.origin)));
-            for (rule, origin) in own.chain(delegated) {
+            let own = self
+                .rules
+                .iter()
+                .map(|e| (&e.rule, None, use_plans.then_some(PlanKey::Own(e.id))));
+            let delegated = self.delegated.iter().map(|d| {
+                (
+                    &d.rule,
+                    Some(d.origin),
+                    use_plans.then_some(PlanKey::Delegated(d.id)),
+                )
+            });
+            for (rule, origin, key) in own.chain(delegated) {
                 let ctx = EvalCtx {
                     peer: self.name,
                     schema: &self.schema,
@@ -262,7 +284,15 @@ impl Peer {
                     view_bases: &view_bases,
                     origin,
                 };
-                eval_rule(&ctx, &working, rule, &mut outcome, &mut new_local)?;
+                eval_rule(
+                    &ctx,
+                    &working,
+                    rule,
+                    key,
+                    &mut plans,
+                    &mut outcome,
+                    &mut new_local,
+                )?;
             }
             let mut changed = false;
             for fact in new_local {
@@ -274,6 +304,7 @@ impl Peer {
                 break;
             }
         }
+        self.stage_plans = plans;
 
         // Snapshot intensional relations (everything in `working` that is
         // not extensional store content).
@@ -281,6 +312,19 @@ impl Peer {
         let derived_changed = !db_eq(&derived, &self.derived);
         self.derived = derived;
         Ok((outcome, rounds, derived_changed))
+    }
+
+    /// Runs the incremental fixpoint, recovering from a mid-stage view
+    /// invalidation ([`WdlError::ViewInvalidated`]) by falling back to a
+    /// full recompute — the stage completes either way.
+    fn fixpoint_maintained(&mut self, rebuilt: bool) -> Result<(Outcome, usize, bool)> {
+        match self.fixpoint_incremental(rebuilt) {
+            Err(WdlError::ViewInvalidated(_)) => {
+                self.base_log.clear();
+                self.fixpoint_recompute()
+            }
+            r => r,
+        }
     }
 
     /// Copies the declared intensional relations out of a saturated
@@ -312,7 +356,16 @@ impl Peer {
     fn fixpoint_incremental(&mut self, rebuilt: bool) -> Result<(Outcome, usize, bool)> {
         use wdl_datalog::incremental::Delta;
 
-        let mut state = self.incr.take().expect("ensure_view provided a view");
+        // `ensure_view` normally guarantees a view here, but the guarantee
+        // is cross-method state: never panic on the stage hot path over it.
+        // A missing view is a recoverable error the caller
+        // (`fixpoint_maintained`) turns into a full recompute.
+        let Some(mut state) = self.incr.take() else {
+            return Err(WdlError::ViewInvalidated(format!(
+                "peer {} stage {}: maintained view missing at evaluation",
+                self.name, self.stage
+            )));
+        };
 
         // Net membership changes of the materialization this stage:
         // +1 appeared, -1 disappeared (never beyond ±1 after netting).
@@ -398,6 +451,10 @@ impl Peer {
             self.name,
             self.rules.iter().map(|e| e.rule.clone()),
         );
+        let mut plans = std::mem::take(&mut self.stage_plans);
+        plans.ensure_epoch(self.ruleset_epoch, self.grants_epoch);
+        let use_plans = self.compiled_stage;
+
         let mut outcome = Outcome::default();
         let mut dyn_cur: HashSet<DFact> = HashSet::new();
         let mut rounds = 0usize;
@@ -413,9 +470,15 @@ impl Peer {
                 .rules
                 .iter()
                 .filter(|e| !state.compiled.contains(&e.id))
-                .map(|e| (&e.rule, None));
-            let delegated = self.delegated.iter().map(|d| (&d.rule, Some(d.origin)));
-            for (rule, origin) in own.chain(delegated) {
+                .map(|e| (&e.rule, None, use_plans.then_some(PlanKey::Own(e.id))));
+            let delegated = self.delegated.iter().map(|d| {
+                (
+                    &d.rule,
+                    Some(d.origin),
+                    use_plans.then_some(PlanKey::Delegated(d.id)),
+                )
+            });
+            for (rule, origin, key) in own.chain(delegated) {
                 let ctx = EvalCtx {
                     peer: self.name,
                     schema: &self.schema,
@@ -427,6 +490,8 @@ impl Peer {
                     &ctx,
                     state.view.database(),
                     rule,
+                    key,
+                    &mut plans,
                     &mut outcome,
                     &mut new_local,
                 )?;
@@ -444,6 +509,7 @@ impl Peer {
             }
             apply(&mut state, &d)?;
         }
+        self.stage_plans = plans;
         self.prev_dynamic = dyn_cur;
 
         // Refresh the intensional snapshot: full copy after a rebuild,
@@ -632,19 +698,202 @@ fn db_eq(a: &Database, b: &Database) -> bool {
     a.facts().all(|f| b.contains(&f))
 }
 
-/// Evaluates one rule over `working`, walking body items left to right.
-/// Local positive atoms join through the datalog matcher; the first
-/// non-local atom turns the remainder into a delegation. When the rule is a
-/// delegation (`ctx.origin` set), every local relation it reads is gated by
-/// the owner's relation grants under the provenance-derived view policy.
+/// Evaluates one rule over `working`.
+///
+/// With `key` set (compiled stage evaluation), the rule's classified plan
+/// is fetched from — or compiled into — `plans`, the local prefix runs as
+/// a register-file plan, and the cut action fires heads / counts blocked
+/// reads / emits delegations from the yielded registers (see
+/// `stage_plan.rs`). With `key == None`, the `Subst` reference interpreter
+/// ([`walk`]) evaluates the whole rule: local positive atoms join through
+/// the datalog matcher and the first non-local atom turns the remainder
+/// into a delegation. When the rule is a delegation (`ctx.origin` set),
+/// every local relation it reads is gated by the owner's relation grants
+/// under the provenance-derived view policy — hoisted to classification
+/// time on the compiled path, checked per literal visit by the
+/// interpreter; both count the same blocked reads.
 fn eval_rule(
     ctx: &EvalCtx<'_>,
     working: &Database,
     rule: &WRule,
+    key: Option<PlanKey>,
+    plans: &mut StagePlans,
     outcome: &mut Outcome,
     new_local: &mut Vec<DFact>,
 ) -> Result<()> {
-    walk(ctx, working, rule, 0, Subst::new(), outcome, new_local)
+    let Some(key) = key else {
+        return walk(ctx, working, rule, 0, Subst::new(), outcome, new_local);
+    };
+    let StagePlans {
+        own,
+        delegated,
+        scratch,
+        ..
+    } = plans;
+    let srp = match key {
+        PlanKey::Own(id) => own
+            .entry(id)
+            .or_insert_with(|| classify(rule, ctx.peer, ctx.origin, ctx.grants, ctx.view_bases)),
+        PlanKey::Delegated(id) => delegated
+            .entry(id)
+            .or_insert_with(|| classify(rule, ctx.peer, ctx.origin, ctx.grants, ctx.view_bases)),
+    };
+    match srp {
+        crate::stage_plan::StageRulePlan::Interpreted => {
+            walk(ctx, working, rule, 0, Subst::new(), outcome, new_local)
+        }
+        crate::stage_plan::StageRulePlan::Compiled(c) => {
+            run_compiled(ctx, working, rule, c, scratch, outcome, new_local)
+        }
+    }
+}
+
+/// Runs a compiled prefix plan, tunneling stage-layer errors through the
+/// datalog executor's error channel (the emit callback aborts the walk
+/// with a sentinel; the real error is returned to the caller).
+fn run_prefix(
+    plan: &wdl_datalog::eval::BodyPlan,
+    working: &Database,
+    scratch: &mut wdl_datalog::eval::BodyScratch,
+    emit: &mut dyn FnMut(&[ValueId]) -> Result<()>,
+) -> Result<()> {
+    const ABORT: usize = usize::MAX - 1;
+    let mut werr: Option<WdlError> = None;
+    let r = plan.run(working, scratch, &[], &mut |regs| match emit(regs) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            werr = Some(e);
+            Err(wdl_datalog::DatalogError::IterationLimit(ABORT))
+        }
+    });
+    if let Some(e) = werr {
+        return Err(e);
+    }
+    r.map_err(WdlError::from)
+}
+
+/// Executes one classified rule: prefix plan, then the cut action per
+/// yielded register file.
+fn run_compiled(
+    ctx: &EvalCtx<'_>,
+    working: &Database,
+    rule: &WRule,
+    c: &CompiledRule,
+    scratch: &mut wdl_datalog::eval::BodyScratch,
+    outcome: &mut Outcome,
+    new_local: &mut Vec<DFact>,
+) -> Result<()> {
+    match &c.cut {
+        Cut::Head(h) => run_prefix(&c.plan, working, scratch, &mut |regs| {
+            fire_head_from_regs(ctx, h, regs, outcome, new_local)
+        }),
+        Cut::Blocked => run_prefix(&c.plan, working, scratch, &mut |_regs| {
+            outcome.reads_blocked += 1;
+            Ok(())
+        }),
+        Cut::Delegate { idx, live } => {
+            // Identical projections of the live registers instantiate
+            // identical remainders (and hence identical content-addressed
+            // delegations): dedup before paying for instantiation. The
+            // continuation emits no counters, so dedup is exactly
+            // semantics-preserving.
+            let mut seen: HashSet<Box<[ValueId]>> = HashSet::new();
+            run_prefix(&c.plan, working, scratch, &mut |regs| {
+                if seen.insert(CompiledRule::live_key(live, regs)) {
+                    let subst = CompiledRule::live_subst(live, regs);
+                    walk(ctx, working, rule, *idx, subst, outcome, new_local)?;
+                }
+                Ok(())
+            })
+        }
+        Cut::Resume { idx, live } => run_prefix(&c.plan, working, scratch, &mut |regs| {
+            // No dedup: the interpreter continuation may fire heads and
+            // count per-binding, and parity requires one continuation per
+            // yielded binding.
+            let subst = CompiledRule::live_subst(live, regs);
+            walk(ctx, working, rule, *idx, subst, outcome, new_local)
+        }),
+    }
+}
+
+/// Resolves a head-position name from the register file, with the same
+/// string-typing rule (and error text) as [`crate::NameTerm::resolve`].
+fn resolve_name_src(src: &NameSrc, regs: &[ValueId]) -> Result<Symbol> {
+    match src {
+        NameSrc::Const(s) => Ok(*s),
+        NameSrc::Reg(r, var) => match regs[*r as usize].value() {
+            wdl_datalog::Value::Str(s) => Ok(Symbol::intern(&s)),
+            other => Err(WdlError::BadNameBinding(format!(
+                "variable ${var} used as a name is bound to {other} (a {}), expected a string",
+                other.type_name()
+            ))),
+        },
+    }
+}
+
+/// Fires a fully-local rule's head straight from the register file —
+/// the compiled counterpart of [`fire_head`], sharing its routing.
+fn fire_head_from_regs(
+    ctx: &EvalCtx<'_>,
+    h: &HeadPlan,
+    regs: &[ValueId],
+    outcome: &mut Outcome,
+    new_local: &mut Vec<DFact>,
+) -> Result<()> {
+    outcome.derivations += 1;
+    let rel = resolve_name_src(&h.rel, regs)?;
+    let peer = resolve_name_src(&h.peer, regs)?;
+    let mut values = Vec::with_capacity(h.args.len());
+    for a in &h.args {
+        values.push(match a {
+            crate::stage_plan::ArgSrc::Const(v) => v.clone(),
+            crate::stage_plan::ArgSrc::Reg(r) => regs[*r as usize].value(),
+        });
+    }
+    route_head_fact(
+        ctx,
+        WFact {
+            rel,
+            peer,
+            tuple: values.into(),
+        },
+        outcome,
+        new_local,
+    );
+    Ok(())
+}
+
+/// Shared head-fact routing: local extensional heads buffer self-updates,
+/// local intensional (or undeclared) heads derive in place, remote heads
+/// ship as derived facts. Used by both the interpreter and the compiled
+/// path so the two cannot drift.
+fn route_head_fact(
+    ctx: &EvalCtx<'_>,
+    fact: WFact,
+    outcome: &mut Outcome,
+    new_local: &mut Vec<DFact>,
+) {
+    if fact.peer == ctx.peer {
+        // Default kind for rule-written local relations is intensional (a
+        // rule head defines a view unless declared otherwise).
+        match ctx.schema.kind_of(fact.rel) {
+            Some(RelationKind::Extensional) => {
+                outcome.local_ext.insert(fact);
+            }
+            _ => {
+                new_local.push(DFact {
+                    pred: fact.qualified(),
+                    tuple: fact.tuple,
+                });
+            }
+        }
+    } else {
+        outcome
+            .remote_facts
+            .entry(fact.peer)
+            .or_default()
+            .insert(fact);
+    }
 }
 
 fn walk(
@@ -752,27 +1001,7 @@ fn fire_head(
         .head
         .ground(subst)?
         .ok_or_else(|| WdlError::UnsafeDistribution(format!("head of {rule} not fully bound")))?;
-    if fact.peer == ctx.peer {
-        // Default kind for rule-written local relations is intensional (a
-        // rule head defines a view unless declared otherwise).
-        match ctx.schema.kind_of(fact.rel) {
-            Some(RelationKind::Extensional) => {
-                outcome.local_ext.insert(fact);
-            }
-            _ => {
-                new_local.push(DFact {
-                    pred: fact.qualified(),
-                    tuple: fact.tuple,
-                });
-            }
-        }
-    } else {
-        outcome
-            .remote_facts
-            .entry(fact.peer)
-            .or_default()
-            .insert(fact);
-    }
+    route_head_fact(ctx, fact, outcome, new_local);
     Ok(())
 }
 
@@ -1508,6 +1737,165 @@ mod tests {
         assert_eq!(facts.len(), via_query.len());
         assert_eq!(facts.len(), 1);
         assert_eq!(facts[0][0], Value::from(1));
+    }
+
+    /// A mid-stage view invalidation (the maintained state vanishing
+    /// between `ensure_view` and evaluation) is a recoverable error, not a
+    /// panic: `fixpoint_incremental` reports `ViewInvalidated`, and the
+    /// `fixpoint_maintained` wrapper completes the stage through the full
+    /// recompute path with correct results.
+    #[test]
+    fn view_invalidation_mid_stage_recovers() {
+        let mut p = peer("inv");
+        p.declare("v", 1, RelationKind::Intensional).unwrap();
+        p.add_rule(WRule::new(
+            WAtom::at("v", "inv", vec![Term::var("x")]),
+            vec![WAtom::at("b", "inv", vec![Term::var("x")]).into()],
+        ))
+        .unwrap();
+        p.insert_local("b", vec![Value::from(1)]).unwrap();
+        p.run_stage().unwrap();
+        assert!(p.incr.is_some(), "rule compiles into a maintained view");
+        assert_eq!(p.relation_facts("v").len(), 1);
+
+        // Simulate the invalidation: the view is gone but the epoch says
+        // otherwise, so `ensure_view` would report `Current`.
+        p.insert_local("b", vec![Value::from(2)]).unwrap();
+        p.incr = None;
+        assert!(matches!(
+            p.fixpoint_incremental(false),
+            Err(WdlError::ViewInvalidated(_))
+        ));
+
+        // The recovery wrapper completes the (recomputed) fixpoint.
+        p.incr = None;
+        let (outcome, _, changed) = p.fixpoint_maintained(false).unwrap();
+        assert!(changed);
+        assert_eq!(outcome.derivations, 2 * 2, "2 facts x 2 naive rounds");
+        assert_eq!(p.relation_facts("v").len(), 2);
+
+        // And a fresh full stage afterwards rebuilds the view and agrees.
+        let out = p.run_stage().unwrap();
+        assert!(p.incr.is_some(), "next stage rebuilds the view");
+        assert!(!out.changed);
+        assert_eq!(p.relation_facts("v").len(), 2);
+    }
+
+    /// The classified-plan cache follows grants changes: restricting a
+    /// relation after a delegated rule compiled must re-hoist the ACL read
+    /// gate (blocked reads appear), and the compiled path counts them like
+    /// the interpreter.
+    #[test]
+    fn grants_change_invalidates_hoisted_read_gate() {
+        let build = || {
+            let mut p = peer("gate");
+            p.declare("feed", 1, RelationKind::Intensional).unwrap();
+            p.insert_local("secret", vec![Value::from(7)]).unwrap();
+            p.install_delegation(Delegation::new(
+                Symbol::intern("spy"),
+                Symbol::intern("gate"),
+                WRule::new(
+                    WAtom::at("feed", "gate", vec![Term::var("x")]),
+                    vec![WAtom::at("secret", "gate", vec![Term::var("x")]).into()],
+                ),
+            ));
+            p
+        };
+        for compiled in [true, false] {
+            let mut p = build();
+            p.set_compiled_stage(compiled);
+            let out = p.run_stage().unwrap();
+            assert_eq!(out.stats.reads_blocked, 0, "compiled={compiled}");
+            assert_eq!(p.relation_facts("feed").len(), 1);
+
+            // Restrict reads: the next stage must block the delegated read
+            // (and retract the derivation) on both engines.
+            p.grants_mut().restrict_read("secret");
+            let out = p.run_stage().unwrap();
+            assert_eq!(out.stats.reads_blocked, 1, "compiled={compiled}");
+            assert!(p.relation_facts("feed").is_empty());
+        }
+    }
+
+    /// The classifier actually compiles (it must not silently fall back to
+    /// the interpreter for the shapes the fast path exists for), and picks
+    /// the expected cut per body shape.
+    #[test]
+    fn classifier_compiles_expected_cut_shapes() {
+        use crate::stage_plan::{classify, Cut, StageRulePlan};
+        let me = Symbol::intern("shape");
+        let grants = crate::RelationGrants::new();
+        let vb = HashMap::new();
+        let item = |peer: &str| WAtom::at("item", peer, vec![Term::var("x")]);
+
+        // Fully local body → Cut::Head.
+        let fully_local = WRule::new(
+            WAtom::at("v", "shape", vec![Term::var("x")]),
+            vec![
+                item("shape").into(),
+                WBodyItem::not_atom(WAtom::at("blocked", "shape", vec![Term::var("x")])),
+            ],
+        );
+        let StageRulePlan::Compiled(c) = classify(&fully_local, me, None, &grants, &vb) else {
+            panic!("fully local rule must compile");
+        };
+        assert!(matches!(c.cut, Cut::Head(_)));
+
+        // Constant remote peer at position 1 → Cut::Delegate at 1.
+        let remote = WRule::new(
+            WAtom::at("v", "shape", vec![Term::var("x")]),
+            vec![item("shape").into(), item("elsewhere").into()],
+        );
+        let StageRulePlan::Compiled(c) = classify(&remote, me, None, &grants, &vb) else {
+            panic!("split rule must compile");
+        };
+        assert!(matches!(c.cut, Cut::Delegate { idx: 1, .. }));
+
+        // Variable peer at position 1 → Cut::Resume at 1.
+        let varpeer = WRule::new(
+            WAtom::at("v", "shape", vec![Term::var("x")]),
+            vec![
+                WAtom::at("sel", "shape", vec![Term::var("p")]).into(),
+                WAtom::new(
+                    NameTerm::name("item"),
+                    NameTerm::var("p"),
+                    vec![Term::var("x")],
+                )
+                .into(),
+            ],
+        );
+        let StageRulePlan::Compiled(c) = classify(&varpeer, me, None, &grants, &vb) else {
+            panic!("variable-peer rule must compile its prefix");
+        };
+        assert!(matches!(c.cut, Cut::Resume { idx: 1, .. }));
+
+        // Delegated rule reading a restricted relation → Cut::Blocked.
+        let mut restricted = crate::RelationGrants::new();
+        restricted.restrict_read("item");
+        let gated = WRule::new(
+            WAtom::at("v", "origin", vec![Term::var("x")]),
+            vec![item("shape").into()],
+        );
+        let StageRulePlan::Compiled(c) =
+            classify(&gated, me, Some(Symbol::intern("origin")), &restricted, &vb)
+        else {
+            panic!("gated rule must compile");
+        };
+        assert!(matches!(c.cut, Cut::Blocked));
+
+        // A stage evaluation populates the cache with compiled entries.
+        let mut p = peer("shape");
+        p.declare("v", 1, RelationKind::Intensional).unwrap();
+        p.insert_local("item", vec![Value::from(1)]).unwrap();
+        p.add_rule(remote).unwrap();
+        p.run_stage().unwrap();
+        assert!(
+            p.stage_plans
+                .own
+                .values()
+                .any(|srp| matches!(srp, StageRulePlan::Compiled(_))),
+            "stage evaluation caches compiled plans"
+        );
     }
 
     /// Local negation within a stage.

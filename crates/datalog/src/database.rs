@@ -159,6 +159,16 @@ impl Database {
         }
     }
 
+    /// Removes every tuple of every relation, keeping the relation map
+    /// entries and their tuple arenas' capacity — the recycling half of the
+    /// seminaive delta pool (clear + reuse instead of a fresh `Database`
+    /// per round).
+    pub fn clear_all(&mut self) {
+        for rel in self.relations.values_mut() {
+            rel.clear();
+        }
+    }
+
     /// Merges every fact of `other` into `self`. Returns the number of facts
     /// that were new.
     pub fn absorb(&mut self, other: &Database) -> Result<usize> {

@@ -13,6 +13,7 @@ mod seminaive;
 mod stratify;
 
 pub use parallel::EvalConfig;
+pub use plan::{BodyPlan, BodyScratch};
 
 pub(crate) use diff::{match_body_at_slot, DiffSide, NetChange};
 pub(crate) use naive::{naive_fixpoint, naive_fixpoint_compiled};

@@ -250,21 +250,6 @@ impl Compiler {
         pinned_idx: Option<usize>,
         bind_head: bool,
     ) -> Result<RulePlan> {
-        // Literal / positive ordinals follow the *source* order.
-        let mut lit_ordinals = vec![0usize; rule.body.len()];
-        let mut pos_ordinals = vec![0usize; rule.body.len()];
-        let (mut lit, mut pos) = (0usize, 0usize);
-        for (i, item) in rule.body.iter().enumerate() {
-            if let BodyItem::Literal(l) = item {
-                lit_ordinals[i] = lit;
-                lit += 1;
-                if !l.negated {
-                    pos_ordinals[i] = pos;
-                    pos += 1;
-                }
-            }
-        }
-
         let mut head_acts = Vec::new();
         if bind_head {
             for term in &rule.head.args {
@@ -282,9 +267,55 @@ impl Compiler {
             }
         }
 
+        let steps = self.compile_items(&rule.body, order, pinned_idx)?;
+
+        let head = rule
+            .head
+            .args
+            .iter()
+            .map(|t| self.src_of(t))
+            .collect::<Result<Vec<_>>>()
+            .map_err(|_| {
+                DatalogError::UnboundVariable(format!(
+                    "head of {rule} not fully bound (rule unsafe?)"
+                ))
+            })?;
+
+        Ok(RulePlan {
+            nregs: self.regs.len(),
+            steps,
+            head_pred: rule.head.pred,
+            head,
+            head_acts,
+        })
+    }
+
+    /// Compiles the body items selected by `order` into steps, allocating
+    /// registers along the way. Literal/positive ordinals always follow the
+    /// *source* order of `body`.
+    fn compile_items(
+        &mut self,
+        body: &[BodyItem],
+        order: &[usize],
+        pinned_idx: Option<usize>,
+    ) -> Result<Vec<Step>> {
+        let mut lit_ordinals = vec![0usize; body.len()];
+        let mut pos_ordinals = vec![0usize; body.len()];
+        let (mut lit, mut pos) = (0usize, 0usize);
+        for (i, item) in body.iter().enumerate() {
+            if let BodyItem::Literal(l) = item {
+                lit_ordinals[i] = lit;
+                lit += 1;
+                if !l.negated {
+                    pos_ordinals[i] = pos;
+                    pos += 1;
+                }
+            }
+        }
+
         let mut steps = Vec::with_capacity(order.len());
         for &i in order {
-            let item = &rule.body[i];
+            let item = &body[i];
             let pinned = pinned_idx == Some(i);
             match item {
                 BodyItem::Literal(l) if !l.negated => {
@@ -356,25 +387,7 @@ impl Compiler {
             }
         }
 
-        let head = rule
-            .head
-            .args
-            .iter()
-            .map(|t| self.src_of(t))
-            .collect::<Result<Vec<_>>>()
-            .map_err(|_| {
-                DatalogError::UnboundVariable(format!(
-                    "head of {rule} not fully bound (rule unsafe?)"
-                ))
-            })?;
-
-        Ok(RulePlan {
-            nregs: self.regs.len(),
-            steps,
-            head_pred: rule.head.pred,
-            head,
-            head_acts,
-        })
+        Ok(steps)
     }
 
     fn compile_scan(
@@ -433,6 +446,7 @@ impl Compiler {
 /// Reusable per-evaluation buffers: the register file, one probe-key buffer
 /// per step (probes are allocation-free after warm-up), and the head
 /// scratch row.
+#[derive(Default)]
 pub(crate) struct Scratch {
     pub(crate) regs: Vec<ValueId>,
     keys: Vec<Vec<ValueId>>,
@@ -771,6 +785,127 @@ pub(crate) fn derive_plan(
     })
 }
 
+// ---------------------------------------------------------------------
+// Prefix plans: public compiled evaluation of a body-item sequence
+// ---------------------------------------------------------------------
+
+/// A compiled **prefix plan**: a body-item sequence compiled to the same
+/// register-file steps as a [`RulePlan`], but instead of always firing a
+/// rule head, execution *suspends* at the end of the sequence and yields
+/// the full register file to the caller.
+///
+/// This is the engine piece the WebdamLog stage layer builds on (see
+/// `wdl-core::stage`): the *local prefix* of a distributed rule compiles to
+/// a `BodyPlan`, and each yielded register file either fires a head, emits
+/// a delegation from the instantiated remainder, or counts a blocked read —
+/// decisions that live above the datalog kernel.
+///
+/// A plan is **resumable from a non-empty initial binding**: variables
+/// passed as `prebound` to [`BodyPlan::compile`] are treated as bound from
+/// the start (they occupy the first registers), and their values are seeded
+/// per run via the `seed` argument of [`BodyPlan::run`] — the compiled
+/// analogue of starting [`super::evaluate_body`] from a non-empty
+/// [`crate::Subst`].
+#[derive(Clone, Debug)]
+pub struct BodyPlan {
+    plan: RulePlan,
+    /// Variable → register assignment, ordered by register number (the
+    /// `prebound` variables come first, then first occurrence order).
+    vars: Vec<(Symbol, u16)>,
+    /// Number of pre-bound registers (the seed length [`BodyPlan::run`]
+    /// expects).
+    prebound: usize,
+}
+
+impl BodyPlan {
+    /// Compiles `body` for left-to-right evaluation. Variables listed in
+    /// `prebound` are treated as already bound (callers seed their values
+    /// at run time); any other variable read before a positive atom binds
+    /// it is a compile error, mirroring the interpreter's runtime error.
+    pub fn compile(body: &[BodyItem], prebound: &[Symbol]) -> Result<BodyPlan> {
+        let mut c = Compiler::default();
+        for v in prebound {
+            c.alloc(*v);
+        }
+        let prebound_regs = c.regs.len();
+        let order: Vec<usize> = (0..body.len()).collect();
+        let steps = c.compile_items(body, &order, None)?;
+        let nregs = c.regs.len();
+        let mut vars: Vec<(Symbol, u16)> = c.regs.into_iter().collect();
+        vars.sort_by_key(|&(_, r)| r);
+        let head = (0..nregs).map(|r| Src::Reg(r as u16)).collect();
+        Ok(BodyPlan {
+            plan: RulePlan {
+                nregs,
+                steps,
+                head_pred: Symbol::intern("<prefix>"),
+                head,
+                head_acts: Vec::new(),
+            },
+            vars,
+            prebound: prebound_regs,
+        })
+    }
+
+    /// The variable → register assignment, ordered by register number.
+    /// Yielded register files are indexed by these registers.
+    pub fn bindings(&self) -> &[(Symbol, u16)] {
+        &self.vars
+    }
+
+    /// The register holding `var`, if the body (or the prebound set) binds
+    /// it.
+    pub fn register_of(&self, var: Symbol) -> Option<u16> {
+        self.vars.iter().find(|&&(v, _)| v == var).map(|&(_, r)| r)
+    }
+
+    /// Total register count — the length of the slice passed to `emit`.
+    pub fn registers(&self) -> usize {
+        self.plan.nregs
+    }
+
+    /// Runs the plan against `db`, calling `emit` with the register file of
+    /// every satisfying assignment (in the interpreter's left-to-right
+    /// enumeration order). `seed` provides one value per `prebound`
+    /// variable, in the order they were passed to [`BodyPlan::compile`];
+    /// its length must match. `emit` may return an error to abort.
+    pub fn run(
+        &self,
+        db: &Database,
+        scratch: &mut BodyScratch,
+        seed: &[ValueId],
+        emit: &mut dyn FnMut(&[ValueId]) -> Result<()>,
+    ) -> Result<()> {
+        if seed.len() != self.prebound {
+            return Err(DatalogError::UnboundVariable(format!(
+                "prefix plan expects {} seed value(s), got {}",
+                self.prebound,
+                seed.len()
+            )));
+        }
+        scratch.0.fit(&self.plan);
+        scratch.0.regs[..seed.len()].copy_from_slice(seed);
+        run_plan(
+            &self.plan,
+            &FixCtx { db, delta: None },
+            &mut scratch.0,
+            emit,
+        )
+    }
+}
+
+/// Reusable buffers for [`BodyPlan::run`]: one instance can serve many
+/// plans (it grows to fit the largest).
+#[derive(Default)]
+pub struct BodyScratch(Scratch);
+
+impl BodyScratch {
+    /// An empty scratch.
+    pub fn new() -> BodyScratch {
+        BodyScratch(Scratch::new())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -853,6 +988,98 @@ mod tests {
         );
         let (c, i) = heads_of(&rule, &db);
         assert_eq!(c, i);
+    }
+
+    /// A prefix plan yields exactly the substitutions the interpreted
+    /// matcher produces, register-for-variable, in the same order.
+    #[test]
+    fn body_plan_matches_interpreted_substitutions() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (1, 3)] {
+            db.insert(Fact::new("e", vec![Value::from(a), Value::from(b)]))
+                .unwrap();
+        }
+        db.insert(Fact::new("stop", vec![Value::from(4)])).unwrap();
+        // e(x, y), e(y, z), not stop(z), z >= x
+        let body: Vec<BodyItem> = vec![
+            atom("e", &["x", "y"]).into(),
+            atom("e", &["y", "z"]).into(),
+            BodyItem::not_atom(atom("stop", &["z"])),
+            BodyItem::cmp(CmpOp::Ge, Term::var("z"), Term::var("x")),
+        ];
+        let plan = BodyPlan::compile(&body, &[]).unwrap();
+        let mut compiled: Vec<Vec<(Symbol, Value)>> = Vec::new();
+        let mut scratch = BodyScratch::new();
+        plan.run(&db, &mut scratch, &[], &mut |regs| {
+            compiled.push(
+                plan.bindings()
+                    .iter()
+                    .map(|&(v, r)| (v, regs[r as usize].value()))
+                    .collect(),
+            );
+            Ok(())
+        })
+        .unwrap();
+        let interpreted = crate::eval::evaluate_body(&db, &body, Subst::new()).unwrap();
+        assert_eq!(compiled.len(), interpreted.len());
+        for (c, i) in compiled.iter().zip(&interpreted) {
+            for (v, val) in c {
+                assert_eq!(i.get(*v), Some(val), "${v}");
+            }
+        }
+        assert!(!compiled.is_empty());
+    }
+
+    /// Prebound variables resume the plan from a non-empty initial binding
+    /// — the compiled analogue of `evaluate_body` with a seeded `Subst`.
+    #[test]
+    fn body_plan_resumes_from_seeded_bindings() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (2, 9)] {
+            db.insert(Fact::new("e", vec![Value::from(a), Value::from(b)]))
+                .unwrap();
+        }
+        let body: Vec<BodyItem> = vec![atom("e", &["x", "y"]).into()];
+        let x = Symbol::intern("x");
+        let plan = BodyPlan::compile(&body, &[x]).unwrap();
+        assert_eq!(plan.register_of(x), Some(0));
+        let mut rows = Vec::new();
+        let mut scratch = BodyScratch::new();
+        let seed = [ValueId::intern(&Value::from(2))];
+        plan.run(&db, &mut scratch, &seed, &mut |regs| {
+            rows.push(regs.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        // Only e(2, _) rows match the seeded binding.
+        let y = plan.register_of(Symbol::intern("y")).unwrap() as usize;
+        let ys: Vec<Value> = rows.iter().map(|r| r[y].value()).collect();
+        assert_eq!(ys, vec![Value::from(3), Value::from(9)]);
+
+        // Seed-length mismatch is a recoverable error, not a panic.
+        assert!(plan.run(&db, &mut scratch, &[], &mut |_| Ok(())).is_err());
+
+        // The interpreter agrees from the same initial binding.
+        let init: Subst = [(x, Value::from(2))].into_iter().collect();
+        let interp = crate::eval::evaluate_body(&db, &body, init).unwrap();
+        assert_eq!(interp.len(), rows.len());
+    }
+
+    /// An empty body (the degenerate prefix of a rule whose first literal
+    /// is non-local) yields the seed bindings exactly once.
+    #[test]
+    fn empty_body_plan_yields_once() {
+        let db = Database::new();
+        let plan = BodyPlan::compile(&[], &[]).unwrap();
+        let mut count = 0usize;
+        let mut scratch = BodyScratch::new();
+        plan.run(&db, &mut scratch, &[], &mut |regs| {
+            assert!(regs.is_empty());
+            count += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count, 1);
     }
 
     #[test]

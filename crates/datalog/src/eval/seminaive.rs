@@ -36,7 +36,11 @@ pub(crate) fn seminaive_fixpoint(
         }
     }
 
-    // Subsequent rounds: join through the delta only.
+    // Subsequent rounds: join through the delta only. The two delta
+    // databases are pooled — each round clears and refills the spare one
+    // instead of allocating a fresh `Database` (arena capacity is reused,
+    // which matters in deep recursions with many small rounds).
+    let mut spare = Database::new();
     while delta.fact_count() > 0 {
         stats.iterations += 1;
         if stats.iterations > iteration_limit {
@@ -46,28 +50,31 @@ pub(crate) fn seminaive_fixpoint(
         for rule in rules {
             // One delta-rewriting per positive occurrence of a same-stratum
             // IDB predicate: that occurrence reads the delta, the rest read
-            // the accumulated database.
+            // the accumulated database. Pooled deltas keep emptied
+            // relations around, so the guard checks content, not presence.
             let mut ordinal = 0usize;
             for item in &rule.body {
                 let Some(atom) = item.as_positive_atom() else {
                     continue;
                 };
-                if stratum_idb.contains(&atom.pred) && delta.relation(atom.pred).is_some() {
+                if stratum_idb.contains(&atom.pred)
+                    && delta.relation(atom.pred).is_some_and(|r| !r.is_empty())
+                {
                     derive_into(db, Some((&delta, ordinal)), rule, &mut candidates, stats)?;
                 }
                 ordinal += 1;
             }
         }
-        let mut next_delta = Database::new();
+        spare.clear_all();
         for fact in candidates {
             if !db.contains(&fact) {
-                if next_delta.insert(fact.clone())? {
+                if spare.insert(fact.clone())? {
                     stats.facts_derived += 1;
                 }
                 db.insert(fact)?;
             }
         }
-        delta = next_delta;
+        std::mem::swap(&mut delta, &mut spare);
     }
     Ok(())
 }
@@ -118,7 +125,9 @@ pub(crate) fn seminaive_fixpoint_compiled(
     let mut delta = Database::new();
     merge_round(db, &mut delta, rules, &mut bufs, stats)?;
 
-    // Subsequent rounds: join through the delta only.
+    // Subsequent rounds: join through the delta only, recycling the two
+    // pooled delta databases (clear + refill, no per-round allocation).
+    let mut spare = Database::new();
     while delta.fact_count() > 0 {
         stats.iterations += 1;
         if stats.iterations > iteration_limit {
@@ -130,7 +139,9 @@ pub(crate) fn seminaive_fixpoint_compiled(
                 let Some(atom) = item.as_positive_atom() else {
                     continue;
                 };
-                if stratum_idb.contains(&atom.pred) && delta.relation(atom.pred).is_some() {
+                if stratum_idb.contains(&atom.pred)
+                    && delta.relation(atom.pred).is_some_and(|r| !r.is_empty())
+                {
                     let mut n = 0usize;
                     derive_plan(
                         db,
@@ -146,9 +157,9 @@ pub(crate) fn seminaive_fixpoint_compiled(
                 ordinal += 1;
             }
         }
-        let mut next_delta = Database::new();
-        merge_round(db, &mut next_delta, rules, &mut bufs, stats)?;
-        delta = next_delta;
+        spare.clear_all();
+        merge_round(db, &mut spare, rules, &mut bufs, stats)?;
+        std::mem::swap(&mut delta, &mut spare);
     }
     Ok(())
 }

@@ -418,4 +418,38 @@ mod tests {
         ));
         let _ = Symbol::intern("n");
     }
+
+    /// Regression (PR 4 review): nested probes of the *same* relation with
+    /// different binding masks, where the inner probe's mask has no index
+    /// built yet. The lazy index build for the inner mask must not
+    /// interfere with the outer probe's in-flight iteration (the storage
+    /// layer builds secondary indexes under a lock while an outer
+    /// `for_each_match_ids` walk over another mask of the same relation is
+    /// active).
+    #[test]
+    fn nested_same_relation_probe_with_fresh_index_mask() {
+        let mut db = Database::new();
+        db.insert(Fact::new("a", vec![Value::from(1), Value::from(2)]))
+            .unwrap();
+        for (x, y, w) in [(1, 2, 3), (4, 2, 3), (5, 2, 3)] {
+            db.insert(Fact::new(
+                "e",
+                vec![Value::from(x), Value::from(y), Value::from(w)],
+            ))
+            .unwrap();
+        }
+        // q(z) :- a(x, y), e(x, y, w), e(z, y, w)
+        // outer e probe: mask 0b011; inner e probe: mask 0b110 (fresh index).
+        let rules = vec![Rule::new(
+            atom("q", &["z"]),
+            vec![
+                atom("a", &["x", "y"]).into(),
+                atom("e", &["x", "y", "w"]).into(),
+                atom("e", &["z", "y", "w"]).into(),
+            ],
+        )];
+        let program = Program::new(rules).unwrap();
+        let out = program.eval(&db).unwrap();
+        assert_eq!(out.relation("q").unwrap().len(), 3);
+    }
 }

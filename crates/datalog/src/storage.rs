@@ -30,7 +30,7 @@ use crate::intern::{self, ValueId};
 use crate::{Result, Tuple, Value};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// A binding pattern: bit `i` set means column `i` is bound at the lookup.
 /// 64 bits wide, so every supported arity ([`MAX_ARITY`]) indexes without
@@ -86,8 +86,17 @@ pub struct Relation {
     arena: Vec<ValueId>,
     /// Full-row hash → row ids with that hash (usually exactly one).
     membership: IdTable,
-    /// Binding pattern → (masked-columns hash → row ids).
-    indexes: RwLock<HashMap<ColMask, IdTable>>,
+    /// Binding pattern → (masked-columns hash → row ids). Each index sits
+    /// behind an `Arc` so probes iterate a refcounted snapshot instead of
+    /// holding the map's read guard across their callback — a nested probe
+    /// of the *same* relation with a not-yet-built mask takes the write
+    /// lock to install its index, which would self-deadlock against an
+    /// outer probe's held read guard (the regression
+    /// `nested_same_relation_probe_with_fresh_index_mask` pins this).
+    /// In-place index maintenance on `&mut self` uses `Arc::make_mut`,
+    /// which never copies there: exclusive access means no probe snapshot
+    /// is alive.
+    indexes: RwLock<HashMap<ColMask, Arc<IdTable>>>,
 }
 
 impl Relation {
@@ -216,7 +225,10 @@ impl Relation {
         for (&mask, index) in indexes.iter_mut() {
             key.clear();
             masked_key(ids, mask, &mut key);
-            index.entry(hash_ids(&key)).or_default().push(id);
+            Arc::make_mut(index)
+                .entry(hash_ids(&key))
+                .or_default()
+                .push(id);
         }
         drop(indexes);
         self.membership.entry(h).or_default().push(id);
@@ -271,6 +283,7 @@ impl Relation {
         let mut indexes = self.indexes.write().expect("index lock poisoned");
         let mut key: Vec<ValueId> = Vec::new();
         for (&mask, index) in indexes.iter_mut() {
+            let index = Arc::make_mut(index);
             key.clear();
             masked_key(ids, mask, &mut key);
             remove_posting(index, hash_ids(&key), id);
@@ -318,9 +331,11 @@ impl Relation {
             }
             return;
         }
-        self.ensure_index(mask);
-        let indexes = self.indexes.read().expect("index lock poisoned");
-        let index = indexes.get(&mask).expect("index just ensured");
+        // Iterate a refcounted snapshot, NOT under the map's read guard:
+        // `f` may recursively probe this same relation with a mask whose
+        // index is not built yet, and installing that index takes the
+        // write lock — held-guard iteration would self-deadlock.
+        let index = self.index_for(mask);
         if let Some(ids) = index.get(&hash_ids(key)) {
             for &id in ids {
                 let row = self.row(id);
@@ -357,11 +372,13 @@ impl Relation {
         self.indexes.read().expect("index lock poisoned").len()
     }
 
-    fn ensure_index(&self, mask: ColMask) {
+    /// Returns the index for `mask`, building it on first use. No lock is
+    /// held on return — the caller iterates the `Arc` snapshot freely.
+    fn index_for(&self, mask: ColMask) -> Arc<IdTable> {
         {
             let indexes = self.indexes.read().expect("index lock poisoned");
-            if indexes.contains_key(&mask) {
-                return;
+            if let Some(index) = indexes.get(&mask) {
+                return Arc::clone(index);
             }
         }
         let mut index = IdTable::default();
@@ -371,11 +388,8 @@ impl Relation {
             masked_key(self.row(id), mask, &mut key);
             index.entry(hash_ids(&key)).or_default().push(id);
         }
-        self.indexes
-            .write()
-            .expect("index lock poisoned")
-            .entry(mask)
-            .or_insert(index);
+        let mut indexes = self.indexes.write().expect("index lock poisoned");
+        Arc::clone(indexes.entry(mask).or_insert_with(|| Arc::new(index)))
     }
 
     fn check_arity(&self, found: usize) -> Result<()> {
