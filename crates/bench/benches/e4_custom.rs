@@ -28,7 +28,7 @@ fn build(tag: &str, pct: usize) -> LocalRuntime {
         .unwrap();
     v.insert_local("selectedAttendee", vec![Value::from(source.as_str())])
         .unwrap();
-    rt.add_peer(v);
+    rt.add_peer(v).unwrap();
 
     let mut s = open_peer(&source);
     let mut corpus = PictureCorpus::new(13);
@@ -38,7 +38,7 @@ fn build(tag: &str, pct: usize) -> LocalRuntime {
         let rating = if (i * 100) < pct * PICS { 5 } else { 3 };
         ops::rate(&mut s, pic.id, rating).unwrap();
     }
-    rt.add_peer(s);
+    rt.add_peer(s).unwrap();
     rt
 }
 

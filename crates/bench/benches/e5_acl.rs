@@ -28,14 +28,14 @@ fn build(tag: &str, d: usize) -> LocalRuntime {
         s.add_rule(parse_rule(&format!("view{i}@{sender}($x) :- items{i}@{target}($x);")).unwrap())
             .unwrap();
     }
-    rt.add_peer(s);
+    rt.add_peer(s).unwrap();
 
     let mut t = Peer::new(target.as_str()); // default policy: queue untrusted
     for i in 0..d {
         t.insert_local(format!("items{i}").as_str(), vec![Value::from(i as i64)])
             .unwrap();
     }
-    rt.add_peer(t);
+    rt.add_peer(t).unwrap();
     rt
 }
 

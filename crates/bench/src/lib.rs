@@ -127,9 +127,9 @@ impl SelectionWorld {
                     .unwrap();
             }
             sources.push(name);
-            rt.add_peer(p);
+            rt.add_peer(p).unwrap();
         }
-        rt.add_peer(v);
+        rt.add_peer(v).unwrap();
         SelectionWorld {
             rt,
             viewer,
@@ -179,7 +179,7 @@ pub fn broadcast_baseline(tag: &str, peers: usize, pics: usize, seed: u64) -> (u
     let mut v = open_peer(&viewer);
     v.declare("attendeeBroadcast", 4, RelationKind::Intensional)
         .unwrap();
-    rt.add_peer(v);
+    rt.add_peer(v).unwrap();
     let mut corpus = PictureCorpus::new(seed);
     for i in 0..peers {
         let name = format!("bsrc{tag}n{i}");
@@ -194,7 +194,7 @@ pub fn broadcast_baseline(tag: &str, peers: usize, pics: usize, seed: u64) -> (u
             .unwrap(),
         )
         .unwrap();
-        rt.add_peer(p);
+        rt.add_peer(p).unwrap();
     }
     let r = rt.run_to_quiescence(256).expect("engine runs");
     assert!(r.quiescent);

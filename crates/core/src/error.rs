@@ -17,6 +17,8 @@ pub enum WdlError {
     SchemaViolation(String),
     /// Referenced an unknown peer.
     UnknownPeer(String),
+    /// Added a peer whose name is already taken in the runtime.
+    DuplicatePeer(String),
     /// Referenced an unknown rule id.
     UnknownRule(String),
     /// An operation was denied by access control.
@@ -41,6 +43,7 @@ impl std::fmt::Display for WdlError {
             WdlError::UnsafeDistribution(m) => write!(f, "unsafe distribution: {m}"),
             WdlError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
             WdlError::UnknownPeer(m) => write!(f, "unknown peer: {m}"),
+            WdlError::DuplicatePeer(m) => write!(f, "duplicate peer: {m}"),
             WdlError::UnknownRule(m) => write!(f, "unknown rule: {m}"),
             WdlError::AccessDenied(m) => write!(f, "access denied: {m}"),
             WdlError::NoQuiescence { stages } => {

@@ -35,8 +35,8 @@
 //! use wdl_datalog::{Term, Value};
 //!
 //! let mut rt = LocalRuntime::new();
-//! rt.add_peer(Peer::new("Jules"));
-//! rt.add_peer(Peer::new("Emilien"));
+//! rt.add_peer(Peer::new("Jules")).unwrap();
+//! rt.add_peer(Peer::new("Emilien")).unwrap();
 //! // Peers trust each other for this example.
 //! rt.peer_mut("Jules").unwrap().acl_mut().trust("Emilien");
 //! rt.peer_mut("Emilien").unwrap().acl_mut().trust("Jules");
@@ -93,6 +93,7 @@ mod persist;
 mod rule;
 pub mod runtime;
 mod schema;
+pub mod shard;
 mod stage;
 mod stage_plan;
 
@@ -107,4 +108,5 @@ pub use peer::{Peer, RuleEntry, RuleId};
 pub use persist::PeerState;
 pub use rule::WRule;
 pub use schema::{RelationDecl, RelationKind, Schema};
+pub use shard::{ShardReport, ShardedRuntime};
 pub use stage::{StageOutput, StageStats};

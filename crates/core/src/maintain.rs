@@ -192,9 +192,20 @@ impl Peer {
                 return ViewStatus::Current;
             }
         }
+        // Compilation already failed at this epoch: stay on the recompute
+        // path without re-attempting, and — crucially — without touching
+        // the base log, which the recompute cache replays.
+        if self.incr_failed_epoch == Some(self.ruleset_epoch) {
+            return ViewStatus::Unavailable;
+        }
+        // Rebuild path: everything below either consumes the base log or
+        // drops it, so a cached recompute working database can no longer
+        // catch up from the log.
+        self.working = None;
         self.incr = None;
         self.prev_dynamic.clear();
         let Some((program, compiled)) = compile_local(self) else {
+            self.incr_failed_epoch = Some(self.ruleset_epoch);
             self.base_log.clear();
             return ViewStatus::Unavailable;
         };

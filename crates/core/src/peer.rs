@@ -95,6 +95,21 @@ pub struct Peer {
     pub(crate) grants_epoch: u64,
     /// Cached classified stage plans (see `stage_plan.rs`).
     pub(crate) stage_plans: crate::stage_plan::StagePlans,
+    /// Reusable working database for the recompute fixpoint (store +
+    /// contributions + derivations of the last recompute stage), rolled
+    /// back/forward via `base_log` instead of cloning the store every
+    /// stage. `None` whenever any other consumer drained or dropped the
+    /// base log (the incremental path, a view rebuild) — the next
+    /// recompute stage then rebuilds it from scratch.
+    pub(crate) working: Option<crate::stage::RecomputeCache>,
+    /// Knob for [`Peer::set_recompute_cache`]; `false` pins the seed
+    /// engine's clone-per-stage behaviour as the bench baseline.
+    pub(crate) recompute_cache: bool,
+    /// The ruleset epoch at which `compile_local` last came back empty, so
+    /// quiescent uncompilable peers (pure hubs, delegation-only peers)
+    /// skip re-attempting compilation — and keep their base log for the
+    /// recompute cache — every stage.
+    pub(crate) incr_failed_epoch: Option<u64>,
 }
 
 impl Peer {
@@ -126,6 +141,9 @@ impl Peer {
             compiled_stage: true,
             grants_epoch: 0,
             stage_plans: crate::stage_plan::StagePlans::default(),
+            working: None,
+            recompute_cache: true,
+            incr_failed_epoch: None,
         }
     }
 
@@ -193,6 +211,35 @@ impl Peer {
     /// [`Peer::set_compiled_stage`]).
     pub fn compiled_stage(&self) -> bool {
         self.compiled_stage
+    }
+
+    /// Enables (`true`, the default) or disables the recompute path's
+    /// working-database reuse. With the cache on, a recompute stage rolls
+    /// the previous stage's working database back (removing its recorded
+    /// derivations) and forward (replaying the base log) — O(|change| +
+    /// |derived|) — instead of paying `store.clone()` plus full
+    /// remote-contribution injection every stage. Both settings compute
+    /// identical stages; `false` pins the clone-per-stage baseline for
+    /// benchmarks (`e13_stage`). Like [`Peer::set_compiled_stage`], this is
+    /// a tuning knob, not durable state.
+    pub fn set_recompute_cache(&mut self, enabled: bool) {
+        self.recompute_cache = enabled;
+        if !enabled {
+            self.working = None;
+        }
+    }
+
+    /// Whether recompute stages reuse the working database (see
+    /// [`Peer::set_recompute_cache`]).
+    pub fn recompute_cache(&self) -> bool {
+        self.recompute_cache
+    }
+
+    /// Messages queued for ingestion at the next stage, in arrival order.
+    /// Observability for runtimes and parity tests — the inbox is consumed
+    /// by [`Peer::run_stage`].
+    pub fn inbox(&self) -> &[Message] {
+        &self.inbox
     }
 
     /// The peer's schema.

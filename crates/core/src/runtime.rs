@@ -56,6 +56,10 @@ pub struct QuiescenceReport {
 /// topology with reproducible interleavings.
 pub struct LocalRuntime {
     peers: Vec<Peer>,
+    /// Name → position in `peers`, kept in sync with every add/remove so
+    /// lookup (and hence per-message delivery) is O(1) instead of a linear
+    /// scan. `peers` itself stays in insertion order for tick determinism.
+    index: HashMap<Symbol, usize>,
     /// Thread budget for [`LocalRuntime::par_tick`]; 1 = sequential.
     workers: usize,
 }
@@ -64,6 +68,7 @@ impl Default for LocalRuntime {
     fn default() -> LocalRuntime {
         LocalRuntime {
             peers: Vec::new(),
+            index: HashMap::new(),
             workers: 1,
         }
     }
@@ -89,34 +94,45 @@ impl LocalRuntime {
 
     /// Adds a peer. Peers added mid-run participate from the next round —
     /// this is how the demo's "audience members launch their own peers"
-    /// scenario is modelled (E8).
-    pub fn add_peer(&mut self, peer: Peer) -> Symbol {
+    /// scenario is modelled (E8). Returns [`crate::WdlError::DuplicatePeer`]
+    /// if the name is already taken (recoverable — e.g. a late joiner
+    /// picking a clashing name must not bring the whole runtime down).
+    pub fn add_peer(&mut self, peer: Peer) -> Result<Symbol> {
         let name = peer.name();
-        assert!(
-            self.peer(name).is_none(),
-            "peer {name} already exists in this runtime"
-        );
+        if self.index.contains_key(&name) {
+            return Err(crate::WdlError::DuplicatePeer(name.to_string()));
+        }
+        self.index.insert(name, self.peers.len());
         self.peers.push(peer);
-        name
+        Ok(name)
     }
 
-    /// Removes a peer, returning it (its inbox is preserved).
+    /// Removes a peer, returning it (its inbox is preserved). The removal
+    /// shifts later peers down one slot (preserving their relative
+    /// insertion order, which tick determinism depends on) and remaps
+    /// their index entries.
     pub fn remove_peer(&mut self, name: impl Into<Symbol>) -> Option<Peer> {
         let name = name.into();
-        let idx = self.peers.iter().position(|p| p.name() == name)?;
-        Some(self.peers.remove(idx))
+        let idx = self.index.remove(&name)?;
+        let peer = self.peers.remove(idx);
+        for slot in self.index.values_mut() {
+            if *slot > idx {
+                *slot -= 1;
+            }
+        }
+        Some(peer)
     }
 
     /// Looks up a peer.
     pub fn peer(&self, name: impl Into<Symbol>) -> Option<&Peer> {
-        let name = name.into();
-        self.peers.iter().find(|p| p.name() == name)
+        let idx = *self.index.get(&name.into())?;
+        Some(&self.peers[idx])
     }
 
     /// Looks up a peer mutably.
     pub fn peer_mut(&mut self, name: impl Into<Symbol>) -> Option<&mut Peer> {
-        let name = name.into();
-        self.peers.iter_mut().find(|p| p.name() == name)
+        let idx = *self.index.get(&name.into())?;
+        Some(&mut self.peers[idx])
     }
 
     /// Names of all peers, in insertion order.
@@ -322,11 +338,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already exists")]
-    fn duplicate_peer_panics() {
+    fn duplicate_peer_is_recoverable() {
         let mut rt = LocalRuntime::new();
-        rt.add_peer(Peer::new("dup"));
-        rt.add_peer(Peer::new("dup"));
+        rt.add_peer(Peer::new("dup")).unwrap();
+        match rt.add_peer(Peer::new("dup")) {
+            Err(crate::WdlError::DuplicatePeer(name)) => assert_eq!(name, "dup"),
+            other => panic!("expected DuplicatePeer, got {other:?}"),
+        }
+        // The runtime stays usable after the rejected add.
+        assert_eq!(rt.len(), 1);
+        rt.add_peer(Peer::new("dup2")).unwrap();
+        assert!(rt.run_to_quiescence(4).unwrap().quiescent);
+    }
+
+    /// `remove_peer` keeps the name→index map consistent: later peers shift
+    /// down but stay addressable, and re-adding the removed name works.
+    #[test]
+    fn remove_peer_remaps_index() {
+        let mut rt = LocalRuntime::new();
+        rt.add_peer(Peer::new("ra")).unwrap();
+        rt.add_peer(Peer::new("rb")).unwrap();
+        rt.add_peer(Peer::new("rc")).unwrap();
+        assert!(rt.remove_peer("ra").is_some());
+        assert_eq!(rt.peer_names(), vec!["rb".into(), "rc".into()]);
+        assert!(rt.peer("rb").is_some());
+        assert!(rt.peer_mut("rc").is_some());
+        assert!(rt.remove_peer("ra").is_none());
+        rt.add_peer(Peer::new("ra")).unwrap();
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.peer("ra").unwrap().name(), Symbol::intern("ra"));
     }
 
     #[test]
@@ -334,7 +374,7 @@ mod tests {
         let mut rt = LocalRuntime::new();
         let mut p = open_peer("solo");
         p.insert_remote("ghost", "r", vec![Value::from(1)]);
-        rt.add_peer(p);
+        rt.add_peer(p).unwrap();
         let tick = rt.tick().unwrap();
         assert_eq!(tick.undeliverable, 1);
         assert_eq!(tick.messages, 0);
@@ -347,9 +387,9 @@ mod tests {
     fn par_tick_runs_delegation_round_trip() {
         let mut rt = LocalRuntime::new();
         rt.set_workers(3);
-        rt.add_peer(open_peer("jules"));
-        rt.add_peer(open_peer("emilien"));
-        rt.add_peer(open_peer("bystander"));
+        rt.add_peer(open_peer("jules")).unwrap();
+        rt.add_peer(open_peer("emilien")).unwrap();
+        rt.add_peer(open_peer("bystander")).unwrap();
 
         let jules = rt.peer_mut("jules").unwrap();
         jules
@@ -408,8 +448,8 @@ mod tests {
     #[test]
     fn delegation_round_trip_with_retraction() {
         let mut rt = LocalRuntime::new();
-        rt.add_peer(open_peer("jules"));
-        rt.add_peer(open_peer("emilien"));
+        rt.add_peer(open_peer("jules")).unwrap();
+        rt.add_peer(open_peer("emilien")).unwrap();
 
         let jules = rt.peer_mut("jules").unwrap();
         jules
@@ -469,8 +509,8 @@ mod tests {
     #[test]
     fn installed_delegation_tracks_new_facts() {
         let mut rt = LocalRuntime::new();
-        rt.add_peer(open_peer("jules"));
-        rt.add_peer(open_peer("emilien"));
+        rt.add_peer(open_peer("jules")).unwrap();
+        rt.add_peer(open_peer("emilien")).unwrap();
         let jules = rt.peer_mut("jules").unwrap();
         jules
             .declare("attendeePictures", 4, RelationKind::Intensional)
@@ -517,8 +557,8 @@ mod tests {
     fn step_peer_matches_tick_outcome() {
         let build = || {
             let mut rt = LocalRuntime::new();
-            rt.add_peer(open_peer("sp-jules"));
-            rt.add_peer(open_peer("sp-emilien"));
+            rt.add_peer(open_peer("sp-jules")).unwrap();
+            rt.add_peer(open_peer("sp-emilien")).unwrap();
             let jules = rt.peer_mut("sp-jules").unwrap();
             jules
                 .declare("attendeePictures", 4, RelationKind::Intensional)
@@ -588,8 +628,8 @@ mod tests {
     #[test]
     fn explicit_remote_update_propagates() {
         let mut rt = LocalRuntime::new();
-        rt.add_peer(open_peer("a"));
-        rt.add_peer(open_peer("b"));
+        rt.add_peer(open_peer("a")).unwrap();
+        rt.add_peer(open_peer("b")).unwrap();
         rt.peer_mut("a")
             .unwrap()
             .insert_remote("b", "mail", vec![Value::from("hi")]);
@@ -602,7 +642,7 @@ mod tests {
     #[test]
     fn late_joining_peer_reconverges() {
         let mut rt = LocalRuntime::new();
-        rt.add_peer(open_peer("jules"));
+        rt.add_peer(open_peer("jules")).unwrap();
         let jules = rt.peer_mut("jules").unwrap();
         jules
             .declare("attendeePictures", 4, RelationKind::Intensional)
@@ -632,7 +672,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        rt.add_peer(newpeer);
+        rt.add_peer(newpeer).unwrap();
         let jules = rt.peer_mut("jules").unwrap();
         jules
             .delete_local("selectedAttendee", vec![Value::from("newpeer")])
@@ -659,8 +699,8 @@ mod tests {
     #[test]
     fn cascading_delegation_protocol_dispatch() {
         let mut rt = LocalRuntime::new();
-        rt.add_peer(open_peer("jules"));
-        rt.add_peer(open_peer("emilien"));
+        rt.add_peer(open_peer("jules")).unwrap();
+        rt.add_peer(open_peer("emilien")).unwrap();
 
         // $protocol@$attendee($name) :- selectedAttendee@jules($attendee),
         //     communicate@$attendee($protocol), selectedPictures@jules($name)

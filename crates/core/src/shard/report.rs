@@ -1,0 +1,48 @@
+//! Per-round reporting for the sharded runtime.
+
+use crate::StageStats;
+use std::collections::HashMap;
+use wdl_datalog::Symbol;
+
+/// Result of one [`crate::shard::ShardedRuntime::tick`] round.
+///
+/// Superset of the information in [`crate::runtime::TickReport`], extended
+/// with the scheduling counters that make scale-out behaviour observable:
+/// how many peers actually ran versus how many exist, and how many
+/// messages the admission controller held back for the next round.
+#[derive(Clone, Debug, Default)]
+pub struct ShardReport {
+    /// The 1-based round this report describes.
+    pub round: u64,
+    /// Messages routed at the end of the round (delivered next round).
+    pub messages: usize,
+    /// Messages whose target peer does not exist in this runtime.
+    pub undeliverable: usize,
+    /// Whether any peer that ran observed or produced a change.
+    pub changed: bool,
+    /// Peers that actually executed a stage this round (had a non-empty
+    /// inbox, buffered local updates, or were mutated since their last
+    /// stage). Quiescent peers are skipped and cost nothing.
+    pub peers_run: usize,
+    /// Total peers registered in the runtime this round.
+    pub peers_total: usize,
+    /// Messages withheld by per-peer inbox admission control; they stay
+    /// queued and are delivered in arrival order over subsequent rounds.
+    pub deferred: usize,
+    /// Per-peer stage stats for the peers that ran (collected only when
+    /// [`crate::shard::ShardedRuntime::set_collect_stats`] is on).
+    pub stats: HashMap<Symbol, StageStats>,
+}
+
+impl ShardReport {
+    /// Fraction of registered peers that executed a stage this round —
+    /// the headline scale metric: a bursty workload over a large network
+    /// should keep this near `active / total`, not near 1.
+    pub fn active_fraction(&self) -> f64 {
+        if self.peers_total == 0 {
+            0.0
+        } else {
+            self.peers_run as f64 / self.peers_total as f64
+        }
+    }
+}

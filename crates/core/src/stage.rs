@@ -59,6 +59,16 @@ pub struct StageOutput {
     pub changed: bool,
 }
 
+/// The recompute path's reusable working database: the saturated database
+/// of the last recompute stage plus the list of facts its fixpoint
+/// actually inserted (derivations over the base). The next recompute stage
+/// removes `derived`, replays the base log, and has exactly
+/// `store + contributions` again without cloning either.
+pub(crate) struct RecomputeCache {
+    pub(crate) db: Database,
+    pub(crate) derived: Vec<DFact>,
+}
+
 /// Everything a fixpoint pass emits besides local intensional facts.
 #[derive(Default)]
 struct Outcome {
@@ -120,10 +130,10 @@ impl Peer {
         let (outcome, rounds, derived_changed) = match self.ensure_view() {
             crate::maintain::ViewStatus::Current => self.fixpoint_maintained(false)?,
             crate::maintain::ViewStatus::Rebuilt => self.fixpoint_maintained(true)?,
-            crate::maintain::ViewStatus::Unavailable => {
-                self.base_log.clear();
-                self.fixpoint_recompute()?
-            }
+            // The recompute path owns the base log: it either replays it
+            // into the cached working database or discards it with a fresh
+            // rebuild.
+            crate::maintain::ViewStatus::Unavailable => self.fixpoint_recompute()?,
         };
         stats.fixpoint_rounds = rounds;
         stats.derivations = outcome.derivations;
@@ -225,21 +235,47 @@ impl Peer {
         })
     }
 
-    /// The pre-incremental stage fixpoint: clone the store, inject remote
-    /// contributions, and run every rule — own and delegated — to a local
-    /// fixpoint. Kept as the fallback for peers whose rule set does not
-    /// compile (and as the reference semantics for the incremental path).
+    /// The pre-incremental stage fixpoint: run every rule — own and
+    /// delegated — over `store + contributions` to a local fixpoint. Kept
+    /// as the fallback for peers whose rule set does not compile (and as
+    /// the reference semantics for the incremental path).
+    ///
+    /// The working database is cached across stages: instead of cloning
+    /// the store and re-injecting every remote contribution each stage
+    /// (the dominant fixed cost for hub peers), the previous stage's
+    /// recorded derivations are removed and the base log is replayed —
+    /// the rollback must run *before* the replay so a fact that was both
+    /// derived last stage and base-inserted this stage survives.
     fn fixpoint_recompute(&mut self) -> Result<(Outcome, usize, bool)> {
-        let mut working = self.store.clone();
-        // Inject maintained remote contributions into intensional relations.
-        for (rel, origins) in &self.remote_contrib {
-            let q = qualify(*rel, self.name);
-            for tuples in origins.values() {
-                for t in tuples {
-                    working.insert_tuple(q, t.clone())?;
+        let mut cache = match self.working.take() {
+            Some(mut cache) => {
+                for fact in cache.derived.drain(..) {
+                    cache.db.remove(&fact);
+                }
+                // Compress to the last operation per fact: each log entry
+                // is a real store/contribution transition, so the last one
+                // decides final membership.
+                let mut last: HashMap<DFact, bool> = HashMap::new();
+                for (fact, added) in self.base_log.drain(..) {
+                    last.insert(fact, added);
+                }
+                for (fact, added) in last {
+                    if added {
+                        cache.db.insert(fact)?;
+                    } else {
+                        cache.db.remove(&fact);
+                    }
+                }
+                cache
+            }
+            None => {
+                self.base_log.clear();
+                RecomputeCache {
+                    db: self.current_base()?,
+                    derived: Vec::new(),
                 }
             }
-        }
+        };
 
         // Static relation-level provenance of this peer's views, for the
         // default view read policy applied to delegated rules.
@@ -286,7 +322,7 @@ impl Peer {
                 };
                 eval_rule(
                     &ctx,
-                    &working,
+                    &cache.db,
                     rule,
                     key,
                     &mut plans,
@@ -296,7 +332,11 @@ impl Peer {
             }
             let mut changed = false;
             for fact in new_local {
-                if working.insert(fact)? {
+                // Record only actual insertions: facts already present are
+                // base facts (or earlier derivations) and must not be
+                // removed by the next stage's rollback.
+                if cache.db.insert(fact.clone())? {
+                    cache.derived.push(fact);
                     changed = true;
                 }
             }
@@ -306,11 +346,14 @@ impl Peer {
         }
         self.stage_plans = plans;
 
-        // Snapshot intensional relations (everything in `working` that is
-        // not extensional store content).
-        let derived = self.snapshot_intensional(&working)?;
+        // Snapshot intensional relations (everything in the working
+        // database that is not extensional store content).
+        let derived = self.snapshot_intensional(&cache.db)?;
         let derived_changed = !db_eq(&derived, &self.derived);
         self.derived = derived;
+        if self.recompute_cache {
+            self.working = Some(cache);
+        }
         Ok((outcome, rounds, derived_changed))
     }
 
@@ -320,6 +363,10 @@ impl Peer {
     fn fixpoint_maintained(&mut self, rebuilt: bool) -> Result<(Outcome, usize, bool)> {
         match self.fixpoint_incremental(rebuilt) {
             Err(WdlError::ViewInvalidated(_)) => {
+                // The incremental attempt may have consumed part of the
+                // base log; neither it nor the recompute cache can be
+                // trusted — rebuild the working database from scratch.
+                self.working = None;
                 self.base_log.clear();
                 self.fixpoint_recompute()
             }
@@ -407,6 +454,8 @@ impl Peer {
         // the last one decides final membership), plus retraction of the
         // previous stage's dynamic-layer derivations (soft state: what the
         // dynamic rules still support gets re-added below).
+        // This drain makes the recompute cache unable to catch up later.
+        self.working = None;
         let mut last: HashMap<DFact, bool> = HashMap::new();
         for (fact, added) in self.base_log.drain(..) {
             last.insert(fact, added);
@@ -1918,5 +1967,125 @@ mod tests {
         let facts = p.relation_facts("keep");
         assert_eq!(facts.len(), 1);
         assert_eq!(facts[0][0], Value::from(1));
+    }
+
+    /// The recompute path's working-database cache computes stages
+    /// identical to a scratch rebuild — driven through a delegated
+    /// (uncompilable) rule set with inserts, deletes, and contribution
+    /// churn across stages.
+    #[test]
+    fn recompute_cache_matches_scratch_rebuild() {
+        let build = || {
+            let mut p = peer("rcache");
+            p.declare("view", 1, RelationKind::Intensional).unwrap();
+            // Remote-head rule: uncompilable, forces the recompute path.
+            p.add_rule(WRule::new(
+                WAtom::at("mirror", "elsewhere", vec![Term::var("x")]),
+                vec![WAtom::at("item", "rcache", vec![Term::var("x")]).into()],
+            ))
+            .unwrap();
+            // Delegated rule deriving locally, also dynamic.
+            p.install_delegation(Delegation::new(
+                Symbol::intern("origin"),
+                Symbol::intern("rcache"),
+                WRule::new(
+                    WAtom::at("view", "rcache", vec![Term::var("x")]),
+                    vec![WAtom::at("item", "rcache", vec![Term::var("x")]).into()],
+                ),
+            ));
+            p
+        };
+        let mut cached = build();
+        let mut scratch = build();
+        scratch.set_recompute_cache(false);
+        assert!(cached.recompute_cache() && !scratch.recompute_cache());
+
+        let contrib = |v: i64, add: bool| {
+            Message::new(
+                Symbol::intern("origin"),
+                Symbol::intern("rcache"),
+                Payload::Facts {
+                    kind: FactKind::Derived,
+                    additions: if add {
+                        vec![WFact::new("view", "rcache", vec![Value::from(v)])]
+                    } else {
+                        vec![]
+                    },
+                    retractions: if add {
+                        vec![]
+                    } else {
+                        vec![WFact::new("view", "rcache", vec![Value::from(v)])]
+                    },
+                },
+            )
+        };
+        for round in 0..6 {
+            for p in [&mut cached, &mut scratch] {
+                match round {
+                    0 => {
+                        p.insert_local("item", vec![Value::from(1)]).unwrap();
+                        p.insert_local("item", vec![Value::from(2)]).unwrap();
+                    }
+                    1 => {
+                        p.delete_local("item", vec![Value::from(1)]).unwrap();
+                        p.enqueue(contrib(77, true));
+                    }
+                    2 => {
+                        // Insert and delete the same fact within a stage
+                        // window: last operation wins in the replay.
+                        p.insert_local("item", vec![Value::from(9)]).unwrap();
+                        p.delete_local("item", vec![Value::from(9)]).unwrap();
+                        // Base-insert a fact the rules also derive.
+                        p.insert_local("item", vec![Value::from(2)]).ok();
+                    }
+                    3 => {
+                        p.enqueue(contrib(77, false));
+                    }
+                    4 => {
+                        p.insert_local("item", vec![Value::from(1)]).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            let a = cached.run_stage().unwrap();
+            let b = scratch.run_stage().unwrap();
+            assert_eq!(a.changed, b.changed, "round {round}");
+            assert_eq!(a.stats, b.stats, "round {round}");
+            // Canonicalize within-payload fact order: additions /
+            // retractions are set-semantic (built from hash-set diffs), so
+            // their order varies per peer instance.
+            let canon = |msgs: &[Message]| -> Vec<String> {
+                msgs.iter()
+                    .map(|m| {
+                        let mut s = format!("{}->{} ", m.from, m.to);
+                        if let Payload::Facts {
+                            kind,
+                            additions,
+                            retractions,
+                        } = &m.payload
+                        {
+                            let mut adds: Vec<String> =
+                                additions.iter().map(|f| f.to_string()).collect();
+                            let mut rets: Vec<String> =
+                                retractions.iter().map(|f| f.to_string()).collect();
+                            adds.sort();
+                            rets.sort();
+                            s.push_str(&format!("{kind:?} +{adds:?} -{rets:?}"));
+                        } else {
+                            s.push_str(&format!("{:?}", m.payload));
+                        }
+                        s
+                    })
+                    .collect()
+            };
+            assert_eq!(canon(&a.messages), canon(&b.messages), "round {round}");
+            let mut va = cached.relation_facts("view");
+            let mut vb = scratch.relation_facts("view");
+            va.sort();
+            vb.sort();
+            assert_eq!(va, vb, "round {round}");
+        }
+        assert!(cached.working.is_some(), "cache retained across stages");
+        assert!(scratch.working.is_none(), "knob keeps the baseline clean");
     }
 }

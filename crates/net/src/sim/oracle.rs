@@ -162,7 +162,7 @@ impl Scenario {
     pub fn reference(&self) -> Result<Reference, NodeError> {
         let mut rt = LocalRuntime::new();
         for p in (self.build)() {
-            rt.add_peer(p);
+            rt.add_peer(p).map_err(NodeError::Engine)?;
         }
         let mut universe: StateMap = BTreeMap::new();
         let record = |rt: &LocalRuntime, universe: &mut StateMap| -> StateMap {

@@ -103,7 +103,7 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             if rest.is_empty() {
                 return Err("usage: peer <name>".into());
             }
-            repl.rt.add_peer(Peer::new(rest));
+            repl.rt.add_peer(Peer::new(rest)).unwrap();
             repl.current = Some(rest.to_string());
             println!("created peer {rest}");
             Ok(())
@@ -284,7 +284,7 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
             if repl.rt.peer(name.as_str()).is_some() {
                 repl.rt.remove_peer(name.as_str());
             }
-            repl.rt.add_peer(p);
+            repl.rt.add_peer(p).unwrap();
             repl.current = Some(name.clone());
             println!("restored peer {name}");
             Ok(())

@@ -147,11 +147,11 @@ impl Conference {
             sigmod.insert_local("attendees", vec![Value::from(name.as_str())])?;
             attendees.push(p.name());
             email_wrappers.push((p.name(), EmailWrapper::new(email.clone())));
-            runtime.add_peer(p);
+            runtime.add_peer(p)?;
         }
 
-        let sigmod_sym = runtime.add_peer(sigmod);
-        runtime.add_peer(fb_peer);
+        let sigmod_sym = runtime.add_peer(sigmod)?;
+        runtime.add_peer(fb_peer)?;
 
         Ok(Conference {
             runtime,
@@ -215,7 +215,7 @@ impl Conference {
         self.email_wrappers
             .push((sym, EmailWrapper::new(self.email.clone())));
         self.attendees.push(sym);
-        self.runtime.add_peer(p);
+        self.runtime.add_peer(p)?;
         Ok(sym)
     }
 

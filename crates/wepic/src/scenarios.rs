@@ -342,6 +342,95 @@ pub fn publish_chain(seed: u64) -> Scenario {
     }
 }
 
+/// The scale-out macro-workload behind the `e14_scale` bench: `total`
+/// attendee peers each carry the §4 publish rule into one hub registry,
+/// but only `active` of them (an evenly-spread, seed-chosen subset) ever
+/// upload pictures. The interesting property is the ratio — a runtime
+/// that schedules by inbox should pay for the hundreds of publishers, not
+/// the `total` registered peers. Attendees are deliberately lean (no full
+/// attendee schema): at 10⁵–10⁶ peers, per-peer constant costs dominate
+/// everything else.
+///
+/// Monotone (insert-only), so the oracle's equality check applies to
+/// lossless runs. Each of the `n_batches` batches uploads `per` pictures
+/// from every active attendee.
+pub fn publish_burst(
+    seed: u64,
+    total: usize,
+    active: usize,
+    per: usize,
+    n_batches: usize,
+) -> Scenario {
+    use wdl_core::{NameTerm, WAtom, WRule};
+    use wdl_datalog::Term;
+
+    let active = active.clamp(1, total.max(1));
+    let hub = "burstHub".to_string();
+    // Spread the active publishers across the peer-id space. The `i %
+    // stride` skew keeps consecutive ids off a common residue class —
+    // plain `i * stride` would park every publisher on the same shard of
+    // any runtime that assigns round-robin by insertion order whenever
+    // the shard count divides the stride. Injective (id / stride == i)
+    // and bounded (< active * stride <= total).
+    let stride = (total / active).max(1);
+    let active_ids: Vec<usize> = (0..active).map(|i| i * stride + i % stride).collect();
+
+    let mut corpus = PictureCorpus::new(seed);
+    let mut batches = Vec::with_capacity(n_batches);
+    for _ in 0..n_batches {
+        let mut batch = Vec::with_capacity(active * per);
+        for &i in &active_ids {
+            let name = format!("burstAtt{i}");
+            for p in corpus.pictures(&name, per, 8) {
+                batch.push((Symbol::intern(&name), insert("pictures", pic_tuple(&p))));
+            }
+        }
+        batches.push(batch);
+    }
+
+    // Constructed directly (not parsed): building 10⁵ peers must not pay
+    // a parser round trip per peer.
+    let publish_rule = |me: &str, hub: &str| {
+        let args = || {
+            vec![
+                Term::var("id"),
+                Term::var("name"),
+                Term::var("owner"),
+                Term::var("data"),
+            ]
+        };
+        WRule::new(
+            WAtom::new(NameTerm::name("pictures"), NameTerm::name(hub), args()),
+            vec![WAtom::new(NameTerm::name("pictures"), NameTerm::name(me), args()).into()],
+        )
+    };
+
+    let b_hub = hub.clone();
+    Scenario {
+        name: format!("publish-burst/{total}x{active}"),
+        additive: true,
+        crashable: Vec::new(),
+        watched: vec![(Symbol::intern(&hub), Symbol::intern("pictures"))],
+        build: Box::new(move || {
+            let mut h = Peer::new(b_hub.as_str());
+            h.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+            schema::declare_sigmod(&mut h).expect("sigmod schema");
+            let mut peers = Vec::with_capacity(total + 1);
+            peers.push(h);
+            for i in 0..total {
+                let name = format!("burstAtt{i}");
+                let mut p = Peer::new(name.as_str());
+                p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
+                p.add_rule(publish_rule(&name, &b_hub))
+                    .expect("publish rule");
+                peers.push(p);
+            }
+            peers
+        }),
+        batches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +479,24 @@ mod tests {
         let r = publish_chain(3).reference().unwrap();
         let watch = publish_chain(3).watched[0];
         assert!(!r.final_state[&watch].is_empty(), "registry fills");
+    }
+
+    #[test]
+    fn publish_burst_is_deterministic_and_fills_hub() {
+        let a = publish_burst(11, 40, 4, 2, 2);
+        let b = publish_burst(11, 40, 4, 2, 2);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.batches.len(), 2);
+        assert_eq!(a.batches[0].len(), 4 * 2);
+
+        let r = a.reference().unwrap();
+        let watch = a.watched[0];
+        assert_eq!(
+            r.final_state[&watch].len(),
+            4 * 2 * 2,
+            "every active attendee's uploads land in the registry"
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("1. cascading delegation (the transfer rule)");
     let mut rt = LocalRuntime::new();
-    rt.add_peer(open_peer("jules"));
-    rt.add_peer(open_peer("emilien"));
+    rt.add_peer(open_peer("jules")).unwrap();
+    rt.add_peer(open_peer("emilien")).unwrap();
 
     let jules = rt.peer_mut("jules").unwrap();
     jules
@@ -99,8 +99,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n3. control of delegation: untrusted peers queue");
     let mut rt = LocalRuntime::new();
-    rt.add_peer(open_peer("julia")); // julia sends
-    rt.add_peer(Peer::new("jules")); // jules has the default (queue) policy
+    rt.add_peer(open_peer("julia")).unwrap(); // julia sends
+    rt.add_peer(Peer::new("jules")).unwrap(); // jules has the default (queue) policy
 
     let julia = rt.peer_mut("julia").unwrap();
     julia.declare("view", 1, RelationKind::Intensional).unwrap();

@@ -63,7 +63,7 @@ fn main() {
 
     // The restored peer computes exactly as before.
     let mut rt = LocalRuntime::new();
-    rt.add_peer(restored);
+    rt.add_peer(restored).unwrap();
     rt.run_to_quiescence(8).expect("runs");
     let joe = rt.peer("joe").unwrap();
     println!("toPublish@joe after restore:");

@@ -16,7 +16,7 @@ fn main() {
     for name in ["jules", "emilien"] {
         let mut p = Peer::new(name);
         p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
-        rt.add_peer(p);
+        rt.add_peer(p).unwrap();
     }
 
     // Jules wants to see the pictures of whoever he selects. The rule uses

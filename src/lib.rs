@@ -31,7 +31,7 @@
 //! for name in ["jules", "emilien"] {
 //!     let mut p = Peer::new(name);
 //!     p.acl_mut().set_untrusted_policy(UntrustedPolicy::Accept);
-//!     rt.add_peer(p);
+//!     rt.add_peer(p).unwrap();
 //! }
 //!
 //! // The paper's delegation rule, straight from its surface syntax.

@@ -23,9 +23,9 @@ fn write_grants_gate_updates() {
         .declare("inbox", 1, RelationKind::Extensional)
         .unwrap();
     target.grants_mut().grant_write("inbox", "wgFriend");
-    rt.add_peer(target);
-    rt.add_peer(open_peer("wgFriend"));
-    rt.add_peer(open_peer("wgStranger"));
+    rt.add_peer(target).unwrap();
+    rt.add_peer(open_peer("wgFriend")).unwrap();
+    rt.add_peer(open_peer("wgStranger")).unwrap();
 
     rt.peer_mut("wgFriend")
         .unwrap()
@@ -53,7 +53,7 @@ fn read_grants_gate_delegated_rules() {
         .insert_local("pictures", vec![Value::from(1)])
         .unwrap();
     owner.grants_mut().restrict_read("pictures");
-    rt.add_peer(owner);
+    rt.add_peer(owner).unwrap();
 
     // A reader installs a view rule by delegation.
     let mut reader = open_peer("rgReader");
@@ -63,7 +63,7 @@ fn read_grants_gate_delegated_rules() {
     reader
         .add_rule(parse_rule("view@rgReader($x) :- pictures@rgOwner($x);").unwrap())
         .unwrap();
-    rt.add_peer(reader);
+    rt.add_peer(reader).unwrap();
 
     rt.run_to_quiescence(16).unwrap();
     assert!(
@@ -111,7 +111,7 @@ fn provenance_view_policy_and_declassification() {
         .add_rule(parse_rule("stats@pvOwner($x) :- salaries@pvOwner($x);").unwrap())
         .unwrap();
     owner.grants_mut().restrict_read("salaries");
-    rt.add_peer(owner);
+    rt.add_peer(owner).unwrap();
 
     // Reader tries to read the *view* by delegation.
     let mut reader = open_peer("pvReader");
@@ -119,7 +119,7 @@ fn provenance_view_policy_and_declassification() {
     reader
         .add_rule(parse_rule("out@pvReader($x) :- stats@pvOwner($x);").unwrap())
         .unwrap();
-    rt.add_peer(reader);
+    rt.add_peer(reader).unwrap();
 
     rt.run_to_quiescence(16).unwrap();
     assert!(
@@ -155,7 +155,7 @@ fn provenance_view_policy_and_declassification() {
         .unwrap();
     owner2.grants_mut().restrict_read("salaries");
     owner2.grants_mut().declassify("stats");
-    rt2.add_peer(owner2);
+    rt2.add_peer(owner2).unwrap();
     let mut reader2 = open_peer("pv2Reader");
     reader2
         .declare("leak", 1, RelationKind::Intensional)
@@ -163,7 +163,7 @@ fn provenance_view_policy_and_declassification() {
     reader2
         .add_rule(parse_rule("leak@pv2Reader($x) :- salaries@pv2Owner($x);").unwrap())
         .unwrap();
-    rt2.add_peer(reader2);
+    rt2.add_peer(reader2).unwrap();
     rt2.run_to_quiescence(16).unwrap();
     assert!(rt2
         .peer("pv2Reader")
@@ -183,7 +183,7 @@ fn owner_rules_unaffected_by_restrictions() {
     p.add_rule(parse_rule("mine@selfOwner($x) :- private@selfOwner($x);").unwrap())
         .unwrap();
     p.grants_mut().restrict_read("private");
-    rt.add_peer(p);
+    rt.add_peer(p).unwrap();
     rt.run_to_quiescence(16).unwrap();
     assert_eq!(
         rt.peer("selfOwner").unwrap().relation_facts("mine").len(),

@@ -30,7 +30,7 @@ fn check_world(seed: u64, peers: usize, pics_per_peer: usize) {
         .unwrap();
     v.add_rule(WRule::example_attendee_pictures(&viewer))
         .unwrap();
-    rt.add_peer(v);
+    rt.add_peer(v).unwrap();
 
     let mut expected: BTreeSet<i64> = BTreeSet::new();
     let mut next_id = 0i64;
@@ -55,7 +55,7 @@ fn check_world(seed: u64, peers: usize, pics_per_peer: usize) {
                 expected.insert(next_id);
             }
         }
-        rt.add_peer(p);
+        rt.add_peer(p).unwrap();
         if selected {
             rt.peer_mut(viewer.as_str())
                 .unwrap()
@@ -104,11 +104,11 @@ fn view_tracks_churn_exactly() {
         .unwrap();
     v.add_rule(WRule::example_attendee_pictures(viewer))
         .unwrap();
-    rt.add_peer(v);
+    rt.add_peer(v).unwrap();
 
     let names: Vec<String> = (0..4).map(|i| format!("churn{i}")).collect();
     for name in &names {
-        rt.add_peer(open_peer(name));
+        rt.add_peer(open_peer(name)).unwrap();
     }
 
     // Model state.
@@ -208,7 +208,7 @@ fn lossy_network_yields_subset() {
             .unwrap();
         v.insert_local("selectedAttendee", vec![Value::from("loss-src")])
             .unwrap();
-        rt.add_peer(v);
+        rt.add_peer(v).unwrap();
         let mut s = open_peer("loss-src");
         for id in 0..20i64 {
             s.insert_local(
@@ -222,7 +222,7 @@ fn lossy_network_yields_subset() {
             )
             .unwrap();
         }
-        rt.add_peer(s);
+        rt.add_peer(s).unwrap();
     };
     let mut reference = LocalRuntime::new();
     build(&mut reference);

@@ -279,7 +279,7 @@ fn build_ring(seed: u64, order: &[usize]) -> LocalRuntime {
         .collect();
     let mut rt = LocalRuntime::new();
     for &i in order {
-        rt.add_peer(peers[i].take().unwrap());
+        rt.add_peer(peers[i].take().unwrap()).unwrap();
     }
     rt
 }

@@ -36,7 +36,7 @@ fn restored_peer_resumes_serving_delegations() {
     viewer
         .insert_local("selectedAttendee", vec![Value::from("prSource")])
         .unwrap();
-    rt.add_peer(viewer);
+    rt.add_peer(viewer).unwrap();
 
     let mut source = open_peer("prSource");
     load_program(
@@ -44,7 +44,7 @@ fn restored_peer_resumes_serving_delegations() {
         r#"pictures@prSource(1, "a.jpg", "prSource", 0x01);"#,
     )
     .unwrap();
-    rt.add_peer(source);
+    rt.add_peer(source).unwrap();
 
     rt.run_to_quiescence(32).unwrap();
     assert_eq!(
@@ -68,7 +68,7 @@ fn restored_peer_resumes_serving_delegations() {
         1,
         "delegation survived"
     );
-    rt.add_peer(restored);
+    rt.add_peer(restored).unwrap();
 
     // New data at the restored peer still flows through the delegation.
     rt.peer_mut("prSource")

@@ -409,7 +409,7 @@ fn random_schedules_reach_the_lossless_outcome() {
             .into_iter()
             .map(|p| {
                 let n = p.name();
-                rt.add_peer(p);
+                rt.add_peer(p).unwrap();
                 n
             })
             .collect();

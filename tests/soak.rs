@@ -113,7 +113,7 @@ fn randomized_conference_soak() {
         conf.runtime.remove_peer(n.as_str()).unwrap();
         let restored = snapshot::load(bytes).unwrap();
         assert_eq!(restored.relation_facts("pictures").len(), before);
-        conf.runtime.add_peer(restored);
+        conf.runtime.add_peer(restored).unwrap();
     }
     let r = conf.settle(256).unwrap();
     assert!(r.quiescent, "post-restart reconvergence failed: {r:?}");
