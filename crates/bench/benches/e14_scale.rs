@@ -21,6 +21,14 @@
 //!   must not buy divergence. Runs at the full 10⁵ scale in quick mode
 //!   too (the workload scale is the same in quick and full runs, repo
 //!   convention, so gate ratios compare like for like).
+//! * **`tracing_overhead`** (gated by ceiling): burst latency with the
+//!   ISSUE 7 trace pipeline on versus off at the 10⁴ scale — the median
+//!   of pairwise ratios over alternating traced/untraced burst *cycles*
+//!   (burst tick through quiescence, state held stationary by per-sample
+//!   cleanup), which isolates the tracer from machine drift and state
+//!   growth. The profiled pass also prints `profile:`-prefixed top-rule
+//!   and critical-path lines for the CI job summary and asserts the
+//!   longest program-activity chain runs through the fan-in hub.
 //!
 //! Per-round observability (active-peer fraction, routed messages, round
 //! latency) is printed and recorded into `BENCH_e14_scale.json` for the
@@ -100,41 +108,132 @@ struct ShardReportSummary {
     routed: usize,
 }
 
-/// Median wall time of the *active* round of a publish burst: every
-/// publisher uploads one fresh picture, then one tick runs them all.
-/// The two trailing ticks (hub ingest, quiet confirmation) drain the
-/// burst so each sample starts settled.
-fn burst_round_ns(rt: &mut ShardedRuntime, runs: usize, tag: u32) -> u128 {
-    let mut samples = Vec::with_capacity(runs);
-    let total = rt.len() - 1;
+/// The picture each publisher uploads for one (tag, sample) burst:
+/// `(peer name, tuple)` pairs, ids unique per (tag, sample).
+fn burst_pics(total: usize, tag: u32, sample: usize) -> Vec<(String, Vec<Value>)> {
     let stride = (total / ACTIVE).max(1);
-    for run in 0..runs {
-        for i in 0..ACTIVE {
+    (0..ACTIVE)
+        .map(|i| {
             let name = format!("burstAtt{}", i * stride + i % stride);
-            let id = 1_000_000 + (tag as i64) * 1_000_000 + (run * ACTIVE + i) as i64;
-            rt.insert_local(
-                name.as_str(),
-                "pictures",
-                vec![
-                    Value::from(id),
-                    Value::from(format!("burst-{id}.jpg")),
-                    Value::from(name.as_str()),
-                    Value::bytes(&[0xEE; 8]),
-                ],
-            )
+            let id = 1_000_000 + (tag as i64) * 1_000_000 + (sample * ACTIVE + i) as i64;
+            let tuple = vec![
+                Value::from(id),
+                Value::from(format!("burst-{id}.jpg")),
+                Value::from(name.as_str()),
+                Value::bytes(&[0xEE; 8]),
+            ];
+            (name, tuple)
+        })
+        .collect()
+}
+
+/// One full burst cycle: every publisher uploads one fresh picture, one
+/// tick runs them all (returned as the timed round), the burst drains to
+/// quiescence, and the pictures are deleted again (retraction quiesced).
+/// The cleanup keeps the publishers' local state — the timed round's
+/// input — **stationary** across samples: without it each sample leaves
+/// one more picture per publisher and the recompute-path stage cost
+/// creeps up by ~10% per sample, drowning any cross-sample comparison
+/// (tracing overhead, scale independence) in monotone drift. `sample`
+/// must be unique per (tag, call) for fresh photo ids.
+fn burst_sample(rt: &mut ShardedRuntime, tag: u32, sample: usize) -> u128 {
+    let pics = burst_pics(rt.len() - 1, tag, sample);
+    for (name, tuple) in &pics {
+        rt.insert_local(name.as_str(), "pictures", tuple.clone())
             .expect("burst insert");
+    }
+    let t0 = std::time::Instant::now();
+    let tick = rt.tick().expect("tick");
+    let elapsed = t0.elapsed().as_nanos();
+    assert_eq!(tick.peers_run, ACTIVE, "exactly the publishers run");
+    black_box(tick.messages);
+    quiesce_sharded(rt);
+    for (name, tuple) in pics {
+        rt.delete_local(name.as_str(), "pictures", tuple)
+            .expect("burst cleanup");
+    }
+    quiesce_sharded(rt);
+    elapsed
+}
+
+/// `cycles` consecutive burst cycles (insert → burst tick → quiesce →
+/// cleanup → quiesce) under **one** timed region tens of milliseconds
+/// long. A single burst round is a few milliseconds on this workload and
+/// container scheduling can swing an individual round by a third either
+/// way; a block this long averages the fast noise down far enough that
+/// block-to-block ratios resolve a sub-15% effect.
+fn burst_block(rt: &mut ShardedRuntime, tag: u32, sample0: usize, cycles: usize) -> u128 {
+    let t0 = std::time::Instant::now();
+    for j in 0..cycles {
+        let pics = burst_pics(rt.len() - 1, tag, sample0 + j);
+        for (name, tuple) in &pics {
+            rt.insert_local(name.as_str(), "pictures", tuple.clone())
+                .expect("burst insert");
         }
-        let t0 = std::time::Instant::now();
         let tick = rt.tick().expect("tick");
-        samples.push(t0.elapsed().as_nanos());
         assert_eq!(tick.peers_run, ACTIVE, "exactly the publishers run");
         black_box(tick.messages);
         quiesce_sharded(rt);
+        for (name, tuple) in pics {
+            rt.delete_local(name.as_str(), "pictures", tuple)
+                .expect("burst cleanup");
+        }
+        quiesce_sharded(rt);
     }
-    // Min, not median: publisher state grows by one picture per sample
-    // round and allocator/page noise only ever adds time, so the fastest
-    // sample is the cleanest estimate of the round's intrinsic cost.
-    samples.into_iter().min().expect("at least one sample")
+    t0.elapsed().as_nanos()
+}
+
+/// Min wall time of the *active* round of a publish burst over `runs`
+/// samples. Min, not median: publisher state grows by one picture per
+/// sample round and allocator/page noise only ever adds time, so the
+/// fastest sample is the cleanest estimate of the round's intrinsic
+/// cost.
+fn burst_round_ns(rt: &mut ShardedRuntime, runs: usize, tag: u32) -> u128 {
+    (0..runs)
+        .map(|run| burst_sample(rt, tag, run))
+        .min()
+        .expect("at least one sample")
+}
+
+/// Tracing overhead as the **median of pairwise ratios** over
+/// alternating traced/untraced burst *blocks* ([`burst_block`]) on one
+/// runtime. The blocks alternate in ping-pong order so slow machine
+/// phases land on both modes alike, each block is long enough to average
+/// out per-round scheduler noise, and the median of per-pair ratios
+/// discards the pairs a noise spike still hit. (Separate traced and
+/// untraced passes measured minutes apart drift by more than the
+/// overhead being measured.) Returns the ratio and the fastest traced
+/// block, normalised to one cycle.
+fn paired_tracing_overhead(rt: &mut ShardedRuntime, pairs: usize, tag: u32) -> (f64, u128) {
+    const CYCLES: usize = 4;
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut traced_min = u128::MAX;
+    let mut sample = 0usize;
+    // One untimed warm-up pair: the first traced block grows every
+    // publisher's event buffer and the aggregator's tables from empty,
+    // a one-off cost that is not the steady-state overhead under test.
+    for pair in 0..pairs + 1 {
+        let traced_first = pair % 2 == 0;
+        let mut t = [0u128; 2]; // [untraced, traced]
+        for slot in 0..2 {
+            let traced = (slot == 0) == traced_first;
+            rt.set_tracing(traced);
+            t[usize::from(traced)] = burst_block(rt, tag, sample, CYCLES);
+            sample += CYCLES;
+        }
+        if pair > 0 {
+            ratios.push(t[1] as f64 / t[0] as f64);
+            traced_min = traced_min.min(t[1]);
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let mid = ratios.len() / 2;
+    let median = if ratios.len() % 2 == 1 {
+        ratios[mid]
+    } else {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    };
+    (median, traced_min / CYCLES as u128)
 }
 
 /// The sequential reference at full scale: converge the same scenario on
@@ -225,6 +324,55 @@ fn main() {
     let small_round_ns = burst_round_ns(&mut small, runs, 2);
     drop(small);
 
+    // --- Profiled pass: the same burst with tracing on -----------------
+    // On a fresh converged runtime, paired traced/untraced sampling pins
+    // the pipeline's overhead (bench-gate ceilings it); a final profiled
+    // burst builds the aggregate for the "profile:" summary CI publishes.
+    // Twice `runs` pairs: the ratio compares two minima, and each needs
+    // enough stationary samples to shake off scheduler noise that can
+    // swing an individual burst round by a third either way.
+    let (mut small, _) = converge_sharded(SMALL);
+    let (tracing_overhead, traced_round_ns) = paired_tracing_overhead(&mut small, runs * 2, 3);
+    small.set_tracing(true);
+    for sample in 0..3 {
+        burst_sample(&mut small, 4, sample);
+    }
+    {
+        let agg = small.trace().expect("tracing enabled");
+        for (label, stat) in agg.top_rules(5) {
+            println!(
+                "profile: rule {label} calls={} total_ms={:.3} mean_us={:.1} derived={}",
+                stat.hist.count(),
+                stat.hist.sum_ns() as f64 / 1e6,
+                stat.hist.mean_ns() as f64 / 1e3,
+                stat.derived,
+            );
+        }
+        let paths = agg.critical_paths(3);
+        for (i, path) in paths.iter().enumerate() {
+            let chain: Vec<String> = path
+                .nodes
+                .iter()
+                .map(|n| format!("{}@{}", n.peer, n.stage))
+                .collect();
+            println!(
+                "profile: critpath[{i}] total_ms={:.3} len={} {}",
+                path.total_ns as f64 / 1e6,
+                path.nodes.len(),
+                chain.join(" -> ")
+            );
+        }
+        // Acceptance criterion (ISSUE 7): on the publish-burst workload
+        // the longest program-activity chain runs through the hub — the
+        // fan-in peer is the bottleneck the critical path must name.
+        let top = paths.first().expect("burst produced stage executions");
+        assert!(
+            top.nodes.iter().any(|n| n.peer.to_string() == "burstHub"),
+            "critical path must run through the fan-in hub, got: {top:?}"
+        );
+    }
+    drop(small);
+
     // --- Metrics -------------------------------------------------------
     let scale_independence = small_round_ns as f64 / large_round_ns as f64;
     let active_set_speedup = local_round_ns as f64 / large_round_ns as f64;
@@ -250,6 +398,11 @@ fn main() {
         summary.active_peers, summary.active_fraction
     );
     println!("| peak routed msgs per round     | {} |", summary.routed);
+    println!(
+        "| traced burst cycle @ {SMALL:>6}   | {:>8.2}ms |",
+        traced_round_ns as f64 / 1e6
+    );
+    println!("| tracing_overhead (traced/not)  | {tracing_overhead:>6.3}x |");
 
     c.record_metric("scale_independence", scale_independence);
     c.record_metric("active_set_speedup", active_set_speedup);
@@ -260,6 +413,8 @@ fn main() {
     c.record_metric("burst_round_ms_100k", large_round_ns as f64 / 1e6);
     c.record_metric("burst_round_ms_10k", small_round_ns as f64 / 1e6);
     c.record_metric("seq_round_ms_100k", local_round_ns as f64 / 1e6);
+    c.record_metric("traced_cycle_ms_10k", traced_round_ns as f64 / 1e6);
+    c.record_metric("tracing_overhead", tracing_overhead);
 
     if !quick() {
         assert!(

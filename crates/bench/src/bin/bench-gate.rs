@@ -11,6 +11,10 @@
 //! metric regresses the gate when
 //! `fresh < baseline * (1 - TOLERANCE)`.
 //!
+//! Overhead ratios (bigger = worse) are gated the other way round, by
+//! absolute **ceiling** ([`PINNED_CEILING`]): the fresh value alone must
+//! stay at or below the cap, no baseline involved.
+//!
 //! The JSON involved is the flat `"metrics": {"name": number, ...}`
 //! object the criterion shim writes; a tiny scanner avoids a JSON
 //! dependency (no crates.io in the build image).
@@ -47,6 +51,16 @@ const PINNED: &[(&str, &str)] = &[
     // collapsing toward 0.1 if any per-registered-peer cost sneaks back
     // into the round path.
     ("BENCH_e14_scale.json", "scale_independence"),
+];
+
+/// (bench json file, metric name, ceiling) triples the fresh run must stay
+/// **at or below** — absolute ratio caps, checked fresh-side only (no
+/// baseline comparison, no tolerance: the ceiling *is* the contract).
+/// Used for overhead ratios where "bigger" means "worse".
+const PINNED_CEILING: &[(&str, &str, f64)] = &[
+    // ISSUE 7: the structured trace pipeline may cost at most 15% on the
+    // traced burst round versus the same round untraced.
+    ("BENCH_e14_scale.json", "tracing_overhead", 1.15),
 ];
 
 /// Extracts `"name": <number>` from the shim's flat JSON. Good enough for
@@ -145,6 +159,28 @@ fn main() -> ExitCode {
              floor {floor:.2} -> {status}"
         );
         if fresh < floor {
+            failures += 1;
+        }
+    }
+    for (file, name, ceiling) in PINNED_CEILING {
+        let fresh_path = format!("{fresh_dir}/{file}");
+        let fresh_json = match std::fs::read_to_string(&fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench-gate: cannot read fresh {fresh_path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let Some(fresh) = metric(&fresh_json, name) else {
+            eprintln!("bench-gate: metric {name} missing in fresh {file}");
+            failures += 1;
+            continue;
+        };
+        checked += 1;
+        let status = if fresh <= *ceiling { "ok" } else { "EXCEEDED" };
+        println!("bench-gate: {file} {name}: fresh {fresh:.3}, ceiling {ceiling:.3} -> {status}");
+        if fresh > *ceiling {
             failures += 1;
         }
     }

@@ -96,6 +96,7 @@ mod schema;
 pub mod shard;
 mod stage;
 mod stage_plan;
+mod trace;
 
 pub use acl::{AccessControl, DelegationDecision, PendingDelegation};
 pub use atom::{NameTerm, WAtom, WBodyItem, WLiteral};
@@ -110,3 +111,6 @@ pub use rule::WRule;
 pub use schema::{RelationDecl, RelationKind, Schema};
 pub use shard::{ShardReport, ShardedRuntime};
 pub use stage::{StageOutput, StageStats};
+// The observability layer's vocabulary, re-exported so embedders of the
+// runtimes need not name `wdl-obs` themselves.
+pub use wdl_obs::{Aggregator, BufferSink, CriticalPath, TraceEvent, TraceSink};

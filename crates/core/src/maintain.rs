@@ -214,8 +214,27 @@ impl Peer {
             return ViewStatus::Unavailable;
         };
         self.base_log.clear();
-        match MaterializedView::new(program, base) {
+        // A rebuild is where a freshly added rule does its first (and in
+        // one-shot flows, only) round of derivation, so the construction
+        // fixpoint must feed the trace like any maintenance pass would.
+        let mut prof = self
+            .tracer
+            .is_some()
+            .then(wdl_datalog::profile::RuleProfile::new);
+        match MaterializedView::new_profiled(program, base, prof.as_mut()) {
             Ok(view) => {
+                if let (Some(mut p), Some(tr)) = (prof, self.tracer.as_mut()) {
+                    for (head, c) in p.drain() {
+                        tr.record(crate::TraceEvent::RuleEval {
+                            peer: self.name,
+                            stage: self.stage,
+                            rule: head,
+                            dur_ns: c.ns,
+                            delta_in: c.delta_in,
+                            derived: c.derived,
+                        });
+                    }
+                }
                 self.incr = Some(IncrementalState {
                     view,
                     epoch: self.ruleset_epoch,

@@ -2,6 +2,7 @@
 
 use crate::acl::AccessControl;
 use crate::grants::RelationGrants;
+use crate::stage::StageStats;
 use crate::{
     qualify, Delegation, DelegationId, FactKind, Message, Payload, RelationKind, Result, Schema,
     WFact, WRule, WdlError,
@@ -110,6 +111,14 @@ pub struct Peer {
     /// skip re-attempting compilation — and keep their base log for the
     /// recompute cache — every stage.
     pub(crate) incr_failed_epoch: Option<u64>,
+    /// Trace sink + label cache when tracing is enabled; `None` (the
+    /// default) keeps every hook a single branch with zero allocations
+    /// and no clock reads (see `trace.rs`).
+    pub(crate) tracer: Option<Box<crate::trace::PeerTracer>>,
+    /// Counters of the last completed stage (for `stats` reporting).
+    pub(crate) last_stats: StageStats,
+    /// Fixpoint work accumulated across all stages (for `report`).
+    pub(crate) cum_eval: wdl_datalog::EvalStats,
 }
 
 impl Peer {
@@ -144,6 +153,9 @@ impl Peer {
             working: None,
             recompute_cache: true,
             incr_failed_epoch: None,
+            tracer: None,
+            last_stats: StageStats::default(),
+            cum_eval: wdl_datalog::EvalStats::default(),
         }
     }
 
@@ -233,6 +245,65 @@ impl Peer {
     /// [`Peer::set_recompute_cache`]).
     pub fn recompute_cache(&self) -> bool {
         self.recompute_cache
+    }
+
+    /// Installs a trace sink: every subsequent stage records
+    /// [`crate::TraceEvent`]s (stage timings, per-rule costs, message
+    /// causality, delegation churn, blocked reads) into it. Replaces
+    /// any previously installed sink.
+    ///
+    /// Like [`Peer::set_compiled_stage`], this is a runtime tuning
+    /// knob, **not durable state**: snapshots ([`crate::PeerState`])
+    /// carry semantic state only, so a restored peer comes up untraced.
+    /// Tracing never changes what a stage computes (pinned by the
+    /// `trace_parity` suite); with no sink installed every hook is one
+    /// branch, zero allocations and no clock reads (pinned by
+    /// `trace_alloc`).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn crate::TraceSink>) {
+        self.tracer = Some(crate::trace::PeerTracer::new(sink));
+    }
+
+    /// Removes the trace sink, returning the peer to the zero-cost
+    /// untraced path.
+    pub fn clear_trace_sink(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains buffered trace events from the installed sink (empty when
+    /// untraced or the sink does not buffer). Runtimes call this once
+    /// per round to feed their aggregator.
+    pub fn drain_trace(&mut self) -> Vec<crate::TraceEvent> {
+        match &mut self.tracer {
+            Some(t) => t.sink.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// [`Peer::drain_trace`], but appending onto `out` so the sink keeps
+    /// its buffer capacity — the runtimes' once-per-round drain of a
+    /// large fleet stays allocation-free in the steady state.
+    pub fn drain_trace_into(&mut self, out: &mut Vec<crate::TraceEvent>) {
+        if let Some(t) = &mut self.tracer {
+            t.sink.drain_into(out);
+        }
+    }
+
+    /// Counters of the peer's last completed stage (all zeros before
+    /// the first stage runs).
+    pub fn last_stage_stats(&self) -> crate::StageStats {
+        self.last_stats
+    }
+
+    /// Fixpoint work accumulated across every stage this peer has run:
+    /// `iterations` sums fixpoint rounds, `derivations` head
+    /// instantiations, `facts_derived` locally new facts.
+    pub fn cumulative_eval_stats(&self) -> wdl_datalog::EvalStats {
+        self.cum_eval
     }
 
     /// Messages queued for ingestion at the next stage, in arrival order.

@@ -62,6 +62,13 @@ pub struct LocalRuntime {
     index: HashMap<Symbol, usize>,
     /// Thread budget for [`LocalRuntime::par_tick`]; 1 = sequential.
     workers: usize,
+    /// Whether peers currently carry trace sinks ([`LocalRuntime::set_tracing`]).
+    tracing: bool,
+    /// Online trace aggregation; kept after `set_tracing(false)` so results
+    /// stay queryable once profiling stops.
+    agg: Option<wdl_obs::Aggregator>,
+    /// Reused per-round event staging buffer for [`LocalRuntime::drain_traces`].
+    trace_scratch: Vec<crate::TraceEvent>,
 }
 
 impl Default for LocalRuntime {
@@ -70,6 +77,9 @@ impl Default for LocalRuntime {
             peers: Vec::new(),
             index: HashMap::new(),
             workers: 1,
+            tracing: false,
+            agg: None,
+            trace_scratch: Vec::new(),
         }
     }
 }
@@ -92,6 +102,74 @@ impl LocalRuntime {
         self.workers
     }
 
+    /// Turns structured tracing on or off.
+    ///
+    /// Turning it **on** installs a buffering [`crate::TraceSink`] on every
+    /// peer (current and future); each tick drains every peer's buffer
+    /// into the [`wdl_obs::Aggregator`] in peer insertion order
+    /// (deterministic) and closes the aggregator's round. Re-enabling
+    /// **resumes** an existing aggregator — toggling is cheap and
+    /// lossless; call [`LocalRuntime::reset_trace`] for a fresh one.
+    /// Turning it **off** removes the sinks — the hot path goes back to
+    /// the untraced peer loop — but keeps the aggregator, so
+    /// `top`/`critpath`/export keep working on what was collected.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if on {
+            if self.agg.is_none() {
+                self.agg = Some(wdl_obs::Aggregator::new());
+            }
+            for peer in &mut self.peers {
+                if !peer.tracing() {
+                    peer.set_trace_sink(Box::new(wdl_obs::BufferSink::new()));
+                }
+            }
+        } else {
+            for peer in &mut self.peers {
+                peer.clear_trace_sink();
+            }
+        }
+    }
+
+    /// Discards all collected trace data. The next [`LocalRuntime::set_tracing`]
+    /// (or the current session, if tracing is on) starts from an empty
+    /// aggregator.
+    pub fn reset_trace(&mut self) {
+        self.agg = self.tracing.then(wdl_obs::Aggregator::new);
+    }
+
+    /// True iff tracing is currently enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// The trace aggregator, if profiling ever ran ([`LocalRuntime::set_tracing`]).
+    pub fn trace(&self) -> Option<&wdl_obs::Aggregator> {
+        self.agg.as_ref()
+    }
+
+    /// Mutable access to the trace aggregator (e.g. for JSONL export).
+    pub fn trace_mut(&mut self) -> Option<&mut wdl_obs::Aggregator> {
+        self.agg.as_mut()
+    }
+
+    /// Drains every traced peer's event buffer into the aggregator (peer
+    /// insertion order) and closes the round. No-op unless tracing is on.
+    fn drain_traces(&mut self) {
+        if !self.tracing {
+            return;
+        }
+        let Some(agg) = self.agg.as_mut() else { return };
+        self.trace_scratch.clear();
+        for peer in &mut self.peers {
+            peer.drain_trace_into(&mut self.trace_scratch);
+        }
+        if !self.trace_scratch.is_empty() {
+            agg.ingest(&self.trace_scratch);
+        }
+        agg.end_round();
+    }
+
     /// Adds a peer. Peers added mid-run participate from the next round —
     /// this is how the demo's "audience members launch their own peers"
     /// scenario is modelled (E8). Returns [`crate::WdlError::DuplicatePeer`]
@@ -104,6 +182,14 @@ impl LocalRuntime {
         }
         self.index.insert(name, self.peers.len());
         self.peers.push(peer);
+        if self.tracing {
+            // Late joiners inherit the runtime's tracing state, so a
+            // profiled run covers peers added mid-run (E8).
+            self.peers
+                .last_mut()
+                .expect("just pushed")
+                .set_trace_sink(Box::new(wdl_obs::BufferSink::new()));
+        }
         Ok(name)
     }
 
@@ -179,6 +265,7 @@ impl LocalRuntime {
                 report.undeliverable += 1;
             }
         }
+        self.drain_traces();
         Ok(report)
     }
 
@@ -207,6 +294,7 @@ impl LocalRuntime {
                 report.undeliverable += 1;
             }
         }
+        self.drain_traces();
         Ok(report)
     }
 
@@ -272,6 +360,7 @@ impl LocalRuntime {
                 report.undeliverable += 1;
             }
         }
+        self.drain_traces();
         Ok(report)
     }
 

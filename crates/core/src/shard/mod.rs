@@ -95,6 +95,11 @@ pub struct ShardedRuntime {
     round: u64,
     inbox_budget: usize,
     collect_stats: bool,
+    /// Whether owned peers currently carry trace sinks.
+    tracing: bool,
+    /// Coordinator-side trace aggregation; kept after `set_tracing(false)`
+    /// so collected results stay queryable.
+    agg: Option<wdl_obs::Aggregator>,
 }
 
 impl ShardedRuntime {
@@ -123,6 +128,8 @@ impl ShardedRuntime {
             round: 0,
             inbox_budget: usize::MAX,
             collect_stats: true,
+            tracing: false,
+            agg: None,
         }
     }
 
@@ -143,10 +150,66 @@ impl ShardedRuntime {
         self.inbox_budget
     }
 
-    /// Toggles per-peer [`crate::StageStats`] collection in tick reports
-    /// (on by default; turn off for large-scale benchmarking).
+    /// Toggles per-peer [`crate::StageStats`] collection in tick reports.
+    ///
+    /// **On by default** — every [`ShardedRuntime::tick`] ships each run
+    /// peer's [`crate::StageStats`] back through the result channel and
+    /// into [`ShardReport::stats`]. At bench scale (10⁵+ peers, bursty
+    /// rounds) that per-round map is measurable overhead with no
+    /// consumer, so large-scale runs opt **out** with
+    /// `set_collect_stats(false)`; the cheap scalar counters on the
+    /// report (`peers_run`, `messages`, `deferred`, …) are unaffected.
     pub fn set_collect_stats(&mut self, collect: bool) {
         self.collect_stats = collect;
+    }
+
+    /// Whether per-peer stage stats are collected into tick reports.
+    pub fn collect_stats(&self) -> bool {
+        self.collect_stats
+    }
+
+    /// Turns structured tracing on or off across every shard.
+    ///
+    /// Turning it **on** installs a buffering [`crate::TraceSink`] on every
+    /// owned peer — without waking quiescent peers (tracing is a tuning
+    /// knob, not input) — and aggregates on the coordinator. Each tick drains the run peers' buffers (shard
+    /// order, ascending sequence within a shard), records one
+    /// [`crate::TraceEvent::ShardRound`] with the round's routing/deferral
+    /// counters, and closes the aggregator round. Re-enabling **resumes**
+    /// an existing aggregator — toggling is cheap and lossless; call
+    /// [`ShardedRuntime::reset_trace`] for a fresh one. Turning it **off**
+    /// clears the sinks but keeps the aggregator queryable.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if on && self.agg.is_none() {
+            self.agg = Some(wdl_obs::Aggregator::new());
+        }
+        for shard in 0..self.shards.len() {
+            self.send(shard, Cmd::SetTracing(on));
+        }
+    }
+
+    /// Discards all collected trace data. The next
+    /// [`ShardedRuntime::set_tracing`] (or the current session, if tracing
+    /// is on) starts from an empty aggregator.
+    pub fn reset_trace(&mut self) {
+        self.agg = self.tracing.then(wdl_obs::Aggregator::new);
+    }
+
+    /// True iff tracing is currently enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// The trace aggregator, if profiling ever ran
+    /// ([`ShardedRuntime::set_tracing`]).
+    pub fn trace(&self) -> Option<&wdl_obs::Aggregator> {
+        self.agg.as_ref()
+    }
+
+    /// Mutable access to the trace aggregator (e.g. for JSONL export).
+    pub fn trace_mut(&mut self) -> Option<&mut wdl_obs::Aggregator> {
+        self.agg.as_mut()
     }
 
     /// Adds a peer, assigning it round-robin to a shard. Like
@@ -392,6 +455,11 @@ impl ShardedRuntime {
             for (name, stats) in result.stats {
                 report.stats.insert(name, stats);
             }
+            if !result.trace.is_empty() {
+                if let Some(agg) = self.agg.as_mut() {
+                    agg.ingest(&result.trace);
+                }
+            }
             outbox.extend(result.outbox);
             for (seq, err) in result.errors {
                 if first_err.as_ref().is_none_or(|(s, _)| seq < *s) {
@@ -411,6 +479,18 @@ impl ShardedRuntime {
                 report.messages += 1;
             } else {
                 report.undeliverable += 1;
+            }
+        }
+        if self.tracing {
+            if let Some(agg) = self.agg.as_mut() {
+                agg.ingest(&[crate::TraceEvent::ShardRound {
+                    round: self.round,
+                    routed: report.messages as u64,
+                    deferred: report.deferred as u64,
+                    peers_run: report.peers_run as u64,
+                    peers_total: report.peers_total as u64,
+                }]);
+                agg.end_round();
             }
         }
         Ok(report)

@@ -46,3 +46,25 @@ impl ShardReport {
         }
     }
 }
+
+impl std::fmt::Display for ShardReport {
+    /// One status line per round, the shape a REPL or log tail wants:
+    ///
+    /// ```text
+    /// round 3: ran 500/100000 peers (0.5% active), routed 1000, deferred 250, undeliverable 0, changed
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "round {}: ran {}/{} peers ({:.1}% active), routed {}, deferred {}, undeliverable {}, {}",
+            self.round,
+            self.peers_run,
+            self.peers_total,
+            self.active_fraction() * 100.0,
+            self.messages,
+            self.deferred,
+            self.undeliverable,
+            if self.changed { "changed" } else { "quiet" },
+        )
+    }
+}

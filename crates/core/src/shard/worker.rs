@@ -45,6 +45,10 @@ pub(crate) enum Cmd {
         deliveries: Vec<Message>,
         collect_stats: bool,
     },
+    /// Install (or clear) trace sinks on every owned peer — including
+    /// quiescent ones, *without* activating them: tracing is a tuning
+    /// knob, not input, and must not wake the idle fleet.
+    SetTracing(bool),
     /// Exit the worker loop.
     Shutdown,
 }
@@ -63,6 +67,9 @@ pub(crate) struct RoundResult {
     /// Stage failures, tagged with the failing peer's sequence number so
     /// the coordinator can report the earliest one in insertion order.
     pub(crate) errors: Vec<(u64, WdlError)>,
+    /// Trace events drained from the peers that ran, in ascending
+    /// sequence order (empty unless tracing is on).
+    pub(crate) trace: Vec<crate::TraceEvent>,
 }
 
 /// One shard's thread-local state and command loop.
@@ -74,6 +81,8 @@ pub(crate) struct Worker {
     by_name: HashMap<Symbol, u64>,
     /// Sequence numbers of peers that must run next round.
     active: BTreeSet<u64>,
+    /// Whether owned peers carry trace sinks (late-added peers inherit).
+    tracing: bool,
 }
 
 impl Worker {
@@ -84,6 +93,7 @@ impl Worker {
             slots: BTreeMap::new(),
             by_name: HashMap::new(),
             active: BTreeSet::new(),
+            tracing: false,
         }
     }
 
@@ -92,7 +102,11 @@ impl Worker {
             match cmd {
                 Cmd::AddPeer { seq, peer } => {
                     self.by_name.insert(peer.name(), seq);
-                    self.slots.insert(seq, *peer);
+                    let mut peer = *peer;
+                    if self.tracing {
+                        peer.set_trace_sink(Box::new(wdl_obs::BufferSink::new()));
+                    }
+                    self.slots.insert(seq, peer);
                     // A new peer's first stage has never run: its initial
                     // facts and rules may derive, delegate, or ship.
                     self.active.insert(seq);
@@ -122,6 +136,20 @@ impl Worker {
                     let result = self.round(deliveries, collect_stats);
                     if self.results.send(result).is_err() {
                         break; // coordinator gone
+                    }
+                }
+                Cmd::SetTracing(on) => {
+                    self.tracing = on;
+                    for peer in self.slots.values_mut() {
+                        if on {
+                            // Keep an already-installed sink: its buffer
+                            // capacity is warm, and resume must be cheap.
+                            if !peer.tracing() {
+                                peer.set_trace_sink(Box::new(wdl_obs::BufferSink::new()));
+                            }
+                        } else {
+                            peer.clear_trace_sink();
+                        }
                     }
                 }
                 Cmd::Shutdown => break,
@@ -155,6 +183,9 @@ impl Worker {
                     result
                         .outbox
                         .extend(out.messages.into_iter().map(|m| (seq, m)));
+                    if self.tracing {
+                        peer.drain_trace_into(&mut result.trace);
+                    }
                     if !peer.has_pending_input() {
                         self.active.remove(&seq);
                     }

@@ -20,6 +20,7 @@ use crate::{
 use std::collections::{HashMap, HashSet};
 use wdl_datalog::intern::ValueId;
 use wdl_datalog::{eval, Atom as DAtom, Database, Fact as DFact, Subst, Symbol};
+use wdl_obs::TraceEvent;
 
 /// Counters describing one stage, for observability and the bench harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +78,10 @@ struct Outcome {
     local_ext: HashSet<WFact>,
     derivations: usize,
     reads_blocked: usize,
+    /// Local facts the fixpoint actually inserted this stage (recompute
+    /// insertions + dynamic-layer fresh facts) — feeds the peer's
+    /// cumulative `facts_derived` counter.
+    local_new: usize,
 }
 
 /// Evaluation context threaded through rule walking: who the rule runs for
@@ -101,12 +106,29 @@ impl Peer {
             stage: self.stage,
             ..StageStats::default()
         };
+        // Tracing hooks pay one branch when no sink is installed — no
+        // clock reads, no allocations (pinned by `trace_alloc`).
+        let t_stage = self.tracer.as_ref().map(|_| std::time::Instant::now());
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(TraceEvent::StageBegin {
+                peer: self.name,
+                stage: self.stage,
+            });
+        }
 
         // ---- Step 1: load inputs received since the previous stage.
         let inbox = std::mem::take(&mut self.inbox);
         stats.ingested_messages = inbox.len();
         let mut store_changed = false;
         for msg in inbox {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(TraceEvent::MsgDeliver {
+                    from: msg.from,
+                    to: self.name,
+                    to_stage: self.stage,
+                    items: msg.payload.item_count() as u64,
+                });
+            }
             self.ingest(msg, &mut stats, &mut store_changed)?;
         }
 
@@ -181,12 +203,28 @@ impl Peer {
         installs.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
         for (target, ds) in installs {
             stats.delegations_out += ds.len();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(TraceEvent::DelegationInstall {
+                    origin: self.name,
+                    target,
+                    from_stage: self.stage,
+                    count: ds.len() as u64,
+                });
+            }
             messages.push(Message::new(self.name, target, Payload::Delegate(ds)));
         }
         let mut revokes: Vec<(Symbol, Vec<DelegationId>)> = revokes.into_iter().collect();
         revokes.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
         for (target, ids) in revokes {
             stats.revocations_out += ids.len();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(TraceEvent::DelegationRevoke {
+                    origin: self.name,
+                    target,
+                    from_stage: self.stage,
+                    count: ids.len() as u64,
+                });
+            }
             messages.push(Message::new(self.name, target, Payload::Revoke(ids)));
         }
         self.prev_delegations = outcome.delegations;
@@ -227,6 +265,38 @@ impl Peer {
             || derived_changed
             || self_updates > 0
             || !messages.is_empty();
+
+        if let Some(tr) = self.tracer.as_mut() {
+            for msg in &messages {
+                tr.record(TraceEvent::MsgSend {
+                    from: self.name,
+                    from_stage: self.stage,
+                    to: msg.to,
+                    items: msg.payload.item_count() as u64,
+                });
+            }
+            if stats.reads_blocked > 0 {
+                tr.record(TraceEvent::BlockedReads {
+                    peer: self.name,
+                    stage: self.stage,
+                    count: stats.reads_blocked as u64,
+                });
+            }
+            if let Some(t0) = t_stage {
+                tr.record(TraceEvent::StageEnd {
+                    peer: self.name,
+                    stage: self.stage,
+                    dur_ns: t0.elapsed().as_nanos() as u64,
+                    derivations: stats.derivations as u64,
+                    rounds: stats.fixpoint_rounds as u64,
+                    msgs_in: stats.ingested_messages as u64,
+                });
+            }
+        }
+        self.last_stats = stats;
+        self.cum_eval.iterations += stats.fixpoint_rounds;
+        self.cum_eval.derivations += stats.derivations;
+        self.cum_eval.facts_derived += outcome.local_new;
 
         Ok(StageOutput {
             messages,
@@ -301,18 +371,23 @@ impl Peer {
                 ));
             }
             let mut new_local: Vec<DFact> = Vec::new();
-            let own = self
-                .rules
-                .iter()
-                .map(|e| (&e.rule, None, use_plans.then_some(PlanKey::Own(e.id))));
+            let own = self.rules.iter().map(|e| {
+                (
+                    &e.rule,
+                    None,
+                    use_plans.then_some(PlanKey::Own(e.id)),
+                    PlanKey::Own(e.id),
+                )
+            });
             let delegated = self.delegated.iter().map(|d| {
                 (
                     &d.rule,
                     Some(d.origin),
                     use_plans.then_some(PlanKey::Delegated(d.id)),
+                    PlanKey::Delegated(d.id),
                 )
             });
-            for (rule, origin, key) in own.chain(delegated) {
+            for (rule, origin, key, trace_key) in own.chain(delegated) {
                 let ctx = EvalCtx {
                     peer: self.name,
                     schema: &self.schema,
@@ -320,6 +395,8 @@ impl Peer {
                     view_bases: &view_bases,
                     origin,
                 };
+                let t0 = self.tracer.as_ref().map(|_| std::time::Instant::now());
+                let d0 = outcome.derivations;
                 eval_rule(
                     &ctx,
                     &cache.db,
@@ -329,6 +406,17 @@ impl Peer {
                     &mut outcome,
                     &mut new_local,
                 )?;
+                if let (Some(tr), Some(t0)) = (self.tracer.as_mut(), t0) {
+                    let label = tr.rule_label(trace_key, self.name, rule);
+                    tr.record(TraceEvent::RuleEval {
+                        peer: self.name,
+                        stage: self.stage,
+                        rule: label,
+                        dur_ns: t0.elapsed().as_nanos() as u64,
+                        delta_in: 0,
+                        derived: (outcome.derivations - d0) as u64,
+                    });
+                }
             }
             let mut changed = false;
             for fact in new_local {
@@ -337,6 +425,7 @@ impl Peer {
                 // removed by the next stage's rollback.
                 if cache.db.insert(fact.clone())? {
                     cache.derived.push(fact);
+                    outcome.local_new += 1;
                     changed = true;
                 }
             }
@@ -417,9 +506,15 @@ impl Peer {
         // Net membership changes of the materialization this stage:
         // +1 appeared, -1 disappeared (never beyond ±1 after netting).
         let mut net: HashMap<DFact, i8> = HashMap::new();
+        // When traced, the view's differential maintenance records
+        // per-rule costs here; they become `RuleEval` events below.
+        let mut view_prof: Option<wdl_datalog::profile::RuleProfile> = self
+            .tracer
+            .is_some()
+            .then(wdl_datalog::profile::RuleProfile::new);
         let mut apply =
             |state: &mut crate::maintain::IncrementalState, delta: &Delta| -> Result<()> {
-                let out = state.view.apply(delta)?;
+                let out = state.view.apply_profiled(delta, view_prof.as_mut())?;
                 for f in out.inserts {
                     match net.entry(f) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -519,15 +614,23 @@ impl Peer {
                 .rules
                 .iter()
                 .filter(|e| !state.compiled.contains(&e.id))
-                .map(|e| (&e.rule, None, use_plans.then_some(PlanKey::Own(e.id))));
+                .map(|e| {
+                    (
+                        &e.rule,
+                        None,
+                        use_plans.then_some(PlanKey::Own(e.id)),
+                        PlanKey::Own(e.id),
+                    )
+                });
             let delegated = self.delegated.iter().map(|d| {
                 (
                     &d.rule,
                     Some(d.origin),
                     use_plans.then_some(PlanKey::Delegated(d.id)),
+                    PlanKey::Delegated(d.id),
                 )
             });
-            for (rule, origin, key) in own.chain(delegated) {
+            for (rule, origin, key, trace_key) in own.chain(delegated) {
                 let ctx = EvalCtx {
                     peer: self.name,
                     schema: &self.schema,
@@ -535,6 +638,8 @@ impl Peer {
                     view_bases: &view_bases,
                     origin,
                 };
+                let t0 = self.tracer.as_ref().map(|_| std::time::Instant::now());
+                let d0 = outcome.derivations;
                 eval_rule(
                     &ctx,
                     state.view.database(),
@@ -544,6 +649,17 @@ impl Peer {
                     &mut outcome,
                     &mut new_local,
                 )?;
+                if let (Some(tr), Some(t0)) = (self.tracer.as_mut(), t0) {
+                    let label = tr.rule_label(trace_key, self.name, rule);
+                    tr.record(TraceEvent::RuleEval {
+                        peer: self.name,
+                        stage: self.stage,
+                        rule: label,
+                        dur_ns: t0.elapsed().as_nanos() as u64,
+                        delta_in: 0,
+                        derived: (outcome.derivations - d0) as u64,
+                    });
+                }
             }
             let fresh: Vec<DFact> = new_local
                 .into_iter()
@@ -552,6 +668,7 @@ impl Peer {
             if fresh.is_empty() {
                 break;
             }
+            outcome.local_new += fresh.len();
             let mut d = Delta::new();
             for f in fresh {
                 d.insert(f);
@@ -560,6 +677,20 @@ impl Peer {
         }
         self.stage_plans = plans;
         self.prev_dynamic = dyn_cur;
+        // Fold the view layer's per-rule maintenance costs into the
+        // trace, labelled by the maintained head predicate.
+        if let (Some(mut prof), Some(tr)) = (view_prof.take(), self.tracer.as_mut()) {
+            for (head, c) in prof.drain() {
+                tr.record(TraceEvent::RuleEval {
+                    peer: self.name,
+                    stage: self.stage,
+                    rule: head,
+                    dur_ns: c.ns,
+                    delta_in: c.delta_in,
+                    derived: c.derived,
+                });
+            }
+        }
 
         // Refresh the intensional snapshot: full copy after a rebuild,
         // O(|change|) patching otherwise.

@@ -287,8 +287,10 @@ impl StagePlans {
     }
 }
 
-/// Key into [`StagePlans`] for one rule evaluation.
-#[derive(Clone, Copy)]
+/// Key into [`StagePlans`] for one rule evaluation. Also the key of the
+/// tracer's rule-label cache (`Eq`/`Hash`), so a traced stage interns
+/// each rule's label once instead of formatting it per round.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum PlanKey {
     /// One of the peer's own rules.
     Own(crate::RuleId),

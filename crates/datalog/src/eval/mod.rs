@@ -19,7 +19,9 @@ pub(crate) use diff::{match_body_at_slot, DiffSide, NetChange};
 pub(crate) use naive::{naive_fixpoint, naive_fixpoint_compiled};
 pub(crate) use parallel::seminaive_fixpoint_sharded;
 pub(crate) use plan::{derive_plan, has_witness, run_plan, DiffCtx, FixCtx, RulePlan, Scratch};
-pub(crate) use seminaive::{seminaive_fixpoint, seminaive_fixpoint_compiled};
+pub(crate) use seminaive::{
+    seminaive_fixpoint, seminaive_fixpoint_compiled, seminaive_fixpoint_compiled_profiled,
+};
 pub(crate) use stratify::{stratify, Strata};
 
 use crate::{Atom, BodyItem, Database, DatalogError, Result, Subst, Symbol, Term};

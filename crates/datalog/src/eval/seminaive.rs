@@ -101,6 +101,22 @@ pub(crate) fn seminaive_fixpoint_compiled(
     stats: &mut EvalStats,
     iteration_limit: usize,
 ) -> Result<()> {
+    seminaive_fixpoint_compiled_profiled(db, rules, stratum_idb, stats, iteration_limit, None)
+}
+
+/// [`seminaive_fixpoint_compiled`] with optional per-rule cost capture:
+/// each `derive_plan` invocation is timed and recorded against the
+/// rule's head predicate, with the delta relation's size as `delta_in`
+/// (0 on the full round-0 pass). `None` takes exactly the unprofiled
+/// path — no clocks, no extra work.
+pub(crate) fn seminaive_fixpoint_compiled_profiled(
+    db: &mut Database,
+    rules: &[PlannedRule<'_>],
+    stratum_idb: &[Symbol],
+    stats: &mut EvalStats,
+    iteration_limit: usize,
+    mut profile: Option<&mut crate::profile::RuleProfile>,
+) -> Result<()> {
     let mut scratches: Vec<crate::eval::Scratch> = rules
         .iter()
         .map(|pr| crate::eval::Scratch::for_plan(pr.plan))
@@ -111,6 +127,7 @@ pub(crate) fn seminaive_fixpoint_compiled(
     stats.iterations += 1;
     for (ri, pr) in rules.iter().enumerate() {
         let mut n = 0usize;
+        let t0 = profile.as_ref().map(|_| std::time::Instant::now());
         derive_plan(
             db,
             None,
@@ -119,6 +136,14 @@ pub(crate) fn seminaive_fixpoint_compiled(
             &mut bufs[ri].flat,
             &mut n,
         )?;
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+            p.record(
+                pr.plan.head_pred,
+                t0.elapsed().as_nanos() as u64,
+                0,
+                n as u64,
+            );
+        }
         bufs[ri].rows += n;
         stats.derivations += n;
     }
@@ -143,6 +168,7 @@ pub(crate) fn seminaive_fixpoint_compiled(
                     && delta.relation(atom.pred).is_some_and(|r| !r.is_empty())
                 {
                     let mut n = 0usize;
+                    let t0 = profile.as_ref().map(|_| std::time::Instant::now());
                     derive_plan(
                         db,
                         Some((&delta, ordinal)),
@@ -151,6 +177,15 @@ pub(crate) fn seminaive_fixpoint_compiled(
                         &mut bufs[ri].flat,
                         &mut n,
                     )?;
+                    if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+                        let delta_in = delta.relation(atom.pred).map_or(0, |r| r.len()) as u64;
+                        p.record(
+                            pr.plan.head_pred,
+                            t0.elapsed().as_nanos() as u64,
+                            delta_in,
+                            n as u64,
+                        );
+                    }
                     bufs[ri].rows += n;
                     stats.derivations += n;
                 }

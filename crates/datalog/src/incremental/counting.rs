@@ -32,6 +32,7 @@ use std::collections::HashMap;
 /// * `ext` — external-support adjustments: base facts of this stratum's
 ///   own predicates that were inserted (`true`) or deleted (`false`); the
 ///   base database itself has already been updated.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn maintain(
     program: &Program,
     info: &StratumInfo,
@@ -40,15 +41,23 @@ pub(super) fn maintain(
     counts: &mut HashMap<IdFact, u64>,
     changes: &mut Changes,
     ext: &[(&crate::Fact, bool)],
+    mut profile: Option<&mut crate::profile::RuleProfile>,
 ) -> Result<()> {
     let compiled = program.eval_config().compiled;
     // One scratch reused across every plan invocation of this pass.
     let mut scratch = Scratch::new();
     // Signed change in the number of derivations, per head fact.
     let mut deriv_delta: HashMap<IdFact, i64> = HashMap::new();
+    // Input-delta size, computed once (profiled passes only).
+    let delta_in = profile
+        .as_ref()
+        .map(|_| (changes.ins.fact_count() + changes.del.fact_count()) as u64);
 
     for &ri in &info.rules {
         let rule = &program.rules()[ri];
+        let t0 = profile.as_ref().map(|_| std::time::Instant::now());
+        // Signed derivation-delta contributions this rule produced.
+        let mut fired = 0u64;
         let mut slot = 0usize;
         for item in &rule.body {
             let BodyItem::Literal(lit) = item else {
@@ -77,6 +86,7 @@ pub(super) fn maintain(
                             *deriv_delta
                                 .entry(IdFact::new(plan.head_pred, row))
                                 .or_insert(0) += sign;
+                            fired += 1;
                             Ok(())
                         })?;
                     } else {
@@ -90,6 +100,7 @@ pub(super) fn maintain(
                             &mut |s| {
                                 if let Some(fact) = rule.head.ground(&s) {
                                     *deriv_delta.entry(IdFact::of_fact(&fact)).or_insert(0) += sign;
+                                    fired += 1;
                                 }
                                 Ok(())
                             },
@@ -98,6 +109,14 @@ pub(super) fn maintain(
                 }
             }
             slot += 1;
+        }
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+            p.record(
+                rule.head.pred,
+                t0.elapsed().as_nanos() as u64,
+                delta_in.unwrap_or(0),
+                fired,
+            );
         }
     }
 

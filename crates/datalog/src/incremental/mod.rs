@@ -261,8 +261,29 @@ impl MaterializedView {
     /// Evaluates `program` over `base` from scratch and starts maintaining
     /// the result.
     pub fn new(program: Program, base: Database) -> Result<MaterializedView> {
+        MaterializedView::new_profiled(program, base, None)
+    }
+
+    /// [`MaterializedView::new`] with optional per-rule cost capture of
+    /// the from-scratch construction fixpoint. The initial evaluation is
+    /// where a freshly added rule does all of its first-stage work —
+    /// without this hook a profiler would see only the later differential
+    /// maintenance and miss the build entirely. `None` is exactly the
+    /// unprofiled path.
+    pub fn new_profiled(
+        program: Program,
+        base: Database,
+        profile: Option<&mut crate::profile::RuleProfile>,
+    ) -> Result<MaterializedView> {
         let strata = classify(&program);
-        let db = program.eval(&base)?;
+        let mut db = base.clone();
+        let mut stats = crate::EvalStats::default();
+        program.eval_in_place_profiled(
+            &mut db,
+            crate::EvalStrategy::Seminaive,
+            &mut stats,
+            profile,
+        )?;
         let mut view = MaterializedView {
             program,
             base,
@@ -330,6 +351,21 @@ impl MaterializedView {
     /// Deletions of absent facts and insertions of present facts are
     /// ignored (idempotent batches).
     pub fn apply(&mut self, delta: &Delta) -> Result<Delta> {
+        self.apply_profiled(delta, None)
+    }
+
+    /// [`MaterializedView::apply`] with optional per-rule cost capture:
+    /// counting strata record one [`crate::profile::RuleCost`] sample
+    /// per rule whose differential plans ran, DRed strata one sample
+    /// per maintenance pass under the stratum's first head predicate
+    /// (the rederivation phases interleave rules and are not separable
+    /// — see [`crate::profile::RuleProfile`]). `None` is exactly the
+    /// unprofiled path.
+    pub fn apply_profiled(
+        &mut self,
+        delta: &Delta,
+        mut profile: Option<&mut crate::profile::RuleProfile>,
+    ) -> Result<Delta> {
         let mut changes = Changes::default();
         // Pending external-support adjustments for IDB predicates, routed
         // to their stratum's maintenance pass.
@@ -389,15 +425,31 @@ impl MaterializedView {
                     &mut self.counts,
                     &mut changes,
                     &stratum_ext,
+                    profile.as_deref_mut(),
                 )?,
-                Maintenance::Dred => dred::maintain(
-                    &self.program,
-                    info,
-                    &mut self.db,
-                    &self.base,
-                    &mut changes,
-                    &stratum_ext,
-                )?,
+                Maintenance::Dred => {
+                    let delta_in = profile
+                        .as_ref()
+                        .map(|_| (changes.ins.fact_count() + changes.del.fact_count()) as u64);
+                    let t0 = profile.as_ref().map(|_| std::time::Instant::now());
+                    dred::maintain(
+                        &self.program,
+                        info,
+                        &mut self.db,
+                        &self.base,
+                        &mut changes,
+                        &stratum_ext,
+                    )?;
+                    if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+                        let head = self.program.rules()[info.rules[0]].head.pred;
+                        p.record(
+                            head,
+                            t0.elapsed().as_nanos() as u64,
+                            delta_in.unwrap_or(0),
+                            0,
+                        );
+                    }
+                }
             }
         }
 

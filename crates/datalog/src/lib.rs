@@ -65,6 +65,7 @@ mod fact;
 pub mod incremental;
 pub mod intern;
 pub mod optimize;
+pub mod profile;
 mod program;
 pub mod provenance;
 mod rule;

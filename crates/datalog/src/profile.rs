@@ -1,0 +1,100 @@
+//! Per-rule cost capture for the fixpoint and differential executors.
+//!
+//! The executors know nothing about sinks or aggregation: when a caller
+//! wants rule-level timings it passes a [`RuleProfile`] down (as
+//! `Option<&mut RuleProfile>`, so the default `None` path stays exactly
+//! the code that ran before), and the executor records one
+//! [`RuleCost`] sample per rule invocation. The WebdamLog stage loop
+//! converts the accumulated costs into `RuleEval` trace events; plain
+//! datalog users can read them directly.
+
+use std::collections::HashMap;
+
+use crate::Symbol;
+
+/// Accumulated cost of one rule (keyed by head predicate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleCost {
+    /// Number of recorded invocations.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub ns: u64,
+    /// Total input-delta tuples the invocations saw (0 on full rounds).
+    pub delta_in: u64,
+    /// Total head tuples produced (pre-dedup).
+    pub derived: u64,
+}
+
+/// A profile of rule evaluation costs, keyed by the rule's head
+/// predicate.
+///
+/// Keying by head predicate (rather than rule index) is deliberate: it
+/// aggregates a recursive predicate's rules — and, at the WebdamLog
+/// layer, the many structurally identical delegated copies of one rule
+/// — into the single entry a profiler wants to rank. DRed strata are
+/// recorded as one entry per maintenance pass under the stratum's
+/// first head predicate (the phases of rederivation are not separable
+/// per rule), which is exact for the common single-predicate recursive
+/// stratum and documented approximation otherwise.
+#[derive(Clone, Debug, Default)]
+pub struct RuleProfile {
+    costs: HashMap<Symbol, RuleCost>,
+}
+
+impl RuleProfile {
+    /// An empty profile.
+    pub fn new() -> RuleProfile {
+        RuleProfile::default()
+    }
+
+    /// Adds one invocation sample for `head`.
+    pub fn record(&mut self, head: Symbol, ns: u64, delta_in: u64, derived: u64) {
+        let c = self.costs.entry(head).or_default();
+        c.calls += 1;
+        c.ns += ns;
+        c.delta_in += delta_in;
+        c.derived += derived;
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Number of distinct head predicates recorded.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// The accumulated costs.
+    pub fn costs(&self) -> impl Iterator<Item = (Symbol, &RuleCost)> {
+        self.costs.iter().map(|(s, c)| (*s, c))
+    }
+
+    /// Takes the accumulated costs, leaving the profile empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = (Symbol, RuleCost)> {
+        std::mem::take(&mut self.costs).into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_by_head() {
+        let mut p = RuleProfile::new();
+        let h = Symbol::intern("profiled_head");
+        p.record(h, 100, 2, 1);
+        p.record(h, 50, 3, 0);
+        assert_eq!(p.len(), 1);
+        let (_, c) = p.costs().next().unwrap();
+        assert_eq!(c.calls, 2);
+        assert_eq!(c.ns, 150);
+        assert_eq!(c.delta_in, 5);
+        assert_eq!(c.derived, 1);
+        let drained: Vec<_> = p.drain().collect();
+        assert_eq!(drained.len(), 1);
+        assert!(p.is_empty());
+    }
+}

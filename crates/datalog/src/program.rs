@@ -183,6 +183,21 @@ impl Program {
         strategy: EvalStrategy,
         stats: &mut EvalStats,
     ) -> Result<()> {
+        self.eval_in_place_profiled(db, strategy, stats, None)
+    }
+
+    /// [`Program::eval_in_place`] with optional per-rule cost capture.
+    /// On the compiled serial seminaive path every plan invocation is
+    /// timed into `profile` (keyed by head predicate); the other
+    /// strategies ignore the profile rather than guess — they are
+    /// reference/ablation paths, not production ones.
+    pub fn eval_in_place_profiled(
+        &self,
+        db: &mut Database,
+        strategy: EvalStrategy,
+        stats: &mut EvalStats,
+        mut profile: Option<&mut crate::profile::RuleProfile>,
+    ) -> Result<()> {
         for (stratum_idx, rule_ids) in self.strata.rule_strata.iter().enumerate() {
             if rule_ids.is_empty() {
                 continue;
@@ -217,12 +232,13 @@ impl Program {
                             compiled,
                         )?;
                     } else if compiled {
-                        crate::eval::seminaive_fixpoint_compiled(
+                        crate::eval::seminaive_fixpoint_compiled_profiled(
                             db,
                             &planned,
                             &idb,
                             stats,
                             self.iteration_limit,
+                            profile.as_deref_mut(),
                         )?;
                     } else {
                         let rules: Vec<&Rule> = planned.iter().map(|pr| pr.rule).collect();

@@ -1,0 +1,80 @@
+//! Micro-benchmark for the coordinator-side cost of [`Aggregator::ingest`].
+//!
+//! Synthesises the event mix of one publish-burst round (500 publishers
+//! fanning into one hub: stage begin/end, one rule evaluation and one
+//! message send per publisher, plus the hub-side deliveries) and reports
+//! the average ingest cost per round and per event. This is the serial
+//! work a traced `ShardedRuntime` tick adds on the coordinator path, so
+//! it bounds how much of the `tracing_overhead` ceiling the aggregation
+//! layer itself consumes.
+//!
+//! Run with `cargo run --release -p wdl-obs --example ingest_bench`.
+
+use std::time::Instant;
+
+use wdl_datalog::Symbol;
+use wdl_obs::{Aggregator, TraceEvent};
+
+fn main() {
+    const ROUNDS: u64 = 20;
+    let hub = Symbol::intern("burstHub");
+    let peers: Vec<Symbol> = (0..500)
+        .map(|i| Symbol::intern(&format!("burstAtt{i}")))
+        .collect();
+    let rules: Vec<Symbol> = (0..500)
+        .map(|i| Symbol::intern(&format!("burstAtt{i}#0")))
+        .collect();
+    let mut agg = Aggregator::new();
+    let mut total = 0u128;
+    let mut events_per_round = 0;
+    for round in 1..=ROUNDS {
+        let mut events = Vec::new();
+        for (i, &p) in peers.iter().enumerate() {
+            events.push(TraceEvent::StageBegin {
+                peer: p,
+                stage: round,
+            });
+            events.push(TraceEvent::RuleEval {
+                peer: p,
+                stage: round,
+                rule: rules[i],
+                dur_ns: 1000,
+                delta_in: 1,
+                derived: 7,
+            });
+            events.push(TraceEvent::MsgSend {
+                from: p,
+                from_stage: round,
+                to: hub,
+                items: 1,
+            });
+            events.push(TraceEvent::StageEnd {
+                peer: p,
+                stage: round,
+                dur_ns: 10_000,
+                derivations: 7,
+                rounds: 2,
+                msgs_in: 0,
+            });
+        }
+        for &p in &peers {
+            events.push(TraceEvent::MsgDeliver {
+                from: p,
+                to: hub,
+                to_stage: round,
+                items: 1,
+            });
+        }
+        events_per_round = events.len();
+        let t0 = Instant::now();
+        agg.ingest(&events);
+        agg.end_round();
+        total += t0.elapsed().as_nanos();
+    }
+    let per_round = total / u128::from(ROUNDS);
+    println!(
+        "ingest: {per_round} ns/round avg ({events_per_round} events/round, {} ns/event)",
+        per_round / events_per_round as u128
+    );
+    assert_eq!(agg.rounds().len(), ROUNDS as usize);
+}

@@ -1,0 +1,561 @@
+//! Online aggregation over the trace stream: duration histograms,
+//! per-rule hot lists, round time series, the activity graph, and JSONL
+//! export.
+
+use std::collections::VecDeque;
+
+use crate::fx::FxHashMap;
+use std::io::{self, Write};
+
+use wdl_datalog::Symbol;
+
+use crate::event::TraceEvent;
+use crate::graph::{ActivityGraph, CriticalPath};
+
+/// Log₂-bucketed duration histogram (64 buckets cover the full `u64`
+/// nanosecond range). Quantiles answer with a bucket's upper bound, so
+/// they are ≤ one octave above the true value — plenty for "where does
+/// the time go" profiling without storing samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration sample.
+    pub fn record(&mut self, ns: u64) {
+        let b = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`; 0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b >= 63 { u64::MAX } else { (2u64 << b) - 1 };
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Aggregated cost of one rule label across the run.
+#[derive(Clone, Debug, Default)]
+pub struct RuleStat {
+    /// Per-evaluation duration distribution.
+    pub hist: Histogram,
+    /// Total input-delta tuples seen.
+    pub delta_in: u64,
+    /// Total head tuples produced (pre-dedup).
+    pub derived: u64,
+}
+
+/// Aggregated cost of one peer's stage executions.
+#[derive(Clone, Debug, Default)]
+pub struct PeerStat {
+    /// Per-stage duration distribution.
+    pub hist: Histogram,
+    /// Total head instantiations attempted.
+    pub derivations: u64,
+    /// Total messages ingested.
+    pub msgs_in: u64,
+    /// Total blocked read attempts.
+    pub blocked_reads: u64,
+}
+
+/// One round of the active-set / fan-out time series.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundSample {
+    /// Round number (the coordinator's counter when sharded, a local
+    /// tick counter otherwise).
+    pub round: u64,
+    /// Peers that ran a stage.
+    pub active: u64,
+    /// Peers registered (0 when the runtime does not report it).
+    pub peers_total: u64,
+    /// Messages sent.
+    pub sent_msgs: u64,
+    /// Items (facts/delegations/revocations) across those messages.
+    pub sent_items: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Deliveries deferred by admission budgets.
+    pub deferred: u64,
+    /// Total stage wall-clock across active peers.
+    pub stage_ns: u64,
+    /// Delegations installed.
+    pub delegations: u64,
+    /// Delegations revoked.
+    pub revocations: u64,
+}
+
+/// The online aggregator. Runtimes feed it one batch of events per
+/// round ([`Aggregator::ingest`]) and close the round with
+/// [`Aggregator::end_round`]; queries ([`Aggregator::top_rules`],
+/// [`Aggregator::critical_paths`], [`Aggregator::export_jsonl`]) are
+/// valid at any point.
+#[derive(Default)]
+pub struct Aggregator {
+    rules: FxHashMap<Symbol, RuleStat>,
+    peers: FxHashMap<Symbol, PeerStat>,
+    rounds: Vec<RoundSample>,
+    cur: RoundSample,
+    cur_dirty: bool,
+    graph: ActivityGraph,
+    /// Unmatched send stages per `(from, to)` channel, in send order.
+    /// Delivery order per channel matches send order in both runtimes,
+    /// so popping the front recovers each delivery's sending stage.
+    send_fifo: FxHashMap<(Symbol, Symbol), VecDeque<u64>>,
+    events: u64,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new() -> Aggregator {
+        Aggregator::default()
+    }
+
+    /// Total events ingested.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Per-rule aggregates keyed by rule label.
+    pub fn rules(&self) -> &FxHashMap<Symbol, RuleStat> {
+        &self.rules
+    }
+
+    /// Per-peer stage aggregates.
+    pub fn peers(&self) -> &FxHashMap<Symbol, PeerStat> {
+        &self.peers
+    }
+
+    /// The closed rounds of the time series.
+    pub fn rounds(&self) -> &[RoundSample] {
+        &self.rounds
+    }
+
+    /// The activity graph built so far.
+    pub fn graph(&self) -> &ActivityGraph {
+        &self.graph
+    }
+
+    /// Ingests one batch of events (typically one round's worth).
+    pub fn ingest(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.events += 1;
+            self.cur_dirty = true;
+            match *ev {
+                TraceEvent::StageBegin { .. } => {}
+                TraceEvent::StageEnd {
+                    peer,
+                    stage,
+                    dur_ns,
+                    derivations,
+                    msgs_in,
+                    ..
+                } => {
+                    let ps = self.peers.entry(peer).or_default();
+                    ps.hist.record(dur_ns);
+                    ps.derivations += derivations;
+                    ps.msgs_in += msgs_in;
+                    self.cur.active += 1;
+                    self.cur.stage_ns += dur_ns;
+                    self.graph.on_stage_end(peer, stage, dur_ns);
+                }
+                TraceEvent::RuleEval {
+                    rule,
+                    dur_ns,
+                    delta_in,
+                    derived,
+                    ..
+                } => {
+                    let rs = self.rules.entry(rule).or_default();
+                    rs.hist.record(dur_ns);
+                    rs.delta_in += delta_in;
+                    rs.derived += derived;
+                }
+                TraceEvent::MsgSend {
+                    from,
+                    from_stage,
+                    to,
+                    items,
+                } => {
+                    self.cur.sent_msgs += 1;
+                    self.cur.sent_items += items;
+                    self.send_fifo
+                        .entry((from, to))
+                        .or_default()
+                        .push_back(from_stage);
+                }
+                TraceEvent::MsgDeliver {
+                    from, to, to_stage, ..
+                } => {
+                    self.cur.delivered += 1;
+                    if let Some(q) = self.send_fifo.get_mut(&(from, to)) {
+                        if let Some(from_stage) = q.pop_front() {
+                            self.graph.on_deliver(from, from_stage, to, to_stage);
+                        }
+                    }
+                }
+                TraceEvent::DelegationInstall { count, .. } => {
+                    self.cur.delegations += count;
+                }
+                TraceEvent::DelegationRevoke { count, .. } => {
+                    self.cur.revocations += count;
+                }
+                TraceEvent::BlockedReads { peer, count, .. } => {
+                    self.peers.entry(peer).or_default().blocked_reads += count;
+                }
+                TraceEvent::ShardRound {
+                    round,
+                    deferred,
+                    peers_total,
+                    ..
+                } => {
+                    self.cur.round = round;
+                    self.cur.deferred += deferred;
+                    self.cur.peers_total = peers_total;
+                }
+            }
+        }
+    }
+
+    /// Closes the current round of the time series. Rounds in which
+    /// nothing was observed are not recorded (quiescent ticks at 10⁵
+    /// peers must not grow the series).
+    pub fn end_round(&mut self) {
+        if !self.cur_dirty {
+            return;
+        }
+        let mut sample = std::mem::take(&mut self.cur);
+        if sample.round == 0 {
+            sample.round = self.rounds.last().map_or(1, |r| r.round + 1);
+        }
+        self.rounds.push(sample);
+        self.cur_dirty = false;
+    }
+
+    /// The `k` hottest rule labels by total measured duration,
+    /// hottest first.
+    pub fn top_rules(&self, k: usize) -> Vec<(Symbol, &RuleStat)> {
+        let mut out: Vec<(Symbol, &RuleStat)> = self.rules.iter().map(|(s, r)| (*s, r)).collect();
+        out.sort_by(|a, b| {
+            b.1.hist
+                .sum_ns()
+                .cmp(&a.1.hist.sum_ns())
+                .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// The `k` hottest peers by total stage duration, hottest first.
+    pub fn top_peers(&self, k: usize) -> Vec<(Symbol, &PeerStat)> {
+        let mut out: Vec<(Symbol, &PeerStat)> = self.peers.iter().map(|(s, p)| (*s, p)).collect();
+        out.sort_by(|a, b| {
+            b.1.hist
+                .sum_ns()
+                .cmp(&a.1.hist.sum_ns())
+                .then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// The `k` heaviest critical paths through the activity graph.
+    pub fn critical_paths(&self, k: usize) -> Vec<CriticalPath> {
+        self.graph.critical_paths(k)
+    }
+
+    /// Writes the aggregate state as JSON Lines: one `meta` record, one
+    /// record per rule label, per peer, per round, and per extracted
+    /// critical path. The format is flat and self-describing (a `kind`
+    /// field per line) so downstream tooling can stream-filter it.
+    pub fn export_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "{{\"kind\":\"meta\",\"events\":{},\"rounds\":{},\"graph_nodes\":{},\"graph_dropped\":{}}}",
+            self.events,
+            self.rounds.len(),
+            self.graph.node_count(),
+            self.graph.dropped()
+        )?;
+        let mut rules: Vec<_> = self.rules.iter().collect();
+        rules.sort_by_key(|(s, _)| s.to_string());
+        for (label, rs) in rules {
+            writeln!(
+                w,
+                "{{\"kind\":\"rule\",\"label\":\"{}\",\"calls\":{},\"total_ns\":{},\"mean_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"delta_in\":{},\"derived\":{}}}",
+                json_escape(&label.to_string()),
+                rs.hist.count(),
+                rs.hist.sum_ns(),
+                rs.hist.mean_ns(),
+                rs.hist.quantile_ns(0.99),
+                rs.hist.max_ns(),
+                rs.delta_in,
+                rs.derived
+            )?;
+        }
+        let mut peers: Vec<_> = self.peers.iter().collect();
+        peers.sort_by_key(|(s, _)| s.to_string());
+        for (peer, ps) in peers {
+            writeln!(
+                w,
+                "{{\"kind\":\"peer\",\"peer\":\"{}\",\"stages\":{},\"total_ns\":{},\"mean_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"derivations\":{},\"msgs_in\":{},\"blocked_reads\":{}}}",
+                json_escape(&peer.to_string()),
+                ps.hist.count(),
+                ps.hist.sum_ns(),
+                ps.hist.mean_ns(),
+                ps.hist.quantile_ns(0.99),
+                ps.hist.max_ns(),
+                ps.derivations,
+                ps.msgs_in,
+                ps.blocked_reads
+            )?;
+        }
+        for r in &self.rounds {
+            writeln!(
+                w,
+                "{{\"kind\":\"round\",\"round\":{},\"active\":{},\"peers_total\":{},\"sent_msgs\":{},\"sent_items\":{},\"delivered\":{},\"deferred\":{},\"stage_ns\":{},\"delegations\":{},\"revocations\":{}}}",
+                r.round,
+                r.active,
+                r.peers_total,
+                r.sent_msgs,
+                r.sent_items,
+                r.delivered,
+                r.deferred,
+                r.stage_ns,
+                r.delegations,
+                r.revocations
+            )?;
+        }
+        for (i, path) in self.critical_paths(3).iter().enumerate() {
+            write!(
+                w,
+                "{{\"kind\":\"critpath\",\"rank\":{},\"total_ns\":{},\"nodes\":[",
+                i + 1,
+                path.total_ns
+            )?;
+            for (j, n) in path.nodes.iter().enumerate() {
+                if j > 0 {
+                    write!(w, ",")?;
+                }
+                write!(
+                    w,
+                    "{{\"peer\":\"{}\",\"stage\":{},\"dur_ns\":{}}}",
+                    json_escape(&n.peer.to_string()),
+                    n.stage,
+                    n.dur_ns
+                )?;
+            }
+            writeln!(w, "]}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal (peer and relation
+/// names are interned identifiers, but the export must stay valid JSON
+/// whatever they contain).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for ns in [1u64, 2, 3, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1_001_006);
+        assert_eq!(h.max_ns(), 1_000_000);
+        // Median sample is 3 -> bucket [2,4) upper bound 3.
+        assert_eq!(h.quantile_ns(0.5), 3);
+        assert!(h.quantile_ns(1.0) >= 1_000_000);
+        assert_eq!(Histogram::default().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn send_deliver_fifo_recovers_causal_stage() {
+        let mut agg = Aggregator::new();
+        let (a, b) = (sym("fifoA"), sym("fifoB"));
+        // a@1 (heavy) sends, a@2 (light) sends; deliveries arrive in
+        // order at b@2 and b@3.
+        agg.ingest(&[
+            TraceEvent::StageEnd {
+                peer: a,
+                stage: 1,
+                dur_ns: 100,
+                derivations: 0,
+                rounds: 1,
+                msgs_in: 0,
+            },
+            TraceEvent::MsgSend {
+                from: a,
+                from_stage: 1,
+                to: b,
+                items: 1,
+            },
+        ]);
+        agg.end_round();
+        agg.ingest(&[
+            TraceEvent::MsgDeliver {
+                from: a,
+                to: b,
+                to_stage: 2,
+                items: 1,
+            },
+            TraceEvent::StageEnd {
+                peer: b,
+                stage: 2,
+                dur_ns: 7,
+                derivations: 0,
+                rounds: 1,
+                msgs_in: 1,
+            },
+        ]);
+        agg.end_round();
+        let paths = agg.critical_paths(1);
+        assert_eq!(paths[0].total_ns, 107);
+        assert_eq!(paths[0].nodes.len(), 2);
+        assert_eq!(agg.rounds().len(), 2);
+        assert_eq!(agg.rounds()[0].sent_msgs, 1);
+        assert_eq!(agg.rounds()[1].delivered, 1);
+    }
+
+    #[test]
+    fn top_rules_orders_by_total_time() {
+        let mut agg = Aggregator::new();
+        let p = sym("p");
+        agg.ingest(&[
+            TraceEvent::RuleEval {
+                peer: p,
+                stage: 1,
+                rule: sym("cheap"),
+                dur_ns: 10,
+                delta_in: 1,
+                derived: 1,
+            },
+            TraceEvent::RuleEval {
+                peer: p,
+                stage: 1,
+                rule: sym("hot"),
+                dur_ns: 500,
+                delta_in: 9,
+                derived: 3,
+            },
+        ]);
+        let top = agg.top_rules(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, sym("hot"));
+        assert_eq!(top[0].1.derived, 3);
+    }
+
+    #[test]
+    fn quiescent_rounds_are_not_recorded() {
+        let mut agg = Aggregator::new();
+        agg.end_round();
+        agg.end_round();
+        assert!(agg.rounds().is_empty());
+    }
+
+    #[test]
+    fn jsonl_export_is_line_structured() {
+        let mut agg = Aggregator::new();
+        agg.ingest(&[TraceEvent::StageEnd {
+            peer: sym("px"),
+            stage: 1,
+            dur_ns: 42,
+            derivations: 2,
+            rounds: 1,
+            msgs_in: 0,
+        }]);
+        agg.end_round();
+        let mut buf = Vec::new();
+        agg.export_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().any(|l| l.contains("\"kind\":\"meta\"")));
+        assert!(text.lines().any(|l| l.contains("\"kind\":\"peer\"")));
+        assert!(text.lines().any(|l| l.contains("\"kind\":\"round\"")));
+        assert!(text.lines().any(|l| l.contains("\"kind\":\"critpath\"")));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,243 @@
+//! The trace-event taxonomy and the sink trait peers record through.
+//!
+//! Events are small `Copy` structs (interned [`Symbol`]s and integers
+//! only) so that recording one is a plain memcpy into a buffer — no
+//! boxing, no string formatting on the hot path. Everything that needs
+//! prose (labels, JSONL export) happens later, in the aggregator.
+
+use wdl_datalog::Symbol;
+
+/// One observation from the execution layers.
+///
+/// Causality is carried by `(peer, stage)` pairs: a peer's stage counter
+/// increases by exactly one per [`run_stage`] call, so `(peer, stage)`
+/// names one stage execution uniquely for the lifetime of the peer.
+/// Message events tag the *sending* stage on [`TraceEvent::MsgSend`];
+/// the matching [`TraceEvent::MsgDeliver`] carries the receiving stage,
+/// and the aggregator re-joins the two through per-channel FIFO order
+/// (the runtimes preserve per-(from, to) delivery order), keeping the
+/// wire `Message` format untouched.
+///
+/// [`run_stage`]: https://docs.rs/wdl-core
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A peer entered its stage loop.
+    StageBegin {
+        /// The peer running the stage.
+        peer: Symbol,
+        /// The stage number (monotone per peer).
+        stage: u64,
+    },
+    /// A peer finished its stage loop.
+    StageEnd {
+        /// The peer that ran.
+        peer: Symbol,
+        /// The stage number (matches the preceding `StageBegin`).
+        stage: u64,
+        /// Wall-clock duration of the whole stage.
+        dur_ns: u64,
+        /// Head instantiations attempted during the fixpoint.
+        derivations: u64,
+        /// Fixpoint rounds executed.
+        rounds: u64,
+        /// Messages ingested at the top of the stage.
+        msgs_in: u64,
+    },
+    /// One rule's evaluation work within a stage (summed over fixpoint
+    /// rounds for the stage-layer paths; per maintenance pass for the
+    /// differential engine).
+    RuleEval {
+        /// The peer evaluating the rule.
+        peer: Symbol,
+        /// The stage during which it ran.
+        stage: u64,
+        /// Aggregation label for the rule (see `wdl-core`'s tracer for
+        /// the labelling scheme).
+        rule: Symbol,
+        /// Wall-clock time spent in the rule's plans.
+        dur_ns: u64,
+        /// Size of the input delta the rule saw (0 on full evaluation).
+        delta_in: u64,
+        /// Head tuples the rule produced (pre-dedup).
+        derived: u64,
+    },
+    /// A message left a peer's outbox.
+    MsgSend {
+        /// Sending peer.
+        from: Symbol,
+        /// The sender's stage when the message was emitted (causal tag).
+        from_stage: u64,
+        /// Destination peer.
+        to: Symbol,
+        /// Facts/delegations/revocations carried.
+        items: u64,
+    },
+    /// A message was ingested by its destination.
+    MsgDeliver {
+        /// Sending peer.
+        from: Symbol,
+        /// Receiving peer.
+        to: Symbol,
+        /// The receiver's stage that ingested it (causal tag).
+        to_stage: u64,
+        /// Facts/delegations/revocations carried.
+        items: u64,
+    },
+    /// A peer emitted delegation installs toward a target peer.
+    DelegationInstall {
+        /// Delegating peer.
+        origin: Symbol,
+        /// Peer asked to run the delegated rules.
+        target: Symbol,
+        /// The origin's stage that produced the delta.
+        from_stage: u64,
+        /// Number of delegations installed.
+        count: u64,
+    },
+    /// A peer revoked previously installed delegations.
+    DelegationRevoke {
+        /// Delegating peer.
+        origin: Symbol,
+        /// Peer whose delegated rules are withdrawn.
+        target: Symbol,
+        /// The origin's stage that produced the delta.
+        from_stage: u64,
+        /// Number of delegations revoked.
+        count: u64,
+    },
+    /// Rule evaluations hit unreadable remote relations this stage.
+    BlockedReads {
+        /// The peer whose reads were blocked.
+        peer: Symbol,
+        /// The stage during which they were blocked.
+        stage: u64,
+        /// Number of blocked read attempts.
+        count: u64,
+    },
+    /// Coordinator-side summary of one sharded round.
+    ShardRound {
+        /// The coordinator's round counter.
+        round: u64,
+        /// Messages routed between peers this round.
+        routed: u64,
+        /// Deliveries deferred by admission budgets.
+        deferred: u64,
+        /// Peers that ran a stage this round.
+        peers_run: u64,
+        /// Peers registered in the runtime.
+        peers_total: u64,
+    },
+}
+
+/// Destination for trace events.
+///
+/// Implementations must be cheap: `record` runs inside the stage loop.
+/// The runtime only *calls* a sink when one is installed — a peer with
+/// no sink pays a single branch and zero allocations (pinned by the
+/// workspace's `trace_alloc` test).
+pub trait TraceSink: Send {
+    /// Records one event. Called synchronously from the stage loop.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Takes the buffered events, if this sink buffers any. Runtimes
+    /// call this once per round to feed the aggregator; sinks that
+    /// forward events elsewhere can keep the default empty answer.
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Moves the buffered events onto the end of `out`. Equivalent to
+    /// appending [`TraceSink::drain`], but buffering sinks can override
+    /// it to keep their allocation, so a runtime draining hundreds of
+    /// peers per round pays a memcpy per peer instead of a `Vec`
+    /// round-trip per peer.
+    fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
+        let mut drained = self.drain();
+        out.append(&mut drained);
+    }
+}
+
+/// A sink that drops every event — useful to measure pure recording
+/// overhead and as a placeholder in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// The standard in-memory sink: events accumulate in a `Vec` until the
+/// owning runtime drains them into its [`crate::Aggregator`] at the end
+/// of the round.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Vec<TraceEvent>,
+}
+
+impl BufferSink {
+    /// An empty buffer (no allocation until the first event).
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
+        // `append` empties the buffer while keeping its capacity, so the
+        // steady state records into already-sized storage every round.
+        out.append(&mut self.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_sink_records_and_drains() {
+        let mut sink = BufferSink::new();
+        let peer = Symbol::intern("p");
+        sink.record(&TraceEvent::StageBegin { peer, stage: 1 });
+        sink.record(&TraceEvent::StageEnd {
+            peer,
+            stage: 1,
+            dur_ns: 10,
+            derivations: 0,
+            rounds: 1,
+            msgs_in: 0,
+        });
+        assert_eq!(sink.len(), 2);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn null_sink_buffers_nothing() {
+        let mut sink = NullSink;
+        sink.record(&TraceEvent::StageBegin {
+            peer: Symbol::intern("p"),
+            stage: 1,
+        });
+        assert!(sink.drain().is_empty());
+    }
+}

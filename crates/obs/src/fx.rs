@@ -1,0 +1,89 @@
+//! A tiny non-cryptographic hasher for the aggregator's internal maps.
+//!
+//! The aggregator touches several hash maps *per event* while ingesting
+//! thousands of events per round on the coordinator's serial path, and
+//! every key is a [`Symbol`](wdl_datalog::Symbol) (a `u32`) or a small
+//! tuple of them. The standard library's DoS-resistant SipHash costs more
+//! than the rest of the map operation for such keys; this is the usual
+//! multiply-rotate mix (the "Fx" scheme used by rustc) — adequate because
+//! the keys come from the runtime's interner, not from untrusted input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher state. One `u64`, folded word-at-a-time.
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+/// The multiplier from rustc's FxHash (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n.into());
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n.into());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` defaulting to [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_apart() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for a in 0..32u32 {
+            for b in 0..32u32 {
+                m.insert((a, b), (a * 32 + b) as usize);
+            }
+        }
+        assert_eq!(m.len(), 1024);
+        assert_eq!(m.get(&(3, 7)), Some(&(3 * 32 + 7)));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_in_length() {
+        // Not an equality contract — just exercise the `write` fallback.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_ne!(h.finish(), 0);
+    }
+}

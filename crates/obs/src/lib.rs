@@ -1,0 +1,37 @@
+//! # wdl-obs — structured tracing for the WebdamLog runtimes
+//!
+//! A first-class observability layer, in three pieces:
+//!
+//! 1. **Events** ([`TraceEvent`], [`TraceSink`]): small `Copy` records
+//!    emitted by the execution layers — stage begin/end with measured
+//!    durations, per-rule evaluation timings and delta sizes, message
+//!    send/deliver with `(peer, stage)` causal tags, delegation
+//!    install/revoke, blocked reads, and shard-round routing counters.
+//!    Peers record through a sink trait; with no sink installed the
+//!    hot path pays one branch and **zero allocations**.
+//! 2. **Aggregation** ([`Aggregator`], [`Histogram`]): an online
+//!    aggregator the runtimes drain once per round — per-peer and
+//!    per-rule duration histograms, top-k hottest rules, an
+//!    active-set/fan-out time series, and JSONL export.
+//! 3. **Critical paths** ([`ActivityGraph`], [`CriticalPath`]): a
+//!    program-activity-graph over `(peer, stage)` executions whose
+//!    edges are intra-peer sequencing and delivered messages, with
+//!    k-longest path extraction over measured durations — answering
+//!    "which peer/rule chain bounds convergence latency".
+//!
+//! The crate deliberately depends only on `wdl-datalog` (for
+//! [`Symbol`](wdl_datalog::Symbol)); `wdl-core` hooks its runtimes into
+//! these types, never the other way around.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod event;
+mod fx;
+mod graph;
+
+pub use aggregate::{Aggregator, Histogram, PeerStat, RoundSample, RuleStat};
+pub use event::{BufferSink, NullSink, TraceEvent, TraceSink};
+pub use fx::{FxHashMap, FxHasher};
+pub use graph::{ActivityGraph, CriticalPath, PathNode};

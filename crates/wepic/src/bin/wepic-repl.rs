@@ -94,6 +94,11 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
                  approve <n>|reject <n>  decide pending delegation n\n  \
                  trust <peer>          trust a peer's delegations\n  \
                  run [n]               tick the network (default: to quiescence)\n  \
+                 stats                 current peer's last stage + cumulative eval stats\n  \
+                 profile on|off|reset  start/stop structured tracing\n  \
+                 top [k]               hottest rules by total evaluation time\n  \
+                 critpath [k]          k longest message-graph critical paths\n  \
+                 trace dump <file>     export the trace aggregate as JSONL\n  \
                  save <file>|restore <file>  snapshot current peer\n  \
                  quit"
             );
@@ -269,6 +274,115 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
                 report.messages,
                 if report.quiescent { ", quiescent" } else { "" }
             );
+            Ok(())
+        }
+        "stats" | "report" => {
+            let peer = current(repl)?;
+            let p = repl.rt.peer(peer.as_str()).unwrap();
+            let s = p.last_stage_stats();
+            let e = p.cumulative_eval_stats();
+            println!(
+                "last stage #{}: {} msg(s) in, {} update(s) applied, {} fixpoint round(s), \
+                 {} derivation(s), {} fact msg(s) out, {} delegation(s), {} revocation(s), \
+                 {} rejected, {} blocked read(s)",
+                s.stage,
+                s.ingested_messages,
+                s.applied_updates,
+                s.fixpoint_rounds,
+                s.derivations,
+                s.facts_out,
+                s.delegations_out,
+                s.revocations_out,
+                s.rejected,
+                s.reads_blocked,
+            );
+            println!(
+                "cumulative: {} iteration(s), {} derivation(s), {} new fact(s)",
+                e.iterations, e.derivations, e.facts_derived
+            );
+            Ok(())
+        }
+        "profile" => match rest {
+            "on" => {
+                repl.rt.set_tracing(true);
+                println!("profiling on — events aggregate every `run` (resumes any earlier data)");
+                Ok(())
+            }
+            "off" => {
+                repl.rt.set_tracing(false);
+                println!("profiling off — collected results remain queryable");
+                Ok(())
+            }
+            "reset" => {
+                repl.rt.reset_trace();
+                println!("profile data discarded");
+                Ok(())
+            }
+            _ => Err("usage: profile on|off|reset".into()),
+        },
+        "top" => {
+            let k: usize = if rest.is_empty() {
+                10
+            } else {
+                rest.parse().map_err(|_| "usage: top [k]".to_string())?
+            };
+            let agg = repl.rt.trace().ok_or("no profile — `profile on` first")?;
+            println!(
+                "{:<28} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                "rule", "calls", "total ms", "mean µs", "p99 µs", "derived"
+            );
+            for (label, stat) in agg.top_rules(k) {
+                println!(
+                    "{:<28} {:>8} {:>12.3} {:>10.1} {:>10.1} {:>10}",
+                    label.to_string(),
+                    stat.hist.count(),
+                    stat.hist.sum_ns() as f64 / 1e6,
+                    stat.hist.mean_ns() as f64 / 1e3,
+                    stat.hist.quantile_ns(0.99) as f64 / 1e3,
+                    stat.derived,
+                );
+            }
+            Ok(())
+        }
+        "critpath" => {
+            let k: usize = if rest.is_empty() {
+                1
+            } else {
+                rest.parse()
+                    .map_err(|_| "usage: critpath [k]".to_string())?
+            };
+            let agg = repl.rt.trace().ok_or("no profile — `profile on` first")?;
+            let paths = agg.critical_paths(k);
+            if paths.is_empty() {
+                println!("no stage executions recorded yet");
+            }
+            for (i, path) in paths.iter().enumerate() {
+                let chain: Vec<String> = path
+                    .nodes
+                    .iter()
+                    .map(|n| format!("{}@{}({:.3}ms)", n.peer, n.stage, n.dur_ns as f64 / 1e6))
+                    .collect();
+                println!(
+                    "[{i}] {:.3}ms over {} stage(s): {}",
+                    path.total_ns as f64 / 1e6,
+                    path.nodes.len(),
+                    chain.join(" -> ")
+                );
+            }
+            Ok(())
+        }
+        "trace" => {
+            let file = rest
+                .strip_prefix("dump")
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .ok_or("usage: trace dump <file>")?;
+            let agg = repl.rt.trace().ok_or("no profile — `profile on` first")?;
+            let mut out =
+                std::io::BufWriter::new(std::fs::File::create(file).map_err(|e| e.to_string())?);
+            agg.export_jsonl(&mut out).map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            println!("wrote trace aggregate to {file}");
             Ok(())
         }
         "save" => {

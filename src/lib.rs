@@ -14,6 +14,9 @@
 //!   atoms with relation/peer variables, the three-step stage loop,
 //!   delegation with per-stage revocation, and the demo's
 //!   delegation-approval access control.
+//! * [`obs`] — the structured trace pipeline: per-rule/per-stage
+//!   profiling events, the online aggregator, and the message-graph
+//!   critical-path extractor.
 //! * [`parser`] — the surface syntax (`m@p(...)`, `$vars`, `:-`).
 //! * [`net`] — transports: deterministic in-memory network and framed TCP.
 //! * [`wrappers`] — simulated Facebook and email wrappers.
@@ -59,6 +62,7 @@
 pub use wdl_core as core;
 pub use wdl_datalog as datalog;
 pub use wdl_net as net;
+pub use wdl_obs as obs;
 pub use wdl_parser as parser;
 pub use wdl_wrappers as wrappers;
 pub use wepic;

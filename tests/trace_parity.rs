@@ -1,0 +1,250 @@
+//! Tracing is observationally free: a traced runtime is round-for-round
+//! identical to an untraced one.
+//!
+//! The trace hooks ride inside the stage loop (`Peer::run_stage`), the
+//! fixpoint executors, and the runtimes' routing paths — all places where
+//! an accidental semantic dependence on the tracer (an extra evaluation,
+//! a reordered iteration, a consumed message) would silently corrupt
+//! results only when profiling is on. This suite drives a traced and an
+//! untraced [`LocalRuntime`] through the same scripted scenarios in
+//! lockstep and asserts, after every round:
+//!
+//! * identical `changed` / routed / undeliverable counters,
+//! * identical per-peer stage stats,
+//!
+//! and, at quiescence, identical contents for every declared relation of
+//! every peer — across all five wepic scenario generators × three seeds.
+//! It also sanity-checks that the traced side actually *collected*
+//! something (a vacuous pass with an inert tracer proves nothing), and
+//! that the sharded runtime's traced tick agrees with its untraced twin.
+
+use webdamlog::core::runtime::LocalRuntime;
+use webdamlog::core::shard::ShardedRuntime;
+use webdamlog::datalog::{Symbol, Tuple};
+use webdamlog::net::sim::oracle::Scenario;
+use webdamlog::net::sim::SimOp;
+use wepic::scenarios;
+
+const MAX_ROUNDS: usize = 64;
+
+fn apply_op(rt: &mut LocalRuntime, peer: Symbol, op: &SimOp) {
+    match op.clone() {
+        SimOp::Insert { rel, tuple } => {
+            rt.peer_mut(peer).unwrap().insert_local(rel, tuple).unwrap();
+        }
+        SimOp::Delete { rel, tuple } => {
+            rt.peer_mut(peer).unwrap().delete_local(rel, tuple).unwrap();
+        }
+    }
+}
+
+/// Ticks both runtimes until the untraced one reaches a quiet round,
+/// asserting report parity after every round.
+fn lockstep_quiesce(plain: &mut LocalRuntime, traced: &mut LocalRuntime, ctx: &str) {
+    for round in 0..MAX_ROUNDS {
+        let pt = plain.tick().unwrap();
+        let tt = traced.tick().unwrap();
+        assert_eq!(pt.changed, tt.changed, "{ctx}: changed @ round {round}");
+        assert_eq!(pt.messages, tt.messages, "{ctx}: routed @ round {round}");
+        assert_eq!(
+            pt.undeliverable, tt.undeliverable,
+            "{ctx}: undeliverable @ round {round}"
+        );
+        assert_eq!(
+            pt.stats.len(),
+            tt.stats.len(),
+            "{ctx}: stats coverage @ round {round}"
+        );
+        for (name, plain_stats) in &pt.stats {
+            let traced_stats = tt
+                .stats
+                .get(name)
+                .unwrap_or_else(|| panic!("{ctx}: traced run missing stats for {name}"));
+            assert_eq!(
+                plain_stats, traced_stats,
+                "{ctx}: stats diverge for {name} @ round {round}"
+            );
+        }
+        if !pt.changed && pt.messages == 0 {
+            return;
+        }
+    }
+    panic!("{ctx}: no quiescence within {MAX_ROUNDS} rounds");
+}
+
+/// Every declared relation of every peer holds the same tuples.
+fn assert_same_state(plain: &LocalRuntime, traced: &LocalRuntime, ctx: &str) {
+    assert_eq!(
+        plain.peer_names(),
+        traced.peer_names(),
+        "{ctx}: peer sets diverge"
+    );
+    for name in plain.peer_names() {
+        let rels: Vec<Symbol> = plain
+            .peer(name)
+            .unwrap()
+            .schema()
+            .iter()
+            .map(|decl| decl.rel)
+            .collect();
+        for rel in rels {
+            let mut reference: Vec<Tuple> = plain.peer(name).unwrap().relation_facts(rel);
+            let mut observed: Vec<Tuple> = traced.peer(name).unwrap().relation_facts(rel);
+            reference.sort();
+            observed.sort();
+            assert_eq!(reference, observed, "{ctx}: {name}.{rel} diverges");
+        }
+    }
+}
+
+fn run_parity(scenario: &Scenario) {
+    let ctx = scenario.name.clone();
+    let mut plain = LocalRuntime::new();
+    let mut traced = LocalRuntime::new();
+    for p in (scenario.build)() {
+        plain.add_peer(p).unwrap();
+    }
+    for p in (scenario.build)() {
+        traced.add_peer(p).unwrap();
+    }
+    traced.set_tracing(true);
+    lockstep_quiesce(&mut plain, &mut traced, &ctx);
+    for (i, batch) in scenario.batches.iter().enumerate() {
+        for (peer, op) in batch {
+            apply_op(&mut plain, *peer, op);
+            apply_op(&mut traced, *peer, op);
+        }
+        lockstep_quiesce(&mut plain, &mut traced, &format!("{ctx} batch {i}"));
+        assert_same_state(&plain, &traced, &format!("{ctx} batch {i}"));
+    }
+    let agg = traced.trace().expect("tracing was enabled");
+    assert!(
+        agg.event_count() > 0,
+        "{ctx}: traced run collected no events — the parity pass is vacuous"
+    );
+    assert!(
+        !agg.peers().is_empty(),
+        "{ctx}: no per-peer stage aggregates"
+    );
+}
+
+type Generator = fn(u64) -> Scenario;
+
+#[test]
+fn traced_equals_untraced_across_generators_and_seeds() {
+    let generators: Vec<(&str, Generator)> = vec![
+        ("fanout", scenarios::delegation_fanout),
+        ("churn", scenarios::delegation_churn),
+        ("acl", scenarios::acl_restricted),
+        ("transfer", scenarios::transfer_dispatch),
+        ("publish", scenarios::publish_chain),
+    ];
+    for seed in 1..=3u64 {
+        for (name, gen) in &generators {
+            eprintln!("trace parity: {name} seed={seed}");
+            run_parity(&gen(seed));
+        }
+    }
+}
+
+/// Toggling tracing mid-run (on → off → on) never disturbs execution,
+/// and the aggregate stays queryable while tracing is off.
+#[test]
+fn midrun_toggle_is_transparent() {
+    let scenario = scenarios::delegation_churn(7);
+    let mut plain = LocalRuntime::new();
+    let mut traced = LocalRuntime::new();
+    for p in (scenario.build)() {
+        plain.add_peer(p).unwrap();
+    }
+    for p in (scenario.build)() {
+        traced.add_peer(p).unwrap();
+    }
+    lockstep_quiesce(&mut plain, &mut traced, "toggle warmup");
+    for (i, batch) in scenario.batches.iter().enumerate() {
+        // off for even batches, on for odd ones.
+        traced.set_tracing(i % 2 == 1);
+        for (peer, op) in batch {
+            apply_op(&mut plain, *peer, op);
+            apply_op(&mut traced, *peer, op);
+        }
+        lockstep_quiesce(&mut plain, &mut traced, &format!("toggle batch {i}"));
+        assert_same_state(&plain, &traced, &format!("toggle batch {i}"));
+        if i % 2 == 1 {
+            assert!(traced.trace().is_some_and(|a| a.event_count() > 0));
+        }
+    }
+    // Off again: results collected so far remain queryable.
+    traced.set_tracing(false);
+    assert!(traced.trace().is_some());
+}
+
+/// The sharded runtime's traced tick agrees with its untraced twin, and
+/// the coordinator records the scheduling time series.
+#[test]
+fn sharded_traced_equals_untraced() {
+    let scenario = scenarios::publish_burst(21, 64, 5, 2, 2);
+    let mut plain = ShardedRuntime::new(3);
+    let mut traced = ShardedRuntime::new(3);
+    for p in (scenario.build)() {
+        plain.add_peer(p).unwrap();
+    }
+    for p in (scenario.build)() {
+        traced.add_peer(p).unwrap();
+    }
+    traced.set_tracing(true);
+    let mut rounds = 0usize;
+    loop {
+        let pt = plain.tick().unwrap();
+        let tt = traced.tick().unwrap();
+        assert_eq!(pt.changed, tt.changed, "changed @ round {rounds}");
+        assert_eq!(pt.messages, tt.messages, "routed @ round {rounds}");
+        assert_eq!(pt.peers_run, tt.peers_run, "peers_run @ round {rounds}");
+        rounds += 1;
+        assert!(rounds < MAX_ROUNDS, "no quiescence");
+        if !pt.changed && pt.messages == 0 {
+            break;
+        }
+    }
+    for batch in &scenario.batches {
+        for (peer, op) in batch {
+            for rt in [&mut plain, &mut traced] {
+                match op.clone() {
+                    SimOp::Insert { rel, tuple } => {
+                        rt.insert_local(*peer, rel, tuple).unwrap();
+                    }
+                    SimOp::Delete { rel, tuple } => {
+                        rt.delete_local(*peer, rel, tuple).unwrap();
+                    }
+                }
+            }
+        }
+        loop {
+            let pt = plain.tick().unwrap();
+            let tt = traced.tick().unwrap();
+            assert_eq!(pt.changed, tt.changed);
+            assert_eq!(pt.messages, tt.messages);
+            assert_eq!(pt.peers_run, tt.peers_run);
+            rounds += 1;
+            assert!(rounds < 4 * MAX_ROUNDS, "no quiescence");
+            if !pt.changed && pt.messages == 0 && pt.deferred == 0 {
+                break;
+            }
+        }
+    }
+    let watch = scenario.watched[0];
+    let mut a = plain.relation_facts(watch.0, watch.1).unwrap();
+    let mut b = traced.relation_facts(watch.0, watch.1).unwrap();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "final hub state diverges under tracing");
+
+    let agg = traced.trace().expect("tracing was enabled");
+    assert!(agg.event_count() > 0);
+    // Every coordinator tick contributes one ShardRound scheduling sample.
+    assert_eq!(agg.rounds().len(), rounds, "one round sample per tick");
+    assert!(
+        agg.rounds().iter().all(|r| r.peers_total > 0),
+        "ShardRound carries the fleet size"
+    );
+}

@@ -1,0 +1,69 @@
+//! Regression: fully-local maintained-view rules must emit `RuleEval`
+//! trace events on *both* evaluation paths — the from-scratch view
+//! construction (where a freshly added rule does all of its first-stage
+//! work) and the differential maintenance passes that follow. The build
+//! path was once silent: `profile on` + one insert + `run` in the REPL
+//! left `top` empty because every derivation happened inside
+//! `MaterializedView::new`, outside the profiled apply.
+
+use webdamlog::core::runtime::LocalRuntime;
+use webdamlog::core::{Peer, RelationKind};
+use webdamlog::datalog::{Symbol, Value};
+
+#[test]
+fn local_rule_emits_rule_eval_events() {
+    let mut rt = LocalRuntime::new();
+    let mut p = Peer::new("bob");
+    p.acl_mut()
+        .set_untrusted_policy(webdamlog::core::acl::UntrustedPolicy::Accept);
+    rt.add_peer(p).unwrap();
+    let bob = rt.peer_mut("bob").unwrap();
+    bob.declare("out", 1, RelationKind::Intensional).unwrap();
+    bob.add_rule(webdamlog::parser::parse_rule("out@bob($x) :- item@bob($x);").unwrap())
+        .unwrap();
+    rt.set_tracing(true);
+    rt.peer_mut("bob")
+        .unwrap()
+        .insert_local("item", vec![Value::from(7)])
+        .unwrap();
+    rt.run_to_quiescence(8).unwrap();
+
+    let label = Symbol::intern("out@bob");
+    let build_calls = {
+        let agg = rt.trace().unwrap();
+        assert_eq!(
+            rt.peer("bob").unwrap().relation_facts("out").len(),
+            1,
+            "rule must fire"
+        );
+        let stat = agg.rules().get(&label).unwrap_or_else(|| {
+            panic!(
+                "no RuleEval for {label} after view build; {} events total",
+                agg.event_count()
+            )
+        });
+        assert!(stat.derived >= 1, "build must report the derived tuple");
+        stat.hist.count()
+    };
+
+    // The delete flows through the differential maintenance pass
+    // (`apply_profiled`), which must add further samples under the same
+    // head label.
+    rt.peer_mut("bob")
+        .unwrap()
+        .delete_local("item", vec![Value::from(7)])
+        .unwrap();
+    rt.run_to_quiescence(8).unwrap();
+    let agg = rt.trace().unwrap();
+    assert!(
+        rt.peer("bob").unwrap().relation_facts("out").is_empty(),
+        "derived fact must retract"
+    );
+    let stat = &agg.rules()[&label];
+    assert!(
+        stat.hist.count() > build_calls,
+        "differential maintenance pass must record further RuleEval \
+         samples (build: {build_calls}, now: {})",
+        stat.hist.count()
+    );
+}
