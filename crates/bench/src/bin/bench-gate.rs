@@ -51,6 +51,12 @@ const PINNED: &[(&str, &str)] = &[
     // collapsing toward 0.1 if any per-registered-peer cost sneaks back
     // into the round path.
     ("BENCH_e14_scale.json", "scale_independence"),
+    // Durable storage engine (ISSUE 8 tentpole): cold-start recovery
+    // from segments + a policy-bounded WAL tail versus re-applying the
+    // whole delta history from scratch. Collapses toward 1.0 if segment
+    // import degrades to per-record history cost — the checkpoint would
+    // then buy nothing.
+    ("BENCH_e15_durability.json", "recovery_replay_speedup"),
 ];
 
 /// (bench json file, metric name, ceiling) triples the fresh run must stay

@@ -34,6 +34,10 @@ pub enum WdlError {
     /// classification and evaluation (e.g. a concurrent invalidation).
     /// Recoverable: the stage loop falls back to full recomputation.
     ViewInvalidated(String),
+    /// The attached durability sink failed to persist state (I/O error,
+    /// corrupt on-disk state). The in-memory peer is still consistent, but
+    /// its changes since the last successful sync are not durable.
+    Durability(String),
 }
 
 impl std::fmt::Display for WdlError {
@@ -51,6 +55,7 @@ impl std::fmt::Display for WdlError {
             }
             WdlError::BadNameBinding(m) => write!(f, "bad name binding: {m}"),
             WdlError::ViewInvalidated(m) => write!(f, "view invalidated: {m}"),
+            WdlError::Durability(m) => write!(f, "durability: {m}"),
         }
     }
 }

@@ -49,6 +49,14 @@ pub fn qualify(rel: Symbol, peer: Symbol) -> Symbol {
     Symbol::intern(&format!("{rel}@{peer}"))
 }
 
+/// Inverts [`qualify`] for a known peer: `rel@peer` back to `rel`.
+/// Returns `None` if `qualified` is not qualified with `peer` — injectivity
+/// of [`qualify`] makes the answer unambiguous when it is.
+pub fn unqualify(qualified: Symbol, peer: Symbol) -> Option<Symbol> {
+    let suffix = format!("@{peer}");
+    qualified.as_str().strip_suffix(&suffix).map(Symbol::intern)
+}
+
 impl fmt::Debug for WFact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)

@@ -83,6 +83,7 @@
 pub mod acl;
 mod atom;
 mod delegation;
+mod durability;
 mod error;
 mod fact;
 pub mod grants;
@@ -101,8 +102,9 @@ mod trace;
 pub use acl::{AccessControl, DelegationDecision, PendingDelegation};
 pub use atom::{NameTerm, WAtom, WBodyItem, WLiteral};
 pub use delegation::{Delegation, DelegationId};
+pub use durability::DurabilitySink;
 pub use error::{Result, WdlError};
-pub use fact::{qualify, WFact};
+pub use fact::{qualify, unqualify, WFact};
 pub use grants::{AccessSet, RelationGrants};
 pub use message::{FactKind, Message, Payload};
 pub use peer::{Peer, RuleEntry, RuleId};

@@ -119,6 +119,13 @@ pub struct Peer {
     pub(crate) last_stats: StageStats,
     /// Fixpoint work accumulated across all stages (for `report`).
     pub(crate) cum_eval: wdl_datalog::EvalStats,
+    /// Durability sink, when this peer persists its state (see
+    /// `durability.rs`). `None` (the default) keeps the peer fully
+    /// in-memory with zero overhead on the mutation paths.
+    pub(crate) durability: Option<Box<dyn crate::DurabilitySink>>,
+    /// Structural (non-fact) state changed since the last durability sync;
+    /// forces a full checkpoint at the next group commit.
+    pub(crate) meta_dirty: bool,
 }
 
 impl Peer {
@@ -156,6 +163,8 @@ impl Peer {
             tracer: None,
             last_stats: StageStats::default(),
             cum_eval: wdl_datalog::EvalStats::default(),
+            durability: None,
+            meta_dirty: false,
         }
     }
 
@@ -176,6 +185,7 @@ impl Peer {
 
     /// Mutable access control state (trust peers, change policy).
     pub fn acl_mut(&mut self) -> &mut AccessControl {
+        self.meta_dirty = true;
         &mut self.acl
     }
 
@@ -192,6 +202,7 @@ impl Peer {
     /// time) re-classify at the next stage.
     pub fn grants_mut(&mut self) -> &mut RelationGrants {
         self.grants_epoch += 1;
+        self.meta_dirty = true;
         &mut self.grants
     }
 
@@ -352,6 +363,7 @@ impl Peer {
             self.store.declare(qualify(rel, self.name), arity)?;
         }
         self.ruleset_epoch += 1;
+        self.meta_dirty = true;
         Ok(())
     }
 
@@ -369,6 +381,7 @@ impl Peer {
         self.next_rule_idx += 1;
         self.rules.push(RuleEntry { id, rule });
         self.ruleset_epoch += 1;
+        self.meta_dirty = true;
         Ok(id)
     }
 
@@ -381,6 +394,7 @@ impl Peer {
             .position(|e| e.id == id)
             .ok_or_else(|| WdlError::UnknownRule(id.to_string()))?;
         self.ruleset_epoch += 1;
+        self.meta_dirty = true;
         Ok(self.rules.remove(idx).rule)
     }
 
@@ -394,6 +408,7 @@ impl Peer {
             .find(|e| e.id == id)
             .ok_or_else(|| WdlError::UnknownRule(id.to_string()))?;
         self.ruleset_epoch += 1;
+        self.meta_dirty = true;
         Ok(std::mem::replace(&mut entry.rule, rule))
     }
 
@@ -440,13 +455,19 @@ impl Peer {
     pub fn install_delegation(&mut self, d: Delegation) {
         if !self.delegated.iter().any(|x| x.id == d.id) {
             self.delegated.push(d);
+            self.meta_dirty = true;
         }
     }
 
     pub(crate) fn remove_delegation(&mut self, id: DelegationId) -> bool {
         let before = self.delegated.len();
         self.delegated.retain(|d| d.id != id);
-        self.delegated.len() != before
+        if self.delegated.len() != before {
+            self.meta_dirty = true;
+            true
+        } else {
+            false
+        }
     }
 
     // ------------------------------------------------------------------
@@ -704,7 +725,20 @@ impl Peer {
 
     /// Records a store/contribution change for the incremental path. Cheap
     /// and unconditional; the log is drained (or discarded) every stage.
+    ///
+    /// This is also the single durability tap: every extensional-store
+    /// mutation flows through here, so an attached sink sees exactly the
+    /// durable changes. Transient remote contributions for *intensional*
+    /// relations also pass through (the incremental path needs them) but
+    /// are filtered out by store membership — only extensional qualified
+    /// predicates are declared in `store`, and the qualified flattening is
+    /// injective, so the test is exact.
     pub(crate) fn log_base_change(&mut self, fact: wdl_datalog::Fact, added: bool) {
+        if let Some(sink) = &mut self.durability {
+            if self.store.relation(fact.pred).is_some() {
+                sink.record_fact(fact.pred, &fact.tuple, added);
+            }
+        }
         self.base_log.push((fact, added));
     }
 

@@ -298,6 +298,11 @@ impl Peer {
         self.cum_eval.derivations += stats.derivations;
         self.cum_eval.facts_derived += outcome.local_new;
 
+        // Group commit: everything this stage changed becomes durable
+        // before its messages are handed to the transport, so a peer never
+        // tells the world about state it could lose in a crash.
+        self.sync_durability()?;
+
         Ok(StageOutput {
             messages,
             stats,

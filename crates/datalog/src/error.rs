@@ -46,6 +46,10 @@ pub enum DatalogError {
     /// fixpoint was abandoned (the worker's panic is re-raised once its
     /// thread is joined).
     WorkerFailed,
+    /// A [`crate::ColumnExport`] was internally inconsistent (cell index out
+    /// of range, cell count not `rows * arity`) — persisted data that fails
+    /// here is corrupt, not merely stale.
+    CorruptExport(String),
 }
 
 impl fmt::Display for DatalogError {
@@ -81,6 +85,9 @@ impl fmt::Display for DatalogError {
             }
             DatalogError::WorkerFailed => {
                 write!(f, "a parallel evaluation worker terminated abnormally")
+            }
+            DatalogError::CorruptExport(msg) => {
+                write!(f, "corrupt column export: {msg}")
             }
         }
     }

@@ -85,7 +85,7 @@ pub use incremental::{Delta, MaterializedView};
 pub use intern::ValueId;
 pub use program::{EvalStats, EvalStrategy, Program};
 pub use rule::Rule;
-pub use storage::{ColMask, Relation, MAX_ARITY};
+pub use storage::{ColMask, ColumnExport, Relation, MAX_ARITY};
 pub use subst::Subst;
 pub use symbol::Symbol;
 pub use term::Term;

@@ -404,6 +404,94 @@ impl Relation {
     }
 }
 
+/// A process-independent column dump of a relation, for persistence.
+///
+/// [`ValueId`]s are process-local and deliberately non-serializable; a dump
+/// therefore carries the referenced values themselves (each distinct value
+/// once, in first-use order) plus the rows as `u32` indexes into that local
+/// slice. Loading re-interns the values and remaps the local indexes onto
+/// whatever ids the destination process assigns, so a segment written by one
+/// process loads correctly into another whose interner assigned the same
+/// values entirely different ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnExport {
+    /// Number of columns.
+    pub arity: usize,
+    /// Number of rows (explicit so nullary relations round-trip).
+    pub rows: usize,
+    /// Distinct referenced values, in first-use (row-major) order.
+    pub values: Vec<Value>,
+    /// `rows * arity` local indexes into `values`, row-major.
+    pub cells: Vec<u32>,
+}
+
+impl ColumnExport {
+    /// Rebuilds a relation in this process, re-interning every referenced
+    /// value and remapping the local cell indexes onto the fresh ids.
+    /// Malformed dumps (cell out of range, cell count not `rows * arity`)
+    /// are rejected recoverably with [`DatalogError::CorruptExport`].
+    ///
+    /// [`DatalogError::CorruptExport`]: crate::DatalogError::CorruptExport
+    pub fn into_relation(&self) -> Result<Relation> {
+        if self.cells.len() != self.rows * self.arity {
+            return Err(crate::DatalogError::CorruptExport(format!(
+                "cell count {} != rows {} * arity {}",
+                self.cells.len(),
+                self.rows,
+                self.arity
+            )));
+        }
+        if let Some(&bad) = self
+            .cells
+            .iter()
+            .find(|&&c| c as usize >= self.values.len())
+        {
+            return Err(crate::DatalogError::CorruptExport(format!(
+                "cell index {bad} out of range for {} values",
+                self.values.len()
+            )));
+        }
+        let ids: Vec<ValueId> = self.values.iter().map(ValueId::intern).collect();
+        let mut rel = Relation::try_new(self.arity)?;
+        let mut row: Vec<ValueId> = Vec::with_capacity(self.arity);
+        for r in 0..self.rows {
+            row.clear();
+            row.extend(
+                self.cells[r * self.arity..(r + 1) * self.arity]
+                    .iter()
+                    .map(|&c| ids[c as usize]),
+            );
+            rel.insert_ids(&row)?;
+        }
+        Ok(rel)
+    }
+}
+
+impl Relation {
+    /// Dumps the relation as process-independent columns (see
+    /// [`ColumnExport`]): rows in insertion order, each distinct value
+    /// emitted once at its first use.
+    pub fn export_columns(&self) -> ColumnExport {
+        let mut local: HashMap<ValueId, u32> = HashMap::with_capacity(64);
+        let mut values: Vec<Value> = Vec::new();
+        let mut cells: Vec<u32> = Vec::with_capacity(self.arena.len());
+        for &id in &self.arena {
+            let next = u32::try_from(values.len()).expect("column export value overflow");
+            let ix = *local.entry(id).or_insert_with(|| {
+                values.push(id.value());
+                next
+            });
+            cells.push(ix);
+        }
+        ColumnExport {
+            arity: self.arity,
+            rows: self.len,
+            values,
+            cells,
+        }
+    }
+}
+
 /// Extracts the masked columns of `row` (in column order) into `key`.
 #[inline]
 fn masked_key(row: &[ValueId], mask: ColMask, key: &mut Vec<ValueId>) {
@@ -733,6 +821,59 @@ mod tests {
         }
         assert_eq!(r.len(), 33);
         assert_eq!(r.arena_slots(), 33 * 3);
+    }
+
+    /// Column export round-trips through the value plane: the dump names
+    /// values (not ids), each distinct value exactly once, and reloading
+    /// re-interns + remaps so the rebuilt relation equals the original even
+    /// when the destination interner assigned different ids.
+    #[test]
+    fn column_export_round_trips() {
+        let mut r = Relation::new(2);
+        r.insert(vec![Value::from("col-export-a"), Value::from(1)].into())
+            .unwrap();
+        r.insert(vec![Value::from("col-export-b"), Value::from(1)].into())
+            .unwrap();
+        r.insert(vec![Value::from("col-export-a"), Value::from(2)].into())
+            .unwrap();
+        let dump = r.export_columns();
+        assert_eq!(dump.rows, 3);
+        assert_eq!(dump.cells.len(), 6);
+        // Distinct values only: a, 1, b, 2 — in first-use order.
+        assert_eq!(dump.values.len(), 4);
+        assert_eq!(dump.values[0], Value::from("col-export-a"));
+        assert_eq!(dump.values[1], Value::from(1));
+        // Skew the interner between dump and load; remap must absorb it.
+        for i in 0..32 {
+            ValueId::intern(&Value::from(format!("col-export-skew-{i}")));
+        }
+        let back = dump.into_relation().unwrap();
+        assert_eq!(back, r);
+    }
+
+    /// Malformed dumps fail recoverably, never panic.
+    #[test]
+    fn column_export_rejects_corruption() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[9])).unwrap();
+        let mut dump = r.export_columns();
+        dump.cells[0] = 99; // out of range
+        assert!(matches!(
+            dump.into_relation(),
+            Err(crate::DatalogError::CorruptExport(_))
+        ));
+        let mut dump2 = r.export_columns();
+        dump2.rows = 7; // cells.len() no longer rows * arity
+        assert!(matches!(
+            dump2.into_relation(),
+            Err(crate::DatalogError::CorruptExport(_))
+        ));
+        // Nullary relations round-trip via the explicit row count.
+        let mut n = Relation::new(0);
+        n.insert(t(&[])).unwrap();
+        let nd = n.export_columns();
+        assert_eq!((nd.rows, nd.cells.len()), (1, 0));
+        assert_eq!(nd.into_relation().unwrap().len(), 1);
     }
 
     /// Nullary relations (zero columns) hold at most the empty tuple and

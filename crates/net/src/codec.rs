@@ -63,16 +63,21 @@ pub fn decode(data: &[u8]) -> Result<Message, NetError> {
 // Encoding
 // ---------------------------------------------------------------------
 
-pub(crate) fn put_symbol(buf: &mut BytesMut, s: Symbol) {
+/// Encodes an interned symbol as a length-prefixed UTF-8 string. Public
+/// because the storage engine (`wdl-store`) reuses the wire primitives for
+/// its on-disk formats — one set of encoding conventions per workspace.
+pub fn put_symbol(buf: &mut BytesMut, s: Symbol) {
     put_str(buf, s.as_str());
 }
 
-pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
+/// Encodes a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
+/// Encodes a dynamically typed [`Value`] (tag byte + payload).
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Int(i) => {
             buf.put_u8(0);
@@ -253,13 +258,19 @@ fn binop_tag(op: BinOp) -> u8 {
 // Decoding
 // ---------------------------------------------------------------------
 
-pub(crate) struct Reader<'a> {
+/// A bounds-checked cursor over an encoded buffer. Every accessor returns
+/// [`NetError::Codec`] on truncation or malformed data — the decoder is
+/// total, never panicking on adversarial input. Public for the same reason
+/// as [`put_value`]: the storage engine decodes its file formats with the
+/// same primitives.
+pub struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(data: &'a [u8]) -> Reader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
         Reader { data, pos: 0 }
     }
 
@@ -276,26 +287,34 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, NetError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, NetError> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, NetError> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, NetError> {
         let mut b = self.take(4)?;
         Ok(b.get_u32_le())
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, NetError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, NetError> {
         let mut b = self.take(8)?;
         Ok(b.get_u64_le())
     }
 
-    pub(crate) fn i64(&mut self) -> Result<i64, NetError> {
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, NetError> {
         let mut b = self.take(8)?;
         Ok(b.get_i64_le())
     }
 
-    pub(crate) fn len(&mut self) -> Result<usize, NetError> {
+    /// Reads a `u32` length field, rejecting lengths beyond the buffer.
+    /// (`len` decodes a field; it is not a size accessor, so there is no
+    /// `is_empty` counterpart.)
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, NetError> {
         let n = self.u32()? as usize;
         // Defensive cap: a single field may not claim more than the frame.
         if n > self.data.len() {
@@ -304,17 +323,20 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    pub(crate) fn str(&mut self) -> Result<&'a str, NetError> {
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, NetError> {
         let n = self.len()?;
         std::str::from_utf8(self.take(n)?)
             .map_err(|e| NetError::Codec(format!("invalid utf8: {e}")))
     }
 
-    pub(crate) fn symbol(&mut self) -> Result<Symbol, NetError> {
+    /// Reads a length-prefixed string and interns it as a [`Symbol`].
+    pub fn symbol(&mut self) -> Result<Symbol, NetError> {
         Ok(Symbol::intern(self.str()?))
     }
 
-    pub(crate) fn value(&mut self) -> Result<Value, NetError> {
+    /// Reads a [`Value`] written by [`put_value`].
+    pub fn value(&mut self) -> Result<Value, NetError> {
         match self.u8()? {
             0 => Ok(Value::Int(self.i64()?)),
             1 => Ok(Value::Bool(self.u8()? != 0)),
@@ -486,7 +508,8 @@ impl<'a> Reader<'a> {
         }
     }
 
-    pub(crate) fn expect_end(&self) -> Result<(), NetError> {
+    /// Asserts the buffer is fully consumed (trailing bytes are an error).
+    pub fn expect_end(&self) -> Result<(), NetError> {
         if self.pos == self.data.len() {
             Ok(())
         } else {

@@ -34,4 +34,4 @@ mod runtime;
 
 pub use fault::{FaultPlan, LinkFaults, Partition};
 pub use hub::{SimCounters, SimEndpoint, SimNet, SimOp};
-pub use runtime::{SimConfig, SimReport, SimRuntime};
+pub use runtime::{CrashPersistence, SimConfig, SimReport, SimRuntime, SnapshotPersistence};

@@ -197,6 +197,19 @@ impl Scenario {
 
     /// Runs the scenario through the simulator under `spec`.
     pub fn run_sim(&self, spec: &RunSpec) -> Result<(StateMap, SimReport), NodeError> {
+        self.run_sim_with(spec, &|_| Ok(()))
+    }
+
+    /// Like [`Scenario::run_sim`], but calls `setup` after the peers are
+    /// added and before any events are scheduled. Durable-storage
+    /// conformance tests use this to install a [`super::CrashPersistence`]
+    /// engine and attach durability sinks to the scenario-built peers —
+    /// the oracle itself stays persistence-agnostic.
+    pub fn run_sim_with(
+        &self,
+        spec: &RunSpec,
+        setup: &dyn Fn(&mut SimRuntime) -> Result<(), NodeError>,
+    ) -> Result<(StateMap, SimReport), NodeError> {
         let mut config = SimConfig::new(spec.seed).plan(spec.plan.clone());
         if spec.crash_drops_inflight {
             config = config.crash_drops_inflight();
@@ -205,6 +218,7 @@ impl Scenario {
         for p in (self.build)() {
             sim.add_peer(p).map_err(NodeError::Net)?;
         }
+        setup(&mut sim)?;
         for (i, batch) in self.batches.iter().enumerate() {
             let at = (i as u64 + 1) * spec.batch_spacing;
             for (peer, op) in batch {
@@ -267,6 +281,19 @@ fn sample(set: &BTreeSet<Tuple>, limit: usize) -> String {
 /// Returns the checks performed, or a [`ConformanceError`] carrying the
 /// seed — the error's `Display` is self-contained for CI logs.
 pub fn check_conformance(scenario: &Scenario, spec: &RunSpec) -> Result<Verdict, ConformanceError> {
+    check_conformance_with(scenario, spec, &|_| Ok(()))
+}
+
+/// [`check_conformance`] with a simulator setup hook (see
+/// [`Scenario::run_sim_with`]): the faulty run gets `setup`, the
+/// fault-free reference does not — durability must be invisible to the
+/// oracle, so a persistence engine that changes convergence shows up here
+/// as a conformance failure.
+pub fn check_conformance_with(
+    scenario: &Scenario,
+    spec: &RunSpec,
+    setup: &dyn Fn(&mut SimRuntime) -> Result<(), NodeError>,
+) -> Result<Verdict, ConformanceError> {
     let fail = |check: &'static str, detail: String| ConformanceError {
         scenario: scenario.name.clone(),
         seed: spec.seed,
@@ -277,7 +304,7 @@ pub fn check_conformance(scenario: &Scenario, spec: &RunSpec) -> Result<Verdict,
         .reference()
         .map_err(|e| fail("reference-run", e.to_string()))?;
     let (state, report) = scenario
-        .run_sim(spec)
+        .run_sim_with(spec, setup)
         .map_err(|e| fail("sim-run", e.to_string()))?;
     if !report.quiescent {
         return Err(fail(

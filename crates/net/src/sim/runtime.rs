@@ -7,12 +7,16 @@
 //! `(scenario, plan, seed)`; rerunning with the seed printed by a failing
 //! test replays the exact interleaving.
 //!
-//! Crash/restart round-trips the peer through the **real snapshot
-//! persistence path** ([`crate::snapshot::save`]/[`crate::snapshot::load`]):
-//! a crash serializes the peer's durable state and discards the live
-//! object; a restart deserializes it, so transient per-stage state
-//! (previous-diff memories, in-flight derivations) dies exactly as it
-//! would across a process restart.
+//! Crash/restart round-trips the peer through a **real persistence path**
+//! (pluggable via [`CrashPersistence`]; the default is
+//! [`crate::snapshot::save`]/[`crate::snapshot::load`]): a crash
+//! serializes the peer's durable state and discards the live object; a
+//! restart deserializes it, so transient per-stage state (previous-diff
+//! memories, in-flight derivations) dies exactly as it would across a
+//! process restart. A durable-engine implementation can additionally
+//! *lose* not-yet-committed mutations at the crash point — it reports
+//! them back and the simulator re-injects them as client retries, which
+//! keeps the convergence oracle's equality check applicable.
 
 use super::fault::FaultPlan;
 use super::hub::{EventKind, SimCounters, SimEndpoint, SimNet, SimOp, SimState};
@@ -85,12 +89,47 @@ pub struct SimReport {
 
 enum NodeSlot {
     Up(Box<PeerNode<SimEndpoint>>),
-    /// Crash snapshot (real persistence bytes) + mutations scripted while
-    /// the peer was down, applied in order on restart.
+    /// Crash token (real persistence bytes or an engine handle) +
+    /// mutations scripted while the peer was down (or lost at the crash
+    /// point and retried), applied in order on restart.
     Down {
         snapshot: Bytes,
         pending_ops: Vec<SimOp>,
     },
+}
+
+/// How the simulator round-trips a peer through "disk" across a
+/// crash/restart pair. Implementations must be deterministic functions of
+/// their inputs (including `crash_seed`) — the simulator's replayability
+/// contract extends through them.
+pub trait CrashPersistence {
+    /// Consumes the crashing peer and returns `(token, lost_ops)`: an
+    /// opaque token that [`CrashPersistence::restart`] can rebuild the
+    /// peer from, plus the durable-image mutations destroyed by the crash
+    /// (e.g. a torn write-ahead-log tail). The simulator re-injects
+    /// `lost_ops` at restart, modeling a client that retries writes never
+    /// acknowledged as durable. Full-state snapshotting loses nothing.
+    fn crash(&mut self, peer: Peer, crash_seed: u64) -> Result<(Bytes, Vec<SimOp>), NetError>;
+
+    /// Rebuilds the peer from a token produced by
+    /// [`CrashPersistence::crash`].
+    fn restart(&mut self, name: Symbol, token: &Bytes) -> Result<Peer, NetError>;
+}
+
+/// The default [`CrashPersistence`]: whole-state binary snapshots through
+/// [`crate::snapshot`]. Loses nothing at the crash point (the snapshot is
+/// taken atomically at crash time), so `lost_ops` is always empty.
+#[derive(Debug, Default)]
+pub struct SnapshotPersistence;
+
+impl CrashPersistence for SnapshotPersistence {
+    fn crash(&mut self, peer: Peer, _crash_seed: u64) -> Result<(Bytes, Vec<SimOp>), NetError> {
+        Ok((snapshot::save(&peer), Vec::new()))
+    }
+
+    fn restart(&mut self, _name: Symbol, token: &Bytes) -> Result<Peer, NetError> {
+        snapshot::load(token)
+    }
 }
 
 /// A deterministic distributed simulation of WebdamLog peers.
@@ -101,6 +140,8 @@ pub struct SimRuntime {
     /// Consecutive quiet steps per peer (reset by any activity).
     quiet: HashMap<Symbol, u32>,
     order: Vec<Symbol>,
+    /// The crash/restart round-trip path (snapshots by default).
+    persistence: Box<dyn CrashPersistence>,
 }
 
 /// Quiet steps every live peer must string together before the runtime
@@ -118,7 +159,14 @@ impl SimRuntime {
             nodes: HashMap::new(),
             quiet: HashMap::new(),
             order: Vec::new(),
+            persistence: Box::new(SnapshotPersistence),
         }
+    }
+
+    /// Replaces the crash/restart persistence path (the default round-trips
+    /// whole-state snapshots). Install before scheduling any crash.
+    pub fn set_persistence(&mut self, persistence: Box<dyn CrashPersistence>) {
+        self.persistence = persistence;
     }
 
     /// The underlying network (counters, virtual clock).
@@ -230,7 +278,7 @@ impl SimRuntime {
                 EventKind::Step { peer, incarnation } => {
                     report.steps += self.step_peer(peer, incarnation)? as usize;
                 }
-                EventKind::Crash { peer } => self.crash(peer),
+                EventKind::Crash { peer } => self.crash(peer)?,
                 EventKind::Restart { peer } => self.restart(peer)?,
                 EventKind::Inject { peer, op } => self.inject(peer, op)?,
             }
@@ -281,26 +329,36 @@ impl SimRuntime {
         Ok(true)
     }
 
-    fn crash(&mut self, peer: Symbol) {
+    fn crash(&mut self, peer: Symbol) -> Result<(), NodeError> {
         match self.nodes.remove(&peer) {
             Some(NodeSlot::Up(node)) => self.crash_node(peer, *node),
             Some(down) => {
                 self.nodes.insert(peer, down); // already down: no-op
+                Ok(())
             }
-            None => {}
+            None => Ok(()),
         }
     }
 
-    fn crash_node(&mut self, peer: Symbol, node: PeerNode<SimEndpoint>) {
+    fn crash_node(&mut self, peer: Symbol, node: PeerNode<SimEndpoint>) -> Result<(), NodeError> {
         let (p, _endpoint) = node.into_parts();
-        // The real persistence path: durable state only. Transient
-        // stage state (diff memories, timers) dies here.
-        let snapshot = snapshot::save(&p);
+        // Every crash draws a seed from the one simulation generator: a
+        // durable-engine persistence path uses it to pick *where inside
+        // the crash window* the process dies (mid-checkpoint, mid-append),
+        // so those choices replay with the run's seed too.
+        let crash_seed: u64 = { self.net.state.lock().rng.gen() };
+        // The real persistence path: durable state only. Transient stage
+        // state (diff memories, timers) dies here. Mutations the durable
+        // image lost at the crash point come back as retries.
+        let (snapshot, lost_ops) = self
+            .persistence
+            .crash(p, crash_seed)
+            .map_err(NodeError::Net)?;
         self.nodes.insert(
             peer,
             NodeSlot::Down {
                 snapshot,
-                pending_ops: Vec::new(),
+                pending_ops: lost_ops,
             },
         );
         let mut st = self.net.state.lock();
@@ -315,6 +373,7 @@ impl SimRuntime {
         }
         drop(st);
         self.quiet.insert(peer, 0);
+        Ok(())
     }
 
     fn restart(&mut self, peer: Symbol) -> Result<(), NodeError> {
@@ -326,8 +385,13 @@ impl SimRuntime {
             pending_ops,
         } = slot
         {
-            let mut p = snapshot::load(snapshot)?;
-            for op in pending_ops.drain(..) {
+            let ops: Vec<SimOp> = std::mem::take(pending_ops);
+            let token = snapshot.clone();
+            let mut p = self
+                .persistence
+                .restart(peer, &token)
+                .map_err(NodeError::Net)?;
+            for op in ops {
                 apply_op(&mut p, op)?;
             }
             let state: &Arc<Mutex<SimState>> = &self.net.state;

@@ -24,7 +24,13 @@ pub const SNAPSHOT_VERSION: u8 = 1;
 
 /// Serializes a peer's durable state.
 pub fn save(peer: &Peer) -> Bytes {
-    let state = peer.export_state();
+    save_state(&peer.export_state())
+}
+
+/// Serializes an already-exported [`PeerState`]. The storage engine uses
+/// this to write its *meta* checkpoint (a `PeerState` with the facts left
+/// empty — facts live in per-relation segment files instead).
+pub fn save_state(state: &PeerState) -> Bytes {
     let mut buf = BytesMut::with_capacity(1024);
     buf.put_u8(SNAPSHOT_VERSION);
     put_symbol(&mut buf, state.name);

@@ -1,0 +1,237 @@
+//! Per-relation segment files and the meta checkpoint.
+//!
+//! A **segment** is one extensional relation frozen at a checkpoint:
+//!
+//! ```text
+//! u32  magic "WSEG"        u8   version
+//! str  relation (unqualified)
+//! u32  arity               u32  rows
+//! u32  #values  then that many codec values   ← the interner slice the
+//! u32  #cells   then that many u32 LE cells   ← relation references
+//! u32  CRC-32 of everything above
+//! ```
+//!
+//! The value table is the slice of the process interner the relation's
+//! tuples reference, in first-use order; the cells are fixed-width
+//! little-endian indexes into it (see [`wdl_datalog::ColumnExport`]).
+//! Storing values by *content* and ids by *local index* makes segments
+//! process-independent: loading re-interns every value, so a snapshot
+//! taken in one process loads correctly into another whose global
+//! interner assigned entirely different ids.
+//!
+//! The **meta checkpoint** is the structural rest of the peer — schema,
+//! rules, delegations, trust, grants — encoded with the snapshot codec
+//! but with the facts left empty (facts live in segments), wrapped in the
+//! same magic/version/CRC envelope.
+
+use crate::crc::crc32;
+use crate::error::{Result, StoreError};
+use bytes::{BufMut, BytesMut};
+use wdl_core::PeerState;
+use wdl_datalog::{ColumnExport, Symbol};
+use wdl_net::codec::{put_str, put_value, Reader};
+
+/// Segment file magic ("WSEG", little-endian).
+const SEG_MAGIC: u32 = u32::from_le_bytes(*b"WSEG");
+/// Meta checkpoint magic ("WMET").
+const META_MAGIC: u32 = u32::from_le_bytes(*b"WMET");
+/// On-disk format version for both envelopes.
+const FORMAT_VERSION: u8 = 1;
+
+/// Encodes one relation's column dump as a segment file image.
+pub fn write_segment_bytes(rel: Symbol, dump: &ColumnExport) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + dump.cells.len() * 4);
+    buf.put_u32_le(SEG_MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+    put_str(&mut buf, rel.as_str());
+    buf.put_u32_le(dump.arity as u32);
+    buf.put_u32_le(dump.rows as u32);
+    buf.put_u32_le(dump.values.len() as u32);
+    for v in &dump.values {
+        put_value(&mut buf, v);
+    }
+    buf.put_u32_le(dump.cells.len() as u32);
+    for &c in &dump.cells {
+        buf.put_u32_le(c);
+    }
+    finish_with_crc(buf)
+}
+
+/// Decodes a segment file image. `file` labels errors.
+pub fn read_segment(bytes: &[u8], file: &str) -> Result<(Symbol, ColumnExport)> {
+    let body = check_envelope(bytes, SEG_MAGIC, "segment", file)?;
+    let mut r = Reader::new(body);
+    let inner = |e: wdl_net::NetError| StoreError::corrupt(file, e.to_string());
+    // Magic + version were validated by the envelope; skip them.
+    r.u32().map_err(inner)?;
+    r.u8().map_err(inner)?;
+    let rel = r.symbol().map_err(inner)?;
+    let arity = r.u32().map_err(inner)? as usize;
+    let rows = r.u32().map_err(inner)? as usize;
+    let nvalues = r.len().map_err(inner)?;
+    let mut values = Vec::with_capacity(nvalues);
+    for _ in 0..nvalues {
+        values.push(r.value().map_err(inner)?);
+    }
+    let ncells = r.len().map_err(inner)?;
+    if ncells != rows.saturating_mul(arity) {
+        return Err(StoreError::corrupt(
+            file,
+            format!("cell count {ncells} does not match {rows} rows × {arity} columns"),
+        ));
+    }
+    let mut cells = Vec::with_capacity(ncells);
+    for _ in 0..ncells {
+        cells.push(r.u32().map_err(inner)?);
+    }
+    r.expect_end().map_err(inner)?;
+    Ok((
+        rel,
+        ColumnExport {
+            arity,
+            rows,
+            values,
+            cells,
+        },
+    ))
+}
+
+/// Encodes the peer's structural state (facts cleared) as the meta
+/// checkpoint image.
+pub fn write_meta_bytes(state: &PeerState) -> Vec<u8> {
+    debug_assert!(state.facts.is_empty(), "meta checkpoints carry no facts");
+    let snap = wdl_net::snapshot::save_state(state);
+    let mut buf = BytesMut::with_capacity(snap.len() + 16);
+    buf.put_u32_le(META_MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+    buf.put_u32_le(snap.len() as u32);
+    buf.put_slice(&snap.to_vec());
+    finish_with_crc(buf)
+}
+
+/// Decodes a meta checkpoint image back into a [`PeerState`].
+pub fn read_meta(bytes: &[u8], file: &str) -> Result<PeerState> {
+    let body = check_envelope(bytes, META_MAGIC, "meta checkpoint", file)?;
+    // 4 magic + 1 version + 4 length.
+    let payload_len = u32::from_le_bytes(body[5..9].try_into().unwrap()) as usize;
+    let payload = &body[9..];
+    if payload.len() != payload_len {
+        return Err(StoreError::corrupt(
+            file,
+            format!(
+                "meta payload length {} does not match header {payload_len}",
+                payload.len()
+            ),
+        ));
+    }
+    wdl_net::snapshot::load_state(payload)
+        .map_err(|e| StoreError::corrupt(file, format!("snapshot decode: {e}")))
+}
+
+/// Appends the CRC trailer over everything written so far.
+fn finish_with_crc(buf: BytesMut) -> Vec<u8> {
+    let mut out = buf.freeze().to_vec();
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates magic, version and the CRC trailer; returns the body
+/// (everything except the trailer, *including* magic + version).
+pub(crate) fn check_envelope<'a>(
+    bytes: &'a [u8],
+    magic: u32,
+    kind: &str,
+    file: &str,
+) -> Result<&'a [u8]> {
+    if bytes.len() < 9 {
+        return Err(StoreError::corrupt(
+            file,
+            format!("{kind} too short ({} bytes)", bytes.len()),
+        ));
+    }
+    let got_magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if got_magic != magic {
+        return Err(StoreError::corrupt(
+            file,
+            format!("{kind} magic mismatch: got {got_magic:#010x}, want {magic:#010x}"),
+        ));
+    }
+    if bytes[4] != FORMAT_VERSION {
+        return Err(StoreError::corrupt(
+            file,
+            format!(
+                "{kind} version mismatch: got {}, want {FORMAT_VERSION}",
+                bytes[4]
+            ),
+        ));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes(trailer.try_into().unwrap());
+    let got = crc32(body);
+    if got != want {
+        return Err(StoreError::corrupt(
+            file,
+            format!("{kind} CRC mismatch: computed {got:#010x}, stored {want:#010x}"),
+        ));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdl_datalog::Value;
+
+    fn sample_dump() -> ColumnExport {
+        ColumnExport {
+            arity: 2,
+            rows: 2,
+            values: vec![Value::from(1), Value::from("a"), Value::from(2)],
+            cells: vec![0, 1, 2, 1],
+        }
+    }
+
+    #[test]
+    fn segment_round_trip() {
+        let rel = Symbol::intern("pictures");
+        let bytes = write_segment_bytes(rel, &sample_dump());
+        let (r, dump) = read_segment(&bytes, "t.seg").unwrap();
+        assert_eq!(r, rel);
+        assert_eq!(dump, sample_dump());
+    }
+
+    #[test]
+    fn segment_rejects_any_single_bit_flip() {
+        let bytes = write_segment_bytes(Symbol::intern("r"), &sample_dump());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                read_segment(&bad, "t.seg").is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_rejects_truncation() {
+        let bytes = write_segment_bytes(Symbol::intern("r"), &sample_dump());
+        for cut in 0..bytes.len() {
+            assert!(read_segment(&bytes[..cut], "t.seg").is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let mut p = wdl_core::Peer::new("segmeta");
+        p.declare("pictures", 2, wdl_core::RelationKind::Extensional)
+            .unwrap();
+        let mut state = p.export_state();
+        state.facts.clear();
+        let bytes = write_meta_bytes(&state);
+        let back = read_meta(&bytes, "meta.ck").unwrap();
+        assert_eq!(back.name, state.name);
+        assert_eq!(back.decls.len(), state.decls.len());
+    }
+}

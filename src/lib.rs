@@ -19,6 +19,8 @@
 //!   critical-path extractor.
 //! * [`parser`] — the surface syntax (`m@p(...)`, `$vars`, `:-`).
 //! * [`net`] — transports: deterministic in-memory network and framed TCP.
+//! * [`store`] — the durable storage engine: per-relation segment
+//!   checkpoints, a delta write-ahead log, and crash recovery.
 //! * [`wrappers`] — simulated Facebook and email wrappers.
 //! * [`wepic`] — the Wepic conference picture-sharing application.
 //!
@@ -64,5 +66,6 @@ pub use wdl_datalog as datalog;
 pub use wdl_net as net;
 pub use wdl_obs as obs;
 pub use wdl_parser as parser;
+pub use wdl_store as store;
 pub use wdl_wrappers as wrappers;
 pub use wepic;

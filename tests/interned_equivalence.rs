@@ -351,3 +351,72 @@ fn interning_is_invisible_in_snapshots() {
     assert_eq!(q(&peer), q(&restored));
     let _ = Subst::new(); // keep the import exercised under all features
 }
+
+/// Storage segments are interner-portable: a segment written in one
+/// process must load into a process whose interner assigned completely
+/// different ids. Segments store the referenced values by content and
+/// local column indexes, so a skewed global interner on the loading side
+/// must change neither the decoded bytes' meaning nor the facts.
+#[test]
+fn segments_survive_a_skewed_interner() {
+    use webdamlog::core::RelationKind;
+    use webdamlog::store::{read_segment, write_segment_bytes};
+
+    let mut writer = Peer::new("segwriter");
+    writer
+        .acl_mut()
+        .set_untrusted_policy(UntrustedPolicy::Accept);
+    for i in 0..32i64 {
+        writer
+            .insert_local(
+                "pictures",
+                vec![
+                    Value::from(i),
+                    Value::from(format!("seg-{i}.jpg")),
+                    Value::bytes(&[7, (i % 120) as u8]),
+                ],
+            )
+            .unwrap();
+    }
+    let dumps = writer.export_extensional();
+    let (rel, dump) = dumps
+        .iter()
+        .find(|(r, _)| r.as_str() == "pictures")
+        .expect("pictures exported");
+    let bytes = write_segment_bytes(*rel, dump);
+
+    // Skew the interner hard: every id assigned from here on differs
+    // from the ids the writer's columns referenced.
+    let mut skew = Database::new();
+    for i in 0..3000i64 {
+        skew.insert(Fact::new(
+            "skew3",
+            vec![Value::from(format!("segment-skew-{i}"))],
+        ))
+        .unwrap();
+    }
+
+    let (got_rel, got_dump) = read_segment(&bytes, "test.seg").unwrap();
+    assert_eq!(got_rel, *rel);
+    let mut reader = Peer::new("segwriter");
+    reader
+        .declare("pictures", 3, RelationKind::Extensional)
+        .unwrap();
+    reader.import_extensional(got_rel, &got_dump).unwrap();
+
+    let rows = |p: &Peer| {
+        let mut v: Vec<String> = p
+            .relation_facts("pictures")
+            .into_iter()
+            .map(|t| format!("{t:?}"))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        rows(&writer),
+        rows(&reader),
+        "values changed across the skew"
+    );
+    assert_eq!(rows(&reader).len(), 32);
+}

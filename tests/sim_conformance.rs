@@ -25,8 +25,12 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use webdamlog::core::runtime::LocalRuntime;
 use webdamlog::datalog::Symbol;
-use webdamlog::net::sim::oracle::{check_conformance, RunSpec, Scenario, Verdict};
-use webdamlog::net::sim::{FaultPlan, SimOp};
+use webdamlog::net::node::NodeError;
+use webdamlog::net::sim::oracle::{
+    check_conformance, check_conformance_with, RunSpec, Scenario, Verdict,
+};
+use webdamlog::net::sim::{FaultPlan, SimOp, SimRuntime};
+use webdamlog::store::{DurabilityConfig, DurablePersistence};
 use wepic::scenarios;
 
 use rand::rngs::StdRng;
@@ -105,6 +109,71 @@ fn sweep_with(
 /// [`sweep_with`] without a strength requirement.
 fn sweep(group: &str, seeds: Range<u64>, make: impl Fn(u64) -> (Scenario, RunSpec)) {
     sweep_with(group, seeds, |_| true, make)
+}
+
+/// Like [`sweep_with`], but every run goes through the real durable
+/// storage engine: a [`DurablePersistence`] is installed before events
+/// are scheduled, every scenario peer gets a durability sink (with a
+/// seed-derived checkpoint policy, so some seeds crash mid-WAL-tail and
+/// others right at a checkpoint boundary), and crashed peers restart by
+/// genuine recovery from disk — segments + WAL replay — not by snapshot
+/// copying. The fault-free reference run stays engine-free, so any state
+/// the engine loses or invents fails the oracle's equality check.
+fn sweep_durable(
+    group: &str,
+    seeds: Range<u64>,
+    expect: impl Fn(&Verdict) -> bool,
+    make: impl Fn(u64) -> (Scenario, RunSpec),
+) {
+    let mut checked = 0usize;
+    for seed in seed_range(seeds) {
+        let root = std::env::temp_dir().join(format!(
+            "wdl-sim-durable-{group}-{seed}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let setup = |sim: &mut SimRuntime| -> Result<(), NodeError> {
+            let mut policy = StdRng::seed_from_u64(seed ^ 0xD0_4AB1E);
+            let mut persist = DurablePersistence::new(
+                DurabilityConfig::new(&root).checkpoint_records(1 << policy.gen_range(0..6u32)),
+            );
+            for name in sim.peer_names().to_vec() {
+                let peer = sim.peer_mut(name).expect("just listed");
+                persist
+                    .store_mut()
+                    .attach(peer)
+                    .map_err(|e| NodeError::Net(e.into()))?;
+            }
+            sim.set_persistence(Box::new(persist));
+            Ok(())
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (sc, spec) = make(seed);
+            check_conformance_with(&sc, &spec, &setup)
+        }));
+        let _ = std::fs::remove_dir_all(&root);
+        match outcome {
+            Ok(Ok(v)) => {
+                assert!(
+                    expect(&v),
+                    "\n[sim-conformance] group `{group}` seed {seed}: oracle did not reach \
+                     the expected strength: {v:?}\n\
+                     reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance {group}\n"
+                );
+                checked += 1;
+            }
+            Ok(Err(e)) => panic!(
+                "\n[sim-conformance] group `{group}` FAILED: {e}\n\
+                 reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance {group}\n"
+            ),
+            Err(p) => panic!(
+                "\n[sim-conformance] group `{group}` seed {seed} panicked: {}\n\
+                 reproduce: WDL_SIM_SEED={seed} cargo test --test sim_conformance {group}\n",
+                panic_text(p)
+            ),
+        }
+    }
+    assert!(checked > 0, "empty seed range");
 }
 
 fn names_of(sc: &Scenario) -> Vec<Symbol> {
@@ -318,6 +387,42 @@ fn publish_chain_mixed() {
         let spec = mixed_spec(seed, &sc);
         (sc, spec)
     });
+}
+
+// ---------------------------------------------------------------------
+// Durable storage: the same oracle, but crashes destroy the process
+// image and restarts recover from the real on-disk engine.
+// ---------------------------------------------------------------------
+
+#[test]
+fn durable_crash_restart() {
+    sweep_durable(
+        "durable_crash_restart",
+        900..1000,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::delegation_fanout(seed);
+            let spec = crash_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+/// Durability with no crash in the plan must be entirely invisible: the
+/// engine's checkpoints and WAL appends ride along but the outcome is
+/// byte-identical to the fault-free reference.
+#[test]
+fn durable_transparent_without_crashes() {
+    sweep_durable(
+        "durable_transparent_without_crashes",
+        1000..1020,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::transfer_dispatch(seed);
+            let spec = lossless_adversarial_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
 }
 
 // ---------------------------------------------------------------------

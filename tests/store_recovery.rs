@@ -1,0 +1,345 @@
+//! Crash-recovery property suite for the durable storage engine.
+//!
+//! The central property: **a peer that crashes and recovers is
+//! indistinguishable from one that never crashed**, given the same
+//! client behavior (a client whose op was not yet acked retries it).
+//! Each seed derives a random interleaving of inserts, deletes, group
+//! commits, forced checkpoints, and crashes; after the schedule the
+//! recovered subject must equal an oracle peer that executed the same
+//! ops in memory.
+//!
+//! On failure the harness prints the seed and the reproduction command:
+//!
+//! ```text
+//! WDL_STORE_SEED=1234 cargo test --test store_recovery <test-name>
+//! ```
+//!
+//! `WDL_STORE_SEEDS=lo..hi` overrides a sweep's whole range (used by the
+//! CI `store-recovery` job).
+
+use std::fs;
+use std::ops::Range;
+use std::path::PathBuf;
+use webdamlog::core::{Peer, RelationKind};
+use webdamlog::datalog::{Symbol, Value};
+use webdamlog::net::sim::SimOp;
+use webdamlog::store::{DurabilityConfig, DurablePersistence, IoFaults};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdl_net::sim::CrashPersistence;
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn seed_range(default: Range<u64>) -> Range<u64> {
+    if let Ok(v) = std::env::var("WDL_STORE_SEED") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            return n..n + 1;
+        }
+    }
+    if let Ok(v) = std::env::var("WDL_STORE_SEEDS") {
+        if let Some((lo, hi)) = v.trim().split_once("..") {
+            if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                return lo..hi;
+            }
+        }
+    }
+    default
+}
+
+fn tmp_root(tag: &str, seed: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wdl-recovery-{tag}-{seed}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `body(seed)` over the sweep range, labeling any panic with the
+/// seed and the single-command reproduction line.
+fn sweep(test: &str, seeds: Range<u64>, body: impl Fn(u64)) {
+    for seed in seed_range(seeds) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(seed)));
+        if let Err(p) = outcome {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!(
+                "\n[store-recovery] {test} seed {seed}: {msg}\n\
+                 reproduce: WDL_STORE_SEED={seed} cargo test --test store_recovery {test}\n"
+            );
+        }
+    }
+}
+
+const RELS: [&str; 3] = ["album", "pictures", "tags"];
+
+fn build_peer(name: &str) -> Peer {
+    let mut p = Peer::new(name);
+    for rel in RELS {
+        p.declare(rel, 2, RelationKind::Extensional).unwrap();
+    }
+    p
+}
+
+fn random_tuple(rng: &mut StdRng) -> Vec<Value> {
+    vec![
+        Value::from(rng.gen_range(0..12i64)),
+        match rng.gen_range(0..3u32) {
+            0 => Value::from(rng.gen_range(0..6i64)),
+            1 => Value::from(["x", "y", "z"][rng.gen_range(0..3usize)]),
+            _ => Value::bytes(&[rng.gen_range(0..4u8)]),
+        },
+    ]
+}
+
+fn apply_op(p: &mut Peer, op: &SimOp) {
+    match op {
+        SimOp::Insert { rel, tuple } => {
+            p.insert_local(*rel, tuple.clone()).unwrap();
+        }
+        SimOp::Delete { rel, tuple } => {
+            p.delete_local(*rel, tuple.clone()).unwrap();
+        }
+    }
+}
+
+fn assert_same_state(subject: &Peer, oracle: &Peer, context: &str) {
+    for rel in RELS {
+        let mut a = subject.relation_facts(rel);
+        let mut b = oracle.relation_facts(rel);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{context}: relation {rel} diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 1: random schedules — recovered ≡ never-crashed.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_crash_schedules_recover_exactly() {
+    sweep("random_crash_schedules_recover_exactly", 0..100, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root = tmp_root("sched", seed);
+        let name = format!("recp{seed}");
+        let sym = Symbol::intern(&name);
+        let cfg = DurabilityConfig::new(&root)
+            .checkpoint_records(rng.gen_range(2..24))
+            .checkpoint_bytes(rng.gen_range(256..4096));
+        let mut persist = DurablePersistence::new(cfg);
+
+        let mut subject = build_peer(&name);
+        persist.store_mut().attach(&mut subject).unwrap();
+        let mut oracle = build_peer(&name);
+
+        let steps = rng.gen_range(30..90);
+        let mut crashes = 0;
+        for _ in 0..steps {
+            match rng.gen_range(0..100u32) {
+                // Mutation, mirrored on both peers.
+                0..=54 => {
+                    let rel = Symbol::intern(RELS[rng.gen_range(0..RELS.len())]);
+                    let tuple = random_tuple(&mut rng);
+                    let op = if rng.gen_range(0..10u32) < 7 {
+                        SimOp::Insert { rel, tuple }
+                    } else {
+                        SimOp::Delete { rel, tuple }
+                    };
+                    apply_op(&mut subject, &op);
+                    apply_op(&mut oracle, &op);
+                }
+                // Stage boundary = group commit.
+                55..=79 => {
+                    subject.run_stage().unwrap();
+                    oracle.run_stage().unwrap();
+                }
+                // Forced full checkpoint.
+                80..=87 => {
+                    let engine = persist.store_mut().engine(sym).unwrap();
+                    let mut engine = engine.lock();
+                    engine.checkpoint(&subject).unwrap();
+                }
+                // Crash + recover + client retry of lost ops.
+                _ => {
+                    crashes += 1;
+                    let crash_seed = rng.gen();
+                    let (token, lost) = persist.crash(subject, crash_seed).unwrap();
+                    subject = persist.restart(sym, &token).unwrap();
+                    for op in &lost {
+                        apply_op(&mut subject, op);
+                    }
+                }
+            }
+        }
+        // Final crash so every seed exercises at least one recovery.
+        let crash_seed = rng.gen();
+        let (token, lost) = persist.crash(subject, crash_seed).unwrap();
+        subject = persist.restart(sym, &token).unwrap();
+        for op in &lost {
+            apply_op(&mut subject, op);
+        }
+        subject.run_stage().unwrap();
+        oracle.run_stage().unwrap();
+
+        assert_same_state(
+            &subject,
+            &oracle,
+            &format!("after {steps} steps, {} crashes", crashes + 1),
+        );
+        let _ = fs::remove_dir_all(&root);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Property 2: killing the engine after any number of file operations
+// (mid-checkpoint, mid-append, mid-rename) leaves a recoverable store
+// that equals one of the two legal states: before or after the dying
+// commit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_budget_sweep_recovers_before_or_after() {
+    sweep(
+        "fault_budget_sweep_recovers_before_or_after",
+        0..40,
+        |budget| {
+            let root = tmp_root("budget", budget);
+            let name = format!("budp{budget}");
+            let sym = Symbol::intern(&name);
+            let cfg = DurabilityConfig::new(&root).checkpoint_records(4);
+            let mut persist = DurablePersistence::new(cfg);
+
+            let mut subject = build_peer(&name);
+            persist.store_mut().attach(&mut subject).unwrap();
+            subject
+                .insert_local("album", vec![Value::from(1), Value::from(1)])
+                .unwrap();
+            subject.run_stage().unwrap(); // acked baseline
+
+            // Arm the fault budget, then attempt a burst of work whose file
+            // operations will die at operation #budget.
+            {
+                let engine = persist.store_mut().engine(sym).unwrap();
+                engine.lock().set_faults(IoFaults::fail_after(budget));
+            }
+            let mut attempted = Vec::new();
+            let mut failed = false;
+            'burst: for round in 0..6i64 {
+                for k in 0..3i64 {
+                    let t = vec![Value::from(round), Value::from(k)];
+                    subject.insert_local("pictures", t.clone()).unwrap();
+                    attempted.push(t);
+                }
+                if subject.run_stage().is_err() {
+                    failed = true;
+                    break 'burst;
+                }
+            }
+
+            // Crash (disarms nothing — recovery opens fresh handles) and
+            // recover on a clean engine.
+            let crash_seed = budget.wrapping_mul(0x9E37);
+            let (token, _lost) = persist.crash(subject, crash_seed).unwrap();
+            {
+                let engine = persist.store_mut().engine(sym).unwrap();
+                engine.lock().set_faults(IoFaults::none());
+            }
+            let recovered = persist.restart(sym, &token).unwrap();
+
+            // The acked baseline always survives.
+            assert_eq!(
+                recovered.relation_facts("album").len(),
+                1,
+                "acked baseline lost (budget {budget}, failed={failed})"
+            );
+            // Whatever subset of the burst recovered must be a prefix-closed
+            // subset of what was attempted — never an invented fact.
+            let got = recovered.relation_facts("pictures");
+            for t in &got {
+                assert!(
+                    attempted.iter().any(|a| a[..] == t[..]),
+                    "recovered invented fact {t:?} (budget {budget})"
+                );
+            }
+            let _ = fs::remove_dir_all(&root);
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property 3: truncating the WAL at every byte offset of the last
+// (unacked) record never panics and never resurrects an
+// acked-then-deleted fact.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_truncation_never_resurrects_deleted_facts() {
+    let root = tmp_root("trunc", 0);
+    let name = "truncp";
+    let sym = Symbol::intern(name);
+    // Thresholds high enough that nothing below checkpoints on its own.
+    let cfg = DurabilityConfig::new(&root)
+        .checkpoint_records(10_000)
+        .checkpoint_bytes(u64::MAX);
+    let mut persist = DurablePersistence::new(cfg);
+
+    let mut p = build_peer(name);
+    p.insert_local("pictures", vec![Value::from(1), Value::from(1)])
+        .unwrap();
+    persist.store_mut().attach(&mut p).unwrap(); // checkpoint holds the fact
+
+    let engine = persist.store_mut().engine(sym).unwrap();
+    let wal_file = engine.lock().manifest().unwrap().wal_file;
+    let wal_path = engine.lock().dir().join(&wal_file);
+
+    // Acked delete of the checkpointed fact…
+    p.delete_local("pictures", vec![Value::from(1), Value::from(1)])
+        .unwrap();
+    p.sync_durability().unwrap();
+    let acked_len = fs::metadata(&wal_path).unwrap().len() as usize;
+
+    // …followed by one more record whose append the crash may tear.
+    p.insert_local("album", vec![Value::from(2), Value::from(2)])
+        .unwrap();
+    p.sync_durability().unwrap();
+    let full = fs::read(&wal_path).unwrap();
+    assert!(full.len() > acked_len, "second record landed");
+    drop(p);
+
+    for cut in acked_len..=full.len() {
+        fs::write(&wal_path, &full[..cut]).unwrap();
+        let recovered = persist
+            .restart(sym, &bytes::Bytes::from(name.as_bytes().to_vec()))
+            .unwrap_or_else(|e| panic!("cut {cut}: recovery failed: {e}"));
+        assert!(
+            recovered.relation_facts("pictures").is_empty(),
+            "cut {cut}: acked delete was undone — fact resurrected"
+        );
+        let album = recovered.relation_facts("album").len();
+        assert!(album <= 1, "cut {cut}: invented facts");
+        // Recovery checkpoints; restore the scenario for the next cut.
+        let _ = fs::remove_dir_all(&root);
+        let mut q = build_peer(name);
+        q.insert_local("pictures", vec![Value::from(1), Value::from(1)])
+            .unwrap();
+        persist = DurablePersistence::new(
+            DurabilityConfig::new(&root)
+                .checkpoint_records(10_000)
+                .checkpoint_bytes(u64::MAX),
+        );
+        persist.store_mut().attach(&mut q).unwrap();
+        q.delete_local("pictures", vec![Value::from(1), Value::from(1)])
+            .unwrap();
+        q.sync_durability().unwrap();
+        q.insert_local("album", vec![Value::from(2), Value::from(2)])
+            .unwrap();
+        q.sync_durability().unwrap();
+        drop(q);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
