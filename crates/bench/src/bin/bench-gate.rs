@@ -67,6 +67,9 @@ const PINNED_CEILING: &[(&str, &str, f64)] = &[
     // ISSUE 7: the structured trace pipeline may cost at most 15% on the
     // traced burst round versus the same round untraced.
     ("BENCH_e14_scale.json", "tracing_overhead", 1.15),
+    // ISSUE 9: the reliable-delivery session layer may cost at most 20%
+    // on a lossless link versus the raw transport.
+    ("BENCH_e16_session.json", "session_overhead", 1.20),
 ];
 
 /// Extracts `"name": <number>` from the shim's flat JSON. Good enough for

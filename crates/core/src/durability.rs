@@ -31,6 +31,19 @@ pub trait DurabilitySink: Send {
     /// only buffer — durability is decided at [`DurabilitySink::sync`].
     fn record_fact(&mut self, rel: Symbol, tuple: &Tuple, added: bool);
 
+    /// A session-layer delivery watermark advanced (see
+    /// [`Peer::note_session_watermark`]): direction `dir` 0 = delivered
+    /// from `remote`, 1 = acked by `remote`, now at `(inc, seq)`. Like
+    /// [`DurabilitySink::record_fact`] this must only buffer; the
+    /// watermark becomes durable at the next [`DurabilitySink::sync`],
+    /// in the same group commit as the facts it covers. The default
+    /// does nothing — sinks predating the session layer stay correct
+    /// (sessions then re-deliver instead of deduplicating, which the
+    /// application layer tolerates for persistent updates).
+    fn record_watermark(&mut self, remote: Symbol, dir: u8, inc: u64, seq: u64) {
+        let _ = (remote, dir, inc, seq);
+    }
+
     /// Group-commit point, called at the end of every stage (and by
     /// [`Peer::sync_durability`]). Flush buffered records; when
     /// `meta_dirty` is `true`, structural state changed since the last

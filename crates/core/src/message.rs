@@ -42,6 +42,10 @@ pub enum Payload {
     Delegate(Vec<Delegation>),
     /// Previously installed delegations to remove.
     Revoke(Vec<DelegationId>),
+    /// An opaque session-layer control or data frame (reliable-delivery
+    /// sub-protocol). Never reaches the stage loop: the session endpoint
+    /// consumes these below the application layer.
+    Session(Vec<u8>),
 }
 
 impl Payload {
@@ -55,6 +59,7 @@ impl Payload {
             } => additions.len() + retractions.len(),
             Payload::Delegate(ds) => ds.len(),
             Payload::Revoke(ids) => ids.len(),
+            Payload::Session(_) => 0,
         }
     }
 }
@@ -109,6 +114,15 @@ impl fmt::Display for Message {
                     self.from,
                     self.to,
                     ids.len()
+                )
+            }
+            Payload::Session(bytes) => {
+                write!(
+                    f,
+                    "{} -> {}: session frame ({} bytes)",
+                    self.from,
+                    self.to,
+                    bytes.len()
                 )
             }
         }

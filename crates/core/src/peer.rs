@@ -8,7 +8,7 @@ use crate::{
     WFact, WRule, WdlError,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use wdl_datalog::{Database, Symbol, Tuple, Value};
 
@@ -126,6 +126,14 @@ pub struct Peer {
     /// Structural (non-fact) state changed since the last durability sync;
     /// forces a full checkpoint at the next group commit.
     pub(crate) meta_dirty: bool,
+    /// Session-layer delivery watermarks, keyed by `(remote peer,
+    /// direction)` where direction 0 = delivered (frames from `remote`
+    /// this peer has applied) and 1 = acked (frames to `remote` the
+    /// remote has durably applied); the value is `(remote incarnation,
+    /// cumulative sequence number)`. Persisted through the durability
+    /// sink so a recovered peer resumes its sessions without re-applying
+    /// (or losing) in-flight traffic.
+    pub(crate) session_watermarks: BTreeMap<(Symbol, u8), (u64, u64)>,
 }
 
 impl Peer {
@@ -165,6 +173,7 @@ impl Peer {
             cum_eval: wdl_datalog::EvalStats::default(),
             durability: None,
             meta_dirty: false,
+            session_watermarks: BTreeMap::new(),
         }
     }
 
@@ -283,6 +292,31 @@ impl Peer {
     /// Whether a trace sink is installed.
     pub fn tracing(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    /// Records a session-layer retransmission batch toward `to` (called
+    /// by the transport driver; a no-op when untraced).
+    pub fn trace_session_retransmits(&mut self, to: Symbol, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let from = self.name;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(crate::TraceEvent::SessionRetransmit { from, to, count });
+        }
+    }
+
+    /// Records a session liveness transition for `remote`
+    /// (0 = Up, 1 = Suspect, 2 = Down); a no-op when untraced.
+    pub fn trace_session_health(&mut self, remote: Symbol, state: u8) {
+        let observer = self.name;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(crate::TraceEvent::SessionHealth {
+                observer,
+                remote,
+                state,
+            });
+        }
     }
 
     /// Drains buffered trace events from the installed sink (empty when
@@ -740,6 +774,60 @@ impl Peer {
             }
         }
         self.base_log.push((fact, added));
+    }
+
+    // ------------------------------------------------------------------
+    // Session watermarks (reliable-delivery layer, `wdl-net::session`)
+    // ------------------------------------------------------------------
+
+    /// Records a session watermark observed by the transport layer:
+    /// direction 0 = delivered-from-`remote`, 1 = acked-by-`remote`, at
+    /// `(inc, seq)`. The update is monotone — an older incarnation, or an
+    /// older seq within the same incarnation, is ignored — and is
+    /// forwarded to the durability sink so the next group commit makes it
+    /// crash-safe together with the facts it covers.
+    pub fn note_session_watermark(&mut self, remote: Symbol, dir: u8, inc: u64, seq: u64) {
+        let key = (remote, dir);
+        let newer = match self.session_watermarks.get(&key) {
+            Some(&(old_inc, old_seq)) => inc > old_inc || (inc == old_inc && seq > old_seq),
+            None => true,
+        };
+        if !newer {
+            return;
+        }
+        self.session_watermarks.insert(key, (inc, seq));
+        if let Some(sink) = &mut self.durability {
+            sink.record_watermark(remote, dir, inc, seq);
+        }
+    }
+
+    /// Restores a watermark during recovery (snapshot load or WAL
+    /// replay) without echoing it back into the durability sink.
+    pub fn restore_session_watermark(&mut self, remote: Symbol, dir: u8, inc: u64, seq: u64) {
+        let key = (remote, dir);
+        let newer = match self.session_watermarks.get(&key) {
+            Some(&(old_inc, old_seq)) => inc > old_inc || (inc == old_inc && seq > old_seq),
+            None => true,
+        };
+        if newer {
+            self.session_watermarks.insert(key, (inc, seq));
+        }
+    }
+
+    /// The peer's session watermarks: `(remote, direction) -> (remote
+    /// incarnation, cumulative seq)`; direction 0 = delivered, 1 = acked.
+    pub fn session_watermarks(&self) -> &BTreeMap<(Symbol, u8), (u64, u64)> {
+        &self.session_watermarks
+    }
+
+    /// Forgets what was previously sent to `remote`, so the next stage
+    /// re-emits this peer's full derived contribution (and delegation
+    /// set) to it. Called when the session layer detects that `remote`
+    /// restarted with a new incarnation: the restarted peer lost its
+    /// transient remote contributions, and the stage diff against
+    /// `prev_sent` would otherwise never re-send them.
+    pub fn resync_target(&mut self, remote: Symbol) {
+        self.prev_sent.remove(&remote);
     }
 
     pub(crate) fn ensure_extensional(&mut self, rel: Symbol, arity: usize) -> Result<()> {

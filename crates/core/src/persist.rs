@@ -45,6 +45,10 @@ pub struct PeerState {
     pub untrusted_policy: UntrustedPolicy,
     /// Relation-level grants.
     pub grants: RelationGrants,
+    /// Session delivery watermarks: `((remote, direction), (incarnation,
+    /// seq))`; direction 0 = delivered, 1 = acked (see
+    /// [`Peer::session_watermarks`]).
+    pub watermarks: Vec<((Symbol, u8), (u64, u64))>,
 }
 
 impl Peer {
@@ -75,6 +79,11 @@ impl Peer {
             trusted: self.acl.trusted_peers(),
             untrusted_policy: self.acl.untrusted_policy(),
             grants: self.grants.clone(),
+            watermarks: self
+                .session_watermarks
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
         }
     }
 
@@ -101,6 +110,9 @@ impl Peer {
         }
         p.acl_mut().set_untrusted_policy(state.untrusted_policy);
         *p.grants_mut() = state.grants;
+        for ((remote, dir), (inc, seq)) in state.watermarks {
+            p.restore_session_watermark(remote, dir, inc, seq);
+        }
         Ok(p)
     }
 }

@@ -859,6 +859,14 @@ impl Peer {
                     }
                 }
             }
+            // Session frames are transport-internal: a session endpoint
+            // consumes them before the app layer, so one reaching the
+            // stage loop means the peer runs without sessions against a
+            // sessioned correspondent. Drop it — the sub-protocol
+            // carries no application state.
+            Payload::Session(_) => {
+                stats.rejected += 1;
+            }
         }
         Ok(())
     }

@@ -229,6 +229,11 @@ pub(crate) fn put_payload(buf: &mut BytesMut, p: &Payload) {
                 buf.put_u64_le(id.raw());
             }
         }
+        Payload::Session(bytes) => {
+            buf.put_u8(3);
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(bytes);
+        }
     }
 }
 
@@ -274,7 +279,7 @@ impl<'a> Reader<'a> {
         Reader { data, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
         if self.pos + n > self.data.len() {
             return Err(NetError::Codec(format!(
                 "truncated frame: wanted {n} bytes at offset {}, have {}",
@@ -504,6 +509,10 @@ impl<'a> Reader<'a> {
                 }
                 Ok(Payload::Revoke(ids))
             }
+            3 => {
+                let n = self.len()?;
+                Ok(Payload::Session(self.take(n)?.to_vec()))
+            }
             t => Err(NetError::Codec(format!("bad payload tag {t}"))),
         }
     }
@@ -630,6 +639,18 @@ mod tests {
     }
 
     #[test]
+    fn session_frame_round_trip() {
+        let msg = Message::new(
+            sym("a"),
+            sym("b"),
+            Payload::Session(vec![7, 0, 0, 1, 2, 3, 0xFF]),
+        );
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        let empty = Message::new(sym("a"), sym("b"), Payload::Session(vec![]));
+        assert_eq!(decode(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
     fn truncated_frames_error() {
         let msg = Message::new(sym("a"), sym("b"), Payload::Revoke(vec![]));
         let bytes = encode(&msg);
@@ -735,7 +756,12 @@ mod tests {
             Payload::Delegate(vec![d1, d2.clone()]),
         );
         let revoke = Message::new(sym("fz-b"), sym("fz-a"), Payload::Revoke(vec![d2.id]));
-        vec![facts_persistent, facts_derived, delegate, revoke]
+        let session = Message::new(
+            sym("fz-a"),
+            sym("fz-b"),
+            Payload::Session(vec![0x5E, 0x55, 0x10, 0, 1, 2, 3, 255]),
+        );
+        vec![facts_persistent, facts_derived, delegate, revoke, session]
     }
 
     /// The decoder must be total: whatever bytes arrive, the result is a

@@ -15,6 +15,9 @@ pub enum NetError {
     DuplicateEndpoint(String),
     /// The transport has been shut down.
     Closed,
+    /// The peer is currently unreachable (link down or the bounded
+    /// outbox is full). Recoverable: retry the send on a later step.
+    PeerUnreachable(String),
 }
 
 impl fmt::Display for NetError {
@@ -27,6 +30,9 @@ impl fmt::Display for NetError {
                 write!(f, "endpoint for {p} already exists")
             }
             NetError::Closed => write!(f, "transport closed"),
+            NetError::PeerUnreachable(p) => {
+                write!(f, "peer {p} unreachable (retry later)")
+            }
         }
     }
 }
@@ -58,5 +64,8 @@ mod tests {
         assert!(NetError::DuplicateEndpoint("p".into())
             .to_string()
             .contains("already exists"));
+        assert!(NetError::PeerUnreachable("p".into())
+            .to_string()
+            .contains("unreachable"));
     }
 }

@@ -14,9 +14,15 @@
 //!   codec is written here, over `bytes`);
 //! * [`node`] — glue that drives a [`wdl_core::Peer`] over any
 //!   [`Transport`];
+//! * [`session`] — a reliable delivery layer over any transport:
+//!   incarnation-tagged sessions, acks + retransmission, exactly-once
+//!   in-order delivery, liveness, backpressure, and durable watermarks
+//!   for crash-proof convergence;
 //! * [`sim`] — a deterministic seeded discrete-event network simulator
 //!   (drop/duplicate/reorder/delay/partition/crash) with a convergence
-//!   oracle, for conformance testing the full peer stack.
+//!   oracle, for conformance testing the full peer stack;
+//! * [`chaos`] — a seeded loopback TCP chaos proxy (drop / delay / sever /
+//!   torn frames) for exercising the session layer over real sockets.
 //!
 //! Stage semantics are transport-independent: a peer ingests whatever
 //! messages arrived since its previous stage, wherever they came from.
@@ -24,14 +30,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod codec;
 mod error;
 pub mod memory;
 pub mod node;
+pub mod session;
 pub mod sim;
 pub mod snapshot;
 pub mod tcp;
 mod transport;
 
 pub use error::NetError;
-pub use transport::Transport;
+pub use transport::{Transport, TransportEvent, WatermarkNote};

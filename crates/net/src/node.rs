@@ -5,11 +5,11 @@
 //! the deployment model of the demo, where laptops and the cloud peer tick
 //! independently.
 
-use crate::{NetError, Transport};
+use crate::{NetError, Transport, TransportEvent};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use wdl_core::{Peer, StageStats, WdlError};
+use wdl_core::{Message, Peer, StageStats, WdlError};
 
 /// Error from driving a node.
 #[derive(Debug)]
@@ -52,6 +52,9 @@ pub struct StepReport {
     pub sent: usize,
     /// Messages whose target the transport does not know.
     pub undeliverable: usize,
+    /// Messages deferred because the target is currently unreachable
+    /// (backpressure or a down link); retried at the next step.
+    pub deferred: usize,
     /// Whether the stage observed/produced any change.
     pub changed: bool,
     /// The stage's counters.
@@ -62,6 +65,10 @@ pub struct StepReport {
 pub struct PeerNode<T: Transport> {
     peer: Peer,
     transport: T,
+    /// Messages whose send came back [`NetError::PeerUnreachable`];
+    /// retried at the start of every step so backpressure degrades to
+    /// deferral instead of loss.
+    deferred: Vec<Message>,
 }
 
 impl<T: Transport> PeerNode<T> {
@@ -75,7 +82,11 @@ impl<T: Transport> PeerNode<T> {
             transport.peer_name(),
             "transport endpoint belongs to a different peer"
         );
-        PeerNode { peer, transport }
+        PeerNode {
+            peer,
+            transport,
+            deferred: Vec::new(),
+        }
     }
 
     /// The wrapped peer.
@@ -94,29 +105,73 @@ impl<T: Transport> PeerNode<T> {
         &self.transport
     }
 
-    /// One drain → stage → send cycle.
+    /// One full cycle: retry deferred sends → drain → react to transport
+    /// events → persist session watermarks → stage (the durability group
+    /// commit) → commit delivery to the session layer → send.
+    ///
+    /// The ordering is the crash-safety choreography of the session
+    /// layer: watermarks enter the peer *before* the stage's group
+    /// commit (so they land in the same commit as the facts they cover)
+    /// and [`Transport::commit_delivered`] runs *after* it (so acks
+    /// never advertise deliveries that are not yet durable).
     pub fn step(&mut self) -> Result<StepReport, NodeError> {
         let mut report = StepReport::default();
+        for msg in std::mem::take(&mut self.deferred) {
+            self.dispatch(msg, &mut report)?;
+        }
         for msg in self.transport.drain() {
             self.peer.enqueue(msg);
             report.received += 1;
         }
+        for ev in self.transport.poll_events() {
+            match ev {
+                TransportEvent::PeerRestarted(remote) => {
+                    // The remote lost its transient derived
+                    // contributions: forget what we already sent so the
+                    // next stage emits the full derived state again.
+                    self.peer.resync_target(remote);
+                }
+                TransportEvent::Suspect(remote) => {
+                    self.peer.trace_session_health(remote, 1);
+                }
+                TransportEvent::Down(remote) => {
+                    self.peer.trace_session_health(remote, 2);
+                }
+            }
+        }
+        for (to, count) in self.transport.take_retransmit_counts() {
+            self.peer.trace_session_retransmits(to, count);
+        }
+        for note in self.transport.watermarks() {
+            self.peer
+                .note_session_watermark(note.remote, note.dir, note.inc, note.seq);
+        }
         let out = self.peer.run_stage()?;
         report.changed = out.changed;
         report.stats = out.stats;
+        self.transport.commit_delivered();
         for msg in out.messages {
-            match self.transport.send(msg) {
-                Ok(()) => report.sent += 1,
-                Err(NetError::UnknownPeer(_)) => report.undeliverable += 1,
-                Err(e) => return Err(e.into()),
-            }
+            self.dispatch(msg, &mut report)?;
         }
         Ok(report)
     }
 
+    fn dispatch(&mut self, msg: Message, report: &mut StepReport) -> Result<(), NodeError> {
+        match self.transport.send(msg.clone()) {
+            Ok(()) => report.sent += 1,
+            Err(NetError::UnknownPeer(_)) => report.undeliverable += 1,
+            Err(NetError::PeerUnreachable(_)) => {
+                self.deferred.push(msg);
+                report.deferred += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(())
+    }
+
     /// Steps until `idle_steps` consecutive quiet steps (no input, no
-    /// change, nothing sent) or until `max_steps` is exhausted. Returns
-    /// `true` on quiescence.
+    /// change, nothing sent or deferred, no session work in flight) or
+    /// until `max_steps` is exhausted. Returns `true` on quiescence.
     pub fn run_until_quiet(
         &mut self,
         max_steps: usize,
@@ -125,7 +180,12 @@ impl<T: Transport> PeerNode<T> {
         let mut quiet = 0;
         for _ in 0..max_steps {
             let r = self.step()?;
-            if !r.changed && r.received == 0 && r.sent == 0 {
+            if !r.changed
+                && r.received == 0
+                && r.sent == 0
+                && r.deferred == 0
+                && self.transport.pending_work() == 0
+            {
                 quiet += 1;
                 if quiet >= idle_steps {
                     return Ok(true);

@@ -1,0 +1,187 @@
+//! Wire format of the three session frames.
+//!
+//! Frames travel inside [`wdl_core::Payload::Session`] envelopes, encoded
+//! with the same little-endian primitives as the rest of the codec. The
+//! protocol needs exactly three shapes — the handshake is implicit in the
+//! incarnation tag every frame carries, so there is no separate SYN
+//! exchange and the first data frame already does useful work.
+
+use crate::codec::Reader;
+use crate::NetError;
+use bytes::{BufMut, BytesMut};
+
+/// One session-layer frame.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub(crate) enum SessionFrame {
+    /// A sequenced application message. `bytes` is the codec encoding of
+    /// the wrapped [`wdl_core::Message`].
+    Data {
+        /// Sender's incarnation.
+        inc: u64,
+        /// The receiver incarnation the sender had seen when it
+        /// *transmitted* this copy, offset by one (`0` = never heard from
+        /// the receiver). A receiver at a higher incarnation knows a
+        /// derived-facts payload predates its restart and blanks it
+        /// locally — closing the race where retransmissions of stale
+        /// diffs arrive before the sender detects the restart.
+        echo: u64,
+        /// Sequence number under that incarnation (first frame is 1).
+        seq: u64,
+        /// Encoded application message.
+        bytes: Vec<u8>,
+    },
+    /// Acknowledgement. `inc` is the *receiver's* incarnation (so acks
+    /// also detect receiver restarts); `data_inc` names the sender
+    /// incarnation whose sequence space `cum`/`selective` refer to.
+    Ack {
+        /// Acking peer's incarnation.
+        inc: u64,
+        /// Incarnation of the data stream being acknowledged.
+        data_inc: u64,
+        /// Every seq ≤ `cum` is durably committed at the receiver.
+        cum: u64,
+        /// Out-of-order frames buffered above `cum` (no need to resend).
+        selective: Vec<u64>,
+    },
+    /// Announcement / probe / heartbeat: "this is my incarnation, tell me
+    /// your watermark". The receiver replies with an `Ack` built from its
+    /// stored state.
+    Hello {
+        /// Sender's incarnation.
+        inc: u64,
+    },
+}
+
+impl SessionFrame {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            SessionFrame::Data {
+                inc,
+                echo,
+                seq,
+                bytes,
+            } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*inc);
+                buf.put_u64_le(*echo);
+                buf.put_u64_le(*seq);
+                buf.put_u32_le(bytes.len() as u32);
+                buf.put_slice(bytes);
+            }
+            SessionFrame::Ack {
+                inc,
+                data_inc,
+                cum,
+                selective,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*inc);
+                buf.put_u64_le(*data_inc);
+                buf.put_u64_le(*cum);
+                buf.put_u32_le(selective.len() as u32);
+                for s in selective {
+                    buf.put_u64_le(*s);
+                }
+            }
+            SessionFrame::Hello { inc } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*inc);
+            }
+        }
+        buf.to_vec()
+    }
+
+    pub(crate) fn decode(data: &[u8]) -> Result<SessionFrame, NetError> {
+        let mut r = Reader::new(data);
+        let frame = match r.u8()? {
+            0 => {
+                let inc = r.u64()?;
+                let echo = r.u64()?;
+                let seq = r.u64()?;
+                let n = r.len()?;
+                SessionFrame::Data {
+                    inc,
+                    echo,
+                    seq,
+                    bytes: r.take(n)?.to_vec(),
+                }
+            }
+            1 => {
+                let inc = r.u64()?;
+                let data_inc = r.u64()?;
+                let cum = r.u64()?;
+                let n = r.len()?;
+                let mut selective = Vec::with_capacity(n);
+                for _ in 0..n {
+                    selective.push(r.u64()?);
+                }
+                SessionFrame::Ack {
+                    inc,
+                    data_inc,
+                    cum,
+                    selective,
+                }
+            }
+            2 => SessionFrame::Hello { inc: r.u64()? },
+            t => {
+                return Err(NetError::Codec(format!("bad session frame tag {t}")));
+            }
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            SessionFrame::Data {
+                inc: 3,
+                echo: 5,
+                seq: 17,
+                bytes: vec![1, 2, 3, 255, 0],
+            },
+            SessionFrame::Data {
+                inc: 0,
+                echo: 0,
+                seq: 1,
+                bytes: vec![],
+            },
+            SessionFrame::Ack {
+                inc: 9,
+                data_inc: 2,
+                cum: 41,
+                selective: vec![43, 44, 47],
+            },
+            SessionFrame::Ack {
+                inc: 0,
+                data_inc: 0,
+                cum: 0,
+                selective: vec![],
+            },
+            SessionFrame::Hello { inc: u64::MAX },
+        ];
+        for f in frames {
+            assert_eq!(SessionFrame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_truncation_error() {
+        assert!(SessionFrame::decode(&[9]).is_err());
+        assert!(SessionFrame::decode(&[]).is_err());
+        let good = SessionFrame::Hello { inc: 7 }.encode();
+        for cut in 0..good.len() {
+            assert!(SessionFrame::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut padded = good;
+        padded.push(0);
+        assert!(SessionFrame::decode(&padded).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-remote link state: both directions of one session.
+
+use std::collections::BTreeMap;
+
+/// Liveness verdict for a remote peer.
+///
+/// Driven by silence while traffic toward the peer is outstanding; any
+/// frame received from the peer snaps it back to [`PeerHealth::Up`].
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum PeerHealth {
+    /// Responding (or nothing is outstanding to judge it by).
+    Up,
+    /// Silent past the suspicion window; a probe was sent.
+    Suspect,
+    /// Silent past the down threshold; still probed at the capped
+    /// backoff so recovery is detected.
+    Down,
+}
+
+/// One unacknowledged outbound frame.
+pub(crate) struct OutFrame {
+    /// Encoded application message (replaced by an empty derived-facts
+    /// diff if the remote restarts before acking — see
+    /// [`Link::blank_derived`]).
+    pub bytes: Vec<u8>,
+    /// Whether the payload is a derived-facts diff, invalid to replay
+    /// across a remote restart.
+    pub derived: bool,
+    /// Retransmission attempts so far.
+    pub attempts: u32,
+    /// Virtual/wall time (µs) of the next retransmission.
+    pub next_retry: u64,
+    /// Selectively acked: buffered out-of-order at the receiver, so
+    /// retransmission is skipped — but the frame is only dropped once the
+    /// cumulative ack passes it (a receiver restart empties its buffer,
+    /// which clears this flag via [`Link::note_remote_incarnation`]).
+    pub sacked: bool,
+}
+
+/// What an incoming frame's incarnation tag told us about the remote.
+pub(crate) enum IncVerdict {
+    /// Older than an incarnation we have already seen: a ghost from a
+    /// dead process. Drop the frame.
+    Stale,
+    /// The incarnation we know.
+    Current,
+    /// First word from this peer. The caller surfaces
+    /// [`crate::TransportEvent::PeerRestarted`] conservatively: the
+    /// sender cannot know what an unseen incarnation already holds (it
+    /// may have crashed and recovered before ever reaching us), so a
+    /// full resync is the safe default. Queued frames are *not* blanked
+    /// — in-order delivery applies their retractions correctly.
+    FirstContact,
+    /// A higher incarnation: the remote crashed and came back. Inbound
+    /// state was reset; the caller must blank queued derived diffs and
+    /// surface [`crate::TransportEvent::PeerRestarted`].
+    Restarted,
+}
+
+/// Session state for one remote peer (both directions).
+pub(crate) struct Link {
+    /// Highest remote incarnation seen (seeded from the durable
+    /// delivered-watermark on recovery; `None` before first contact).
+    pub remote_inc: Option<u64>,
+
+    // Outbound ---------------------------------------------------------
+    /// Next sequence number to assign (first frame is 1).
+    pub next_seq: u64,
+    /// Sent-but-unacked frames by sequence number.
+    pub unacked: BTreeMap<u64, OutFrame>,
+    /// Highest cumulative ack received for our current incarnation.
+    pub acked_cum: u64,
+    /// `acked_cum` as of the last watermark note handed to the peer.
+    pub noted_acked: u64,
+
+    // Inbound ----------------------------------------------------------
+    /// Contiguous prefix handed to the application.
+    pub delivered_cum: u64,
+    /// Contiguous prefix the application has durably committed — what
+    /// acks advertise. Never ahead of `delivered_cum`.
+    pub committed_cum: u64,
+    /// `delivered_cum` as of the last watermark note.
+    pub noted_delivered: u64,
+    /// Out-of-order frames buffered above `delivered_cum`, as
+    /// `(echo, encoded message)`.
+    pub ooo: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// An ack should be sent at the next flush point.
+    pub ack_dirty: bool,
+
+    // Liveness ---------------------------------------------------------
+    pub health: PeerHealth,
+    /// Time (µs) of the last frame received from the remote (link
+    /// creation time before first contact).
+    pub last_heard: u64,
+    /// Time (µs) of the last frame sent to the remote.
+    pub last_tx: u64,
+    /// A recovery `Hello` announcement is owed (set when the link was
+    /// rebuilt from durable watermarks after a restart).
+    pub needs_hello: bool,
+
+    // Stats -------------------------------------------------------------
+    pub retransmits: u64,
+    pub dup_drops: u64,
+}
+
+impl Link {
+    pub(crate) fn new(now: u64) -> Link {
+        Link {
+            remote_inc: None,
+            next_seq: 1,
+            unacked: BTreeMap::new(),
+            acked_cum: 0,
+            noted_acked: 0,
+            delivered_cum: 0,
+            committed_cum: 0,
+            noted_delivered: 0,
+            ooo: BTreeMap::new(),
+            ack_dirty: false,
+            health: PeerHealth::Up,
+            last_heard: now,
+            last_tx: now,
+            needs_hello: false,
+            retransmits: 0,
+            dup_drops: 0,
+        }
+    }
+
+    /// A link rebuilt from the durable delivered-watermark after this
+    /// peer restarted: dedup floor seeded, announcement owed.
+    pub(crate) fn recovered(now: u64, remote_inc: u64, committed: u64) -> Link {
+        let mut l = Link::new(now);
+        l.remote_inc = Some(remote_inc);
+        l.delivered_cum = committed;
+        l.committed_cum = committed;
+        l.noted_delivered = committed;
+        l.needs_hello = true;
+        l
+    }
+
+    /// Classifies an incoming frame's incarnation and, on a restart,
+    /// resets inbound state (the new incarnation numbers from 1) and
+    /// clears selective-ack flags (the restarted remote lost its
+    /// out-of-order buffer, so "already buffered" no longer holds).
+    pub(crate) fn note_remote_incarnation(&mut self, inc: u64) -> IncVerdict {
+        match self.remote_inc {
+            Some(seen) if inc < seen => IncVerdict::Stale,
+            Some(seen) if inc == seen => IncVerdict::Current,
+            Some(_) => {
+                self.remote_inc = Some(inc);
+                self.delivered_cum = 0;
+                self.committed_cum = 0;
+                self.noted_delivered = 0;
+                self.ooo.clear();
+                self.ack_dirty = true;
+                for f in self.unacked.values_mut() {
+                    f.sacked = false;
+                }
+                IncVerdict::Restarted
+            }
+            None => {
+                self.remote_inc = Some(inc);
+                IncVerdict::FirstContact
+            }
+        }
+    }
+
+    /// Replaces queued derived-facts diffs with empty ones (same
+    /// sequence numbers, so the cumulative ack still advances). Called
+    /// when the remote restarts: its transient derived contributions are
+    /// gone, and replaying a diff against state that no longer exists
+    /// could resurrect retracted derivations. The application re-sends
+    /// the full derived state instead (see
+    /// [`wdl_core::Peer::resync_target`]).
+    pub(crate) fn blank_derived(&mut self, blank: impl Fn() -> Vec<u8>) {
+        for f in self.unacked.values_mut() {
+            if f.derived {
+                f.bytes = blank();
+                f.derived = false;
+            }
+        }
+    }
+
+    /// Protocol work still in flight on this link.
+    pub(crate) fn pending_work(&self) -> usize {
+        self.unacked.len()
+            + self.ooo.len()
+            + usize::from(self.ack_dirty)
+            + usize::from(self.delivered_cum > self.committed_cum)
+            + usize::from(self.needs_hello)
+    }
+}

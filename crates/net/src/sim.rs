@@ -19,7 +19,9 @@
 //! * [`SimRuntime`] — the scheduler: interleaves peer stages, deliveries,
 //!   scripted mutations ([`SimOp`]) and crash/restart event-by-event.
 //!   Crash/restart round-trips peers through the real snapshot
-//!   persistence path.
+//!   persistence path. With [`SimConfig::sessions`] every peer runs
+//!   behind the reliable session layer ([`SimTransport`]), its timers on
+//!   the virtual clock.
 //! * [`oracle`] — the convergence oracle grading faulty runs against a
 //!   fault-free reference (universe membership, subset of the lossless
 //!   outcome, eventual equality once faults heal).
@@ -34,4 +36,6 @@ mod runtime;
 
 pub use fault::{FaultPlan, LinkFaults, Partition};
 pub use hub::{SimCounters, SimEndpoint, SimNet, SimOp};
-pub use runtime::{CrashPersistence, SimConfig, SimReport, SimRuntime, SnapshotPersistence};
+pub use runtime::{
+    CrashPersistence, SimConfig, SimReport, SimRuntime, SimTransport, SnapshotPersistence,
+};

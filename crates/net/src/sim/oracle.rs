@@ -83,6 +83,12 @@ pub struct RunSpec {
     pub crashes: Vec<(u64, Symbol, Option<u64>)>,
     /// Destroy in-flight frames on crash (see [`SimConfig`]).
     pub crash_drops_inflight: bool,
+    /// Run every peer behind the reliable session layer (see
+    /// [`SimConfig::sessions`]). Upgrades the oracle: lossy plans and
+    /// crashes of *any* peer grade at full eventual equality, because
+    /// retransmission + exactly-once delivery + restart-triggered resync
+    /// make the transport reliable.
+    pub sessions: bool,
     /// Event budget for the run.
     pub max_events: usize,
 }
@@ -96,6 +102,7 @@ impl RunSpec {
             batch_spacing: 4_000,
             crashes: Vec::new(),
             crash_drops_inflight: false,
+            sessions: false,
             max_events: 200_000,
         }
     }
@@ -111,10 +118,21 @@ impl RunSpec {
         self
     }
 
+    /// Runs the peers behind the reliable session layer.
+    pub fn with_sessions(mut self) -> RunSpec {
+        self.sessions = true;
+        self
+    }
+
+    /// True iff every scheduled crash also schedules a restart.
+    fn all_crashes_restart(&self) -> bool {
+        self.crashes.iter().all(|(_, _, r)| r.is_some())
+    }
+
     /// True iff every crashed peer restarts and no in-flight loss is
-    /// configured — a precondition for the equality oracle.
+    /// configured — a precondition for the raw-transport equality oracle.
     fn crashes_recover(&self) -> bool {
-        !self.crash_drops_inflight && self.crashes.iter().all(|(_, _, r)| r.is_some())
+        !self.crash_drops_inflight && self.all_crashes_restart()
     }
 }
 
@@ -213,6 +231,9 @@ impl Scenario {
         let mut config = SimConfig::new(spec.seed).plan(spec.plan.clone());
         if spec.crash_drops_inflight {
             config = config.crash_drops_inflight();
+        }
+        if spec.sessions {
+            config = config.sessions();
         }
         let mut sim = SimRuntime::new(config);
         for p in (self.build)() {
@@ -364,19 +385,31 @@ pub fn check_conformance_with(
     }
 
     // 3. Eventual equality, when the plan makes it admissible.
-    // Crashes compose with equality only when every crashed peer restarts,
-    // is scenario-declared crash-safe, and the workload is monotone (a
-    // restarted sender re-adds but cannot re-retract: its pre-crash diff
-    // memory is transient).
+    //
+    // Raw transports: crashes compose with equality only when every
+    // crashed peer restarts, is scenario-declared crash-safe, and the
+    // workload is monotone (a restarted sender re-adds but cannot
+    // re-retract: its pre-crash diff memory is transient), and the plan
+    // must be lossless (nothing retransmits) and, for retraction
+    // workloads, ordered.
+    //
+    // With sessions, the transport itself is reliable: retransmission
+    // recovers drops and dropped-in-flight frames, exactly-once in-order
+    // delivery makes duplication and reordering harmless, and restart
+    // detection triggers a full derived resync — so *any* restarting
+    // crash and *any* (eventually-connected) lossy plan still converges
+    // to the fault-free outcome, for every peer.
     let crash_ok = spec.crashes.is_empty()
+        || (spec.sessions && spec.all_crashes_restart())
         || (scenario.additive
             && spec.crashes_recover()
             && spec
                 .crashes
                 .iter()
                 .all(|(_, peer, _)| scenario.crashable.contains(peer)));
-    let equality_applies =
-        spec.plan.is_lossless() && crash_ok && (scenario.additive || spec.plan.is_ordered());
+    let equality_applies = crash_ok
+        && (spec.sessions
+            || (spec.plan.is_lossless() && (scenario.additive || spec.plan.is_ordered())));
     if equality_applies {
         for (watch, tuples) in &state {
             let empty = BTreeSet::new();
@@ -473,6 +506,38 @@ mod tests {
         let v = check_conformance(&sc, &spec).unwrap();
         assert!(v.checked_universe && v.checked_subset);
         assert!(!v.checked_equality, "drops preclude the equality oracle");
+    }
+
+    #[test]
+    fn sessions_restore_equality_under_loss() {
+        let sc = tiny_scenario("ses");
+        let spec = RunSpec::new(
+            4,
+            FaultPlan::lossless()
+                .drop(0.25)
+                .delay(20, 1_500)
+                .duplicate(0.2),
+        )
+        .with_sessions();
+        let v = check_conformance(&sc, &spec).unwrap();
+        assert!(
+            v.checked_equality,
+            "the session layer upgrades lossy runs to the equality oracle"
+        );
+    }
+
+    #[test]
+    fn sessions_restore_equality_for_non_crashable_peer() {
+        let sc = tiny_scenario("sescrash");
+        // The viewer is NOT in `crashable`: raw transports cannot refill
+        // its received derived state. Sessions can.
+        let viewer = sc.watched[0].0;
+        assert!(!sc.crashable.contains(&viewer));
+        let spec = RunSpec::new(7, FaultPlan::lossless().delay(20, 1_000))
+            .crash(6_000, viewer, Some(8_000))
+            .with_sessions();
+        let v = check_conformance(&sc, &spec).unwrap();
+        assert!(v.checked_equality, "restarting crash of any peer converges");
     }
 
     #[test]

@@ -21,13 +21,14 @@
 use super::fault::FaultPlan;
 use super::hub::{EventKind, SimCounters, SimEndpoint, SimNet, SimOp, SimState};
 use crate::node::{NodeError, PeerNode};
-use crate::{snapshot, NetError};
+use crate::session::{Clock, SessionConfig, SessionEndpoint};
+use crate::{snapshot, NetError, Transport, TransportEvent, WatermarkNote};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
-use wdl_core::Peer;
+use wdl_core::{Message, Peer};
 use wdl_datalog::{Symbol, Tuple};
 
 /// Configuration of a simulation run.
@@ -45,6 +46,11 @@ pub struct SimConfig {
     /// (default) the network buffers them until the restart, like a
     /// queueing/reconnecting transport.
     pub crash_drops_inflight: bool,
+    /// If true, every endpoint is wrapped in a
+    /// [`crate::session::SessionEndpoint`] driven by the virtual clock:
+    /// retransmission, exactly-once delivery, and restart detection apply,
+    /// so lossy plans and crashes of *any* peer become recoverable.
+    pub sessions: bool,
 }
 
 impl SimConfig {
@@ -56,6 +62,7 @@ impl SimConfig {
             step_min: 200,
             step_max: 800,
             crash_drops_inflight: false,
+            sessions: false,
         }
     }
 
@@ -69,6 +76,95 @@ impl SimConfig {
     pub fn crash_drops_inflight(mut self) -> SimConfig {
         self.crash_drops_inflight = true;
         self
+    }
+
+    /// Runs every peer behind the reliable session layer.
+    pub fn sessions(mut self) -> SimConfig {
+        self.sessions = true;
+        self
+    }
+}
+
+/// The simulator's virtual clock, handed to session endpoints so their
+/// retransmission and liveness timers run on simulated time (and replay
+/// with the seed).
+struct SimClock {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl Clock for SimClock {
+    fn now_micros(&self) -> u64 {
+        self.state.lock().now
+    }
+}
+
+/// A simulated peer's transport: the raw hub endpoint, or the same
+/// endpoint behind the reliable session layer (see
+/// [`SimConfig::sessions`]).
+pub enum SimTransport {
+    /// Unreliable datagram semantics — what the fault plan says, the peer
+    /// gets.
+    Raw(SimEndpoint),
+    /// The session layer over the same wire: retransmission, dedup,
+    /// restart detection.
+    Session(Box<SessionEndpoint<SimEndpoint>>),
+}
+
+impl Transport for SimTransport {
+    fn peer_name(&self) -> Symbol {
+        match self {
+            SimTransport::Raw(ep) => ep.peer_name(),
+            SimTransport::Session(ep) => ep.peer_name(),
+        }
+    }
+
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        match self {
+            SimTransport::Raw(ep) => ep.send(msg),
+            SimTransport::Session(ep) => ep.send(msg),
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Message> {
+        match self {
+            SimTransport::Raw(ep) => ep.drain(),
+            SimTransport::Session(ep) => ep.drain(),
+        }
+    }
+
+    fn poll_events(&mut self) -> Vec<TransportEvent> {
+        match self {
+            SimTransport::Raw(ep) => ep.poll_events(),
+            SimTransport::Session(ep) => ep.poll_events(),
+        }
+    }
+
+    fn pending_work(&self) -> usize {
+        match self {
+            SimTransport::Raw(ep) => ep.pending_work(),
+            SimTransport::Session(ep) => ep.pending_work(),
+        }
+    }
+
+    fn watermarks(&mut self) -> Vec<WatermarkNote> {
+        match self {
+            SimTransport::Raw(ep) => ep.watermarks(),
+            SimTransport::Session(ep) => ep.watermarks(),
+        }
+    }
+
+    fn commit_delivered(&mut self) {
+        match self {
+            SimTransport::Raw(ep) => ep.commit_delivered(),
+            SimTransport::Session(ep) => ep.commit_delivered(),
+        }
+    }
+
+    fn take_retransmit_counts(&mut self) -> Vec<(Symbol, u64)> {
+        match self {
+            SimTransport::Raw(ep) => ep.take_retransmit_counts(),
+            SimTransport::Session(ep) => ep.take_retransmit_counts(),
+        }
     }
 }
 
@@ -88,7 +184,7 @@ pub struct SimReport {
 }
 
 enum NodeSlot {
-    Up(Box<PeerNode<SimEndpoint>>),
+    Up(Box<PeerNode<SimTransport>>),
     /// Crash token (real persistence bytes or an engine handle) +
     /// mutations scripted while the peer was down (or lost at the crash
     /// point and retried), applied in order on restart.
@@ -174,11 +270,43 @@ impl SimRuntime {
         &self.net
     }
 
+    /// The session parameters used when [`SimConfig::sessions`] is on.
+    /// Timers run on virtual time, so the defaults compose with the
+    /// 200–800µs step cadence; the session RNG folds in the run seed.
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            seed: self.config.seed,
+            ..SessionConfig::default()
+        }
+    }
+
+    fn wrap_endpoint(&self, ep: SimEndpoint, incarnation: u64, peer: &Peer) -> SimTransport {
+        if !self.config.sessions {
+            return SimTransport::Raw(ep);
+        }
+        let clock = Box::new(SimClock {
+            state: Arc::clone(&self.net.state),
+        });
+        let session = if incarnation == 0 && peer.session_watermarks().is_empty() {
+            SessionEndpoint::with_clock(ep, incarnation, self.session_config(), clock)
+        } else {
+            SessionEndpoint::recover(
+                ep,
+                incarnation,
+                self.session_config(),
+                clock,
+                peer.session_watermarks(),
+            )
+        };
+        SimTransport::Session(Box::new(session))
+    }
+
     /// Adds a peer and schedules its first step at a jittered offset.
     pub fn add_peer(&mut self, peer: Peer) -> Result<(), NetError> {
         let name = peer.name();
         let ep = self.net.endpoint(name)?;
-        let node = PeerNode::new(peer, ep);
+        let transport = self.wrap_endpoint(ep, 0, &peer);
+        let node = PeerNode::new(peer, transport);
         self.nodes.insert(name, NodeSlot::Up(Box::new(node)));
         self.order.push(name);
         self.quiet.insert(name, 0);
@@ -320,7 +448,11 @@ impl SimRuntime {
             return Ok(false);
         };
         let r = node.step()?;
-        let quiet = r.received == 0 && r.sent == 0 && !r.changed;
+        let quiet = r.received == 0
+            && r.sent == 0
+            && r.deferred == 0
+            && !r.changed
+            && node.transport().pending_work() == 0;
         let q = self.quiet.entry(peer).or_insert(0);
         *q = if quiet { *q + 1 } else { 0 };
         let mut st = self.net.state.lock();
@@ -340,7 +472,7 @@ impl SimRuntime {
         }
     }
 
-    fn crash_node(&mut self, peer: Symbol, node: PeerNode<SimEndpoint>) -> Result<(), NodeError> {
+    fn crash_node(&mut self, peer: Symbol, node: PeerNode<SimTransport>) -> Result<(), NodeError> {
         let (p, _endpoint) = node.into_parts();
         // Every crash draws a seed from the one simulation generator: a
         // durable-engine persistence path uses it to pick *where inside
@@ -377,38 +509,40 @@ impl SimRuntime {
     }
 
     fn restart(&mut self, peer: Symbol) -> Result<(), NodeError> {
-        let Some(slot) = self.nodes.get_mut(&peer) else {
-            return Ok(());
+        let (token, ops) = match self.nodes.get_mut(&peer) {
+            Some(NodeSlot::Down {
+                snapshot,
+                pending_ops,
+            }) => (snapshot.clone(), std::mem::take(pending_ops)),
+            _ => return Ok(()),
         };
-        if let NodeSlot::Down {
-            snapshot,
-            pending_ops,
-        } = slot
-        {
-            let ops: Vec<SimOp> = std::mem::take(pending_ops);
-            let token = snapshot.clone();
-            let mut p = self
-                .persistence
-                .restart(peer, &token)
-                .map_err(NodeError::Net)?;
-            for op in ops {
-                apply_op(&mut p, op)?;
-            }
-            let state: &Arc<Mutex<SimState>> = &self.net.state;
-            let ep = SimEndpoint::reattach(peer, state);
-            *slot = NodeSlot::Up(Box::new(PeerNode::new(p, ep)));
-            self.quiet.insert(peer, 0);
+        let mut p = self
+            .persistence
+            .restart(peer, &token)
+            .map_err(NodeError::Net)?;
+        for op in ops {
+            apply_op(&mut p, op)?;
+        }
+        let incarnation = {
             let mut st = self.net.state.lock();
-            let incarnation = match st.peers.get_mut(&peer) {
+            match st.peers.get_mut(&peer) {
                 Some(ps) => {
                     ps.down = false;
                     ps.incarnation
                 }
                 None => 0,
-            };
-            let at = st.now + jitter(&mut st, self.config.step_min, self.config.step_max);
-            st.schedule(at, EventKind::Step { peer, incarnation });
-        }
+            }
+        };
+        // The new process image gets the bumped incarnation; with
+        // sessions on, durable watermarks seed its dedup floor.
+        let ep = SimEndpoint::reattach(peer, &self.net.state);
+        let transport = self.wrap_endpoint(ep, u64::from(incarnation), &p);
+        self.nodes
+            .insert(peer, NodeSlot::Up(Box::new(PeerNode::new(p, transport))));
+        self.quiet.insert(peer, 0);
+        let mut st = self.net.state.lock();
+        let at = st.now + jitter(&mut st, self.config.step_min, self.config.step_max);
+        st.schedule(at, EventKind::Step { peer, incarnation });
         Ok(())
     }
 
@@ -572,6 +706,51 @@ mod tests {
         let r = sim.run_to_quiescence(10_000).unwrap();
         assert!(r.quiescent);
         assert_eq!(sim.relation_facts("simdowninj", "r").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sessions_recover_probabilistic_drops() {
+        let (viewer, source) = delegation_pair("sesdrop");
+        let vname = viewer.name();
+        let mut sim = SimRuntime::new(
+            SimConfig::new(21)
+                .plan(FaultPlan::lossless().drop(0.3).delay(20, 1_500))
+                .sessions(),
+        );
+        sim.add_peer(viewer).unwrap();
+        sim.add_peer(source).unwrap();
+        let r = sim.run_to_quiescence(100_000).unwrap();
+        assert!(r.quiescent, "no quiescence: {r:?}");
+        assert_eq!(
+            sim.relation_facts(vname, "attendeePictures").unwrap().len(),
+            1,
+            "retransmission recovered every dropped frame"
+        );
+    }
+
+    /// Crash the *viewer* — the peer holding received derived state, which
+    /// raw transports can never refill (the sender's diff memory says
+    /// "already sent"). The session layer detects the new incarnation and
+    /// triggers a full derived resync.
+    #[test]
+    fn sessions_survive_receiver_crash() {
+        let (viewer, source) = delegation_pair("sesvc");
+        let vname = viewer.name();
+        let mut sim = SimRuntime::new(
+            SimConfig::new(13)
+                .plan(FaultPlan::lossless().delay(50, 400))
+                .sessions(),
+        );
+        sim.add_peer(viewer).unwrap();
+        sim.add_peer(source).unwrap();
+        sim.schedule_crash(2_000, vname, Some(5_000));
+        let r = sim.run_to_quiescence(100_000).unwrap();
+        assert!(r.quiescent, "no quiescence: {r:?}");
+        assert_eq!(
+            sim.relation_facts(vname, "attendeePictures").unwrap().len(),
+            1,
+            "restarted receiver was resynced"
+        );
     }
 
     #[test]

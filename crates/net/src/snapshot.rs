@@ -19,8 +19,10 @@ use wdl_core::grants::GrantExport;
 use wdl_core::{Delegation, Peer, PeerState, RelationDecl, RelationGrants, RelationKind};
 use wdl_datalog::Symbol;
 
-/// Snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot format version. v2 appended the session-watermark section
+/// (reliable-delivery layer); v1 snapshots are rejected — every writer in
+/// this workspace produces v2, and downgrade paths do not exist.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// Serializes a peer's durable state.
 pub fn save(peer: &Peer) -> Bytes {
@@ -77,6 +79,14 @@ pub fn save_state(state: &PeerState) -> Bytes {
     buf.put_u32_le(grants.declassified.len() as u32);
     for s in &grants.declassified {
         put_symbol(&mut buf, *s);
+    }
+
+    buf.put_u32_le(state.watermarks.len() as u32);
+    for ((remote, dir), (inc, seq)) in &state.watermarks {
+        put_symbol(&mut buf, *remote);
+        buf.put_u8(*dir);
+        buf.put_u64_le(*inc);
+        buf.put_u64_le(*seq);
     }
 
     buf.freeze()
@@ -162,6 +172,16 @@ pub fn load_state(data: &[u8]) -> Result<PeerState, NetError> {
     for _ in 0..n {
         declassified.push(r.symbol()?);
     }
+
+    let n = r.len()?;
+    let mut watermarks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let remote = r.symbol()?;
+        let dir = r.u8()?;
+        let inc = r.u64()?;
+        let seq = r.u64()?;
+        watermarks.push(((remote, dir), (inc, seq)));
+    }
     r.expect_end()?;
 
     Ok(PeerState {
@@ -177,6 +197,7 @@ pub fn load_state(data: &[u8]) -> Result<PeerState, NetError> {
             write,
             declassified,
         }),
+        watermarks,
     })
 }
 
@@ -241,7 +262,22 @@ mod tests {
         p.grants_mut().grant_read("pictures", "sigmod");
         p.grants_mut().grant_write("pictures", "sigmod");
         p.grants_mut().declassify("attendeePictures");
+        p.note_session_watermark(Symbol::intern("other"), 0, 3, 41);
+        p.note_session_watermark(Symbol::intern("other"), 1, 3, 17);
         p
+    }
+
+    #[test]
+    fn watermarks_survive_the_round_trip() {
+        let p = sample_peer();
+        let q = load(&save(&p)).unwrap();
+        assert_eq!(q.session_watermarks(), p.session_watermarks());
+        assert_eq!(
+            q.session_watermarks()
+                .get(&(Symbol::intern("other"), 0))
+                .copied(),
+            Some((3, 41))
+        );
     }
 
     #[test]

@@ -7,12 +7,12 @@
 //! across real sockets (loopback standing in for the demo's LAN + cloud).
 
 use crate::{codec, NetError, Transport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use wdl_core::Message;
@@ -22,6 +22,12 @@ use wdl_datalog::Symbol;
 /// prefixes, not a protocol limit.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Capacity of the incoming-message channel. A peer that stops draining
+/// (stuck stage, slow consumer) fills this buffer; further frames are
+/// counted in [`TcpEndpoint::overflow_count`] and dropped rather than
+/// growing the heap without bound — the session layer retransmits them.
+const INCOMING_CAP: usize = 16_384;
+
 /// A peer's TCP endpoint: listener + connection cache + address directory.
 pub struct TcpEndpoint {
     name: Symbol,
@@ -30,23 +36,30 @@ pub struct TcpEndpoint {
     directory: Arc<Mutex<HashMap<Symbol, SocketAddr>>>,
     conns: HashMap<Symbol, TcpStream>,
     stop: Arc<AtomicBool>,
+    /// Frames dropped because the bounded incoming channel was full.
+    overflow: Arc<AtomicU64>,
 }
 
 impl TcpEndpoint {
     /// Binds a listener for `peer` on `addr` (use port 0 for an ephemeral
     /// port; read it back with [`TcpEndpoint::local_addr`]).
+    ///
+    /// Every failure — bind, nonblocking setup, accept-thread spawn — is a
+    /// recoverable [`NetError`], never a panic: the caller may be retrying
+    /// ports or running under resource exhaustion.
     pub fn bind(peer: impl Into<Symbol>, addr: &str) -> Result<TcpEndpoint, NetError> {
         let name = peer.into();
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(INCOMING_CAP);
         let stop = Arc::new(AtomicBool::new(false));
+        let overflow = Arc::new(AtomicU64::new(0));
         let accept_stop = Arc::clone(&stop);
+        let accept_overflow = Arc::clone(&overflow);
         std::thread::Builder::new()
             .name(format!("wdl-accept-{name}"))
-            .spawn(move || accept_loop(listener, tx, accept_stop))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, tx, accept_stop, accept_overflow))?;
         Ok(TcpEndpoint {
             name,
             local_addr,
@@ -54,6 +67,7 @@ impl TcpEndpoint {
             directory: Arc::new(Mutex::new(HashMap::new())),
             conns: HashMap::new(),
             stop,
+            overflow,
         })
     }
 
@@ -72,7 +86,25 @@ impl TcpEndpoint {
         self.stop.store(true, Ordering::SeqCst);
     }
 
+    /// Frames dropped so far because the incoming channel was full (the
+    /// peer stopped draining). Monotone; the session layer's retransmission
+    /// makes the drops harmless, but a growing count is a backpressure
+    /// signal worth surfacing.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
     fn connection(&mut self, target: Symbol) -> Result<&mut TcpStream, NetError> {
+        // A cached connection whose remote died looks healthy to `write`:
+        // the kernel buffers the bytes and only reports the failure on a
+        // *later* write, long after the frame was silently lost. Probe with
+        // a non-blocking peek before trusting the cache: a dead peer shows
+        // up as EOF (orderly close after restart) or a reset.
+        if let Some(stream) = self.conns.get(&target) {
+            if stream_is_stale(stream) {
+                self.conns.remove(&target);
+            }
+        }
         if !self.conns.contains_key(&target) {
             let addr = self
                 .directory
@@ -93,6 +125,25 @@ impl TcpEndpoint {
         stream.write_all(bytes)?;
         Ok(())
     }
+}
+
+/// Probes a cached outgoing connection for liveness without consuming
+/// data. These sockets are write-only in the protocol, so any readable
+/// state is either EOF/reset (remote gone — stale) or nothing pending
+/// (`WouldBlock` — healthy).
+fn stream_is_stale(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let stale = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    stale
 }
 
 impl Transport for TcpEndpoint {
@@ -129,16 +180,24 @@ impl Drop for TcpEndpoint {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<Message>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Message>,
+    stop: Arc<AtomicBool>,
+    overflow: Arc<AtomicU64>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let tx = tx.clone();
                 let stop = Arc::clone(&stop);
-                std::thread::Builder::new()
+                let overflow = Arc::clone(&overflow);
+                // A failed spawn (thread exhaustion) drops this one
+                // connection; the sender redials and retransmits. Never
+                // worth taking the whole endpoint down.
+                let _ = std::thread::Builder::new()
                     .name("wdl-conn".into())
-                    .spawn(move || read_loop(stream, tx, stop))
-                    .expect("spawn reader thread");
+                    .spawn(move || read_loop(stream, tx, stop, overflow));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -148,7 +207,12 @@ fn accept_loop(listener: TcpListener, tx: Sender<Message>, stop: Arc<AtomicBool>
     }
 }
 
-fn read_loop(mut stream: TcpStream, tx: Sender<Message>, stop: Arc<AtomicBool>) {
+fn read_loop(
+    mut stream: TcpStream,
+    tx: Sender<Message>,
+    stop: Arc<AtomicBool>,
+    overflow: Arc<AtomicU64>,
+) {
     stream
         .set_read_timeout(Some(Duration::from_millis(50)))
         .ok();
@@ -176,11 +240,16 @@ fn read_loop(mut stream: TcpStream, tx: Sender<Message>, stop: Arc<AtomicBool>) 
             return;
         }
         match codec::decode(&frame) {
-            Ok(msg) => {
-                if tx.send(msg).is_err() {
-                    return;
+            Ok(msg) => match tx.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // Receiver stopped draining; count and shed the frame
+                    // rather than buffering without bound. Retransmission
+                    // recovers it once the receiver catches up.
+                    overflow.fetch_add(1, Ordering::Relaxed);
                 }
-            }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
             Err(_) => return, // undecodable; drop the connection
         }
     }
@@ -290,6 +359,101 @@ mod tests {
         )
         .expect("reply arrives");
         assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn send_recovers_after_peer_restart() {
+        let mut a = TcpEndpoint::bind("ra", "127.0.0.1:0").unwrap();
+        let mut b = TcpEndpoint::bind("rb", "127.0.0.1:0").unwrap();
+        let b_addr = b.local_addr();
+        a.register("rb", b_addr);
+
+        // Establish (and cache) the connection with a first delivery.
+        a.send(fact_msg("ra", "rb", 1)).unwrap();
+        wait_for(
+            || {
+                let m = b.drain();
+                if m.is_empty() {
+                    None
+                } else {
+                    Some(())
+                }
+            },
+            2000,
+        )
+        .expect("first delivery");
+
+        // Kill the peer; give its reader thread time to close the socket
+        // so the FIN reaches `a`'s cached connection.
+        drop(b);
+        std::thread::sleep(Duration::from_millis(500));
+
+        // Restart the listener — same port if the kernel allows, fresh
+        // ephemeral port otherwise (restart-with-new-address case).
+        let mut b2 = TcpEndpoint::bind("rb", &b_addr.to_string())
+            .unwrap_or_else(|_| TcpEndpoint::bind("rb", "127.0.0.1:0").unwrap());
+        a.register("rb", b2.local_addr());
+
+        // A single send must detect the stale cached connection, redial,
+        // and reach the restarted peer. Before the liveness probe this
+        // write landed in the dead socket's buffer and vanished.
+        a.send(fact_msg("ra", "rb", 2)).unwrap();
+        let got = wait_for(
+            || {
+                let m = b2.drain();
+                if m.is_empty() {
+                    None
+                } else {
+                    Some(m)
+                }
+            },
+            3000,
+        )
+        .expect("delivery resumes after restart");
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn incoming_overflow_is_counted_not_fatal() {
+        // Drive read_loop directly with a capacity-1 channel: the first
+        // frame is queued, the rest are shed and counted.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = bounded(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let overflow = Arc::new(AtomicU64::new(0));
+        let (r_stop, r_over) = (Arc::clone(&stop), Arc::clone(&overflow));
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let h = std::thread::spawn(move || read_loop(server, tx, r_stop, r_over));
+        for v in 0..3 {
+            let bytes = codec::encode(&fact_msg("x", "y", v));
+            client
+                .write_all(&(bytes.len() as u32).to_le_bytes())
+                .unwrap();
+            client.write_all(&bytes).unwrap();
+        }
+        client.flush().unwrap();
+        wait_for(
+            || {
+                if overflow.load(Ordering::Relaxed) >= 2 {
+                    Some(())
+                } else {
+                    None
+                }
+            },
+            3000,
+        )
+        .expect("overflow counted");
+        assert_eq!(rx.try_iter().count(), 1);
+        stop.store(true, Ordering::SeqCst);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fresh_endpoint_reports_zero_overflow() {
+        let e = TcpEndpoint::bind("quiet", "127.0.0.1:0").unwrap();
+        assert_eq!(e.overflow_count(), 0);
     }
 
     #[test]

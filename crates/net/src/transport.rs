@@ -4,12 +4,57 @@ use crate::NetError;
 use wdl_core::Message;
 use wdl_datalog::Symbol;
 
+/// Out-of-band condition a transport observed about a remote peer.
+///
+/// Raw transports never emit these; the session layer
+/// ([`crate::session::SessionEndpoint`]) reports restarts and liveness
+/// transitions through them so the driving loop can react (a restart
+/// triggers [`wdl_core::Peer::resync_target`], health changes feed
+/// tracing).
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum TransportEvent {
+    /// The remote came back with a higher incarnation: it crashed (or was
+    /// restarted) and lost its transient state. The application should
+    /// re-send anything it summarizes as "already sent" to that peer.
+    PeerRestarted(Symbol),
+    /// No acknowledgement progress from the remote for the configured
+    /// suspicion window while traffic was outstanding.
+    Suspect(Symbol),
+    /// The remote stayed silent past the down threshold. Retransmission
+    /// continues at a capped probing interval; the peer is not forgotten.
+    Down(Symbol),
+}
+
+/// A durable session watermark the transport wants persisted.
+///
+/// Direction `dir` 0 = cumulative seq *delivered from* `remote` (dedup
+/// floor after recovery), 1 = cumulative seq *acked by* `remote` (resend
+/// ceiling after recovery). `inc` is the incarnation the watermark counts
+/// under. See [`wdl_core::Peer::note_session_watermark`].
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct WatermarkNote {
+    /// The remote peer the watermark concerns.
+    pub remote: Symbol,
+    /// 0 = delivered-from, 1 = acked-by.
+    pub dir: u8,
+    /// Incarnation the sequence numbers count under.
+    pub inc: u64,
+    /// Cumulative sequence number.
+    pub seq: u64,
+}
+
 /// A bidirectional message endpoint for one peer.
 ///
 /// Implementations: [`crate::memory::MemoryEndpoint`] (deterministic,
-/// in-process) and [`crate::tcp::TcpEndpoint`] (framed TCP). The WebdamLog
-/// stage loop is transport-agnostic: [`crate::node::PeerNode::step`] drains
-/// the endpoint, runs a stage, and sends the produced messages.
+/// in-process), [`crate::tcp::TcpEndpoint`] (framed TCP), and
+/// [`crate::session::SessionEndpoint`], which wraps either with reliable
+/// delivery. The WebdamLog stage loop is transport-agnostic:
+/// [`crate::node::PeerNode::step`] drains the endpoint, runs a stage, and
+/// sends the produced messages.
+///
+/// The event/watermark/commit methods have no-op defaults so raw
+/// transports stay one-method-pair simple; only the session layer
+/// overrides them.
 pub trait Transport: Send {
     /// The peer this endpoint belongs to.
     fn peer_name(&self) -> Symbol;
@@ -21,4 +66,36 @@ pub trait Transport: Send {
     /// Drains every message that has arrived since the last call
     /// (non-blocking).
     fn drain(&mut self) -> Vec<Message>;
+
+    /// Takes the out-of-band events observed since the last call.
+    fn poll_events(&mut self) -> Vec<TransportEvent> {
+        Vec::new()
+    }
+
+    /// How much protocol work is still in flight (unacked frames, unsent
+    /// acks, out-of-order buffers). Raw transports report 0; quiescence
+    /// checks must not declare a sessioned peer idle while this is
+    /// non-zero.
+    fn pending_work(&self) -> usize {
+        0
+    }
+
+    /// Watermarks that advanced since the last call and should be handed
+    /// to [`wdl_core::Peer::note_session_watermark`] *before* the next
+    /// durability group commit.
+    fn watermarks(&mut self) -> Vec<WatermarkNote> {
+        Vec::new()
+    }
+
+    /// Called after the application has durably committed everything
+    /// drained so far. The session layer advances its advertised
+    /// cumulative acks here — acks must never outrun durability, or a
+    /// crash between delivery and commit loses acked data.
+    fn commit_delivered(&mut self) {}
+
+    /// Takes the per-remote counts of frames retransmitted since the
+    /// last call (for the trace pipeline). Raw transports report none.
+    fn take_retransmit_counts(&mut self) -> Vec<(Symbol, u64)> {
+        Vec::new()
+    }
 }

@@ -109,6 +109,8 @@ pub struct PeerStat {
     pub msgs_in: u64,
     /// Total blocked read attempts.
     pub blocked_reads: u64,
+    /// Total session frames this peer retransmitted.
+    pub retransmits: u64,
 }
 
 /// One round of the active-set / fan-out time series.
@@ -135,6 +137,11 @@ pub struct RoundSample {
     pub delegations: u64,
     /// Delegations revoked.
     pub revocations: u64,
+    /// Session frames retransmitted.
+    pub retransmits: u64,
+    /// Session health degradations observed (Suspect or Down
+    /// transitions).
+    pub suspects: u64,
 }
 
 /// The online aggregator. Runtimes feed it one batch of events per
@@ -255,6 +262,15 @@ impl Aggregator {
                 TraceEvent::BlockedReads { peer, count, .. } => {
                     self.peers.entry(peer).or_default().blocked_reads += count;
                 }
+                TraceEvent::SessionRetransmit { from, count, .. } => {
+                    self.cur.retransmits += count;
+                    self.peers.entry(from).or_default().retransmits += count;
+                }
+                TraceEvent::SessionHealth { state, .. } => {
+                    if state > 0 {
+                        self.cur.suspects += 1;
+                    }
+                }
                 TraceEvent::ShardRound {
                     round,
                     deferred,
@@ -350,7 +366,7 @@ impl Aggregator {
         for (peer, ps) in peers {
             writeln!(
                 w,
-                "{{\"kind\":\"peer\",\"peer\":\"{}\",\"stages\":{},\"total_ns\":{},\"mean_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"derivations\":{},\"msgs_in\":{},\"blocked_reads\":{}}}",
+                "{{\"kind\":\"peer\",\"peer\":\"{}\",\"stages\":{},\"total_ns\":{},\"mean_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"derivations\":{},\"msgs_in\":{},\"blocked_reads\":{},\"retransmits\":{}}}",
                 json_escape(&peer.to_string()),
                 ps.hist.count(),
                 ps.hist.sum_ns(),
@@ -359,13 +375,14 @@ impl Aggregator {
                 ps.hist.max_ns(),
                 ps.derivations,
                 ps.msgs_in,
-                ps.blocked_reads
+                ps.blocked_reads,
+                ps.retransmits
             )?;
         }
         for r in &self.rounds {
             writeln!(
                 w,
-                "{{\"kind\":\"round\",\"round\":{},\"active\":{},\"peers_total\":{},\"sent_msgs\":{},\"sent_items\":{},\"delivered\":{},\"deferred\":{},\"stage_ns\":{},\"delegations\":{},\"revocations\":{}}}",
+                "{{\"kind\":\"round\",\"round\":{},\"active\":{},\"peers_total\":{},\"sent_msgs\":{},\"sent_items\":{},\"delivered\":{},\"deferred\":{},\"stage_ns\":{},\"delegations\":{},\"revocations\":{},\"retransmits\":{},\"suspects\":{}}}",
                 r.round,
                 r.active,
                 r.peers_total,
@@ -375,7 +392,9 @@ impl Aggregator {
                 r.deferred,
                 r.stage_ns,
                 r.delegations,
-                r.revocations
+                r.revocations,
+                r.retransmits,
+                r.suspects
             )?;
         }
         for (i, path) in self.critical_paths(3).iter().enumerate() {

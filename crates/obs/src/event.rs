@@ -114,6 +114,24 @@ pub enum TraceEvent {
         /// Number of blocked read attempts.
         count: u64,
     },
+    /// The session layer retransmitted unacknowledged data frames.
+    SessionRetransmit {
+        /// The retransmitting peer.
+        from: Symbol,
+        /// The destination whose acknowledgements are missing.
+        to: Symbol,
+        /// Frames re-sent in this batch.
+        count: u64,
+    },
+    /// A session liveness transition for a remote peer.
+    SessionHealth {
+        /// The peer making the judgement.
+        observer: Symbol,
+        /// The remote being judged.
+        remote: Symbol,
+        /// Health state: 0 = Up, 1 = Suspect, 2 = Down.
+        state: u8,
+    },
     /// Coordinator-side summary of one sharded round.
     ShardRound {
         /// The coordinator's round counter.

@@ -1,6 +1,6 @@
 //! Offline stand-in for `crossbeam`, providing the subset this workspace
-//! uses: an unbounded MPMC channel with cloneable senders *and* receivers
-//! (built on `Mutex<VecDeque>` + `Condvar`), and scoped threads.
+//! uses: unbounded and bounded MPMC channels with cloneable senders *and*
+//! receivers (built on `Mutex<VecDeque>` + `Condvar`), and scoped threads.
 
 /// Scoped threads (subset of `crossbeam::thread`).
 ///
@@ -21,6 +21,11 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled on every pop so bounded senders blocked on a full
+        /// queue can retry.
+        space: Condvar,
+        /// `None` = unbounded.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -32,6 +37,24 @@ pub mod channel {
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; the message comes back.
+        Full(T),
+        /// Every receiver is gone; the message comes back.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
         }
     }
 
@@ -64,15 +87,28 @@ pub mod channel {
     /// pops first).
     pub struct Receiver<T>(Arc<Inner<T>>);
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender(inner.clone()), Receiver(inner))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages.
+    /// [`Sender::send`] blocks while full; [`Sender::try_send`] returns
+    /// [`TrySendError::Full`] instead.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
     }
 
     impl<T> Clone for Sender<T> {
@@ -92,16 +128,42 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; errors if every receiver is gone.
+        /// Enqueues a message; errors if every receiver is gone. On a
+        /// bounded channel, blocks while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if self.0.receivers.load(Ordering::SeqCst) == 0 {
-                return Err(SendError(value));
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.0.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
             }
-            self.0
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push_back(value);
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: [`TrySendError::Full`] on a bounded channel
+        /// at capacity, [`TrySendError::Disconnected`] when every receiver
+        /// is gone — either way the message comes back to the caller.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.0.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            drop(q);
             self.0.ready.notify_one();
             Ok(())
         }
@@ -116,7 +178,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake bounded senders blocked on a full queue so they
+                // observe the disconnection.
+                self.0.space.notify_all();
+            }
         }
     }
 
@@ -125,7 +191,10 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             match q.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    self.0.space.notify_one();
+                    Ok(v)
+                }
                 None if self.0.senders.load(Ordering::SeqCst) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -138,6 +207,7 @@ pub mod channel {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -153,6 +223,7 @@ pub mod channel {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -220,6 +291,37 @@ mod tests {
         let (tx, rx) = unbounded();
         let h = std::thread::spawn(move || tx.send(42).unwrap());
         assert_eq!(rx.recv(), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = bounded::<i32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn bounded_try_send_detects_disconnect() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded::<i32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        // The sender is blocked on the full queue until this pop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
         h.join().unwrap();
     }
 }

@@ -25,7 +25,7 @@
 use crate::error::{Result, StoreError};
 use crate::manifest::{Manifest, MANIFEST_FILE};
 use crate::segment::{read_meta, read_segment, write_meta_bytes, write_segment_bytes};
-use crate::wal::{self, WalRecord};
+use crate::wal::{self, WalEntry, WalRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs::{self, File, OpenOptions};
@@ -34,9 +34,9 @@ use std::path::{Path, PathBuf};
 use wdl_core::Peer;
 use wdl_datalog::{Symbol, Tuple, Value};
 
-/// A buffered-but-not-yet-durable base change (alias of the WAL record —
-/// the buffer is exactly the unwritten WAL suffix).
-pub type BufferedRecord = WalRecord;
+/// A buffered-but-not-yet-durable entry (alias of the WAL entry — the
+/// buffer is exactly the unwritten WAL suffix).
+pub type BufferedRecord = WalEntry;
 
 /// Where and how aggressively a peer persists.
 #[derive(Clone, Debug)]
@@ -122,7 +122,7 @@ pub struct Engine {
     /// Payload bytes already durable in the current WAL.
     wal_bytes: u64,
     /// Buffered changes since the last group commit.
-    buffer: Vec<WalRecord>,
+    buffer: Vec<WalEntry>,
     faults: IoFaults,
 }
 
@@ -192,7 +192,21 @@ impl Engine {
     /// Buffers one base change. Pure memory; durability is decided at
     /// [`Engine::sync`].
     pub fn record(&mut self, rel: Symbol, tuple: Tuple, added: bool) {
-        self.buffer.push(WalRecord { rel, tuple, added });
+        self.buffer
+            .push(WalEntry::Fact(WalRecord { rel, tuple, added }));
+    }
+
+    /// Buffers one session delivery watermark. Riding in the same buffer
+    /// as the facts means the next group commit makes both durable
+    /// atomically — the session layer's dedup floor never gets ahead of
+    /// the facts it guards.
+    pub fn record_watermark(&mut self, remote: Symbol, dir: u8, inc: u64, seq: u64) {
+        self.buffer.push(WalEntry::Watermark {
+            remote,
+            dir,
+            inc,
+            seq,
+        });
     }
 
     /// Group commit. Chooses between a WAL append and a full checkpoint:
@@ -338,11 +352,25 @@ impl Engine {
             f.set_len(tail.valid_len as u64)?;
             f.sync_all()?;
         }
-        for rec in &tail.records {
-            if rec.added {
-                peer.insert_local(rec.rel, rec.tuple.to_vec())?;
-            } else {
-                peer.delete_local(rec.rel, rec.tuple.to_vec())?;
+        for entry in &tail.records {
+            match entry {
+                WalEntry::Fact(rec) => {
+                    if rec.added {
+                        peer.insert_local(rec.rel, rec.tuple.to_vec())?;
+                    } else {
+                        peer.delete_local(rec.rel, rec.tuple.to_vec())?;
+                    }
+                }
+                WalEntry::Watermark {
+                    remote,
+                    dir,
+                    inc,
+                    seq,
+                } => {
+                    // Straight into the peer's map — going through the
+                    // sink would re-log an entry we are replaying.
+                    peer.restore_session_watermark(*remote, *dir, *inc, *seq);
+                }
             }
         }
 
@@ -359,7 +387,7 @@ impl Engine {
     /// leaves on disk — a torn WAL append, the litter of an uncommitted
     /// checkpoint, both, or nothing. Only *unacknowledged* bytes are ever
     /// damaged: everything a past `sync` acked stays intact.
-    pub fn simulate_crash(&mut self, seed: u64) -> Vec<WalRecord> {
+    pub fn simulate_crash(&mut self, seed: u64) -> Vec<WalEntry> {
         let lost = std::mem::take(&mut self.buffer);
         self.wal = None;
         let mut rng = StdRng::seed_from_u64(seed);
@@ -383,11 +411,11 @@ impl Engine {
         let Ok(mut f) = OpenOptions::new().append(true).open(&path) else {
             return;
         };
-        let mut fake = wal::encode_record(&WalRecord {
+        let mut fake = wal::encode_record(&WalEntry::Fact(WalRecord {
             rel: Symbol::intern("tornWrite"),
             tuple: vec![Value::from(rng.gen_range(0..1_000_000_i64))].into(),
             added: true,
-        });
+        }));
         let cut = rng.gen_range(1..=fake.len());
         if cut == fake.len() {
             // Full-length write with a mangled CRC instead of a short one.
@@ -556,6 +584,28 @@ mod tests {
         let mut eng2 = Engine::open(&cfg, name).unwrap();
         let q = eng2.recover().unwrap();
         assert_eq!(q.relation_facts("pictures"), p.relation_facts("pictures"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn watermarks_replay_on_recovery() {
+        let root = tmp_root("wm");
+        let cfg = DurabilityConfig::new(&root);
+        let name = Symbol::intern("engp6");
+        let p = sample_peer("engp6");
+        let mut eng = Engine::open(&cfg, name).unwrap();
+        eng.checkpoint(&p).unwrap();
+
+        let remote = Symbol::intern("engp6remote");
+        eng.record_watermark(remote, 0, 2, 17);
+        eng.record_watermark(remote, 1, 1, 5);
+        eng.sync(&p, false).unwrap();
+        assert_eq!(eng.wal_stats().0, 2);
+
+        let mut eng2 = Engine::open(&cfg, name).unwrap();
+        let q = eng2.recover().unwrap();
+        assert_eq!(q.session_watermarks().get(&(remote, 0)), Some(&(2, 17)));
+        assert_eq!(q.session_watermarks().get(&(remote, 1)), Some(&(1, 5)));
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -41,4 +41,4 @@ pub use error::{Result, StoreError};
 pub use manifest::{Manifest, MANIFEST_FILE};
 pub use persistence::{DurablePersistence, DurableStore};
 pub use segment::{read_meta, read_segment, write_meta_bytes, write_segment_bytes};
-pub use wal::{WalRecord, WalTail};
+pub use wal::{WalEntry, WalRecord, WalTail};

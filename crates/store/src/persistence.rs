@@ -17,6 +17,7 @@
 use crate::engine::{DurabilityConfig, Engine};
 use crate::error::{Result, StoreError};
 use crate::manifest::MANIFEST_FILE;
+use crate::wal::WalEntry;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -43,6 +44,10 @@ impl DurabilitySink for EngineSink {
             return;
         };
         self.engine.lock().record(bare, tuple.clone(), added);
+    }
+
+    fn record_watermark(&mut self, remote: Symbol, dir: u8, inc: u64, seq: u64) {
+        self.engine.lock().record_watermark(remote, dir, inc, seq);
     }
 
     fn sync(&mut self, peer: &Peer, meta_dirty: bool) -> wdl_core::Result<()> {
@@ -183,18 +188,19 @@ impl CrashPersistence for DurablePersistence {
         let lost = engine.lock().simulate_crash(crash_seed);
         let ops = lost
             .into_iter()
-            .map(|rec| {
-                if rec.added {
-                    SimOp::Insert {
-                        rel: rec.rel,
-                        tuple: rec.tuple.to_vec(),
-                    }
-                } else {
-                    SimOp::Delete {
-                        rel: rec.rel,
-                        tuple: rec.tuple.to_vec(),
-                    }
-                }
+            .filter_map(|entry| match entry {
+                // A lost watermark is not a client op: the session layer
+                // simply re-delivers the frames it covered (they were
+                // never acked) and the peer dedups nothing it should not.
+                WalEntry::Watermark { .. } => None,
+                WalEntry::Fact(rec) if rec.added => Some(SimOp::Insert {
+                    rel: rec.rel,
+                    tuple: rec.tuple.to_vec(),
+                }),
+                WalEntry::Fact(rec) => Some(SimOp::Delete {
+                    rel: rec.rel,
+                    tuple: rec.tuple.to_vec(),
+                }),
             })
             .collect();
         Ok((Bytes::from(name.as_str().as_bytes().to_vec()), ops))

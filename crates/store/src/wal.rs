@@ -1,11 +1,13 @@
 //! The delta write-ahead log.
 //!
-//! Between checkpoints, every extensional base change appends one record:
+//! Between checkpoints, every extensional base change (and every session
+//! delivery watermark) appends one record:
 //!
 //! ```text
 //! file header:  u32 magic "WWAL" | u8 version | u64 epoch | str peer | u32 CRC
 //! record:       u32 payload-len  | u32 payload-CRC | payload
-//! payload:      u8 tag (1=insert, 0=delete) | str rel | u32 arity | values
+//! fact payload: u8 tag (1=insert, 0=delete) | str rel | u32 arity | values
+//! mark payload: u8 tag (2)      | str remote | u8 dir | u64 inc | u64 seq
 //! ```
 //!
 //! The header's epoch and peer name tie the log to the exact checkpoint
@@ -48,6 +50,30 @@ pub struct WalRecord {
     pub added: bool,
 }
 
+/// One logged entry: a base change or a session delivery watermark.
+///
+/// Watermarks ride in the same log as the facts they cover, so one group
+/// commit makes both durable together — the session layer's ack can then
+/// never advertise a delivery whose facts were lost, and recovery never
+/// dedups a frame whose facts never made it to disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalEntry {
+    /// An extensional base change.
+    Fact(WalRecord),
+    /// A session-layer watermark (see
+    /// [`wdl_core::Peer::note_session_watermark`]).
+    Watermark {
+        /// The remote peer the watermark is about.
+        remote: Symbol,
+        /// Direction: `0` = delivered-from-remote, `1` = acked-by-remote.
+        dir: u8,
+        /// The incarnation the sequence number counts under.
+        inc: u64,
+        /// The cumulative sequence watermark.
+        seq: u64,
+    },
+}
+
 /// Result of scanning a WAL file: the decodable prefix and where (and
 /// why) it ends.
 #[derive(Debug)]
@@ -56,8 +82,8 @@ pub struct WalTail {
     pub epoch: u64,
     /// Peer name from the header — must match the directory's owner.
     pub peer: Symbol,
-    /// Records of the valid prefix, in append order.
-    pub records: Vec<WalRecord>,
+    /// Entries of the valid prefix, in append order.
+    pub records: Vec<WalEntry>,
     /// Byte length of the header (where records start).
     pub header_len: usize,
     /// Byte length of the valid prefix (truncate the file to this).
@@ -80,13 +106,29 @@ pub(crate) fn encode_header(epoch: u64, peer: Symbol) -> Vec<u8> {
 }
 
 /// Encodes one framed record (length prefix + CRC + payload).
-pub(crate) fn encode_record(rec: &WalRecord) -> Vec<u8> {
+pub(crate) fn encode_record(entry: &WalEntry) -> Vec<u8> {
     let mut payload = BytesMut::with_capacity(32);
-    payload.put_u8(u8::from(rec.added));
-    put_str(&mut payload, rec.rel.as_str());
-    payload.put_u32_le(rec.tuple.len() as u32);
-    for v in rec.tuple.iter() {
-        put_value(&mut payload, v);
+    match entry {
+        WalEntry::Fact(rec) => {
+            payload.put_u8(u8::from(rec.added));
+            put_str(&mut payload, rec.rel.as_str());
+            payload.put_u32_le(rec.tuple.len() as u32);
+            for v in rec.tuple.iter() {
+                put_value(&mut payload, v);
+            }
+        }
+        WalEntry::Watermark {
+            remote,
+            dir,
+            inc,
+            seq,
+        } => {
+            payload.put_u8(2);
+            put_str(&mut payload, remote.as_str());
+            payload.put_u8(*dir);
+            payload.put_u64_le(*inc);
+            payload.put_u64_le(*seq);
+        }
     }
     let payload = payload.freeze().to_vec();
     let mut out = Vec::with_capacity(payload.len() + 8);
@@ -96,12 +138,35 @@ pub(crate) fn encode_record(rec: &WalRecord) -> Vec<u8> {
     out
 }
 
-fn decode_payload(payload: &[u8], file: &str) -> Result<WalRecord> {
+fn decode_payload(payload: &[u8], file: &str) -> Result<WalEntry> {
     let mut r = Reader::new(payload);
     let err = |e: wdl_net::NetError| StoreError::corrupt(file, format!("wal record: {e}"));
-    let added = match r.u8().map_err(err)? {
-        0 => false,
-        1 => true,
+    let entry = match r.u8().map_err(err)? {
+        tag @ (0 | 1) => {
+            let rel = r.symbol().map_err(err)?;
+            let arity = r.u32().map_err(err)? as usize;
+            let mut values: Vec<Value> = Vec::with_capacity(arity.min(64));
+            for _ in 0..arity {
+                values.push(r.value().map_err(err)?);
+            }
+            WalEntry::Fact(WalRecord {
+                rel,
+                tuple: values.into(),
+                added: tag == 1,
+            })
+        }
+        2 => {
+            let remote = r.symbol().map_err(err)?;
+            let dir = r.u8().map_err(err)?;
+            let inc = r.u64().map_err(err)?;
+            let seq = r.u64().map_err(err)?;
+            WalEntry::Watermark {
+                remote,
+                dir,
+                inc,
+                seq,
+            }
+        }
         t => {
             return Err(StoreError::corrupt(
                 file,
@@ -109,18 +174,8 @@ fn decode_payload(payload: &[u8], file: &str) -> Result<WalRecord> {
             ))
         }
     };
-    let rel = r.symbol().map_err(err)?;
-    let arity = r.u32().map_err(err)? as usize;
-    let mut values: Vec<Value> = Vec::with_capacity(arity.min(64));
-    for _ in 0..arity {
-        values.push(r.value().map_err(err)?);
-    }
     r.expect_end().map_err(err)?;
-    Ok(WalRecord {
-        rel,
-        tuple: values.into(),
-        added,
-    })
+    Ok(entry)
 }
 
 /// Scans a WAL file image: validates the header, decodes records until
@@ -215,17 +270,23 @@ pub(crate) fn scan(bytes: &[u8], file: &str) -> Result<WalTail> {
 mod tests {
     use super::*;
 
-    fn recs() -> Vec<WalRecord> {
+    fn recs() -> Vec<WalEntry> {
         vec![
-            WalRecord {
+            WalEntry::Fact(WalRecord {
                 rel: Symbol::intern("pictures"),
                 tuple: vec![Value::from(1), Value::from("a.jpg")].into(),
                 added: true,
-            },
-            WalRecord {
+            }),
+            WalEntry::Fact(WalRecord {
                 rel: Symbol::intern("album"),
                 tuple: vec![Value::bytes(&[9, 9])].into(),
                 added: false,
+            }),
+            WalEntry::Watermark {
+                remote: Symbol::intern("walremote"),
+                dir: 0,
+                inc: 3,
+                seq: 41,
             },
         ]
     }
@@ -238,7 +299,7 @@ mod tests {
         encode_header(0, owner()).len()
     }
 
-    fn file_image(epoch: u64, records: &[WalRecord]) -> Vec<u8> {
+    fn file_image(epoch: u64, records: &[WalEntry]) -> Vec<u8> {
         let mut out = encode_header(epoch, owner());
         for r in records {
             out.extend_from_slice(&encode_record(r));
@@ -272,7 +333,7 @@ mod tests {
                 Ok(tail) => {
                     assert!(cut >= hlen);
                     // The valid prefix is a prefix of the true records.
-                    assert!(tail.records.len() <= 2);
+                    assert!(tail.records.len() <= 3);
                     assert_eq!(tail.records, recs()[..tail.records.len()]);
                     assert!(tail.valid_len <= cut);
                     if cut < hlen + first_len {

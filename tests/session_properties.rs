@@ -1,0 +1,511 @@
+//! Seeded property suite for the reliable session layer.
+//!
+//! Each property drives a pair of [`SessionEndpoint`]s over a scripted
+//! lossy wire whose faults (drop / duplicate / reorder) are a pure
+//! function of the seed, with a manual clock for timer determinism. On a
+//! failure the seed reproduces the run:
+//!
+//! ```text
+//! WDL_SIM_SEED=1234 cargo test --test session_properties <name>
+//! ```
+//!
+//! (`WDL_SIM_SEEDS=lo..hi` widens a sweep, same as `sim_conformance`.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use webdamlog::core::{FactKind, Message, Payload, WFact};
+use webdamlog::datalog::{Symbol, Value};
+use webdamlog::net::session::{Clock, SessionConfig, SessionEndpoint};
+use webdamlog::net::{NetError, Transport, TransportEvent};
+
+// ---------------------------------------------------------------------
+// Harness: a scripted lossy wire + manual clock
+// ---------------------------------------------------------------------
+
+fn seed_range(default: Range<u64>) -> Range<u64> {
+    if let Ok(v) = std::env::var("WDL_SIM_SEED") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            return n..n + 1;
+        }
+    }
+    if let Ok(v) = std::env::var("WDL_SIM_SEEDS") {
+        if let Some((lo, hi)) = v.trim().split_once("..") {
+            if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                return lo..hi;
+            }
+        }
+    }
+    default
+}
+
+struct WireState {
+    rng: StdRng,
+    drop: f64,
+    dup: f64,
+    reorder: f64,
+    inboxes: HashMap<Symbol, VecDeque<Message>>,
+}
+
+/// One peer's handle on the shared wire.
+struct LossyEnd {
+    name: Symbol,
+    state: Arc<Mutex<WireState>>,
+}
+
+fn wire(seed: u64, drop: f64, dup: f64, reorder: f64) -> Arc<Mutex<WireState>> {
+    Arc::new(Mutex::new(WireState {
+        rng: StdRng::seed_from_u64(seed ^ 0x1055_713E_u64),
+        drop,
+        dup,
+        reorder,
+        inboxes: HashMap::new(),
+    }))
+}
+
+fn end(name: &str, state: &Arc<Mutex<WireState>>) -> LossyEnd {
+    LossyEnd {
+        name: Symbol::intern(name),
+        state: Arc::clone(state),
+    }
+}
+
+impl Transport for LossyEnd {
+    fn peer_name(&self) -> Symbol {
+        self.name
+    }
+
+    fn send(&mut self, msg: Message) -> Result<(), NetError> {
+        let mut st = self.state.lock().unwrap();
+        let WireState {
+            rng,
+            drop,
+            dup,
+            reorder,
+            inboxes,
+        } = &mut *st;
+        if *drop > 0.0 && rng.gen_bool(*drop) {
+            return Ok(()); // lost in flight; the session layer's problem
+        }
+        let copies = if *dup > 0.0 && rng.gen_bool(*dup) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let inbox = inboxes.entry(msg.to).or_default();
+            if *reorder > 0.0 && !inbox.is_empty() && rng.gen_bool(*reorder) {
+                let pos = rng.gen_range(0..inbox.len());
+                inbox.insert(pos, msg.clone());
+            } else {
+                inbox.push_back(msg.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn drain(&mut self) -> Vec<Message> {
+        let mut st = self.state.lock().unwrap();
+        st.inboxes
+            .get_mut(&self.name)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+}
+
+struct TestClock(Arc<AtomicU64>);
+
+impl Clock for TestClock {
+    fn now_micros(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+type Sessioned = SessionEndpoint<LossyEnd>;
+
+fn session(
+    ep: LossyEnd,
+    incarnation: u64,
+    seed: u64,
+    clock: &Arc<AtomicU64>,
+    max_unacked: usize,
+) -> Sessioned {
+    let cfg = SessionConfig {
+        seed,
+        max_unacked,
+        ..SessionConfig::default()
+    };
+    SessionEndpoint::with_clock(ep, incarnation, cfg, Box::new(TestClock(Arc::clone(clock))))
+}
+
+fn fact_msg(from: &str, to: &str, kind: FactKind, v: i64) -> Message {
+    Message::new(
+        Symbol::intern(from),
+        Symbol::intern(to),
+        Payload::Facts {
+            kind,
+            additions: vec![WFact::new("r", to, vec![Value::from(v)])],
+            retractions: vec![],
+        },
+    )
+}
+
+fn payload_value(m: &Message) -> i64 {
+    match &m.payload {
+        Payload::Facts { additions, .. } => match additions[0].tuple[0] {
+            Value::Int(i) => i,
+            _ => panic!("unexpected tuple value"),
+        },
+        p => panic!("session frame leaked to the application: {p:?}"),
+    }
+}
+
+/// One scheduler tick: both sides drain (delivering + acking +
+/// retransmitting), commit, and the clock advances. Returns `b`'s
+/// delivered app messages. `wm` accumulates `b`'s durable watermark notes
+/// exactly the way a `PeerNode` + store would.
+fn tick(
+    a: &mut Sessioned,
+    b: &mut Sessioned,
+    clock: &Arc<AtomicU64>,
+    got: &mut Vec<Message>,
+    wm: &mut BTreeMap<(Symbol, u8), (u64, u64)>,
+) {
+    got.extend(b.drain());
+    for note in b.watermarks() {
+        let e = wm.entry((note.remote, note.dir)).or_insert((0, 0));
+        if (note.inc, note.seq) > *e {
+            *e = (note.inc, note.seq);
+        }
+    }
+    b.commit_delivered();
+    let leaked = a.drain();
+    assert!(
+        leaked.is_empty(),
+        "acks surfaced as app messages: {leaked:?}"
+    );
+    a.commit_delivered();
+    clock.fetch_add(1_500, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+/// Under seeded drop + duplication + reordering, the application sees
+/// every message exactly once, in send order, and the link fully drains.
+#[test]
+fn exactly_once_in_order_under_seeded_chaos() {
+    for seed in seed_range(0..40) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A05);
+        let drop = rng.gen::<f64>() * 0.45;
+        let dup = rng.gen::<f64>() * 0.45;
+        let reorder = rng.gen::<f64>() * 0.8;
+        let st = wire(seed, drop, dup, reorder);
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut a = session(end("pa", &st), 0, seed, &clock, 1024);
+        let mut b = session(end("pb", &st), 0, seed, &clock, 1024);
+
+        let total = 40i64;
+        let mut sent = 0i64;
+        let mut got = Vec::new();
+        let mut wm = BTreeMap::new();
+        for round in 0..4_000 {
+            // Interleave sends with delivery so chaos hits live traffic.
+            if sent < total && round % 3 == 0 {
+                for _ in 0..4 {
+                    if sent < total {
+                        a.send(fact_msg("pa", "pb", FactKind::Persistent, sent))
+                            .unwrap();
+                        sent += 1;
+                    }
+                }
+            }
+            tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+            if sent == total
+                && got.len() == total as usize
+                && a.pending_work() == 0
+                && b.pending_work() == 0
+            {
+                break;
+            }
+        }
+        let values: Vec<i64> = got.iter().map(payload_value).collect();
+        let expect: Vec<i64> = (0..total).collect();
+        assert_eq!(
+            values, expect,
+            "seed {seed} (drop {drop:.2} dup {dup:.2} reorder {reorder:.2}): \
+             reproduce: WDL_SIM_SEED={seed} cargo test --test session_properties \
+             exactly_once_in_order_under_seeded_chaos"
+        );
+        assert_eq!(a.pending_work(), 0, "seed {seed}: sender did not drain");
+        assert_eq!(b.pending_work(), 0, "seed {seed}: receiver did not drain");
+    }
+}
+
+/// Retransmission is bounded by backoff: lossy links converge with a
+/// sane retransmit count, and a quiesced link stops retransmitting.
+#[test]
+fn retransmissions_are_bounded_and_stop_at_quiescence() {
+    for seed in seed_range(50..70) {
+        let st = wire(seed, 0.5, 0.0, 0.0);
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut a = session(end("ba", &st), 0, seed, &clock, 1024);
+        let mut b = session(end("bb", &st), 0, seed, &clock, 1024);
+        let total = 20i64;
+        for v in 0..total {
+            a.send(fact_msg("ba", "bb", FactKind::Persistent, v))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        let mut wm = BTreeMap::new();
+        for _ in 0..4_000 {
+            tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+            if got.len() == total as usize && a.pending_work() == 0 && b.pending_work() == 0 {
+                break;
+            }
+        }
+        assert_eq!(got.len() as i64, total, "seed {seed}: convergence");
+        let after_converge = a.stats().retransmits;
+        assert!(
+            after_converge > 0,
+            "seed {seed}: a 50% lossy link must retransmit"
+        );
+        assert!(
+            after_converge <= (total as u64) * 40,
+            "seed {seed}: retransmit count {after_converge} exploded past backoff bounds"
+        );
+        // A fully acked link is silent: no retransmission without traffic.
+        for _ in 0..100 {
+            tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+        }
+        assert_eq!(
+            a.stats().retransmits,
+            after_converge,
+            "seed {seed}: quiesced link kept retransmitting"
+        );
+    }
+}
+
+/// Aggressive duplication never suppresses a fresh frame: dedup drops
+/// only true duplicates.
+#[test]
+fn dedup_never_drops_fresh_frames() {
+    for seed in seed_range(80..100) {
+        let st = wire(seed, 0.0, 0.7, 0.5);
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut a = session(end("da", &st), 0, seed, &clock, 1024);
+        let mut b = session(end("db", &st), 0, seed, &clock, 1024);
+        let total = 30i64;
+        for v in 0..total {
+            a.send(fact_msg("da", "db", FactKind::Persistent, v))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        let mut wm = BTreeMap::new();
+        for _ in 0..2_000 {
+            tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+            if got.len() == total as usize && a.pending_work() == 0 && b.pending_work() == 0 {
+                break;
+            }
+        }
+        let values: Vec<i64> = got.iter().map(payload_value).collect();
+        let expect: Vec<i64> = (0..total).collect();
+        assert_eq!(
+            values, expect,
+            "seed {seed}: duplicates leaked or dedup ate fresh frames"
+        );
+        assert!(
+            b.stats().dup_drops > 0,
+            "seed {seed}: a 70% duplicating wire must exercise dedup"
+        );
+    }
+}
+
+/// A receiver crash/restart is detected (higher incarnation → event) and
+/// recovery from durable watermarks restores the dedup floor: traffic
+/// committed by the previous life is not re-applied, later traffic flows.
+#[test]
+fn restart_is_detected_and_watermark_recovery_resumes_delivery() {
+    for seed in seed_range(120..140) {
+        let st = wire(seed, 0.0, 0.0, 0.0);
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut a = session(end("wa", &st), 0, seed, &clock, 1024);
+        let mut b = session(end("wb", &st), 0, seed, &clock, 1024);
+        let mut got = Vec::new();
+        let mut wm = BTreeMap::new();
+        for v in 0..5 {
+            a.send(fact_msg("wa", "wb", FactKind::Persistent, v))
+                .unwrap();
+        }
+        for _ in 0..50 {
+            tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+            if got.len() == 5 && a.pending_work() == 0 && b.pending_work() == 0 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 5, "seed {seed}: pre-crash convergence");
+        assert!(
+            wm.contains_key(&(Symbol::intern("wa"), 0)),
+            "seed {seed}: delivered watermark was never surfaced for durability"
+        );
+
+        // Crash: the old endpoint (and its transient dedup state) is gone.
+        // The new life recovers from the durable watermarks only.
+        drop(b);
+        st.lock().unwrap().inboxes.clear();
+        let cfg = SessionConfig {
+            seed,
+            ..SessionConfig::default()
+        };
+        let mut b = SessionEndpoint::recover(
+            end("wb", &st),
+            1,
+            cfg,
+            Box::new(TestClock(Arc::clone(&clock))),
+            &wm,
+        );
+
+        for v in 5..10 {
+            a.send(fact_msg("wa", "wb", FactKind::Persistent, v))
+                .unwrap();
+        }
+        let mut restarted = false;
+        for _ in 0..200 {
+            tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+            restarted |= a
+                .poll_events()
+                .iter()
+                .any(|e| matches!(e, TransportEvent::PeerRestarted(p) if p.as_str() == "wb"));
+            if got.len() == 10 && a.pending_work() == 0 && b.pending_work() == 0 {
+                break;
+            }
+        }
+        let values: Vec<i64> = got.iter().map(payload_value).collect();
+        let expect: Vec<i64> = (0..10).collect();
+        assert_eq!(
+            values, expect,
+            "seed {seed}: post-restart traffic lost or pre-crash traffic re-applied"
+        );
+        assert!(restarted, "seed {seed}: sender never observed the restart");
+    }
+}
+
+/// Liveness: silence with traffic outstanding walks Up → Suspect → Down
+/// (with events), and any sign of life restores Up.
+#[test]
+fn liveness_suspects_then_downs_then_recovers() {
+    let seed = 7;
+    let st = wire(seed, 0.0, 0.0, 0.0);
+    let clock = Arc::new(AtomicU64::new(0));
+    let cfg = SessionConfig::default();
+    let mut a = session(end("la", &st), 0, seed, &clock, 1024);
+    let mut b = session(end("lb", &st), 0, seed, &clock, 1024);
+    let lb = Symbol::intern("lb");
+
+    a.send(fact_msg("la", "lb", FactKind::Persistent, 1))
+        .unwrap();
+    // The receiver goes silent: never drained, never acking.
+    let mut events = Vec::new();
+    while clock.load(Ordering::SeqCst) < cfg.suspect_after_micros + 2_000 {
+        let _ = a.drain();
+        events.extend(a.poll_events());
+        clock.fetch_add(1_000, Ordering::SeqCst);
+    }
+    assert!(
+        matches!(
+            a.health_of(lb),
+            Some(webdamlog::net::session::PeerHealth::Suspect)
+        ),
+        "silent past the suspicion window: {:?}",
+        a.health_of(lb)
+    );
+    while clock.load(Ordering::SeqCst) < cfg.down_after_micros + 5_000 {
+        let _ = a.drain();
+        events.extend(a.poll_events());
+        clock.fetch_add(1_000, Ordering::SeqCst);
+    }
+    assert!(
+        matches!(
+            a.health_of(lb),
+            Some(webdamlog::net::session::PeerHealth::Down)
+        ),
+        "silent past the down threshold: {:?}",
+        a.health_of(lb)
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TransportEvent::Suspect(p) if *p == lb)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TransportEvent::Down(p) if *p == lb)));
+
+    // The peer wakes up: one drain/ack cycle restores Up and delivers.
+    let mut got = Vec::new();
+    let mut wm = BTreeMap::new();
+    for _ in 0..50 {
+        tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+        if got.len() == 1 && a.pending_work() == 0 {
+            break;
+        }
+    }
+    assert_eq!(got.len(), 1, "delivery resumes after recovery");
+    assert!(
+        matches!(
+            a.health_of(lb),
+            Some(webdamlog::net::session::PeerHealth::Up)
+        ),
+        "any received frame restores Up: {:?}",
+        a.health_of(lb)
+    );
+}
+
+/// Backpressure: the bounded outbox surfaces `PeerUnreachable` instead of
+/// buffering without limit, and frees up as acks arrive.
+#[test]
+fn backpressure_bounds_the_outbox() {
+    let seed = 11;
+    let st = wire(seed, 0.0, 0.0, 0.0);
+    let clock = Arc::new(AtomicU64::new(0));
+    let mut a = session(end("qa", &st), 0, seed, &clock, 8);
+    let mut b = session(end("qb", &st), 0, seed, &clock, 8);
+
+    let mut accepted = 0i64;
+    let mut refused = 0;
+    for v in 0..20 {
+        match a.send(fact_msg("qa", "qb", FactKind::Persistent, v)) {
+            Ok(()) => accepted += 1,
+            Err(NetError::PeerUnreachable(_)) => refused += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(accepted, 8, "outbox admits exactly max_unacked frames");
+    assert!(refused > 0, "overflow surfaced as PeerUnreachable");
+
+    // Acks free the window; the refused traffic can be re-offered.
+    let mut got = Vec::new();
+    let mut wm = BTreeMap::new();
+    for _ in 0..50 {
+        tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+        if a.pending_work() == 0 && b.pending_work() == 0 {
+            break;
+        }
+    }
+    assert_eq!(got.len(), 8);
+    for v in 8..12 {
+        a.send(fact_msg("qa", "qb", FactKind::Persistent, v))
+            .unwrap();
+    }
+    for _ in 0..50 {
+        tick(&mut a, &mut b, &clock, &mut got, &mut wm);
+        if got.len() == 12 && a.pending_work() == 0 {
+            break;
+        }
+    }
+    let values: Vec<i64> = got.iter().map(payload_value).collect();
+    let expect: Vec<i64> = (0..12).collect();
+    assert_eq!(values, expect, "no gap, no duplicate across the stall");
+}

@@ -293,6 +293,47 @@ fn crash_spec(seed: u64, sc: &Scenario) -> RunSpec {
     spec
 }
 
+/// Lossy, duplicating, reordering, partitioned — but with the reliable
+/// session layer underneath, which upgrades all of it back to
+/// exactly-once in-order delivery. No crash in the plan.
+fn session_lossy_spec(seed: u64, sc: &Scenario) -> RunSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E_5510);
+    let names = names_of(sc);
+    let mut plan = FaultPlan::lossless()
+        .delay(rng.gen_range(0..200u64), rng.gen_range(500..3_000u64))
+        .drop(0.05 + prob(&mut rng, 0.30));
+    if rng.gen_bool(0.5) {
+        plan = plan.duplicate(0.05 + prob(&mut rng, 0.30));
+    }
+    if rng.gen_bool(0.5) {
+        plan = plan.reorder(0.4, rng.gen_range(500..3_000u64));
+    }
+    let plan = maybe_partition(&mut rng, &names, plan, 0.4, 1_000..5_000, 2_000..6_000, 0.5);
+    RunSpec::new(seed, plan).with_sessions()
+}
+
+/// Sessions + crashes of ANY peer — including ones the scenario does not
+/// list as crash-safe. Every crash restarts; durable watermarks plus
+/// restart-triggered resync must make the whole network converge anyway.
+fn session_crash_spec(seed: u64, sc: &Scenario) -> RunSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCE55_C4A5);
+    let names = names_of(sc);
+    let plan = FaultPlan::lossless()
+        .delay(rng.gen_range(0..300u64), rng.gen_range(1_000..4_000u64))
+        .duplicate(prob(&mut rng, 0.3));
+    let mut spec = RunSpec::new(seed, plan).with_sessions();
+    let victim = names[rng.gen_range(0..names.len())];
+    let at = rng.gen_range(1_000..5_000u64);
+    spec = spec.crash(at, victim, Some(at + rng.gen_range(2_000..5_000u64)));
+    if names.len() > 1 && rng.gen_bool(0.4) {
+        let second = names[rng.gen_range(0..names.len())];
+        if second != victim {
+            spec = spec.crash(rng.gen_range(10_000..14_000u64), second, Some(16_000));
+        }
+    }
+    spec
+}
+
 // ---------------------------------------------------------------------
 // The sweeps (group name == test name)
 // ---------------------------------------------------------------------
@@ -420,6 +461,47 @@ fn durable_transparent_without_crashes() {
         |seed| {
             let sc = scenarios::transfer_dispatch(seed);
             let spec = lossless_adversarial_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Reliable sessions: lossy plans and arbitrary crashes that previously
+// only earned weaker grades must now reach full eventual equality.
+// ---------------------------------------------------------------------
+
+/// Retraction-heavy churn over a genuinely lossy, duplicating,
+/// reordering network: without sessions this sweep could only assert
+/// universe membership; with them the oracle demands exact equality with
+/// the fault-free reference for every peer.
+#[test]
+fn session_lossy_eventual_equality() {
+    sweep_with(
+        "session_lossy_eventual_equality",
+        1100..1160,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::delegation_churn(seed);
+            let spec = session_lossy_spec(seed, &sc);
+            (sc, spec)
+        },
+    );
+}
+
+/// Crashes of ANY peer — crash-safe or not — over the durable storage
+/// engine. Restarts recover from disk (segments + WAL, including session
+/// watermarks); the sender's restart detection re-sends the full derived
+/// state. The oracle grades full eventual equality for all peers.
+#[test]
+fn session_crash_all_peers() {
+    sweep_durable(
+        "session_crash_all_peers",
+        1200..1260,
+        |v| v.checked_equality,
+        |seed| {
+            let sc = scenarios::delegation_fanout(seed);
+            let spec = session_crash_spec(seed, &sc);
             (sc, spec)
         },
     );

@@ -55,6 +55,9 @@ fn canon_messages(msgs: &[Message]) -> Vec<String> {
                 v.sort();
                 format!("{}->{} revoke {v:?}", m.from, m.to)
             }
+            Payload::Session(bytes) => {
+                format!("{}->{} session {} bytes", m.from, m.to, bytes.len())
+            }
         })
         .collect();
     out.sort();
