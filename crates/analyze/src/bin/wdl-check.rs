@@ -1,0 +1,175 @@
+//! `wdl-check` — offline static analysis for `.wdl` programs.
+//!
+//! ```text
+//! wdl-check [--json] <file.wdl>...
+//! ```
+//!
+//! Exit status: 0 when no program has error-severity diagnostics
+//! (warnings are allowed), 1 when at least one error was reported,
+//! 2 on parse or I/O failure.
+
+use std::process::ExitCode;
+use wdl_analyze::{model_from_program, Analyzer};
+use wdl_core::Diagnostic;
+use wdl_parser::parse_program_spanned;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: wdl-check [--json] <file.wdl>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: wdl-check [--json] <file.wdl>...");
+        return ExitCode::from(2);
+    }
+
+    let mut results = Vec::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let statements = match parse_program_spanned(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}:{}:{}: parse error: {}", e.line, e.col, e.message);
+                return ExitCode::from(2);
+            }
+        };
+        let (models, mut diagnostics) = model_from_program(&statements);
+        let report = Analyzer::new(models).analyze();
+        diagnostics.extend(report.diagnostics);
+        errors += diagnostics.iter().filter(|d| d.is_error()).count();
+        warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
+        results.push((file.clone(), diagnostics, report.delegation_depth));
+    }
+
+    if json {
+        print_json(&results);
+    } else {
+        print_human(&results);
+        eprintln!(
+            "{} file{} checked: {errors} error{}, {warnings} warning{}",
+            results.len(),
+            if results.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_human(results: &[(String, Vec<Diagnostic>, Option<usize>)]) {
+    for (file, diagnostics, depth) in results {
+        for d in diagnostics {
+            match d.rule_span {
+                Some(s) => println!(
+                    "{file}:{}:{}: {}[{}]: {}",
+                    s.line,
+                    s.col,
+                    d.severity.as_str(),
+                    d.code.as_str(),
+                    d.message
+                ),
+                None => println!(
+                    "{file}: {}[{}]: {}",
+                    d.severity.as_str(),
+                    d.code.as_str(),
+                    d.message
+                ),
+            }
+            for note in &d.notes {
+                println!("  note: {note}");
+            }
+        }
+        match depth {
+            Some(depth) => eprintln!("{file}: delegation depth bounded by {depth}"),
+            None => eprintln!("{file}: delegation depth unbounded (installation may cycle)"),
+        }
+    }
+}
+
+fn print_json(results: &[(String, Vec<Diagnostic>, Option<usize>)]) {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (file, diagnostics, depth) in results {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  {\"file\": ");
+        json_string(&mut out, file);
+        out.push_str(", \"delegation_depth\": ");
+        match depth {
+            Some(d) => out.push_str(&d.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"diagnostics\": [");
+        let mut first_d = true;
+        for d in diagnostics {
+            if !first_d {
+                out.push(',');
+            }
+            first_d = false;
+            out.push_str("\n    {\"code\": \"");
+            out.push_str(d.code.as_str());
+            out.push_str("\", \"severity\": \"");
+            out.push_str(d.severity.as_str());
+            out.push_str("\", ");
+            if let Some(s) = d.rule_span {
+                out.push_str(&format!("\"line\": {}, \"col\": {}, ", s.line, s.col));
+            }
+            out.push_str("\"message\": ");
+            json_string(&mut out, &d.message);
+            out.push_str(", \"notes\": [");
+            for (i, note) in d.notes.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                json_string(&mut out, note);
+            }
+            out.push_str("]}");
+        }
+        if !first_d {
+            out.push_str("\n  ");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]");
+    println!("{out}");
+}
+
+/// Minimal JSON string encoder (the workspace deliberately has no
+/// serde_json; see Cargo.toml's shim note).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

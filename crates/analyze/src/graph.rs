@@ -1,0 +1,380 @@
+//! The cross-peer predicate dependency graph.
+//!
+//! Nodes are `(peer, relation)` pairs, with *symbolic* nodes standing
+//! in for variable peer or relation positions — `pictures@$attendee`
+//! depends on `pictures` at *some* peer, so it gets an [`Node::AnyPeer`]
+//! node that conservatively overlaps every concrete `pictures@p`.
+//! Edges run body-atom → head-atom, carry polarity (negative under
+//! `not`) and a kind: [`EdgeKind::Local`] when the atom is evaluated at
+//! the site already running the rule, [`EdgeKind::Delegation`] when
+//! reaching the atom moves evaluation to another peer (the remainder of
+//! the rule is installed there), and [`EdgeKind::Provenance`] when the
+//! atom is local but the derived head is delivered to a different peer.
+
+use crate::{PeerModel, RuleRef};
+use std::collections::HashMap;
+use wdl_core::{Span, WAtom, WBodyItem};
+use wdl_datalog::Symbol;
+
+/// A node of the dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A concrete `(relation, peer)` pair.
+    Rel {
+        /// Hosting peer.
+        peer: Symbol,
+        /// Relation name.
+        rel: Symbol,
+    },
+    /// Relation `rel` at a variable peer (`rel@$p`).
+    AnyPeer {
+        /// Relation name.
+        rel: Symbol,
+    },
+    /// A variable relation at a concrete peer (`$r@peer`).
+    AnyRel {
+        /// Hosting peer.
+        peer: Symbol,
+    },
+    /// Both positions variable (`$r@$p`).
+    Any,
+}
+
+impl Node {
+    /// Classifies an atom's name terms.
+    pub fn of(atom: &WAtom) -> Node {
+        match (atom.rel.as_name(), atom.peer.as_name()) {
+            (Some(rel), Some(peer)) => Node::Rel { peer, rel },
+            (Some(rel), None) => Node::AnyPeer { rel },
+            (None, Some(peer)) => Node::AnyRel { peer },
+            (None, None) => Node::Any,
+        }
+    }
+
+    /// True when the two nodes may denote overlapping `(peer, relation)`
+    /// sets — the conservative unification the distributed
+    /// stratification check quotients by.
+    pub fn overlaps(&self, other: &Node) -> bool {
+        match (*self, *other) {
+            (Node::Any, _) | (_, Node::Any) => true,
+            (Node::Rel { peer: p1, rel: r1 }, Node::Rel { peer: p2, rel: r2 }) => {
+                p1 == p2 && r1 == r2
+            }
+            (Node::Rel { rel, .. }, Node::AnyPeer { rel: r2 })
+            | (Node::AnyPeer { rel }, Node::Rel { rel: r2, .. })
+            | (Node::AnyPeer { rel }, Node::AnyPeer { rel: r2 }) => rel == r2,
+            (Node::Rel { peer, .. }, Node::AnyRel { peer: p2 })
+            | (Node::AnyRel { peer }, Node::Rel { peer: p2, .. })
+            | (Node::AnyRel { peer }, Node::AnyRel { peer: p2 }) => peer == p2,
+            // `rel@$p` and `$r@q` can both denote `rel@q`.
+            (Node::AnyPeer { .. }, Node::AnyRel { .. })
+            | (Node::AnyRel { .. }, Node::AnyPeer { .. }) => true,
+        }
+    }
+}
+
+impl std::fmt::Display for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Rel { peer, rel } => write!(f, "{rel}@{peer}"),
+            Node::AnyPeer { rel } => write!(f, "{rel}@$?"),
+            Node::AnyRel { peer } => write!(f, "$?@{peer}"),
+            Node::Any => write!(f, "$?@$?"),
+        }
+    }
+}
+
+/// How a body atom's data reaches the rule's head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Evaluated at the site already running the rule; head delivered
+    /// locally too.
+    Local,
+    /// Reaching this atom installs the rule's remainder at the atom's
+    /// peer (WebdamLog delegation).
+    Delegation,
+    /// The atom is local to the final evaluation site but the head is
+    /// delivered to another peer — a cross-peer provenance edge.
+    Provenance,
+}
+
+/// One dependency edge, body atom → head.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Source node index (the body atom).
+    pub src: usize,
+    /// Destination node index (the head).
+    pub dst: usize,
+    /// True when the body atom occurs under `not`.
+    pub negative: bool,
+    /// How the dependency crosses (or does not cross) peers.
+    pub kind: EdgeKind,
+    /// The rule that contributed the edge.
+    pub rule: RuleRef,
+    /// Source span of that rule, when known.
+    pub span: Option<Span>,
+}
+
+/// A concrete site transition: evaluating `rule` at `from` installs its
+/// remainder at `to`. The delegation-boundedness check runs over these.
+#[derive(Clone, Copy, Debug)]
+pub struct InstallEdge {
+    /// The delegating site.
+    pub from: Symbol,
+    /// The site receiving the remainder.
+    pub to: Symbol,
+    /// The rule that delegates.
+    pub rule: RuleRef,
+    /// Its span, when known.
+    pub span: Option<Span>,
+}
+
+/// The cross-peer predicate dependency graph over a set of peer models.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    /// Interned nodes; indices are stable identifiers.
+    pub nodes: Vec<Node>,
+    /// Dependency edges (body → head).
+    pub edges: Vec<Edge>,
+    /// Concrete rule-installation transitions between peers.
+    pub installs: Vec<InstallEdge>,
+    index: HashMap<Node, usize>,
+}
+
+impl DepGraph {
+    /// Builds the graph for `peers`.
+    pub fn build(peers: &[PeerModel]) -> DepGraph {
+        let mut g = DepGraph::default();
+        for (pi, model) in peers.iter().enumerate() {
+            for (ri, info) in model.rules.iter().enumerate() {
+                g.add_rule(model.name, RuleRef { peer: pi, rule: ri }, info);
+            }
+        }
+        g
+    }
+
+    fn intern(&mut self, node: Node) -> usize {
+        if let Some(&i) = self.index.get(&node) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(node);
+        self.index.insert(node, i);
+        i
+    }
+
+    fn add_rule(&mut self, owner: Symbol, rref: RuleRef, info: &crate::RuleInfo) {
+        let rule = &info.rule;
+        let span = info.span;
+        let head = Node::of(&rule.head);
+        let head_idx = self.intern(head);
+
+        // Walk the body left to right tracking the evaluation site: it
+        // starts at the owner and moves to an atom's peer whenever the
+        // atom is not local to the current site (WebdamLog installs the
+        // remainder there). A variable peer moves the site to "unknown".
+        let mut site: Option<Symbol> = Some(owner);
+        let mut crossings: Vec<bool> = Vec::new();
+        for item in &rule.body {
+            let WBodyItem::Literal(lit) = item else {
+                crossings.push(false);
+                continue;
+            };
+            let atom_peer = lit.atom.peer.as_name();
+            let crossed = match (site, atom_peer) {
+                (Some(s), Some(p)) => p != s,
+                (Some(_), None) => true,
+                // Already at an unknown site: conservatively treat every
+                // further atom as reachable without a new delegation.
+                (None, _) => false,
+            };
+            if crossed {
+                // A delegated rule is a remainder the origin rule's own walk
+                // already accounts for; re-emitting its installs would make a
+                // single bounded chain look like a multi-rule cycle.
+                if info.delegated_from.is_none() {
+                    if let (Some(from), Some(to)) = (site, atom_peer) {
+                        self.installs.push(InstallEdge {
+                            from,
+                            to,
+                            rule: rref,
+                            span,
+                        });
+                    }
+                }
+                site = atom_peer;
+            }
+            crossings.push(crossed);
+        }
+        let head_crosses = match (rule.head.peer.as_name(), site) {
+            (Some(hp), Some(s)) => hp != s,
+            _ => true,
+        };
+
+        for (item, &crossed) in rule.body.iter().zip(&crossings) {
+            let WBodyItem::Literal(lit) = item else {
+                continue;
+            };
+            let src = self.intern(Node::of(&lit.atom));
+            let kind = if crossed {
+                EdgeKind::Delegation
+            } else if head_crosses {
+                EdgeKind::Provenance
+            } else {
+                EdgeKind::Local
+            };
+            self.edges.push(Edge {
+                src,
+                dst: head_idx,
+                negative: lit.negated,
+                kind,
+                rule: rref,
+                span,
+            });
+        }
+    }
+
+    /// Quotients the node set by conservative overlap (symbolic nodes
+    /// unify with every concrete node they may denote), returning one
+    /// class id per node and the class count. The distributed
+    /// stratification check runs cycle detection on the quotient.
+    pub fn quotient(&self) -> (Vec<usize>, usize) {
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.nodes[i].overlaps(&self.nodes[j]) {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        let mut class_of = vec![0usize; n];
+        let mut next = 0;
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for (i, class) in class_of.iter_mut().enumerate() {
+            let root = find(&mut parent, i);
+            let id = *seen.entry(root).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            *class = id;
+        }
+        (class_of, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeerModel, RuleInfo};
+    use wdl_core::{NameTerm, WRule};
+    use wdl_datalog::Term;
+
+    fn model(name: &str, rules: Vec<WRule>) -> PeerModel {
+        let mut m = PeerModel::new(name);
+        for r in rules {
+            m.rules.push(RuleInfo {
+                rule: r,
+                span: None,
+                delegated_from: None,
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn local_rule_edges_are_local() {
+        let r = WRule::new(
+            WAtom::at("v", "p", vec![Term::var("x")]),
+            vec![WAtom::at("w", "p", vec![Term::var("x")]).into()],
+        );
+        let g = DepGraph::build(&[model("p", vec![r])]);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].kind, EdgeKind::Local);
+        assert!(g.installs.is_empty());
+    }
+
+    #[test]
+    fn remote_atom_is_a_delegation_edge_and_install() {
+        // v@p :- w@p, u@q — reaching u@q installs the remainder at q.
+        let r = WRule::new(
+            WAtom::at("v", "p", vec![Term::var("x")]),
+            vec![
+                WAtom::at("w", "p", vec![Term::var("x")]).into(),
+                WAtom::at("u", "q", vec![Term::var("x")]).into(),
+            ],
+        );
+        let g = DepGraph::build(&[model("p", vec![r])]);
+        let kinds: Vec<EdgeKind> = g.edges.iter().map(|e| e.kind).collect();
+        // w@p is local to the starting site, but the head is delivered
+        // from the final site q back to p: provenance.
+        assert_eq!(kinds, vec![EdgeKind::Provenance, EdgeKind::Delegation]);
+        assert_eq!(g.installs.len(), 1);
+        assert_eq!(g.installs[0].from.as_str(), "p");
+        assert_eq!(g.installs[0].to.as_str(), "q");
+    }
+
+    #[test]
+    fn symbolic_nodes_overlap_concrete() {
+        let a = Node::AnyPeer {
+            rel: Symbol::intern("pictures"),
+        };
+        let b = Node::Rel {
+            peer: Symbol::intern("emilien"),
+            rel: Symbol::intern("pictures"),
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&Node::Rel {
+            peer: Symbol::intern("emilien"),
+            rel: Symbol::intern("rate"),
+        }));
+        assert!(Node::Any.overlaps(&b));
+    }
+
+    #[test]
+    fn quotient_merges_symbolic_with_concrete() {
+        // pictures@$a (in a rule body) and pictures@emilien collapse.
+        let r1 = WRule::new(
+            WAtom::at("all", "p", vec![Term::var("x"), Term::var("a")]),
+            vec![
+                WAtom::at("sel", "p", vec![Term::var("a")]).into(),
+                WAtom::new(
+                    NameTerm::name("pictures"),
+                    NameTerm::var("a"),
+                    vec![Term::var("x")],
+                )
+                .into(),
+            ],
+        );
+        let r2 = WRule::new(
+            WAtom::at("pictures", "emilien", vec![Term::var("x")]),
+            vec![WAtom::at("cam", "emilien", vec![Term::var("x")]).into()],
+        );
+        let g = DepGraph::build(&[model("p", vec![r1]), model("emilien", vec![r2])]);
+        let (classes, _) = g.quotient();
+        let any_peer = g
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::AnyPeer { .. }))
+            .unwrap();
+        let concrete = g
+            .nodes
+            .iter()
+            .position(|n| {
+                matches!(n, Node::Rel { peer, rel } if peer.as_str() == "emilien" && rel.as_str() == "pictures")
+            })
+            .unwrap();
+        assert_eq!(classes[any_peer], classes[concrete]);
+    }
+}

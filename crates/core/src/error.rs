@@ -38,6 +38,10 @@ pub enum WdlError {
     /// corrupt on-disk state). The in-memory peer is still consistent, but
     /// its changes since the last successful sync are not durable.
     Durability(String),
+    /// A program batch was rejected by the static analyzer before any of
+    /// it was applied ([`crate::Peer::install`]). Carries every diagnostic
+    /// the analyzer raised, errors and warnings alike.
+    Rejected(Vec<crate::Diagnostic>),
 }
 
 impl std::fmt::Display for WdlError {
@@ -56,6 +60,18 @@ impl std::fmt::Display for WdlError {
             WdlError::BadNameBinding(m) => write!(f, "bad name binding: {m}"),
             WdlError::ViewInvalidated(m) => write!(f, "view invalidated: {m}"),
             WdlError::Durability(m) => write!(f, "durability: {m}"),
+            WdlError::Rejected(diags) => {
+                let errors = diags.iter().filter(|d| d.is_error()).count();
+                write!(f, "program rejected by static analysis ({errors} error")?;
+                if errors != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                if let Some(first) = diags.iter().find(|d| d.is_error()) {
+                    write!(f, ": {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

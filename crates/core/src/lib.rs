@@ -83,6 +83,7 @@
 pub mod acl;
 mod atom;
 mod delegation;
+pub mod diag;
 mod durability;
 mod error;
 mod fact;
@@ -102,6 +103,9 @@ mod trace;
 pub use acl::{AccessControl, DelegationDecision, PendingDelegation};
 pub use atom::{NameTerm, WAtom, WBodyItem, WLiteral};
 pub use delegation::{Delegation, DelegationId};
+pub use diag::{
+    DiagCode, Diagnostic, InstallReport, NoCheck, ProgramBatch, ProgramCheck, Severity, Span,
+};
 pub use durability::DurabilitySink;
 pub use error::{Result, WdlError};
 pub use fact::{qualify, unqualify, WFact};

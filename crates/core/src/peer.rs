@@ -401,6 +401,110 @@ impl Peer {
         Ok(())
     }
 
+    /// Installs a whole program batch atomically, vetted by a static
+    /// checker (normally `wdl-analyze`'s `StaticChecker`; use
+    /// [`crate::NoCheck`] to opt out).
+    ///
+    /// Order of operations:
+    ///
+    /// 1. the checker analyzes the batch against this peer's current
+    ///    state; any [`crate::Severity::Error`] diagnostic rejects the
+    ///    whole batch with [`WdlError::Rejected`] **before any fact,
+    ///    rule or declaration is applied** (and hence before anything
+    ///    can be emitted to other peers);
+    /// 2. the batch is validated against the engine's intrinsic rules
+    ///    (schema compatibility, fact ownership and arity, WebdamLog
+    ///    safety) on scratch state — a validation failure also leaves
+    ///    the peer untouched;
+    /// 3. declarations, rules and facts are applied, in that order.
+    ///
+    /// Warnings do not block: they are returned in the
+    /// [`crate::InstallReport`] and recorded on the trace stream as
+    /// [`crate::TraceEvent::AnalyzerDiagnostic`] events when a sink is
+    /// installed.
+    pub fn install(
+        &mut self,
+        batch: crate::ProgramBatch,
+        check: &dyn crate::ProgramCheck,
+    ) -> Result<crate::InstallReport> {
+        let diags = check.check(self, &batch);
+        if diags.iter().any(|d| d.is_error()) {
+            return Err(WdlError::Rejected(diags));
+        }
+
+        // Validate the whole batch on scratch state before mutating.
+        let mut scratch = self.schema.clone();
+        for &(rel, arity, kind) in &batch.declarations {
+            scratch.declare(rel, arity, kind)?;
+        }
+        for fact in &batch.facts {
+            if fact.peer != self.name {
+                return Err(WdlError::SchemaViolation(format!(
+                    "fact {fact} is addressed to peer {}, not {}",
+                    fact.peer, self.name
+                )));
+            }
+            match scratch.get(fact.rel) {
+                Some(decl) if decl.kind != RelationKind::Extensional => {
+                    return Err(WdlError::SchemaViolation(format!(
+                        "fact {fact} targets intensional relation {}",
+                        fact.rel
+                    )));
+                }
+                Some(decl) if decl.arity != fact.tuple.len() => {
+                    return Err(WdlError::SchemaViolation(format!(
+                        "fact {fact} has arity {}, relation {} is declared with {}",
+                        fact.tuple.len(),
+                        fact.rel,
+                        decl.arity
+                    )));
+                }
+                Some(_) => {}
+                // insert_local auto-declares unknown relations as
+                // extensional; mirror that here so later facts of the
+                // same relation are checked against the first's arity.
+                None => scratch.declare(fact.rel, fact.tuple.len(), RelationKind::Extensional)?,
+            }
+        }
+        for (rule, _span) in &batch.rules {
+            rule.check_safety()?;
+        }
+
+        // Apply. Every step below is infallible given the validation
+        // above succeeded against the same scratch schema.
+        let mut report = crate::InstallReport {
+            declarations: batch.declarations.len(),
+            ..Default::default()
+        };
+        for (rel, arity, kind) in batch.declarations {
+            self.declare(rel, arity, kind)?;
+        }
+        for (rule, _span) in batch.rules {
+            report.rules.push(self.add_rule(rule)?);
+        }
+        for fact in batch.facts {
+            let values: Vec<Value> = fact.tuple.to_vec();
+            self.insert_local(fact.rel, values)?;
+            report.facts += 1;
+        }
+
+        let me = self.name;
+        if let Some(tr) = self.tracer.as_mut() {
+            for d in &diags {
+                tr.record(crate::TraceEvent::AnalyzerDiagnostic {
+                    peer: me,
+                    code: d.code.number(),
+                    severity: match d.severity {
+                        crate::Severity::Warning => 0,
+                        crate::Severity::Error => 1,
+                    },
+                });
+            }
+        }
+        report.warnings = diags;
+        Ok(report)
+    }
+
     // ------------------------------------------------------------------
     // Rule management (the demo UI's inspect / add / remove, Figure 3)
     // ------------------------------------------------------------------

@@ -14,6 +14,7 @@ mod stratify;
 
 pub use parallel::EvalConfig;
 pub use plan::{BodyPlan, BodyScratch};
+pub use stratify::{negative_cycle, NegativeCycle};
 
 pub(crate) use diff::{match_body_at_slot, DiffSide, NetChange};
 pub(crate) use naive::{naive_fixpoint, naive_fixpoint_compiled};

@@ -51,6 +51,155 @@ enum EdgeSign {
     Neg,
 }
 
+/// A cycle through a signed dependency graph containing at least one
+/// negative edge — the witness behind a [`DatalogError::NotStratifiable`],
+/// also reused by the `wdl-analyze` crate's cross-peer stratification
+/// check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NegativeCycle {
+    /// Node indices along the cycle, in order. The cycle closes from the
+    /// last node back to the first.
+    pub nodes: Vec<usize>,
+    /// `negative[i]` is the sign of the edge leaving `nodes[i]` (toward
+    /// `nodes[(i + 1) % len]`). At least one entry is `true`.
+    pub negative: Vec<bool>,
+}
+
+impl NegativeCycle {
+    /// Renders the cycle as `a -> not b -> a`, naming nodes through `name`.
+    pub fn render(&self, mut name: impl FnMut(usize) -> String) -> String {
+        let mut out = name(self.nodes[0]);
+        for i in 0..self.nodes.len() {
+            let next = self.nodes[(i + 1) % self.nodes.len()];
+            out.push_str(" -> ");
+            if self.negative[i] {
+                out.push_str("not ");
+            }
+            out.push_str(&name(next));
+        }
+        out
+    }
+}
+
+/// Finds a cycle containing a negative edge in a signed graph over nodes
+/// `0..n`, given as `(src, dst, is_negative)` edges. Returns `None` when
+/// every negative edge crosses between strongly connected components
+/// (i.e. the graph is stratifiable).
+pub fn negative_cycle(n: usize, edges: &[(usize, usize, bool)]) -> Option<NegativeCycle> {
+    if n == 0 {
+        return None;
+    }
+    let comp = scc_components(n, edges);
+    let (src, dst) = edges
+        .iter()
+        .find(|&&(s, d, neg)| neg && comp[s] == comp[d])
+        .map(|&(s, d, _)| (s, d))?;
+    if src == dst {
+        return Some(NegativeCycle {
+            nodes: vec![src],
+            negative: vec![true],
+        });
+    }
+    // Close the cycle: walk from `dst` back to `src` inside the component
+    // (preferring positive edges so the witness shows exactly one
+    // negation when one suffices).
+    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    for &(s, d, neg) in edges {
+        if comp[s] == comp[src] && comp[d] == comp[src] {
+            adj[s].push((d, neg));
+        }
+    }
+    for a in &mut adj {
+        a.sort_by_key(|&(_, neg)| neg);
+    }
+    let mut parent: Vec<Option<(usize, bool)>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::from([dst]);
+    let mut seen = vec![false; n];
+    seen[dst] = true;
+    while let Some(u) = queue.pop_front() {
+        if u == src {
+            break;
+        }
+        for &(v, neg) in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some((u, neg));
+                queue.push_back(v);
+            }
+        }
+    }
+    // Path dst -> ... -> src exists because both sit in one SCC.
+    let mut rev = Vec::new();
+    let mut at = src;
+    while at != dst {
+        let (prev, neg) = parent[at]?;
+        rev.push((at, neg));
+        at = prev;
+    }
+    let mut nodes = vec![src, dst];
+    let mut negative = vec![true];
+    for &(node, neg) in rev.iter().rev() {
+        negative.push(neg);
+        if node != src {
+            nodes.push(node);
+        }
+    }
+    Some(NegativeCycle { nodes, negative })
+}
+
+/// Kosaraju-style SCC labelling: `result[v]` identifies v's component.
+fn scc_components(n: usize, edges: &[(usize, usize, bool)]) -> Vec<usize> {
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(s, d, _) in edges {
+        fwd[s].push(d);
+        rev[d].push(s);
+    }
+    // First pass: finish order via iterative DFS.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < fwd[u].len() {
+                let v = fwd[u][*i];
+                *i += 1;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Second pass: reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next;
+        while let Some(u) = stack.pop() {
+            for &v in &rev[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
 /// Computes strata for `rules`. Errors with [`DatalogError::NotStratifiable`]
 /// if negation occurs through recursion.
 pub fn stratify(rules: &[Rule]) -> Result<Strata> {
@@ -104,16 +253,31 @@ pub fn stratify(rules: &[Rule]) -> Result<Strata> {
             break;
         }
         if round == n {
-            let cyclic: Vec<String> = idb
+            let signed: Vec<(usize, usize, bool)> = edges
                 .iter()
-                .enumerate()
-                .filter(|(i, _)| stratum[*i] > n)
-                .map(|(_, p)| p.to_string())
+                .map(|&(s, d, sign)| (s, d, sign == EdgeSign::Neg))
                 .collect();
-            return Err(DatalogError::NotStratifiable(format!(
-                "negation through recursion involving {{{}}}",
-                cyclic.join(", ")
-            )));
+            let msg = match negative_cycle(n, &signed) {
+                Some(cycle) => format!(
+                    "negation through recursive cycle {}",
+                    cycle.render(|i| idb[i].to_string())
+                ),
+                None => {
+                    // Unreachable in practice (a failed relaxation implies
+                    // a negative cycle), kept as a conservative fallback.
+                    let cyclic: Vec<String> = idb
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| stratum[*i] > n)
+                        .map(|(_, p)| p.to_string())
+                        .collect();
+                    format!(
+                        "negation through recursion involving {{{}}}",
+                        cyclic.join(", ")
+                    )
+                }
+            };
+            return Err(DatalogError::NotStratifiable(msg));
         }
     }
 
@@ -214,7 +378,44 @@ mod tests {
             ),
         ];
         let err = stratify(&rules).unwrap_err();
-        assert!(matches!(err, DatalogError::NotStratifiable(_)));
+        let DatalogError::NotStratifiable(msg) = err else {
+            panic!("expected NotStratifiable, got {err:?}");
+        };
+        // The message names the actual cycle, not just the predicate set.
+        assert!(msg.contains("recursive cycle"), "{msg}");
+        assert!(msg.contains("not p") || msg.contains("not r"), "{msg}");
+    }
+
+    #[test]
+    fn negative_cycle_witness_found_and_rendered() {
+        // 0 -not-> 1 -pos-> 2 -pos-> 0: one negative edge in the cycle.
+        let edges = [(0, 1, true), (1, 2, false), (2, 0, false)];
+        let cyc = negative_cycle(3, &edges).expect("cycle");
+        assert_eq!(cyc.nodes.len(), cyc.negative.len());
+        assert_eq!(cyc.negative.iter().filter(|&&n| n).count(), 1);
+        let names = ["a", "b", "c"];
+        let rendered = cyc.render(|i| names[i].to_string());
+        assert!(rendered.contains("not b"), "{rendered}");
+        assert!(
+            rendered.starts_with('a') && rendered.ends_with('a'),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn negative_edge_across_components_is_fine() {
+        // 0 -not-> 1, 1 -pos-> 2, 2 -pos-> 1: the negative edge is not
+        // part of any cycle.
+        let edges = [(0, 1, true), (1, 2, false), (2, 1, false)];
+        assert!(negative_cycle(3, &edges).is_none());
+        assert!(negative_cycle(0, &[]).is_none());
+    }
+
+    #[test]
+    fn self_negation_witness() {
+        let edges = [(0, 0, true)];
+        let cyc = negative_cycle(1, &edges).expect("self-loop");
+        assert_eq!(cyc.render(|_| "p".to_string()), "p -> not p");
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod value;
 pub use atom::{Atom, BodyItem, Literal};
 pub use database::Database;
 pub use error::{DatalogError, Result};
-pub use eval::EvalConfig;
+pub use eval::{negative_cycle, EvalConfig, NegativeCycle};
 pub use expr::{BinOp, CmpOp, Expr};
 pub use fact::{Fact, Tuple};
 pub use incremental::{Delta, MaterializedView};

@@ -111,6 +111,8 @@ pub struct PeerStat {
     pub blocked_reads: u64,
     /// Total session frames this peer retransmitted.
     pub retransmits: u64,
+    /// Static-analyzer diagnostics surfaced on installs at this peer.
+    pub analyzer_diags: u64,
 }
 
 /// One round of the active-set / fan-out time series.
@@ -265,6 +267,9 @@ impl Aggregator {
                 TraceEvent::SessionRetransmit { from, count, .. } => {
                     self.cur.retransmits += count;
                     self.peers.entry(from).or_default().retransmits += count;
+                }
+                TraceEvent::AnalyzerDiagnostic { peer, .. } => {
+                    self.peers.entry(peer).or_default().analyzer_diags += 1;
                 }
                 TraceEvent::SessionHealth { state, .. } => {
                     if state > 0 {

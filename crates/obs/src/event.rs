@@ -132,6 +132,17 @@ pub enum TraceEvent {
         /// Health state: 0 = Up, 1 = Suspect, 2 = Down.
         state: u8,
     },
+    /// A static-analyzer diagnostic surfaced during a program install
+    /// (only non-blocking ones reach the trace stream: error-bearing
+    /// batches are rejected before installation).
+    AnalyzerDiagnostic {
+        /// The peer the program was installed on.
+        peer: Symbol,
+        /// Numeric part of the `WDLnnn` diagnostic code.
+        code: u16,
+        /// Severity: 0 = warning, 1 = error.
+        severity: u8,
+    },
     /// Coordinator-side summary of one sharded round.
     ShardRound {
         /// The coordinator's round counter.

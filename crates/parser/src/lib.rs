@@ -50,8 +50,11 @@ mod parse;
 pub mod pretty;
 
 pub use lexer::{Token, TokenKind};
-pub use load::{load_program, LoadError, LoadReport};
-pub use parse::{parse_fact, parse_program, parse_rule, parse_statement, ParseError, Statement};
+pub use load::{load_program, load_program_checked, LoadError, LoadReport};
+pub use parse::{
+    parse_fact, parse_program, parse_program_spanned, parse_rule, parse_statement, ParseError,
+    SpannedStatement, Statement,
+};
 
 /// Parses a query: a bare rule body (comma-separated items, optional final
 /// `;`), as typed into the demo's Query tab. Run it with

@@ -4,7 +4,8 @@
 //! text to this peer": declarations declare, facts insert, rules install.
 //! [`load_program`] does exactly that, reporting what happened.
 
-use crate::{parse_program, ParseError, Statement};
+use crate::{parse_program, parse_program_spanned, ParseError, Statement};
+use wdl_core::diag::{Diagnostic, ProgramBatch, ProgramCheck, Span};
 use wdl_core::{Peer, RuleId, WdlError};
 
 /// What a [`load_program`] call applied.
@@ -16,6 +17,9 @@ pub struct LoadReport {
     pub facts: usize,
     /// Rules installed, with their ids.
     pub rules: Vec<RuleId>,
+    /// Non-blocking analyzer diagnostics ([`load_program_checked`] only;
+    /// the unchecked path leaves this empty).
+    pub warnings: Vec<Diagnostic>,
 }
 
 /// Errors from loading a program.
@@ -108,6 +112,61 @@ pub fn load_program(peer: &mut Peer, src: &str) -> Result<LoadReport, LoadError>
         }
     }
     Ok(report)
+}
+
+/// [`load_program`], but vetted by a static checker and applied
+/// atomically: the whole program is parsed (keeping statement spans),
+/// packed into a [`ProgramBatch`] and handed to [`Peer::install`] — any
+/// `Severity::Error` diagnostic rejects the *entire* program with
+/// [`WdlError::Rejected`] before a single statement takes effect, and
+/// warnings come back in [`LoadReport::warnings`].
+///
+/// Unlike [`load_program`], duplicate facts count as applied (the
+/// install path does not report store-level dedup).
+pub fn load_program_checked(
+    peer: &mut Peer,
+    src: &str,
+    check: &dyn ProgramCheck,
+) -> Result<LoadReport, LoadError> {
+    let statements = parse_program_spanned(src)?;
+    let mut batch = ProgramBatch::new();
+    for st in statements {
+        match st.statement {
+            Statement::Declaration {
+                rel,
+                peer: at,
+                arity,
+                kind,
+            } => {
+                if at != peer.name() {
+                    return Err(LoadError::WrongPeer {
+                        addressed: at.to_string(),
+                        loading: peer.name().to_string(),
+                    });
+                }
+                batch.declarations.push((rel, arity, kind));
+            }
+            Statement::Fact(f) => {
+                if f.peer != peer.name() {
+                    return Err(LoadError::WrongPeer {
+                        addressed: f.peer.to_string(),
+                        loading: peer.name().to_string(),
+                    });
+                }
+                batch.facts.push(f);
+            }
+            Statement::Rule(r) => {
+                batch.rules.push((r, Some(Span::new(st.line, st.col))));
+            }
+        }
+    }
+    let report = peer.install(batch, check)?;
+    Ok(LoadReport {
+        declarations: report.declarations,
+        facts: report.facts,
+        rules: report.rules,
+        warnings: report.warnings,
+    })
 }
 
 #[cfg(test)]

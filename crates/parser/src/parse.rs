@@ -47,12 +47,39 @@ pub enum Statement {
     },
 }
 
+/// A statement together with the source position (1-based line and
+/// column) of its first token — what the static analyzer threads into
+/// diagnostics so they render `file:line:col`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedStatement {
+    /// The parsed statement.
+    pub statement: Statement,
+    /// 1-based line of the statement's first token.
+    pub line: usize,
+    /// 1-based column of the statement's first token.
+    pub col: usize,
+}
+
 /// Parses a whole program (a sequence of `;`-terminated statements).
 pub fn parse_program(src: &str) -> Result<Vec<Statement>, ParseError> {
+    Ok(parse_program_spanned(src)?
+        .into_iter()
+        .map(|s| s.statement)
+        .collect())
+}
+
+/// [`parse_program`], but keeping each statement's source position.
+pub fn parse_program_spanned(src: &str) -> Result<Vec<SpannedStatement>, ParseError> {
     let mut p = Parser::new(src)?;
     let mut out = Vec::new();
     while !p.at_eof() {
-        out.push(p.statement()?);
+        let start = p.peek();
+        let (line, col) = (start.line, start.col);
+        out.push(SpannedStatement {
+            statement: p.statement()?,
+            line,
+            col,
+        });
     }
     Ok(out)
 }
@@ -177,11 +204,13 @@ impl Parser {
                 }
             }
         }
+        let start = self.peek();
+        let (line, col) = (start.line, start.col);
         let head = self.watom()?;
         match self.peek_kind() {
             TokenKind::Semi => {
                 self.bump();
-                let fact = self.atom_to_fact(head)?;
+                let fact = self.atom_to_fact(head, line, col)?;
                 Ok(Statement::Fact(fact))
             }
             TokenKind::Turnstile => {
@@ -220,12 +249,15 @@ impl Parser {
         })
     }
 
-    fn atom_to_fact(&self, atom: WAtom) -> Result<WFact, ParseError> {
+    /// `line`/`col` locate the statement's first token: the previously
+    /// hardcoded `1:1` here misreported every fact error past the first
+    /// line of a program.
+    fn atom_to_fact(&self, atom: WAtom, line: usize, col: usize) -> Result<WFact, ParseError> {
         let (NameTerm::Name(rel), NameTerm::Name(peer)) = (atom.rel, atom.peer) else {
             return Err(ParseError {
                 message: "facts cannot contain variables in name positions".into(),
-                line: 1,
-                col: 1,
+                line,
+                col,
             });
         };
         let mut values = Vec::with_capacity(atom.args.len());
@@ -235,8 +267,8 @@ impl Parser {
                 Term::Var(v) => {
                     return Err(ParseError {
                         message: format!("facts must be ground; found variable ${v}"),
-                        line: 1,
-                        col: 1,
+                        line,
+                        col,
                     })
                 }
             }
@@ -525,6 +557,30 @@ mod tests {
         assert!(err.to_string().contains("expected"));
         let err = parse_program("v@p(").unwrap_err();
         assert!(err.line >= 1);
+    }
+
+    #[test]
+    fn spanned_statements_carry_positions() {
+        // Note: the third statement is indented by two real spaces (a `\`
+        // continuation would strip them from the literal).
+        let src = concat!(
+            "extensional pictures@Jules/2;\n",
+            "pictures@Jules(1, \"a.jpg\");\n",
+            "  all@Jules($x) :- pictures@Jules($x, $n);",
+        );
+        let prog = parse_program_spanned(src).unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!((prog[0].line, prog[0].col), (1, 1));
+        assert_eq!((prog[1].line, prog[1].col), (2, 1));
+        assert_eq!((prog[2].line, prog[2].col), (3, 3));
+    }
+
+    #[test]
+    fn non_ground_fact_error_reports_its_line() {
+        let err = parse_program("ok@me(1);\nbad@me($x);").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_program("ok@me(1);\npictures@$p(1);").unwrap_err();
+        assert_eq!(err.line, 2);
     }
 
     #[test]

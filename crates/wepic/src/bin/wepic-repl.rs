@@ -93,6 +93,7 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
                  pending               list pending delegations\n  \
                  approve <n>|reject <n>  decide pending delegation n\n  \
                  trust <peer>          trust a peer's delegations\n  \
+                 check                 static analysis over all peers (wdl-analyze)\n  \
                  run [n]               tick the network (default: to quiescence)\n  \
                  stats                 current peer's last stage + cumulative eval stats\n  \
                  profile on|off|reset  start/stop structured tracing\n  \
@@ -253,6 +254,32 @@ fn dispatch(repl: &mut Repl, line: &str) -> Result<(), String> {
                 .acl_mut()
                 .trust(rest);
             println!("{peer} now trusts {rest}");
+            Ok(())
+        }
+        "check" => {
+            let peers: Vec<&Peer> = repl
+                .rt
+                .peer_names()
+                .iter()
+                .filter_map(|&n| repl.rt.peer(n))
+                .collect();
+            if peers.is_empty() {
+                return Err("no peers to check — `peer <name>` first".into());
+            }
+            let report = wdl_analyze::Analyzer::from_peers(peers).analyze();
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+            match report.delegation_depth {
+                Some(depth) => println!("delegation depth bounded by {depth}"),
+                None => println!("delegation depth unbounded (installation may cycle)"),
+            }
+            let errors = report.errors().count();
+            println!(
+                "{} diagnostic(s), {} error(s)",
+                report.diagnostics.len(),
+                errors
+            );
             Ok(())
         }
         "run" => {

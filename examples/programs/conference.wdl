@@ -1,0 +1,23 @@
+// The Wepic conference album (Figure 1): the sigmod peer aggregates
+// pictures from attendees and from its Facebook wrapper peer.
+
+extensional attendee@sigmod/1;
+extensional pictures@sigmodFB/4;
+extensional pictures@alice/4;
+extensional pictures@bob/4;
+intensional album@sigmod/4;
+
+// Pull from every registered attendee (variable peer position).
+album@sigmod($id, $name, $owner, $data) :-
+    attendee@sigmod($who),
+    pictures@$who($id, $name, $owner, $data);
+
+// The wrapper peer's pictures are always in scope.
+album@sigmod($id, $name, $owner, $data) :-
+    pictures@sigmodFB($id, $name, $owner, $data);
+
+attendee@sigmod("alice");
+attendee@sigmod("bob");
+pictures@alice(1, "talk.jpg", "alice", 0x01);
+pictures@bob(2, "hall.jpg", "bob", 0x02);
+pictures@sigmodFB(3, "booth.jpg", "sigmodFB", 0x03);

@@ -1,0 +1,17 @@
+// A three-peer delegation chain (§3): a rule whose body walks
+// p -> q -> r installs remainders down the chain; wdl-check reports the
+// bounded delegation depth it proves.
+
+extensional start@p/1;
+extensional hop@q/1;
+extensional stop@r/1;
+intensional reach@p/1;
+
+reach@p($x) :-
+    start@p($x),
+    hop@q($x),
+    stop@r($x);
+
+start@p(1);
+hop@q(1);
+stop@r(1);

@@ -1,0 +1,15 @@
+// Stratified negation: unseen pictures are those in the album that the
+// user has not yet viewed. Safe (negated variables bound positively
+// first) and stratification-clean (no recursion through `not`).
+
+extensional album@jules/2;
+extensional viewed@jules/1;
+intensional unseen@jules/2;
+
+unseen@jules($id, $name) :-
+    album@jules($id, $name),
+    not viewed@jules($id);
+
+album@jules(1, "talk.jpg");
+album@jules(2, "hall.jpg");
+viewed@jules(1);

@@ -1,0 +1,14 @@
+// The paper's opening example (§2): Jules collects pictures of the
+// attendees he selected, wherever those pictures live.
+
+extensional pictures@emilien/4;
+extensional selectedAttendee@jules/1;
+intensional attendeePictures@jules/4;
+
+attendeePictures@jules($id, $name, $owner, $data) :-
+    selectedAttendee@jules($attendee),
+    pictures@$attendee($id, $name, $owner, $data);
+
+pictures@emilien(32, "sea.jpg", "emilien", 0x640000);
+pictures@emilien(33, "dunes.jpg", "emilien", 0x640001);
+selectedAttendee@jules("emilien");

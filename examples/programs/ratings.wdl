@@ -1,0 +1,22 @@
+// Customization from the paper's demo: only keep pictures whose owner
+// rated them 5, and tag each album entry with a display label.
+
+extensional pictures@emilien/4;
+extensional rate@emilien/2;
+extensional selectedAttendee@jules/1;
+intensional bestPictures@jules/4;
+intensional labelled@jules/2;
+
+bestPictures@jules($id, $name, $owner, $data) :-
+    selectedAttendee@jules($attendee),
+    pictures@$attendee($id, $name, $owner, $data),
+    rate@$owner($id, $r),
+    $r == 5;
+
+labelled@jules($id, $label) :-
+    bestPictures@jules($id, $name, $owner, $data),
+    $label := $owner + "/" + $name;
+
+selectedAttendee@jules("emilien");
+pictures@emilien(7, "sunset.jpg", "emilien", 0x0a);
+rate@emilien(7, 5);

@@ -18,6 +18,10 @@
 //!   profiling events, the online aggregator, and the message-graph
 //!   critical-path extractor.
 //! * [`parser`] — the surface syntax (`m@p(...)`, `$vars`, `:-`).
+//! * [`analyze`] — the whole-program static analyzer: cross-peer
+//!   dependency graph, diagnostics `WDL001..WDL009`, the `wdl-check`
+//!   binary, and the [`core::ProgramCheck`] hook used by
+//!   `Peer::install`.
 //! * [`net`] — transports: deterministic in-memory network and framed TCP.
 //! * [`store`] — the durable storage engine: per-relation segment
 //!   checkpoints, a delta write-ahead log, and crash recovery.
@@ -61,6 +65,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use wdl_analyze as analyze;
 pub use wdl_core as core;
 pub use wdl_datalog as datalog;
 pub use wdl_net as net;

@@ -1,0 +1,74 @@
+//! The analyzer over real programs: every `.wdl` file in
+//! `examples/programs/` and the wired Wepic conference must check clean of
+//! errors — the gate CI enforces with `wdl-check --json`.
+
+use webdamlog::analyze::{model_from_program, Analyzer};
+use webdamlog::parser::parse_program_spanned;
+use wepic::conference::{Conference, ConferenceConfig};
+
+#[test]
+fn example_programs_have_no_errors() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/programs");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("examples/programs must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wdl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let stmts =
+            parse_program_spanned(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (models, build_diags) = model_from_program(&stmts);
+        let report = Analyzer::new(models).analyze();
+        for d in build_diags.iter().chain(report.diagnostics.iter()) {
+            assert!(
+                !d.is_error(),
+                "{}: unexpected analyzer error: {d}",
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "expected the example corpus, found {checked} files"
+    );
+}
+
+#[test]
+fn wired_conference_has_no_errors() {
+    let conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    let peers: Vec<_> = conf
+        .runtime
+        .peer_names()
+        .iter()
+        .filter_map(|&n| conf.runtime.peer(n))
+        .collect();
+    let report = Analyzer::from_peers(peers).analyze();
+    let errors: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+    assert!(
+        errors.is_empty(),
+        "conference model should be clean, got: {errors:?}"
+    );
+}
+
+#[test]
+fn settled_conference_still_has_no_errors() {
+    // After settling, delegations have been installed across peers; the
+    // analyzer must accept the *runtime* state too (delegated rules are
+    // attributed to their origin).
+    let mut conf = Conference::new(&ConferenceConfig::demo()).unwrap();
+    conf.settle(32).unwrap();
+    let peers: Vec<_> = conf
+        .runtime
+        .peer_names()
+        .iter()
+        .filter_map(|&n| conf.runtime.peer(n))
+        .collect();
+    let report = Analyzer::from_peers(peers).analyze();
+    let errors: Vec<String> = report.errors().map(|d| d.to_string()).collect();
+    assert!(
+        errors.is_empty(),
+        "settled conference should be clean, got: {errors:?}"
+    );
+}
